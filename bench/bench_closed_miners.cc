@@ -1,0 +1,135 @@
+// Supplementary: the row-enumeration family's substrate claim (CARPENTER,
+// KDD 2003 — the predecessor FARMER generalizes, reference [17]): frequent
+// closed itemset mining by row enumeration vs the column-enumeration
+// closed miners CHARM and CLOSET+ on the five microarray datasets.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/charm.h"
+#include "baselines/closet.h"
+#include "baselines/cobbler.h"
+#include "bench/bench_common.h"
+#include "core/carpenter.h"
+#include "dataset/dataset.h"
+
+int main(int argc, char** argv) {
+  using namespace farmer;
+  using namespace farmer::bench;
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  PrintBenchHeader(
+      "Closed itemset mining: CARPENTER (row enum) vs CHARM vs CLOSET+",
+      config);
+
+  std::printf("%-5s %7s | %12s %10s %10s %11s | %9s\n", "data", "minsup",
+              "CARPENTER(s)", "CHARM(s)", "CLOSET+(s)", "COBBLER(s)",
+              "#closed");
+  for (const std::string& name : PaperDatasetNames()) {
+    if (!config.WantsDataset(name)) continue;
+    BenchDataset ds = MakeBenchDataset(name, config.column_scale);
+    const std::size_t n = ds.binary.num_rows();
+    // Items cover ~n/10 rows; sweep down from that. (Lower supports blow
+    // up the closed-set count on every miner; the per-run limit is the
+    // guard either way.)
+    std::vector<std::size_t> sweep = {std::max<std::size_t>(4, n / 10),
+                                      std::max<std::size_t>(4, n / 13)};
+    sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+    for (std::size_t minsup : sweep) {
+      CarpenterOptions copts;
+      copts.min_support = minsup;
+      copts.deadline = Deadline::After(config.timeout_seconds);
+      copts.max_closed = 500000;
+      CarpenterResult carpenter = MineCarpenter(ds.binary, copts);
+
+      CharmOptions chopts;
+      chopts.min_support = minsup;
+      chopts.deadline = Deadline::After(config.timeout_seconds);
+      chopts.max_closed = 500000;
+      CharmResult charm = MineCharm(ds.binary, chopts);
+
+      ClosetOptions clopts;
+      clopts.min_support = minsup;
+      clopts.deadline = Deadline::After(config.timeout_seconds);
+      clopts.max_closed = 500000;
+      ClosetResult closet = MineCloset(ds.binary, clopts);
+
+      CobblerOptions cbopts;
+      cbopts.min_support = minsup;
+      cbopts.deadline = Deadline::After(config.timeout_seconds);
+      cbopts.max_closed = 500000;
+      CobblerResult cobbler = MineCobbler(ds.binary, cbopts);
+
+      std::printf("%-5s %7zu | %12s %10s %10s %11s | %9zu%s\n",
+                  name.c_str(), minsup,
+                  FmtSeconds(carpenter.seconds, carpenter.timed_out,
+                             carpenter.overflowed)
+                      .c_str(),
+                  FmtSeconds(charm.seconds, charm.timed_out,
+                             charm.overflowed)
+                      .c_str(),
+                  FmtSeconds(closet.seconds, closet.timed_out,
+                             closet.overflowed)
+                      .c_str(),
+                  FmtSeconds(cobbler.seconds, cobbler.timed_out,
+                             cobbler.overflowed)
+                      .c_str(),
+                  carpenter.closed.size(),
+                  carpenter.timed_out || carpenter.overflowed
+                      ? "(partial)"
+                      : "");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  // COBBLER's home turf (SSDBM'04): tables both tall and wide. Replicate
+  // the CT rows to stretch the row dimension while keeping the columns.
+  std::printf("tall-and-wide (CT rows replicated; COBBLER's regime):\n");
+  std::printf("%-6s %7s %7s | %12s %10s %11s\n", "factor", "#rows",
+              "minsup", "CARPENTER(s)", "CHARM(s)", "COBBLER(s)");
+  if (config.WantsDataset("CT")) {
+    BenchDataset ct = MakeBenchDataset("CT", config.column_scale);
+    for (std::size_t factor : {2u, 6u, 12u}) {
+      BinaryDataset wide = ReplicateRows(ct.binary, factor);
+      const std::size_t minsup = std::max<std::size_t>(4, wide.num_rows() / 12);
+
+      CarpenterOptions copts;
+      copts.min_support = minsup;
+      copts.deadline = Deadline::After(config.timeout_seconds);
+      copts.max_closed = 500000;
+      CarpenterResult carpenter = MineCarpenter(wide, copts);
+
+      CharmOptions chopts;
+      chopts.min_support = minsup;
+      chopts.deadline = Deadline::After(config.timeout_seconds);
+      chopts.max_closed = 500000;
+      CharmResult charm = MineCharm(wide, chopts);
+
+      CobblerOptions cbopts;
+      cbopts.min_support = minsup;
+      cbopts.deadline = Deadline::After(config.timeout_seconds);
+      cbopts.max_closed = 500000;
+      CobblerResult cobbler = MineCobbler(wide, cbopts);
+
+      std::printf("%-6zu %7zu %7zu | %12s %10s %11s\n", factor,
+                  wide.num_rows(), minsup,
+                  FmtSeconds(carpenter.seconds, carpenter.timed_out,
+                             carpenter.overflowed)
+                      .c_str(),
+                  FmtSeconds(charm.seconds, charm.timed_out,
+                             charm.overflowed)
+                      .c_str(),
+                  FmtSeconds(cobbler.seconds, cobbler.timed_out,
+                             cobbler.overflowed)
+                      .c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n");
+  std::printf("reference (CARPENTER, KDD'03 / this paper §5): row "
+              "enumeration dominates column enumeration for closed "
+              "pattern mining on long biological datasets; the paper also "
+              "reports CHARM beating CLOSET+ on microarray data\n");
+  return 0;
+}

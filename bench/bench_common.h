@@ -1,0 +1,99 @@
+#ifndef FARMER_BENCH_BENCH_COMMON_H_
+#define FARMER_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the table/figure reproduction benches.
+//
+// Every bench accepts:
+//   --full                    paper-scale column counts (slow)
+//   FARMER_BENCH_SCALE=<f>    explicit column scale (default 0.05)
+//   FARMER_BENCH_TIMEOUT=<s>  per-run time limit in seconds (default 20)
+//
+// Runs that exceed the limit print TIMEOUT, mirroring how the paper
+// reports competitors that "did not run to completion".
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dataset/dataset.h"
+#include "dataset/discretize.h"
+#include "dataset/expression_matrix.h"
+#include "dataset/synthetic.h"
+
+namespace farmer {
+namespace bench {
+
+struct BenchConfig {
+  double column_scale = 0.05;
+  double timeout_seconds = 15.0;
+  /// When non-empty, only this dataset is benched (--data <name>).
+  std::string only_dataset;
+
+  bool WantsDataset(const std::string& name) const {
+    return only_dataset.empty() || only_dataset == name;
+  }
+};
+
+inline BenchConfig ParseBenchConfig(int argc, char** argv) {
+  BenchConfig config;
+  if (const char* scale = std::getenv("FARMER_BENCH_SCALE")) {
+    config.column_scale = std::atof(scale);
+  }
+  if (const char* full = std::getenv("FARMER_BENCH_FULL");
+      full != nullptr && full[0] == '1') {
+    config.column_scale = 1.0;
+  }
+  if (const char* timeout = std::getenv("FARMER_BENCH_TIMEOUT")) {
+    config.timeout_seconds = std::atof(timeout);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) config.column_scale = 1.0;
+    if (std::strcmp(argv[i], "--data") == 0 && i + 1 < argc) {
+      config.only_dataset = argv[++i];
+    }
+  }
+  if (config.column_scale <= 0.0) config.column_scale = 0.05;
+  return config;
+}
+
+/// One benchmark dataset: the synthetic microarray matrix plus its
+/// equal-depth discretization (10 buckets, the paper's setting).
+struct BenchDataset {
+  std::string name;
+  ExpressionMatrix matrix;
+  BinaryDataset binary;
+};
+
+inline BenchDataset MakeBenchDataset(const std::string& name, double scale,
+                                     int buckets = 10) {
+  BenchDataset out;
+  out.name = name;
+  SyntheticSpec spec = PaperDatasetSpec(name, scale);
+  out.matrix = GenerateSynthetic(spec);
+  Discretization disc = Discretization::FitEqualDepth(out.matrix, buckets);
+  out.binary = disc.Apply(out.matrix);
+  return out;
+}
+
+/// "0.123" or "TIMEOUT"/"CAP" for runs that were cut short.
+inline std::string FmtSeconds(double seconds, bool timed_out,
+                              bool overflowed = false) {
+  if (timed_out) return "TIMEOUT";
+  if (overflowed) return "CAP";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  return buf;
+}
+
+inline void PrintBenchHeader(const char* title, const BenchConfig& config) {
+  std::printf("== %s ==\n", title);
+  std::printf("column scale %.3g (use --full or FARMER_BENCH_SCALE for "
+              "paper-size columns); per-run limit %.0fs\n\n",
+              config.column_scale, config.timeout_seconds);
+}
+
+}  // namespace bench
+}  // namespace farmer
+
+#endif  // FARMER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,93 @@
+// Figure 10: runtime vs minimum support — FARMER vs ColumnE vs CHARM on
+// the five datasets (panels a–e), plus the number of IRGs per setting
+// (panel f). minconf = minchi = 0, equal-depth 10-bucket discretization,
+// exactly as in §4.1.1. FARMER's time includes lower-bound mining.
+//
+// Expected shape (the paper's result): FARMER finishes in seconds while
+// the column-enumeration competitors blow past the time limit at low
+// minimum supports; the gap widens as minsup decreases.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "baselines/charm.h"
+#include "baselines/columne.h"
+#include "bench/bench_common.h"
+#include "core/farmer.h"
+
+int main(int argc, char** argv) {
+  using namespace farmer;
+  using namespace farmer::bench;
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  PrintBenchHeader(
+      "Figure 10: runtime vs minsup (FARMER / ColumnE / CHARM) "
+      "and IRG counts", config);
+
+  std::printf("%-5s %7s | %10s %10s %10s | %9s\n", "data", "minsup",
+              "FARMER(s)", "ColumnE(s)", "CHARM(s)", "#IRGs");
+  for (const std::string& name : PaperDatasetNames()) {
+    if (!config.WantsDataset(name)) continue;
+    BenchDataset ds = MakeBenchDataset(name, config.column_scale);
+
+    // Data-driven sweep mirroring the paper's small absolute supports: no
+    // rule can exceed the best single item's class-1 cover, so sweep
+    // down from that cap.
+    std::vector<std::size_t> item_class1(ds.binary.num_items(), 0);
+    for (RowId r = 0; r < ds.binary.num_rows(); ++r) {
+      if (ds.binary.label(r) != 1) continue;
+      for (ItemId i : ds.binary.row(r)) ++item_class1[i];
+    }
+    const std::size_t cap = *std::max_element(item_class1.begin(),
+                                              item_class1.end());
+    std::set<std::size_t, std::greater<>> sweep;
+    sweep.insert(std::max<std::size_t>(3, cap));
+    sweep.insert(std::max<std::size_t>(3, cap * 3 / 4));
+    sweep.insert(std::max<std::size_t>(3, cap / 2));
+    sweep.insert(std::max<std::size_t>(3, cap / 4));
+
+    for (std::size_t minsup : sweep) {
+      MinerOptions fopts;
+      fopts.consequent = 1;
+      fopts.min_support = minsup;
+      fopts.mine_lower_bounds = true;
+      fopts.deadline = Deadline::After(config.timeout_seconds);
+      FarmerResult farmer_result = MineFarmer(ds.binary, fopts);
+      const double farmer_s = farmer_result.stats.mine_seconds +
+                              farmer_result.stats.lower_bound_seconds;
+
+      ColumnEOptions copts;
+      copts.consequent = 1;
+      copts.min_support = minsup;
+      copts.deadline = Deadline::After(config.timeout_seconds);
+      copts.max_rules = 500000;
+      ColumnEResult columne = MineColumnE(ds.binary, copts);
+
+      CharmOptions chopts;
+      chopts.min_support = minsup;
+      chopts.deadline = Deadline::After(config.timeout_seconds);
+      chopts.max_closed = 500000;
+      CharmResult charm = MineCharm(ds.binary, chopts);
+
+      std::printf("%-5s %7zu | %10s %10s %10s | %9zu%s\n", name.c_str(),
+                  minsup,
+                  FmtSeconds(farmer_s, farmer_result.stats.timed_out)
+                      .c_str(),
+                  FmtSeconds(columne.seconds, columne.timed_out,
+                             columne.overflowed)
+                      .c_str(),
+                  FmtSeconds(charm.seconds, charm.timed_out,
+                             charm.overflowed)
+                      .c_str(),
+                  farmer_result.groups.size(),
+                  farmer_result.stats.timed_out ? "(partial)" : "");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("paper reference: FARMER is 2-3 orders of magnitude faster; "
+              "CHARM exhausts memory on BC/LC; IRG count grows sharply as "
+              "minsup falls (Fig. 10f)\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 11: runtime vs minimum confidence at minsup = 1, with the
+// chi-square constraint off (minchi = 0) and on (minchi = 10) — §4.1.2 and
+// §4.1.3 — plus the IRG counts (panel f).
+//
+// Expected shape: runtime falls as minconf rises (confidence pruning
+// works); the minchi = 10 series sits below the minchi = 0 series
+// (chi-square pruning adds on top); the competitors cannot run at
+// minsup = 1 at all (the paper reports >1 day / out of memory), which the
+// harness reports as TIMEOUT.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/charm.h"
+#include "baselines/columne.h"
+#include "bench/bench_common.h"
+#include "core/farmer.h"
+
+int main(int argc, char** argv) {
+  using namespace farmer;
+  using namespace farmer::bench;
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  PrintBenchHeader(
+      "Figure 11: runtime vs minconf at minsup=1, minchi in {0, 10}",
+      config);
+
+  const std::vector<double> minconfs = {0.5, 0.7, 0.8, 0.85, 0.9, 0.99};
+  std::printf("%-5s %8s | %12s %9s | %12s %9s\n", "data", "minconf",
+              "chi=0 t(s)", "#IRGs", "chi=10 t(s)", "#IRGs");
+  for (const std::string& name : PaperDatasetNames()) {
+    if (!config.WantsDataset(name)) continue;
+    BenchDataset ds = MakeBenchDataset(name, config.column_scale);
+    for (double minconf : minconfs) {
+      std::string cells[2];
+      std::size_t counts[2] = {0, 0};
+      bool partial[2] = {false, false};
+      const double minchis[2] = {0.0, 10.0};
+      for (int variant = 0; variant < 2; ++variant) {
+        MinerOptions opts;
+        opts.consequent = 1;
+        opts.min_support = 1;
+        opts.min_confidence = minconf;
+        opts.min_chi_square = minchis[variant];
+        opts.mine_lower_bounds = true;
+        opts.deadline = Deadline::After(config.timeout_seconds);
+        FarmerResult r = MineFarmer(ds.binary, opts);
+        cells[variant] = FmtSeconds(
+            r.stats.mine_seconds + r.stats.lower_bound_seconds,
+            r.stats.timed_out);
+        counts[variant] = r.groups.size();
+        partial[variant] = r.stats.timed_out;
+      }
+      std::printf("%-5s %8.2f | %12s %8zu%s | %12s %8zu%s\n", name.c_str(),
+                  minconf, cells[0].c_str(), counts[0],
+                  partial[0] ? "*" : " ", cells[1].c_str(), counts[1],
+                  partial[1] ? "*" : " ");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  // One competitor datapoint per dataset documents the paper's "ColumnE
+  // needs more than a day, CHARM runs out of memory at minsup=1" claim.
+  std::printf("competitors at minsup=1 (single run per dataset):\n");
+  std::printf("%-5s %12s %12s\n", "data", "ColumnE(s)", "CHARM(s)");
+  for (const std::string& name : PaperDatasetNames()) {
+    if (!config.WantsDataset(name)) continue;
+    BenchDataset ds = MakeBenchDataset(name, config.column_scale);
+    ColumnEOptions copts;
+    copts.min_support = 1;
+    copts.min_confidence = 0.9;
+    copts.deadline = Deadline::After(config.timeout_seconds);
+    copts.max_rules = 500000;
+    ColumnEResult columne = MineColumnE(ds.binary, copts);
+    CharmOptions chopts;
+    chopts.min_support = 1;
+    chopts.deadline = Deadline::After(config.timeout_seconds);
+    chopts.max_closed = 500000;
+    CharmResult charm = MineCharm(ds.binary, chopts);
+    std::printf("%-5s %12s %12s\n", name.c_str(),
+                FmtSeconds(columne.seconds, columne.timed_out,
+                           columne.overflowed)
+                    .c_str(),
+                FmtSeconds(charm.seconds, charm.timed_out, charm.overflowed)
+                    .c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\npaper reference: runtime decreases with minconf; little "
+              "change between 85%% and 99%% (most IRGs have 100%% "
+              "confidence); minchi=10 gives up to an order of magnitude "
+              "further saving except on LC\n");
+  return 0;
+}

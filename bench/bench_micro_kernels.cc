@@ -1,0 +1,97 @@
+// Micro benchmarks of the library's hot kernels: bitset algebra,
+// chi-square bounds, tidset intersection, and a full small FARMER run.
+
+#include <benchmark/benchmark.h>
+
+#include "core/farmer.h"
+#include "core/measures.h"
+#include "dataset/discretize.h"
+#include "dataset/synthetic.h"
+#include "dataset/transpose.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace farmer;
+
+void BM_BitsetIntersectCount(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  Bitset a(bits), b(bits);
+  Rng rng(1);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.NextBool(0.5)) a.Set(i);
+    if (rng.NextBool(0.5)) b.Set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IntersectCount(b));
+  }
+}
+BENCHMARK(BM_BitsetIntersectCount)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_BitsetSupersetCheck(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  Bitset small(bits), big(bits);
+  Rng rng(2);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.NextBool(0.3)) {
+      small.Set(i);
+      big.Set(i);
+    } else if (rng.NextBool(0.3)) {
+      big.Set(i);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.IsSubsetOf(big));
+  }
+}
+BENCHMARK(BM_BitsetSupersetCheck)->Arg(128)->Arg(1024);
+
+void BM_ChiSquareUpperBound(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    const std::size_t n = 100, m = 46;
+    const std::size_t y = rng.NextBelow(m + 1);
+    const std::size_t x = y + rng.NextBelow(n - m + 1);
+    benchmark::DoNotOptimize(ChiSquareUpperBound(x, y, n, m));
+  }
+}
+BENCHMARK(BM_ChiSquareUpperBound);
+
+void BM_TransposeBuild(benchmark::State& state) {
+  SyntheticSpec spec;
+  spec.num_rows = 60;
+  spec.num_genes = static_cast<std::size_t>(state.range(0));
+  spec.num_class1 = 30;
+  spec.seed = 4;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  BinaryDataset ds = Discretization::FitEqualDepth(m, 10).Apply(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TransposedTable::Build(ds));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(spec.num_genes));
+}
+BENCHMARK(BM_TransposeBuild)->Arg(200)->Arg(800);
+
+void BM_FarmerSmallRun(benchmark::State& state) {
+  SyntheticSpec spec;
+  spec.num_rows = 40;
+  spec.num_genes = static_cast<std::size_t>(state.range(0));
+  spec.num_class1 = 20;
+  spec.seed = 5;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  BinaryDataset ds = Discretization::FitEqualDepth(m, 10).Apply(m);
+  MinerOptions opts;
+  opts.min_support = 10;
+  opts.min_confidence = 0.9;
+  opts.mine_lower_bounds = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineFarmer(ds, opts));
+  }
+}
+BENCHMARK(BM_FarmerSmallRun)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

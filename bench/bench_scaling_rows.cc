@@ -1,0 +1,76 @@
+// §4.1 row-scaling experiment: the paper notes (full data in its technical
+// report) that FARMER still beats the column-enumeration miners when each
+// dataset is replicated 5-10x in rows. Replication multiplies every
+// support, so the absolute minimum support scales with the factor.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/charm.h"
+#include "baselines/columne.h"
+#include "bench/bench_common.h"
+#include "core/farmer.h"
+#include "dataset/dataset.h"
+
+int main(int argc, char** argv) {
+  using namespace farmer;
+  using namespace farmer::bench;
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  PrintBenchHeader("Row scaling: replicated datasets (paper §4.1)", config);
+
+  // BC has the most columns — the regime where column enumeration is
+  // supposed to stay hopeless even as the row count grows.
+  BenchDataset base = MakeBenchDataset("BC", config.column_scale);
+  std::vector<std::size_t> item_class1(base.binary.num_items(), 0);
+  for (RowId r = 0; r < base.binary.num_rows(); ++r) {
+    if (base.binary.label(r) != 1) continue;
+    for (ItemId i : base.binary.row(r)) ++item_class1[i];
+  }
+  // Half the best single-item class cover: satisfiable but non-trivial.
+  const std::size_t base_minsup = std::max<std::size_t>(
+      3, *std::max_element(item_class1.begin(), item_class1.end()) / 2);
+
+  std::printf("%-6s %7s %8s | %10s %10s %10s\n", "factor", "#rows",
+              "minsup", "FARMER(s)", "ColumnE(s)", "CHARM(s)");
+  for (std::size_t factor : {1u, 2u, 5u, 10u}) {
+    BinaryDataset replicated = ReplicateRows(base.binary, factor);
+    const std::size_t minsup = base_minsup * factor;
+
+    MinerOptions fopts;
+    fopts.consequent = 1;
+    fopts.min_support = minsup;
+    fopts.mine_lower_bounds = true;
+    fopts.deadline = Deadline::After(config.timeout_seconds);
+    FarmerResult farmer_result = MineFarmer(replicated, fopts);
+
+    ColumnEOptions copts;
+    copts.min_support = minsup;
+    copts.deadline = Deadline::After(config.timeout_seconds);
+    copts.max_rules = 500000;
+    ColumnEResult columne = MineColumnE(replicated, copts);
+
+    CharmOptions chopts;
+    chopts.min_support = minsup;
+    chopts.deadline = Deadline::After(config.timeout_seconds);
+    chopts.max_closed = 500000;
+    CharmResult charm = MineCharm(replicated, chopts);
+
+    std::printf("%-6zu %7zu %8zu | %10s %10s %10s\n", factor,
+                replicated.num_rows(), minsup,
+                FmtSeconds(farmer_result.stats.mine_seconds +
+                               farmer_result.stats.lower_bound_seconds,
+                           farmer_result.stats.timed_out)
+                    .c_str(),
+                FmtSeconds(columne.seconds, columne.timed_out,
+                           columne.overflowed)
+                    .c_str(),
+                FmtSeconds(charm.seconds, charm.timed_out,
+                           charm.overflowed)
+                    .c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\npaper reference: FARMER still outperforms the column "
+              "miners at 5-10x replication, though its own runtime grows "
+              "with the larger row-enumeration space\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Table 2: classification accuracy of the IRG classifier vs CBA vs SVM on
+// the five datasets, with the paper's train/test split sizes and
+// entropy-minimized discretization (§4.2).
+//
+// Expected shape: the IRG classifier has the best (or near-best) average
+// accuracy; no classifier wins on every dataset. Absolute numbers differ
+// from the paper because the datasets are synthetic stand-ins.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "classify/cba.h"
+#include "classify/evaluation.h"
+#include "classify/irg_classifier.h"
+#include "classify/svm.h"
+#include "dataset/discretize.h"
+
+int main(int argc, char** argv) {
+  using namespace farmer;
+  using namespace farmer::bench;
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  PrintBenchHeader("Table 2: classification accuracy (IRG / CBA / SVM)",
+                   config);
+
+  std::printf("%-5s %8s %7s | %8s %8s %8s\n", "data", "#train", "#test",
+              "IRG", "CBA", "SVM");
+  double sum_irg = 0, sum_cba = 0, sum_svm = 0;
+  std::size_t count = 0;
+  for (const std::string& name : PaperDatasetNames()) {
+    if (!config.WantsDataset(name)) continue;
+    BenchDataset ds = MakeBenchDataset(name, config.column_scale);
+    const TrainTestSizes sizes = PaperSplitSizes(name);
+    Split split = StratifiedSplit(ds.matrix.labels(), sizes.train, 17);
+    ExpressionMatrix train_m = ds.matrix.SelectRows(split.train);
+    ExpressionMatrix test_m = ds.matrix.SelectRows(split.test);
+    // The paper's test folds were collected independently of the training
+    // cohorts (most dramatically for BC); reproduce that batch shift.
+    ApplyBatchEffect(&test_m, PaperBatchSigma(name), /*seed=*/name[0]);
+
+    // Entropy-MDL discretization fitted on the training fold only (the
+    // paper's protocol for the classification experiments).
+    Discretization disc = Discretization::FitEntropyMdl(train_m);
+    BinaryDataset train = disc.Apply(train_m);
+    BinaryDataset test = disc.Apply(test_m);
+
+    std::vector<ClassLabel> truth;
+    for (RowId r = 0; r < test.num_rows(); ++r) {
+      truth.push_back(test.label(r));
+    }
+
+    // IRG classifier: minsup 0.7 * class size, minconf 0.8 (paper).
+    IrgClassifierOptions iopts;
+    iopts.min_support_fraction = 0.7;
+    iopts.min_confidence = 0.8;
+    iopts.max_seconds_per_class = config.timeout_seconds;
+    IrgClassifier irg = IrgClassifier::Train(train, iopts);
+    std::vector<ClassLabel> irg_pred;
+    for (RowId r = 0; r < test.num_rows(); ++r) {
+      irg_pred.push_back(irg.Predict(test.row(r)));
+    }
+
+    // CBA from FARMER-materialized rules (the paper's workaround: CBA's
+    // own rule generator does not terminate on microarray data).
+    std::vector<ClassRule> rules = GenerateRulesWithFarmer(
+        train, 0.7, 0.8, config.timeout_seconds);
+    CbaClassifier cba = CbaClassifier::Train(train, std::move(rules));
+    std::vector<ClassLabel> cba_pred;
+    for (RowId r = 0; r < test.num_rows(); ++r) {
+      cba_pred.push_back(cba.Predict(test.row(r)));
+    }
+
+    // Linear SVM on the continuous expression values. The paper ran
+    // SVM-light with default settings, i.e. on raw (unstandardized)
+    // intensities — faithfully reproduced here; see svm.h for the
+    // standardized variant a practitioner would actually want.
+    SvmOptions svm_opts;
+    svm_opts.standardize = false;
+    svm_opts.c = 0.0;  // SVM-light default C.
+
+    LinearSvm svm = LinearSvm::Train(train_m, 1, svm_opts);
+    std::vector<ClassLabel> svm_pred;
+    for (std::size_t r = 0; r < test_m.num_rows(); ++r) {
+      svm_pred.push_back(svm.Predict(test_m.row_data(r)));
+    }
+
+    const double acc_irg = Accuracy(truth, irg_pred);
+    const double acc_cba = Accuracy(truth, cba_pred);
+    const double acc_svm = Accuracy(truth, svm_pred);
+    sum_irg += acc_irg;
+    sum_cba += acc_cba;
+    sum_svm += acc_svm;
+    ++count;
+    std::printf("%-5s %8zu %7zu | %7.2f%% %7.2f%% %7.2f%%\n", name.c_str(),
+                split.train.size(), split.test.size(), 100 * acc_irg,
+                100 * acc_cba, 100 * acc_svm);
+    std::fflush(stdout);
+  }
+  const double dn = static_cast<double>(count);
+  std::printf("%-5s %8s %7s | %7.2f%% %7.2f%% %7.2f%%\n", "avg", "", "",
+              100 * sum_irg / dn, 100 * sum_cba / dn, 100 * sum_svm / dn);
+  std::printf("\npaper reference (Table 2): IRG 83.03%% avg vs CBA 77.33%% "
+              "vs SVM 76.66%%; no classifier wins everywhere\n");
+  return 0;
+}

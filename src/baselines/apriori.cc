@@ -1,0 +1,104 @@
+#include "baselines/apriori.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/bitset.h"
+
+namespace farmer {
+
+namespace {
+
+// A frequent itemset of the current level with its tidset.
+struct LevelEntry {
+  ItemVector items;
+  Bitset tids;
+};
+
+}  // namespace
+
+AprioriResult MineApriori(const BinaryDataset& dataset,
+                          const AprioriOptions& options) {
+  AprioriResult result;
+  Stopwatch sw;
+  const std::size_t min_support =
+      std::max<std::size_t>(1, options.min_support);
+  const std::size_t n = dataset.num_rows();
+
+  // Level 1: frequent single items with their tidsets.
+  std::vector<Bitset> item_tids(dataset.num_items(), Bitset(n));
+  for (RowId r = 0; r < n; ++r) {
+    for (ItemId i : dataset.row(r)) item_tids[i].Set(r);
+  }
+  std::vector<LevelEntry> level;
+  for (ItemId i = 0; i < dataset.num_items(); ++i) {
+    if (item_tids[i].Count() >= min_support) {
+      level.push_back(LevelEntry{{i}, item_tids[i]});
+      result.frequent.push_back(
+          FrequentClosed{{i}, item_tids[i].Count()});
+    }
+  }
+
+  auto should_stop = [&]() {
+    if (options.deadline.Expired()) {
+      result.timed_out = true;
+      return true;
+    }
+    if (options.max_itemsets != 0 &&
+        result.frequent.size() >= options.max_itemsets) {
+      result.overflowed = true;
+      return true;
+    }
+    return false;
+  };
+
+  while (!level.empty() && !should_stop()) {
+    // Join step: two frequent k-itemsets sharing their first k-1 items
+    // yield a (k+1)-candidate. `level` is sorted lexicographically, so
+    // joinable pairs are adjacent runs.
+    std::vector<LevelEntry> next;
+    for (std::size_t a = 0; a < level.size() && !should_stop(); ++a) {
+      for (std::size_t b = a + 1; b < level.size(); ++b) {
+        const ItemVector& ia = level[a].items;
+        const ItemVector& ib = level[b].items;
+        if (!std::equal(ia.begin(), ia.end() - 1, ib.begin())) break;
+        ++result.candidates_generated;
+        ItemVector candidate = ia;
+        candidate.push_back(ib.back());
+
+        // Prune step: every k-subset must be frequent. The two parents are
+        // frequent by construction; check the remaining subsets.
+        bool prunable = false;
+        for (std::size_t drop = 0; drop + 2 < candidate.size(); ++drop) {
+          ItemVector subset;
+          subset.reserve(candidate.size() - 1);
+          for (std::size_t p = 0; p < candidate.size(); ++p) {
+            if (p != drop) subset.push_back(candidate[p]);
+          }
+          auto it = std::lower_bound(
+              level.begin(), level.end(), subset,
+              [](const LevelEntry& e, const ItemVector& v) {
+                return e.items < v;
+              });
+          if (it == level.end() || it->items != subset) {
+            prunable = true;
+            break;
+          }
+        }
+        if (prunable) continue;
+
+        Bitset tids = level[a].tids & level[b].tids;
+        const std::size_t support = tids.Count();
+        if (support < min_support) continue;
+        result.frequent.push_back(FrequentClosed{candidate, support});
+        next.push_back(LevelEntry{std::move(candidate), std::move(tids)});
+      }
+    }
+    level = std::move(next);
+  }
+
+  result.seconds = sw.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace farmer

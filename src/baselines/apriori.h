@@ -1,0 +1,44 @@
+#ifndef FARMER_BASELINES_APRIORI_H_
+#define FARMER_BASELINES_APRIORI_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/closet.h"  // FrequentClosed
+#include "dataset/dataset.h"
+#include "dataset/types.h"
+#include "util/timer.h"
+
+namespace farmer {
+
+/// Options for the Apriori substrate.
+struct AprioriOptions {
+  /// Minimum absolute support (rows). Must be >= 1.
+  std::size_t min_support = 1;
+  Deadline deadline;
+  /// Stop (with `overflowed`) once this many frequent itemsets exist;
+  /// 0 = unlimited. Frequent-itemset counts explode on dense data.
+  std::size_t max_itemsets = 0;
+};
+
+/// Result of an Apriori run.
+struct AprioriResult {
+  /// Every frequent itemset with its support (not only closed ones).
+  std::vector<FrequentClosed> frequent;
+  std::size_t candidates_generated = 0;
+  bool timed_out = false;
+  bool overflowed = false;
+  double seconds = 0.0;
+};
+
+/// Classic level-wise Apriori (Agrawal & Srikant, VLDB 1994): generates
+/// candidate k-itemsets by joining frequent (k-1)-itemsets, prunes by the
+/// subset property, and counts supports with per-item tidsets. Provided as
+/// the canonical column-enumeration substrate (e.g. for CBA-style rule
+/// generation) and as a didactic contrast to the row-enumeration core.
+AprioriResult MineApriori(const BinaryDataset& dataset,
+                          const AprioriOptions& options);
+
+}  // namespace farmer
+
+#endif  // FARMER_BASELINES_APRIORI_H_

@@ -1,0 +1,185 @@
+#include "baselines/charm.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/bitset.h"
+
+namespace farmer {
+
+namespace {
+
+// One IT-pair (itemset × tidset) of the CHARM search tree.
+struct ItNode {
+  ItemVector items;
+  Bitset tids;
+  std::size_t count = 0;
+  bool erased = false;
+};
+
+ItemVector UnionItems(const ItemVector& a, const ItemVector& b) {
+  ItemVector out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+class CharmImpl {
+ public:
+  CharmImpl(const BinaryDataset& dataset, const CharmOptions& options)
+      : options_(options),
+        min_support_(std::max<std::size_t>(1, options.min_support)),
+        dataset_(dataset) {}
+
+  CharmResult Run() {
+    Stopwatch sw;
+    // Initial IT-pairs: frequent single items, ordered by increasing
+    // support (Zaki's recommended ordering).
+    std::vector<std::size_t> item_count(dataset_.num_items(), 0);
+    for (RowId r = 0; r < dataset_.num_rows(); ++r) {
+      for (ItemId i : dataset_.row(r)) ++item_count[i];
+    }
+    std::vector<ItNode> roots;
+    for (ItemId i = 0; i < dataset_.num_items(); ++i) {
+      if (item_count[i] < min_support_) continue;
+      ItNode node;
+      node.items = {i};
+      node.tids = Bitset(dataset_.num_rows());
+      node.count = item_count[i];
+      roots.push_back(std::move(node));
+    }
+    // Fill tidsets (single pass over the data).
+    {
+      std::unordered_map<ItemId, std::size_t> index;
+      for (std::size_t k = 0; k < roots.size(); ++k) {
+        index.emplace(roots[k].items[0], k);
+      }
+      for (RowId r = 0; r < dataset_.num_rows(); ++r) {
+        for (ItemId i : dataset_.row(r)) {
+          auto it = index.find(i);
+          if (it != index.end()) roots[it->second].tids.Set(r);
+        }
+      }
+    }
+    std::stable_sort(roots.begin(), roots.end(),
+                     [](const ItNode& a, const ItNode& b) {
+                       return a.count < b.count;
+                     });
+    Extend(&roots);
+    result_.seconds = sw.ElapsedSeconds();
+    return std::move(result_);
+  }
+
+ private:
+  // True when the search must stop (deadline or result cap).
+  bool ShouldStop() {
+    if (result_.timed_out || result_.overflowed) return true;
+    if (options_.deadline.Expired()) {
+      result_.timed_out = true;
+      return true;
+    }
+    if (options_.max_closed != 0 &&
+        result_.closed.size() >= options_.max_closed) {
+      result_.overflowed = true;
+      return true;
+    }
+    return false;
+  }
+
+  // CHARM subsumption check: X is non-closed iff some already-stored
+  // closed set has the same tidset and contains X.
+  bool IsSubsumed(const ItemVector& items, const Bitset& tids) const {
+    auto it = closed_by_hash_.find(tids.Hash());
+    if (it == closed_by_hash_.end()) return false;
+    for (std::size_t idx : it->second) {
+      const ClosedItemset& c = result_.closed[idx];
+      if (c.rows == tids &&
+          std::includes(c.items.begin(), c.items.end(), items.begin(),
+                        items.end())) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void EmitIfClosed(ItemVector items, Bitset tids) {
+    if (IsSubsumed(items, tids)) return;
+    closed_by_hash_[tids.Hash()].push_back(result_.closed.size());
+    result_.closed.push_back(ClosedItemset{std::move(items), std::move(tids)});
+  }
+
+  // CHARM-EXTEND over one level of sibling IT-pairs.
+  void Extend(std::vector<ItNode>* nodes) {
+    for (std::size_t i = 0; i < nodes->size(); ++i) {
+      if ((*nodes)[i].erased) continue;
+      if (ShouldStop()) return;
+      ++result_.nodes_visited;
+
+      std::vector<ItNode> children;
+      // Extensions recorded before property-1/2 closure finishes; their
+      // final itemsets are completed after the j-loop.
+      for (std::size_t j = i + 1; j < nodes->size(); ++j) {
+        ItNode& nj = (*nodes)[j];
+        if (nj.erased) continue;
+        ItNode& ni = (*nodes)[i];
+        Bitset t = ni.tids & nj.tids;
+        const std::size_t c = t.Count();
+        if (c < min_support_) continue;
+        const bool eq_i = (c == ni.count);
+        const bool eq_j = (c == nj.count);
+        if (eq_i && eq_j) {
+          // Property 1: identical tidsets — merge j into i.
+          ni.items = UnionItems(ni.items, nj.items);
+          nj.erased = true;
+        } else if (eq_i) {
+          // Property 2: t(i) ⊂ t(j) — i always co-occurs with j.
+          ni.items = UnionItems(ni.items, nj.items);
+        } else if (eq_j) {
+          // Property 3: t(i) ⊃ t(j) — j is replaced by the combination.
+          ItNode child;
+          child.items = nj.items;  // Completed with ni.items below.
+          child.tids = std::move(t);
+          child.count = c;
+          children.push_back(std::move(child));
+          nj.erased = true;
+        } else {
+          // Property 4: incomparable tidsets.
+          ItNode child;
+          child.items = nj.items;
+          child.tids = std::move(t);
+          child.count = c;
+          children.push_back(std::move(child));
+        }
+      }
+
+      ItNode& ni = (*nodes)[i];
+      for (ItNode& child : children) {
+        child.items = UnionItems(ni.items, child.items);
+      }
+      std::stable_sort(children.begin(), children.end(),
+                       [](const ItNode& a, const ItNode& b) {
+                         return a.count < b.count;
+                       });
+      EmitIfClosed(ni.items, ni.tids);
+      if (!children.empty()) Extend(&children);
+      if (ShouldStop()) return;
+    }
+  }
+
+  const CharmOptions& options_;
+  const std::size_t min_support_;
+  const BinaryDataset& dataset_;
+  CharmResult result_;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> closed_by_hash_;
+};
+
+}  // namespace
+
+CharmResult MineCharm(const BinaryDataset& dataset,
+                      const CharmOptions& options) {
+  CharmImpl impl(dataset, options);
+  return impl.Run();
+}
+
+}  // namespace farmer

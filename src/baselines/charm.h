@@ -1,0 +1,45 @@
+#ifndef FARMER_BASELINES_CHARM_H_
+#define FARMER_BASELINES_CHARM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/brute_force.h"  // ClosedItemset
+#include "dataset/dataset.h"
+#include "util/timer.h"
+
+namespace farmer {
+
+/// Options for the CHARM baseline.
+struct CharmOptions {
+  /// Minimum absolute support (rows) of a closed itemset. Must be >= 1.
+  std::size_t min_support = 1;
+  /// Cooperative time limit.
+  Deadline deadline;
+  /// Stop (with `overflowed` set) once this many closed itemsets have been
+  /// found; 0 = unlimited. Protects bench runs on explosive datasets.
+  std::size_t max_closed = 0;
+};
+
+/// Result of a CHARM run.
+struct CharmResult {
+  std::vector<ClosedItemset> closed;
+  std::size_t nodes_visited = 0;
+  bool timed_out = false;
+  bool overflowed = false;
+  double seconds = 0.0;
+};
+
+/// CHARM (Zaki & Hsiao, SDM 2002): mines all frequent closed itemsets by
+/// column (itemset–tidset) enumeration. This is the paper's strongest
+/// column-enumeration competitor; it is class-blind (labels ignored).
+///
+/// Implemented from the paper's description: diffset-free IT-tree search
+/// with the four tidset properties for itemset merging and a
+/// hash-on-tidset subsumption check for closedness.
+CharmResult MineCharm(const BinaryDataset& dataset,
+                      const CharmOptions& options);
+
+}  // namespace farmer
+
+#endif  // FARMER_BASELINES_CHARM_H_

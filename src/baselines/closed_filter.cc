@@ -1,0 +1,44 @@
+#include "baselines/closed_filter.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace farmer {
+
+void RemoveNonClosed(std::vector<FrequentClosed>* candidates) {
+  std::vector<FrequentClosed>& closed = *candidates;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> buckets;
+  for (std::size_t idx = 0; idx < closed.size(); ++idx) {
+    buckets[closed[idx].support].push_back(idx);
+  }
+  std::vector<bool> subsumed(closed.size(), false);
+  for (auto& [support, bucket] : buckets) {
+    std::sort(bucket.begin(), bucket.end(),
+              [&closed](std::size_t a, std::size_t b) {
+                return closed[a].items.size() > closed[b].items.size();
+              });
+    for (std::size_t a = 0; a < bucket.size(); ++a) {
+      if (subsumed[bucket[a]]) continue;
+      const ItemVector& big = closed[bucket[a]].items;
+      for (std::size_t b = a + 1; b < bucket.size(); ++b) {
+        if (subsumed[bucket[b]]) continue;
+        const ItemVector& small = closed[bucket[b]].items;
+        if (small.size() < big.size() &&
+            std::includes(big.begin(), big.end(), small.begin(),
+                          small.end())) {
+          subsumed[bucket[b]] = true;
+        } else if (small.size() == big.size() && small == big) {
+          subsumed[bucket[b]] = true;  // Duplicate.
+        }
+      }
+    }
+  }
+  std::vector<FrequentClosed> kept;
+  kept.reserve(closed.size());
+  for (std::size_t idx = 0; idx < closed.size(); ++idx) {
+    if (!subsumed[idx]) kept.push_back(std::move(closed[idx]));
+  }
+  closed = std::move(kept);
+}
+
+}  // namespace farmer

@@ -1,0 +1,19 @@
+#ifndef FARMER_BASELINES_CLOSED_FILTER_H_
+#define FARMER_BASELINES_CLOSED_FILTER_H_
+
+#include <vector>
+
+#include "baselines/closet.h"  // FrequentClosed
+
+namespace farmer {
+
+/// Removes duplicates and itemsets subsumed by an equal-support superset,
+/// leaving exactly the closed sets among `candidates`. Order-preserving
+/// for the survivors. Shared by the FP-growth style miners (CLOSET+,
+/// COBBLER) whose traversal emits closure candidates rather than certified
+/// closed sets.
+void RemoveNonClosed(std::vector<FrequentClosed>* candidates);
+
+}  // namespace farmer
+
+#endif  // FARMER_BASELINES_CLOSED_FILTER_H_

@@ -1,0 +1,275 @@
+#include "baselines/closet.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "baselines/closed_filter.h"
+
+namespace farmer {
+
+namespace {
+
+// A weighted transaction: items (global ids) and a multiplicity.
+struct WeightedTrans {
+  ItemVector items;
+  std::size_t weight = 1;
+};
+
+struct FpNode {
+  ItemId item = 0;
+  std::size_t count = 0;
+  FpNode* parent = nullptr;
+  FpNode* chain = nullptr;  // next node carrying the same item
+  std::vector<FpNode*> children;
+};
+
+// An FP-tree over weighted transactions; items below `min_support` are
+// dropped and the rest ordered by descending support (ties by ascending
+// item id) — the canonical FP-tree layout.
+class FpTree {
+ public:
+  struct Header {
+    ItemId item = 0;
+    std::size_t count = 0;
+    FpNode* head = nullptr;
+  };
+
+  FpTree(const std::vector<WeightedTrans>& transactions,
+         std::size_t min_support) {
+    std::unordered_map<ItemId, std::size_t> counts;
+    for (const WeightedTrans& t : transactions) {
+      for (ItemId i : t.items) counts[i] += t.weight;
+    }
+    for (const auto& [item, count] : counts) {
+      if (count >= min_support) {
+        headers_.push_back(Header{item, count, nullptr});
+      }
+    }
+    std::sort(headers_.begin(), headers_.end(),
+              [](const Header& a, const Header& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.item < b.item;
+              });
+    for (std::size_t h = 0; h < headers_.size(); ++h) {
+      rank_.emplace(headers_[h].item, h);
+    }
+    for (const WeightedTrans& t : transactions) {
+      Insert(t);
+    }
+  }
+
+  const std::vector<Header>& headers() const { return headers_; }
+  bool empty() const { return headers_.empty(); }
+
+  /// When the tree is one downward chain, returns its nodes top-down;
+  /// otherwise an empty vector.
+  std::vector<const FpNode*> SinglePath() const {
+    std::vector<const FpNode*> path;
+    const FpNode* node = &root_;
+    while (true) {
+      if (node->children.empty()) return path;
+      if (node->children.size() > 1) return {};
+      node = node->children[0];
+      path.push_back(node);
+    }
+  }
+
+  /// The conditional pattern base of header `h`: one weighted transaction
+  /// per tree path ending at an `h`-node (ancestor items, node count).
+  std::vector<WeightedTrans> ConditionalBase(std::size_t h) const {
+    std::vector<WeightedTrans> base;
+    for (const FpNode* node = headers_[h].head; node != nullptr;
+         node = node->chain) {
+      WeightedTrans t;
+      t.weight = node->count;
+      for (const FpNode* up = node->parent; up != nullptr && up->parent;
+           up = up->parent) {
+        t.items.push_back(up->item);
+      }
+      if (!t.items.empty() || t.weight > 0) base.push_back(std::move(t));
+    }
+    return base;
+  }
+
+ private:
+  void Insert(const WeightedTrans& t) {
+    // Keep frequent items, ordered by tree rank.
+    std::vector<std::size_t> ranks;
+    ranks.reserve(t.items.size());
+    for (ItemId i : t.items) {
+      auto it = rank_.find(i);
+      if (it != rank_.end()) ranks.push_back(it->second);
+    }
+    std::sort(ranks.begin(), ranks.end());
+    FpNode* node = &root_;
+    for (std::size_t rk : ranks) {
+      const ItemId item = headers_[rk].item;
+      FpNode* child = nullptr;
+      for (FpNode* c : node->children) {
+        if (c->item == item) {
+          child = c;
+          break;
+        }
+      }
+      if (child == nullptr) {
+        arena_.emplace_back();
+        child = &arena_.back();
+        child->item = item;
+        child->parent = node;
+        child->chain = headers_[rk].head;
+        headers_[rk].head = child;
+        node->children.push_back(child);
+      }
+      child->count += t.weight;
+      node = child;
+    }
+  }
+
+  std::deque<FpNode> arena_;
+  FpNode root_;
+  std::vector<Header> headers_;
+  std::unordered_map<ItemId, std::size_t> rank_;
+};
+
+class ClosetImpl {
+ public:
+  ClosetImpl(const BinaryDataset& dataset, const ClosetOptions& options)
+      : options_(options),
+        min_support_(std::max<std::size_t>(1, options.min_support)),
+        dataset_(dataset) {}
+
+  ClosetResult Run() {
+    Stopwatch sw;
+    std::vector<WeightedTrans> transactions;
+    transactions.reserve(dataset_.num_rows());
+    for (RowId r = 0; r < dataset_.num_rows(); ++r) {
+      if (dataset_.row(r).empty()) continue;
+      transactions.push_back(WeightedTrans{dataset_.row(r), 1});
+    }
+    FpTree tree(transactions, min_support_);
+    if (!tree.empty()) Mine(tree, {});
+    FinalizeClosed();
+    result_.seconds = sw.ElapsedSeconds();
+    return std::move(result_);
+  }
+
+ private:
+  bool ShouldStop() {
+    if (result_.timed_out || result_.overflowed) return true;
+    if (options_.deadline.Expired()) {
+      result_.timed_out = true;
+      return true;
+    }
+    if (options_.max_closed != 0 &&
+        result_.closed.size() >= options_.max_closed) {
+      result_.overflowed = true;
+      return true;
+    }
+    return false;
+  }
+
+  // True when an already-emitted itemset with the same support contains
+  // `items` — the CLOSET+ sub-itemset subtree prune.
+  bool Subsumed(const ItemVector& items, std::size_t support) const {
+    auto it = by_support_.find(support);
+    if (it == by_support_.end()) return false;
+    for (std::size_t idx : it->second) {
+      const FrequentClosed& c = result_.closed[idx];
+      if (c.items.size() > items.size() &&
+          std::includes(c.items.begin(), c.items.end(), items.begin(),
+                        items.end())) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Emit(ItemVector items, std::size_t support) {
+    std::sort(items.begin(), items.end());
+    if (Subsumed(items, support)) return;
+    by_support_[support].push_back(result_.closed.size());
+    result_.closed.push_back(FrequentClosed{std::move(items), support});
+  }
+
+  void Mine(const FpTree& tree, const ItemVector& prefix) {
+    if (ShouldStop()) return;
+    ++result_.nodes_visited;
+
+    // Single-path shortcut: the closed sets of a chain are its maximal
+    // count-constant prefixes.
+    const std::vector<const FpNode*> path = tree.SinglePath();
+    if (!path.empty()) {
+      ItemVector items = prefix;
+      for (std::size_t j = 0; j < path.size(); ++j) {
+        items.push_back(path[j]->item);
+        const bool count_drops =
+            j + 1 == path.size() || path[j + 1]->count < path[j]->count;
+        if (count_drops) Emit(items, path[j]->count);
+      }
+      return;
+    }
+
+    // Bottom-up over the header (ascending frequency).
+    const auto& headers = tree.headers();
+    for (std::size_t h = headers.size(); h-- > 0;) {
+      if (ShouldStop()) return;
+      const std::size_t support = headers[h].count;
+      std::vector<WeightedTrans> base = tree.ConditionalBase(h);
+
+      // Item merging: conditional items with full support belong to the
+      // closure of prefix ∪ {item} and join it immediately.
+      std::unordered_map<ItemId, std::size_t> cond_counts;
+      for (const WeightedTrans& t : base) {
+        for (ItemId i : t.items) cond_counts[i] += t.weight;
+      }
+      ItemVector merged;
+      for (const auto& [item, count] : cond_counts) {
+        if (count == support) merged.push_back(item);
+      }
+      ItemVector new_prefix = prefix;
+      new_prefix.push_back(headers[h].item);
+      new_prefix.insert(new_prefix.end(), merged.begin(), merged.end());
+      std::sort(new_prefix.begin(), new_prefix.end());
+      if (Subsumed(new_prefix, support)) continue;  // Subtree prune.
+      Emit(new_prefix, support);
+
+      // Conditional tree without the merged (full-support) items.
+      if (!merged.empty()) {
+        std::sort(merged.begin(), merged.end());
+        for (WeightedTrans& t : base) {
+          ItemVector kept;
+          kept.reserve(t.items.size());
+          for (ItemId i : t.items) {
+            if (!std::binary_search(merged.begin(), merged.end(), i)) {
+              kept.push_back(i);
+            }
+          }
+          t.items = std::move(kept);
+        }
+      }
+      FpTree cond(base, min_support_);
+      if (!cond.empty()) Mine(cond, new_prefix);
+    }
+  }
+
+  // Removes itemsets subsumed by an equal-support superset (the global
+  // closedness guarantee, independent of emission order).
+  void FinalizeClosed() { RemoveNonClosed(&result_.closed); }
+
+  const ClosetOptions& options_;
+  const std::size_t min_support_;
+  const BinaryDataset& dataset_;
+  ClosetResult result_;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_support_;
+};
+
+}  // namespace
+
+ClosetResult MineCloset(const BinaryDataset& dataset,
+                        const ClosetOptions& options) {
+  ClosetImpl impl(dataset, options);
+  return impl.Run();
+}
+
+}  // namespace farmer

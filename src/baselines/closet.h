@@ -1,0 +1,50 @@
+#ifndef FARMER_BASELINES_CLOSET_H_
+#define FARMER_BASELINES_CLOSET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dataset/types.h"
+#include "util/timer.h"
+
+namespace farmer {
+
+/// A frequent closed itemset reported with its support count (no tidset —
+/// FP-growth style miners do not materialize one).
+struct FrequentClosed {
+  ItemVector items;
+  std::size_t support = 0;
+};
+
+/// Options for the CLOSET+ baseline.
+struct ClosetOptions {
+  /// Minimum absolute support (rows). Must be >= 1.
+  std::size_t min_support = 1;
+  Deadline deadline;
+  /// Stop (with `overflowed` set) once this many closed itemsets have been
+  /// emitted; 0 = unlimited.
+  std::size_t max_closed = 0;
+};
+
+/// Result of a CLOSET+ run.
+struct ClosetResult {
+  std::vector<FrequentClosed> closed;
+  std::size_t nodes_visited = 0;
+  bool timed_out = false;
+  bool overflowed = false;
+  double seconds = 0.0;
+};
+
+/// CLOSET+ (Wang, Han & Pei, KDD 2003): FP-tree based frequent closed
+/// itemset mining, class-blind. Implements the FP-tree with bottom-up
+/// (ascending-frequency) divide and conquer, item merging (all conditional
+/// items with full support join the prefix immediately), the single-path
+/// shortcut, and subset-based subtree pruning; closedness is finalized with
+/// a support-bucketed subsumption filter.
+ClosetResult MineCloset(const BinaryDataset& dataset,
+                        const ClosetOptions& options);
+
+}  // namespace farmer
+
+#endif  // FARMER_BASELINES_CLOSET_H_

@@ -1,0 +1,263 @@
+#include "baselines/cobbler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "baselines/closed_filter.h"
+#include "core/carpenter.h"
+
+namespace farmer {
+
+namespace {
+
+// A sub-problem: find the closed sets ⊇ prefix whose support (within
+// `rows`, which equals the prefix's global row support set) meets minsup.
+// Rows carry only the still-active items, as sorted global ids.
+struct Context {
+  ItemVector prefix;
+  std::vector<ItemVector> rows;
+};
+
+class CobblerImpl {
+ public:
+  CobblerImpl(const BinaryDataset& dataset, const CobblerOptions& options)
+      : options_(options),
+        min_support_(std::max<std::size_t>(1, options.min_support)),
+        dataset_(dataset) {}
+
+  CobblerResult Run() {
+    Stopwatch sw;
+    Context root;
+    root.rows.reserve(dataset_.num_rows());
+    for (RowId r = 0; r < dataset_.num_rows(); ++r) {
+      root.rows.push_back(dataset_.row(r));
+    }
+    MineContext(std::move(root));
+    RemoveNonClosed(&result_.closed);
+    result_.seconds = sw.ElapsedSeconds();
+    return std::move(result_);
+  }
+
+ private:
+  bool ShouldStop() {
+    if (result_.timed_out || result_.overflowed) return true;
+    if (options_.deadline.Expired()) {
+      result_.timed_out = true;
+      return true;
+    }
+    if (options_.max_closed != 0 &&
+        result_.closed.size() >= options_.max_closed) {
+      result_.overflowed = true;
+      return true;
+    }
+    return false;
+  }
+
+  // The presentation's depth estimate: with per-child "support fractions"
+  // s_1 >= s_2 >= ... and budget B, child j's estimated path depth is the
+  // largest t with B * s_j * ... * s_{j+t-1} >= floor; the context cost is
+  // the sum over children.
+  static double EstimateCost(std::vector<double> fractions, double budget,
+                             double floor) {
+    std::sort(fractions.begin(), fractions.end(), std::greater<>());
+    double total = 0.0;
+    for (std::size_t j = 0; j < fractions.size(); ++j) {
+      double remaining = budget * fractions[j];
+      std::size_t depth = 0;
+      std::size_t k = j + 1;
+      while (remaining >= floor) {
+        ++depth;
+        if (k >= fractions.size()) break;
+        remaining *= fractions[k++];
+      }
+      total += static_cast<double>(depth);
+    }
+    return total;
+  }
+
+  // True when the dynamic estimator prefers row enumeration for this
+  // context.
+  bool PreferRows(const Context& ctx,
+                  const std::unordered_map<ItemId, std::size_t>& counts) {
+    if (options_.mode == CobblerMode::kRowOnly) return true;
+    if (options_.mode == CobblerMode::kColumnOnly) return false;
+    const double num_rows = static_cast<double>(ctx.rows.size());
+    std::vector<double> col_fractions;
+    col_fractions.reserve(counts.size());
+    std::size_t active_items = 0;
+    for (const auto& [item, count] : counts) {
+      if (count < min_support_) continue;
+      ++active_items;
+      col_fractions.push_back(static_cast<double>(count) / num_rows);
+    }
+    if (active_items == 0) return false;
+    const double col_cost =
+        EstimateCost(std::move(col_fractions), num_rows,
+                     static_cast<double>(min_support_));
+
+    std::vector<double> row_fractions;
+    row_fractions.reserve(ctx.rows.size());
+    for (const ItemVector& row : ctx.rows) {
+      row_fractions.push_back(static_cast<double>(row.size()) /
+                              static_cast<double>(active_items));
+    }
+    // Row enumeration bottoms out when no common item remains (floor 1).
+    const double row_cost = EstimateCost(
+        std::move(row_fractions), static_cast<double>(active_items), 1.0);
+    return row_cost < col_cost;
+  }
+
+  void MineContext(Context ctx) {
+    if (ShouldStop()) return;
+    ++result_.nodes_visited;
+    if (ctx.rows.size() < min_support_) return;
+
+    // Conditional item counts.
+    std::unordered_map<ItemId, std::size_t> counts;
+    for (const ItemVector& row : ctx.rows) {
+      for (ItemId i : row) ++counts[i];
+    }
+
+    if (PreferRows(ctx, counts)) {
+      ++result_.switches_to_rows;
+      MineRowsToCompletion(ctx);
+      return;
+    }
+
+    // One level of column enumeration, ascending conditional support.
+    std::vector<std::pair<std::size_t, ItemId>> frequent;
+    for (const auto& [item, count] : counts) {
+      if (count >= min_support_) frequent.emplace_back(count, item);
+    }
+    std::sort(frequent.begin(), frequent.end());
+    // Position of each item in the level order; children keep only items
+    // strictly after their pivot.
+    std::unordered_map<ItemId, std::size_t> level_pos;
+    for (std::size_t p = 0; p < frequent.size(); ++p) {
+      level_pos.emplace(frequent[p].second, p);
+    }
+
+    for (std::size_t p = 0; p < frequent.size(); ++p) {
+      if (ShouldStop()) return;
+      const ItemId pivot = frequent[p].second;
+      const std::size_t support = frequent[p].first;
+
+      // Child rows: context rows containing the pivot.
+      std::vector<const ItemVector*> child_rows;
+      child_rows.reserve(support);
+      for (const ItemVector& row : ctx.rows) {
+        if (std::binary_search(row.begin(), row.end(), pivot)) {
+          child_rows.push_back(&row);
+        }
+      }
+
+      // Item merging: items in every child row join the closure.
+      std::unordered_map<ItemId, std::size_t> child_counts;
+      for (const ItemVector* row : child_rows) {
+        for (ItemId i : *row) ++child_counts[i];
+      }
+      ItemVector closure = ctx.prefix;
+      for (const auto& [item, count] : child_counts) {
+        if (count == child_rows.size()) closure.push_back(item);
+      }
+      std::sort(closure.begin(), closure.end());
+      Emit(closure, child_rows.size());
+
+      // Child context: items strictly after the pivot, minus the closure.
+      Context child;
+      child.prefix = closure;
+      child.rows.reserve(child_rows.size());
+      bool child_has_items = false;
+      for (const ItemVector* row : child_rows) {
+        ItemVector kept;
+        for (ItemId i : *row) {
+          auto pos = level_pos.find(i);
+          if (pos == level_pos.end() || pos->second <= p) continue;
+          if (std::binary_search(closure.begin(), closure.end(), i)) {
+            continue;
+          }
+          kept.push_back(i);
+        }
+        child_has_items |= !kept.empty();
+        child.rows.push_back(std::move(kept));
+      }
+      if (child_has_items) MineContext(std::move(child));
+    }
+  }
+
+  // Hands a context to the CARPENTER row-enumeration machinery: remap the
+  // active items to a dense local universe, mine, map back.
+  void MineRowsToCompletion(const Context& ctx) {
+    std::vector<ItemId> local_to_global;
+    std::unordered_map<ItemId, ItemId> global_to_local;
+    for (const ItemVector& row : ctx.rows) {
+      for (ItemId i : row) {
+        if (global_to_local.emplace(i, local_to_global.size()).second) {
+          local_to_global.push_back(i);
+        }
+      }
+    }
+    BinaryDataset local(local_to_global.size());
+    for (const ItemVector& row : ctx.rows) {
+      ItemVector mapped;
+      mapped.reserve(row.size());
+      for (ItemId i : row) mapped.push_back(global_to_local.at(i));
+      std::sort(mapped.begin(), mapped.end());
+      local.AddRow(std::move(mapped), 0);
+    }
+    CarpenterOptions copts;
+    copts.min_support = min_support_;
+    copts.deadline = options_.deadline;
+    if (options_.max_closed != 0) {
+      copts.max_closed = options_.max_closed;
+    }
+    CarpenterResult sub = MineCarpenter(local, copts);
+    result_.nodes_visited += sub.nodes_visited;
+    if (sub.timed_out) result_.timed_out = true;
+    for (ClosedItemset& c : sub.closed) {
+      ItemVector items = ctx.prefix;
+      items.reserve(items.size() + c.items.size());
+      for (ItemId local_item : c.items) {
+        items.push_back(local_to_global[local_item]);
+      }
+      std::sort(items.begin(), items.end());
+      Emit(items, c.rows.Count());
+    }
+  }
+
+  void Emit(ItemVector items, std::size_t support) {
+    if (support < min_support_ || items.empty()) return;
+    // Different branches re-derive the same closure; drop exact duplicates
+    // immediately so the final subsumption filter stays small.
+    std::uint64_t h = 1469598103934665603ull ^ support;
+    for (ItemId i : items) {
+      h ^= i;
+      h *= 1099511628211ull;
+    }
+    auto& bucket = emitted_[h];
+    for (std::size_t idx : bucket) {
+      if (result_.closed[idx].support == support &&
+          result_.closed[idx].items == items) {
+        return;
+      }
+    }
+    bucket.push_back(result_.closed.size());
+    result_.closed.push_back(FrequentClosed{std::move(items), support});
+  }
+
+  const CobblerOptions& options_;
+  const std::size_t min_support_;
+  const BinaryDataset& dataset_;
+  CobblerResult result_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> emitted_;
+};
+
+}  // namespace
+
+CobblerResult MineCobbler(const BinaryDataset& dataset,
+                          const CobblerOptions& options) {
+  CobblerImpl impl(dataset, options);
+  return impl.Run();
+}
+
+}  // namespace farmer

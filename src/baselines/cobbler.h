@@ -1,0 +1,63 @@
+#ifndef FARMER_BASELINES_COBBLER_H_
+#define FARMER_BASELINES_COBBLER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/closet.h"  // FrequentClosed
+#include "dataset/dataset.h"
+#include "util/timer.h"
+
+namespace farmer {
+
+/// Enumeration strategy for COBBLER.
+enum class CobblerMode {
+  /// Estimate the remaining cost of both spaces at every node and pick the
+  /// cheaper one (the algorithm's contribution).
+  kDynamic,
+  /// Force pure column (feature) enumeration — for tests and ablation.
+  kColumnOnly,
+  /// Force pure row enumeration — for tests and ablation.
+  kRowOnly,
+};
+
+/// Options for COBBLER.
+struct CobblerOptions {
+  /// Minimum absolute support (rows). Must be >= 1.
+  std::size_t min_support = 1;
+  CobblerMode mode = CobblerMode::kDynamic;
+  Deadline deadline;
+  /// Stop (with `overflowed`) once this many candidates were emitted;
+  /// 0 = unlimited.
+  std::size_t max_closed = 0;
+};
+
+/// Result of a COBBLER run.
+struct CobblerResult {
+  std::vector<FrequentClosed> closed;
+  std::size_t nodes_visited = 0;
+  /// Contexts handed from column to row enumeration (dynamic mode).
+  std::size_t switches_to_rows = 0;
+  bool timed_out = false;
+  bool overflowed = false;
+  double seconds = 0.0;
+};
+
+/// COBBLER (Pan, Tung, Cong & Xu, SSDBM 2004 — the row-enumeration
+/// family's follow-up for tables that are both tall and wide): frequent
+/// closed itemset mining that *switches dynamically* between column
+/// (feature) enumeration and row enumeration, per sub-context, based on an
+/// estimated cost of the remaining subtree (the product-of-support-
+/// fractions depth estimate from the authors' presentation).
+///
+/// Implementation notes: column contexts use CLOSET-style item merging;
+/// a context handed to row enumeration is mined to completion with the
+/// CARPENTER machinery (no switch back — switched contexts are small by
+/// construction); global closedness is finalized with the shared
+/// equal-support subsumption filter.
+CobblerResult MineCobbler(const BinaryDataset& dataset,
+                          const CobblerOptions& options);
+
+}  // namespace farmer
+
+#endif  // FARMER_BASELINES_COBBLER_H_

@@ -1,0 +1,200 @@
+#include "baselines/columne.h"
+
+#include <algorithm>
+
+#include "core/measures.h"
+
+namespace farmer {
+
+namespace {
+
+class ColumnEImpl {
+ public:
+  ColumnEImpl(const BinaryDataset& dataset, const ColumnEOptions& options)
+      : options_(options),
+        min_support_(std::max<std::size_t>(1, options.min_support)),
+        dataset_(dataset),
+        n_(dataset.num_rows()),
+        m_(dataset.CountLabel(options.consequent)) {}
+
+  ColumnEResult Run() {
+    Stopwatch sw;
+    // Per-item tidsets split by class.
+    pos_.assign(dataset_.num_items(), Bitset(n_));
+    neg_.assign(dataset_.num_items(), Bitset(n_));
+    for (RowId r = 0; r < n_; ++r) {
+      const bool is_pos = dataset_.label(r) == options_.consequent;
+      for (ItemId i : dataset_.row(r)) {
+        (is_pos ? pos_[i] : neg_[i]).Set(r);
+      }
+    }
+
+    // Root tail: items whose positive support alone reaches min_support.
+    std::vector<ItemId> tail;
+    for (ItemId i = 0; i < dataset_.num_items(); ++i) {
+      if (pos_[i].Count() >= min_support_) tail.push_back(i);
+    }
+    Bitset all_pos(n_), all_neg(n_);
+    for (RowId r = 0; r < n_; ++r) {
+      if (dataset_.label(r) == options_.consequent) {
+        all_pos.Set(r);
+      } else {
+        all_neg.Set(r);
+      }
+    }
+    ItemVector head;
+    Expand(head, all_pos, all_neg, tail);
+    FilterInteresting();
+    result_.seconds = sw.ElapsedSeconds();
+    return std::move(result_);
+  }
+
+ private:
+  bool ShouldStop() {
+    if (result_.timed_out || result_.overflowed) return true;
+    if (options_.deadline.Expired()) {
+      result_.timed_out = true;
+      return true;
+    }
+    if (options_.max_rules != 0 &&
+        candidates_.size() >= options_.max_rules) {
+      result_.overflowed = true;
+      return true;
+    }
+    return false;
+  }
+
+  // Depth-first head/tail set enumeration. `pos`/`neg` are the class-split
+  // tidsets of the head.
+  void Expand(ItemVector& head, const Bitset& pos, const Bitset& neg,
+              const std::vector<ItemId>& tail) {
+    if (ShouldStop()) return;
+    ++result_.nodes_visited;
+
+    struct Child {
+      ItemId item;
+      Bitset pos;
+      Bitset neg;
+      std::size_t y;  // |R(head+i ∪ C)|
+      std::size_t nn; // |R(head+i ∪ ¬C)|
+    };
+    std::vector<Child> children;
+    for (ItemId i : tail) {
+      Bitset cpos = pos & pos_[i];
+      const std::size_t y = cpos.Count();
+      if (y < min_support_) continue;  // Support is anti-monotone.
+      Bitset cneg = neg & neg_[i];
+      const std::size_t nn = cneg.Count();
+
+      head.push_back(i);
+      const std::size_t x = y + nn;
+      const double conf = Confidence(y, x);
+      const double chi = ChiSquare(x, y, n_, m_);
+      if (conf >= options_.min_confidence &&
+          (options_.min_chi_square <= 0.0 ||
+           chi >= options_.min_chi_square)) {
+        ColumnERule rule;
+        rule.items = head;
+        rule.support_pos = y;
+        rule.support_neg = nn;
+        rule.confidence = conf;
+        rule.chi_square = chi;
+        candidates_.push_back(std::move(rule));
+      }
+      head.pop_back();
+      if (ShouldStop()) return;
+      children.push_back(Child{i, std::move(cpos), std::move(cneg), y, nn});
+    }
+
+    // Recurse with Dense-Miner style group bounds: for each child, the
+    // most specific descendant keeps only the negatives shared by the
+    // child's entire remaining tail, which upper-bounds confidence and
+    // (with the parallelogram corners) chi-square for the subtree.
+    for (std::size_t k = 0; k < children.size(); ++k) {
+      Child& c = children[k];
+      std::vector<ItemId> child_tail;
+      child_tail.reserve(children.size() - k - 1);
+      Bitset neg_floor = c.neg;
+      for (std::size_t j = k + 1; j < children.size(); ++j) {
+        child_tail.push_back(children[j].item);
+        neg_floor &= neg_[children[j].item];
+      }
+      if (child_tail.empty()) continue;
+      const std::size_t neg_min = neg_floor.Count();
+
+      if (options_.min_confidence > 0.0) {
+        const double conf_ub =
+            Confidence(c.y, c.y + neg_min);
+        if (conf_ub < options_.min_confidence) continue;
+      }
+      if (options_.min_chi_square > 0.0 &&
+          ChiSubtreeBound(c.y, c.nn, neg_min) < options_.min_chi_square) {
+        continue;
+      }
+
+      head.push_back(c.item);
+      Expand(head, c.pos, c.neg, child_tail);
+      head.pop_back();
+      if (ShouldStop()) return;
+    }
+  }
+
+  // Upper bound of chi-square over rules in the subtree: the feasible
+  // region {minsup <= y' <= y, neg_min <= n' <= nn} maps affinely to a
+  // parallelogram in (x, y), so the convex statistic peaks at a corner.
+  double ChiSubtreeBound(std::size_t y, std::size_t nn,
+                         std::size_t neg_min) const {
+    const std::size_t y_lo = std::min(min_support_, y);
+    double best = 0.0;
+    for (const std::size_t yy : {y_lo, y}) {
+      for (const std::size_t nv : {neg_min, nn}) {
+        best = std::max(best, ChiSquare(yy + nv, yy, n_, m_));
+      }
+    }
+    return best;
+  }
+
+  // Keeps rules whose confidence strictly exceeds that of every
+  // constraint-satisfying proper sub-rule.
+  void FilterInteresting() {
+    std::stable_sort(candidates_.begin(), candidates_.end(),
+                     [](const ColumnERule& a, const ColumnERule& b) {
+                       return a.items.size() < b.items.size();
+                     });
+    for (std::size_t a = 0; a < candidates_.size(); ++a) {
+      const ColumnERule& rule = candidates_[a];
+      bool interesting = true;
+      for (std::size_t b = 0; b < a; ++b) {
+        const ColumnERule& sub = candidates_[b];
+        if (sub.items.size() >= rule.items.size()) break;
+        if (sub.confidence >= rule.confidence &&
+            std::includes(rule.items.begin(), rule.items.end(),
+                          sub.items.begin(), sub.items.end())) {
+          interesting = false;
+          break;
+        }
+      }
+      if (interesting) result_.rules.push_back(rule);
+    }
+  }
+
+  const ColumnEOptions& options_;
+  const std::size_t min_support_;
+  const BinaryDataset& dataset_;
+  const std::size_t n_;
+  const std::size_t m_;
+  std::vector<Bitset> pos_;
+  std::vector<Bitset> neg_;
+  std::vector<ColumnERule> candidates_;
+  ColumnEResult result_;
+};
+
+}  // namespace
+
+ColumnEResult MineColumnE(const BinaryDataset& dataset,
+                          const ColumnEOptions& options) {
+  ColumnEImpl impl(dataset, options);
+  return impl.Run();
+}
+
+}  // namespace farmer

@@ -1,0 +1,61 @@
+#ifndef FARMER_BASELINES_COLUMNE_H_
+#define FARMER_BASELINES_COLUMNE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dataset/types.h"
+#include "util/bitset.h"
+#include "util/timer.h"
+
+namespace farmer {
+
+/// One interesting rule found by ColumnE: an antecedent with its counts.
+struct ColumnERule {
+  ItemVector items;
+  std::size_t support_pos = 0;  // |R(A ∪ C)|
+  std::size_t support_neg = 0;  // |R(A ∪ ¬C)|
+  double confidence = 0.0;
+  double chi_square = 0.0;
+};
+
+/// Options for the ColumnE baseline.
+struct ColumnEOptions {
+  ClassLabel consequent = 1;
+  std::size_t min_support = 1;   // On |R(A ∪ C)|.
+  double min_confidence = 0.0;
+  double min_chi_square = 0.0;
+  Deadline deadline;
+  /// Cap on candidate rules retained before the interestingness filter;
+  /// exceeding it sets `overflowed`. 0 = unlimited.
+  std::size_t max_rules = 0;
+};
+
+/// Result of a ColumnE run.
+struct ColumnEResult {
+  /// The interesting rules: constraint-satisfying rules whose confidence
+  /// strictly exceeds that of every constraint-satisfying proper sub-rule.
+  /// (One representative per interesting rule group — its minimal members —
+  /// rather than FARMER's upper+lower bound description.)
+  std::vector<ColumnERule> rules;
+  std::size_t nodes_visited = 0;
+  bool timed_out = false;
+  bool overflowed = false;
+  double seconds = 0.0;
+};
+
+/// ColumnE: the column-enumeration interesting-rule miner the paper
+/// compares against (after Bayardo & Agrawal's Dense-Miner). Performs
+/// depth-first set enumeration over *items* with tidset intersection,
+/// pruning each head/tail group with support, confidence and chi-square
+/// bounds, then filters the surviving rules for interestingness.
+///
+/// Its search space is 2^(number of items) — the paper's point is that this
+/// explodes on microarray data where FARMER's 2^(number of rows) does not.
+ColumnEResult MineColumnE(const BinaryDataset& dataset,
+                          const ColumnEOptions& options);
+
+}  // namespace farmer
+
+#endif  // FARMER_BASELINES_COLUMNE_H_

@@ -1,0 +1,78 @@
+#include "classify/cba.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/farmer.h"
+
+namespace farmer {
+
+CbaClassifier CbaClassifier::Train(const BinaryDataset& train,
+                                   std::vector<ClassRule> candidate_rules) {
+  // Deduplicate identical (antecedent, label) rules.
+  std::sort(candidate_rules.begin(), candidate_rules.end(),
+            [](const ClassRule& a, const ClassRule& b) {
+              if (a.items != b.items) return a.items < b.items;
+              return a.label < b.label;
+            });
+  candidate_rules.erase(
+      std::unique(candidate_rules.begin(), candidate_rules.end(),
+                  [](const ClassRule& a, const ClassRule& b) {
+                    return a.items == b.items && a.label == b.label;
+                  }),
+      candidate_rules.end());
+  RankRules(&candidate_rules);
+  CbaClassifier classifier;
+  classifier.selected_ = SelectByCoverage(train, candidate_rules);
+  return classifier;
+}
+
+ClassLabel CbaClassifier::Predict(const ItemVector& row_items) const {
+  for (const ClassRule& rule : selected_.rules) {
+    if (RuleMatches(rule, row_items)) return rule.label;
+  }
+  return selected_.default_class;
+}
+
+std::vector<ClassRule> GenerateRulesWithFarmer(const BinaryDataset& train,
+                                               double min_support_fraction,
+                                               double min_confidence,
+                                               double max_seconds) {
+  std::vector<ClassRule> rules;
+  const std::size_t num_classes = train.num_classes();
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const auto label = static_cast<ClassLabel>(c);
+    const std::size_t class_size = train.CountLabel(label);
+    if (class_size == 0) continue;
+    MinerOptions opts;
+    opts.consequent = label;
+    opts.min_support = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(min_support_fraction *
+                          static_cast<double>(class_size))));
+    opts.min_confidence = min_confidence;
+    opts.mine_lower_bounds = true;
+    opts.report_all_rule_groups = true;  // CBA wants all rules, not IRGs.
+    if (max_seconds > 0.0) opts.deadline = Deadline::After(max_seconds);
+    const FarmerResult result = MineFarmer(train, opts);
+    for (const RuleGroup& g : result.groups) {
+      ClassRule upper;
+      upper.items = g.antecedent;
+      upper.label = label;
+      upper.support = g.support_pos;
+      upper.confidence = g.confidence;
+      rules.push_back(std::move(upper));
+      for (const ItemVector& lb : g.lower_bounds) {
+        ClassRule rule;
+        rule.items = lb;
+        rule.label = label;
+        rule.support = g.support_pos;
+        rule.confidence = g.confidence;
+        rules.push_back(std::move(rule));
+      }
+    }
+  }
+  return rules;
+}
+
+}  // namespace farmer

@@ -1,0 +1,52 @@
+#ifndef FARMER_CLASSIFY_CBA_H_
+#define FARMER_CLASSIFY_CBA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "classify/rule_ranking.h"
+#include "dataset/dataset.h"
+#include "dataset/types.h"
+#include "util/timer.h"
+
+namespace farmer {
+
+/// CBA-style associative classifier (Liu, Hsu & Ma, KDD 1998): class
+/// association rules ranked by (confidence, support, generality) and
+/// selected with database coverage; prediction fires the first matching
+/// rule, falling back to the default class.
+class CbaClassifier {
+ public:
+  /// Builds the classifier from candidate rules on the training data.
+  /// `candidate_rules` need not be ranked or deduplicated.
+  static CbaClassifier Train(const BinaryDataset& train,
+                             std::vector<ClassRule> candidate_rules);
+
+  /// Predicts the label of a row given as a sorted itemset.
+  ClassLabel Predict(const ItemVector& row_items) const;
+
+  /// The selected rules, in precedence order.
+  const std::vector<ClassRule>& rules() const { return selected_.rules; }
+
+  ClassLabel default_class() const { return selected_.default_class; }
+
+ private:
+  CoverageResult selected_;
+};
+
+/// Materializes candidate class association rules by running FARMER once
+/// per class label and emitting every rule group's upper bound and lower
+/// bounds as rules — the paper's workaround for CBA's own (column
+/// enumeration) rule generator not terminating on microarray data.
+///
+/// `min_support_fraction` is relative to the consequent class size (the
+/// paper uses 0.7); `min_confidence` is absolute (the paper uses 0.8).
+/// `max_seconds` bounds each per-class FARMER run (0 = unlimited).
+std::vector<ClassRule> GenerateRulesWithFarmer(const BinaryDataset& train,
+                                               double min_support_fraction,
+                                               double min_confidence,
+                                               double max_seconds = 0.0);
+
+}  // namespace farmer
+
+#endif  // FARMER_CLASSIFY_CBA_H_

@@ -1,0 +1,117 @@
+#include "classify/evaluation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace farmer {
+
+namespace {
+
+// Rows grouped by class, each group shuffled deterministically.
+std::vector<std::vector<std::size_t>> ShuffledClassGroups(
+    const std::vector<ClassLabel>& labels, std::uint64_t seed) {
+  std::size_t num_classes = 0;
+  for (ClassLabel l : labels) {
+    num_classes = std::max<std::size_t>(num_classes, l + 1u);
+  }
+  std::vector<std::vector<std::size_t>> groups(num_classes);
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    groups[labels[r]].push_back(r);
+  }
+  Rng rng(seed);
+  for (auto& g : groups) {
+    for (std::size_t i = g.size(); i > 1; --i) {
+      std::swap(g[i - 1], g[rng.NextBelow(i)]);
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+Split StratifiedSplit(const std::vector<ClassLabel>& labels,
+                      std::size_t train_size, std::uint64_t seed) {
+  assert(train_size <= labels.size());
+  auto groups = ShuffledClassGroups(labels, seed);
+  const double frac = labels.empty()
+                          ? 0.0
+                          : static_cast<double>(train_size) /
+                                static_cast<double>(labels.size());
+
+  // Largest-remainder apportionment of the train quota across classes.
+  std::vector<std::size_t> take(groups.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < groups.size(); ++c) {
+    const double exact = frac * static_cast<double>(groups[c].size());
+    take[c] = std::min<std::size_t>(groups[c].size(),
+                                    static_cast<std::size_t>(exact));
+    assigned += take[c];
+    remainders.emplace_back(exact - static_cast<double>(take[c]), c);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [rem, c] : remainders) {
+    if (assigned >= train_size) break;
+    if (take[c] < groups[c].size()) {
+      ++take[c];
+      ++assigned;
+    }
+  }
+  // If rounding still falls short (tiny classes), top up greedily.
+  for (std::size_t c = 0; c < groups.size() && assigned < train_size; ++c) {
+    while (take[c] < groups[c].size() && assigned < train_size) {
+      ++take[c];
+      ++assigned;
+    }
+  }
+
+  Split split;
+  for (std::size_t c = 0; c < groups.size(); ++c) {
+    for (std::size_t i = 0; i < groups[c].size(); ++i) {
+      (i < take[c] ? split.train : split.test).push_back(groups[c][i]);
+    }
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+double Accuracy(const std::vector<ClassLabel>& truth,
+                const std::vector<ClassLabel>& predicted) {
+  assert(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+std::vector<Split> StratifiedKFold(const std::vector<ClassLabel>& labels,
+                                   std::size_t k, std::uint64_t seed) {
+  assert(k >= 2);
+  auto groups = ShuffledClassGroups(labels, seed);
+  std::vector<std::vector<std::size_t>> folds(k);
+  std::size_t next_fold = 0;
+  for (const auto& g : groups) {
+    for (std::size_t r : g) {
+      folds[next_fold].push_back(r);
+      next_fold = (next_fold + 1) % k;
+    }
+  }
+  std::vector<Split> splits(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    for (std::size_t other = 0; other < k; ++other) {
+      auto& dst = (other == f) ? splits[f].test : splits[f].train;
+      dst.insert(dst.end(), folds[other].begin(), folds[other].end());
+    }
+    std::sort(splits[f].train.begin(), splits[f].train.end());
+    std::sort(splits[f].test.begin(), splits[f].test.end());
+  }
+  return splits;
+}
+
+}  // namespace farmer

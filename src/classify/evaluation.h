@@ -1,0 +1,36 @@
+#ifndef FARMER_CLASSIFY_EVALUATION_H_
+#define FARMER_CLASSIFY_EVALUATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dataset/expression_matrix.h"
+#include "dataset/types.h"
+
+namespace farmer {
+
+/// A train/test partition of a row index range.
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Draws a stratified train/test split: `train_size` rows are sampled so
+/// that each class contributes proportionally (largest-remainder rounding),
+/// the rest go to the test fold. Deterministic in `seed`.
+Split StratifiedSplit(const std::vector<ClassLabel>& labels,
+                      std::size_t train_size, std::uint64_t seed);
+
+/// Fraction of positions where `predicted[i] == truth[i]`; 0 on empty.
+double Accuracy(const std::vector<ClassLabel>& truth,
+                const std::vector<ClassLabel>& predicted);
+
+/// K-fold cross-validation folds over `labels` (stratified). Returns k
+/// splits whose test folds partition the rows.
+std::vector<Split> StratifiedKFold(const std::vector<ClassLabel>& labels,
+                                   std::size_t k, std::uint64_t seed);
+
+}  // namespace farmer
+
+#endif  // FARMER_CLASSIFY_EVALUATION_H_

@@ -1,0 +1,137 @@
+#include "classify/irg_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace farmer {
+
+bool IrgClassifier::EntryMatches(const Entry& entry,
+                                 const ItemVector& row_items) {
+  for (const ItemVector& ms : entry.match_sets) {
+    if (std::includes(row_items.begin(), row_items.end(), ms.begin(),
+                      ms.end())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+IrgClassifier IrgClassifier::Train(const BinaryDataset& train,
+                                   const IrgClassifierOptions& options) {
+  IrgClassifier classifier;
+  classifier.prediction_ = options.prediction;
+  std::vector<Entry> entries;
+  const std::size_t num_classes = train.num_classes();
+  classifier.num_classes_ = num_classes;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const auto label = static_cast<ClassLabel>(c);
+    const std::size_t class_size = train.CountLabel(label);
+    if (class_size == 0) continue;
+    MinerOptions opts;
+    opts.consequent = label;
+    opts.min_support = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(options.min_support_fraction *
+                          static_cast<double>(class_size))));
+    opts.min_confidence = options.min_confidence;
+    opts.mine_lower_bounds = true;
+    if (options.max_seconds_per_class > 0.0) {
+      opts.deadline = Deadline::After(options.max_seconds_per_class);
+    }
+    const FarmerResult result = MineFarmer(train, opts);
+    classifier.num_mined_ += result.groups.size();
+    for (const RuleGroup& g : result.groups) {
+      Entry e;
+      e.label = label;
+      e.support = g.support_pos;
+      e.confidence = g.confidence;
+      if (!g.lower_bounds.empty()) {
+        e.match_sets = g.lower_bounds;
+      } else {
+        e.match_sets = {g.antecedent};
+      }
+      entries.push_back(std::move(e));
+    }
+  }
+
+  // Rank CBA-style; generality tie-break uses the shortest match set.
+  auto shortest = [](const Entry& e) {
+    std::size_t best = static_cast<std::size_t>(-1);
+    for (const ItemVector& ms : e.match_sets) {
+      best = std::min(best, ms.size());
+    }
+    return best;
+  };
+  std::stable_sort(entries.begin(), entries.end(),
+                   [&](const Entry& a, const Entry& b) {
+                     if (a.confidence != b.confidence) {
+                       return a.confidence > b.confidence;
+                     }
+                     if (a.support != b.support) return a.support > b.support;
+                     return shortest(a) < shortest(b);
+                   });
+
+  // Database-coverage pruning over the ranked groups.
+  const std::size_t n = train.num_rows();
+  std::vector<bool> covered(n, false);
+  std::size_t num_covered = 0;
+  for (Entry& e : entries) {
+    if (num_covered == n) break;
+    bool correct = false;
+    std::vector<RowId> matched;
+    for (RowId r = 0; r < n; ++r) {
+      if (covered[r]) continue;
+      if (!EntryMatches(e, train.row(r))) continue;
+      matched.push_back(r);
+      if (train.label(r) == e.label) correct = true;
+    }
+    if (!correct) continue;
+    classifier.entries_.push_back(std::move(e));
+    for (RowId r : matched) {
+      covered[r] = true;
+      ++num_covered;
+    }
+  }
+
+  // Default class from the uncovered remainder.
+  std::vector<std::size_t> uncovered(std::max<std::size_t>(1, num_classes),
+                                     0);
+  bool any = false;
+  for (RowId r = 0; r < n; ++r) {
+    if (!covered[r]) {
+      ++uncovered[train.label(r)];
+      any = true;
+    }
+  }
+  classifier.default_class_ =
+      any ? static_cast<ClassLabel>(
+                std::max_element(uncovered.begin(), uncovered.end()) -
+                uncovered.begin())
+          : MajorityClass(train);
+  return classifier;
+}
+
+ClassLabel IrgClassifier::Predict(const ItemVector& row_items) const {
+  if (prediction_ == IrgPrediction::kFirstMatch) {
+    for (const Entry& e : entries_) {
+      if (EntryMatches(e, row_items)) return e.label;
+    }
+    return default_class_;
+  }
+  // Weighted vote: confidence-weighted sum per class over all matches.
+  std::vector<double> score(std::max<std::size_t>(1, num_classes_), 0.0);
+  bool any = false;
+  for (const Entry& e : entries_) {
+    if (EntryMatches(e, row_items)) {
+      score[e.label] += e.confidence;
+      any = true;
+    }
+  }
+  if (!any) return default_class_;
+  return static_cast<ClassLabel>(
+      std::max_element(score.begin(), score.end()) - score.begin());
+}
+
+}  // namespace farmer

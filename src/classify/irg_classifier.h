@@ -1,0 +1,77 @@
+#ifndef FARMER_CLASSIFY_IRG_CLASSIFIER_H_
+#define FARMER_CLASSIFY_IRG_CLASSIFIER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "classify/rule_ranking.h"
+#include "core/farmer.h"
+#include "dataset/dataset.h"
+#include "dataset/types.h"
+
+namespace farmer {
+
+/// Prediction policy of the IRG classifier.
+enum class IrgPrediction {
+  /// CBA-style: the highest-ranked matching group decides (the paper's
+  /// "predict the test data based on the IRGs that it covers").
+  kFirstMatch,
+  /// CMAR-style extension: every matching group votes with its confidence;
+  /// the class with the largest total wins.
+  kWeightedVote,
+};
+
+/// Training options for the IRG classifier.
+struct IrgClassifierOptions {
+  /// Per-class minimum support as a fraction of the class size (paper: the
+  /// same 0.7 used for CBA).
+  double min_support_fraction = 0.7;
+  /// Minimum confidence of mined IRGs (paper: 0.8).
+  double min_confidence = 0.8;
+  /// Per-class FARMER time limit in seconds (0 = unlimited).
+  double max_seconds_per_class = 0.0;
+  IrgPrediction prediction = IrgPrediction::kFirstMatch;
+};
+
+/// The paper's IRG classifier (§4.2): mines interesting rule groups per
+/// class, ranks them CBA-style by (confidence, support, generality),
+/// applies database-coverage pruning, and predicts with the first-matching
+/// group. A test row matches a group when it contains any of the group's
+/// lower bounds (the group's most general member rules), falling back to
+/// the upper bound when lower bounds are unavailable.
+class IrgClassifier {
+ public:
+  /// Mines IRGs on `train` and builds the classifier.
+  static IrgClassifier Train(const BinaryDataset& train,
+                             const IrgClassifierOptions& options);
+
+  /// Predicts the label of a row given as a sorted itemset.
+  ClassLabel Predict(const ItemVector& row_items) const;
+
+  /// One ranked entity: an IRG flattened to its matching antecedents.
+  struct Entry {
+    std::vector<ItemVector> match_sets;  // Lower bounds (or upper bound).
+    ClassLabel label = 0;
+    std::size_t support = 0;
+    double confidence = 0.0;
+  };
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  ClassLabel default_class() const { return default_class_; }
+
+  /// Number of IRGs mined before coverage pruning (diagnostics).
+  std::size_t num_mined_groups() const { return num_mined_; }
+
+ private:
+  static bool EntryMatches(const Entry& entry, const ItemVector& row_items);
+
+  std::vector<Entry> entries_;
+  ClassLabel default_class_ = 0;
+  std::size_t num_mined_ = 0;
+  IrgPrediction prediction_ = IrgPrediction::kFirstMatch;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace farmer
+
+#endif  // FARMER_CLASSIFY_IRG_CLASSIFIER_H_

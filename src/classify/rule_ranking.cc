@@ -1,0 +1,81 @@
+#include "classify/rule_ranking.h"
+
+#include <algorithm>
+
+namespace farmer {
+
+bool RulePrecedes(const ClassRule& a, const ClassRule& b) {
+  if (a.confidence != b.confidence) return a.confidence > b.confidence;
+  if (a.support != b.support) return a.support > b.support;
+  if (a.items.size() != b.items.size()) {
+    return a.items.size() < b.items.size();
+  }
+  if (a.items != b.items) return a.items < b.items;
+  return a.label < b.label;
+}
+
+void RankRules(std::vector<ClassRule>* rules) {
+  std::stable_sort(rules->begin(), rules->end(), RulePrecedes);
+}
+
+bool RuleMatches(const ClassRule& rule, const ItemVector& row_items) {
+  return std::includes(row_items.begin(), row_items.end(),
+                       rule.items.begin(), rule.items.end());
+}
+
+ClassLabel MajorityClass(const BinaryDataset& dataset) {
+  const std::size_t num_classes = dataset.num_classes();
+  if (num_classes == 0) return 0;
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (RowId r = 0; r < dataset.num_rows(); ++r) ++counts[dataset.label(r)];
+  return static_cast<ClassLabel>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+CoverageResult SelectByCoverage(const BinaryDataset& train,
+                                const std::vector<ClassRule>& ranked) {
+  CoverageResult result;
+  const std::size_t n = train.num_rows();
+  std::vector<bool> covered(n, false);
+  std::size_t num_covered = 0;
+
+  for (const ClassRule& rule : ranked) {
+    if (num_covered == n) break;
+    bool classifies_correctly = false;
+    std::vector<RowId> matched;
+    for (RowId r = 0; r < n; ++r) {
+      if (covered[r]) continue;
+      if (!RuleMatches(rule, train.row(r))) continue;
+      matched.push_back(r);
+      if (train.label(r) == rule.label) classifies_correctly = true;
+    }
+    if (!classifies_correctly) continue;
+    result.rules.push_back(rule);
+    for (RowId r : matched) {
+      covered[r] = true;
+      ++num_covered;
+    }
+  }
+
+  // Default class: majority among rows no selected rule covers.
+  const std::size_t num_classes = std::max<std::size_t>(
+      1, train.num_classes());
+  std::vector<std::size_t> uncovered_counts(num_classes, 0);
+  bool any_uncovered = false;
+  for (RowId r = 0; r < n; ++r) {
+    if (!covered[r]) {
+      ++uncovered_counts[train.label(r)];
+      any_uncovered = true;
+    }
+  }
+  if (any_uncovered) {
+    result.default_class = static_cast<ClassLabel>(
+        std::max_element(uncovered_counts.begin(), uncovered_counts.end()) -
+        uncovered_counts.begin());
+  } else {
+    result.default_class = MajorityClass(train);
+  }
+  return result;
+}
+
+}  // namespace farmer

@@ -1,0 +1,51 @@
+#ifndef FARMER_CLASSIFY_RULE_RANKING_H_
+#define FARMER_CLASSIFY_RULE_RANKING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dataset/types.h"
+
+namespace farmer {
+
+/// A class association rule used for classification: `items -> label`.
+struct ClassRule {
+  ItemVector items;  // Sorted antecedent.
+  ClassLabel label = 0;
+  std::size_t support = 0;  // |R(items ∪ label)| on the training data.
+  double confidence = 0.0;
+};
+
+/// CBA precedence: a rule ranks before another when it has higher
+/// confidence; ties broken by higher support, then shorter antecedent,
+/// then lexicographic antecedent (for determinism).
+bool RulePrecedes(const ClassRule& a, const ClassRule& b);
+
+/// Sorts rules by RulePrecedes (best first).
+void RankRules(std::vector<ClassRule>* rules);
+
+/// True when the rule's antecedent is contained in `row_items`.
+bool RuleMatches(const ClassRule& rule, const ItemVector& row_items);
+
+/// Result of database-coverage selection.
+struct CoverageResult {
+  std::vector<ClassRule> rules;  // Selected, in precedence order.
+  ClassLabel default_class = 0;
+};
+
+/// CBA-CB (M1, simplified) database coverage: walks `ranked` (already in
+/// precedence order), keeps each rule that correctly classifies at least
+/// one still-uncovered training row, removes every row the kept rule
+/// covers, and stops when all rows are covered. The default class is the
+/// majority class of the rows left uncovered (or of the whole training set
+/// when everything is covered).
+CoverageResult SelectByCoverage(const BinaryDataset& train,
+                                const std::vector<ClassRule>& ranked);
+
+/// Majority class label of `dataset` (lowest label wins ties; 0 if empty).
+ClassLabel MajorityClass(const BinaryDataset& dataset);
+
+}  // namespace farmer
+
+#endif  // FARMER_CLASSIFY_RULE_RANKING_H_

@@ -1,0 +1,147 @@
+#include "classify/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace farmer {
+
+LinearSvm LinearSvm::Train(const ExpressionMatrix& train,
+                           ClassLabel positive_label,
+                           const SvmOptions& options) {
+  LinearSvm svm;
+  svm.positive_label_ = positive_label;
+  svm.standardize_ = options.standardize;
+  const std::size_t n = train.num_rows();
+  const std::size_t d = train.num_genes();
+
+  // Negative label: most frequent non-positive training label.
+  {
+    std::vector<std::size_t> counts(256, 0);
+    for (std::size_t r = 0; r < n; ++r) ++counts[train.label(r)];
+    std::size_t best = 0, best_count = 0;
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      if (c == positive_label) continue;
+      if (counts[c] > best_count) {
+        best_count = counts[c];
+        best = c;
+      }
+    }
+    svm.negative_label_ = static_cast<ClassLabel>(best);
+  }
+
+  // Standardization parameters.
+  svm.mean_.assign(d, 0.0);
+  svm.scale_.assign(d, 1.0);
+  if (options.standardize && n > 0) {
+    for (std::size_t g = 0; g < d; ++g) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r < n; ++r) sum += train.at(r, g);
+      const double mean = sum / static_cast<double>(n);
+      double var = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        const double delta = train.at(r, g) - mean;
+        var += delta * delta;
+      }
+      var /= static_cast<double>(n);
+      svm.mean_[g] = mean;
+      svm.scale_[g] = var > 1e-12 ? 1.0 / std::sqrt(var) : 0.0;
+    }
+  }
+
+  // Preprocessed training matrix with a trailing bias feature.
+  std::vector<double> x(n * (d + 1));
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t g = 0; g < d; ++g) {
+      double v = train.at(r, g);
+      if (options.standardize) v = (v - svm.mean_[g]) * svm.scale_[g];
+      x[r * (d + 1) + g] = v;
+    }
+    x[r * (d + 1) + d] = 1.0;  // Bias feature.
+    y[r] = train.label(r) == positive_label ? 1.0 : -1.0;
+  }
+
+  // Dual coordinate descent for L1-loss SVM:
+  //   min_α 0.5 αᵀQα − eᵀα  s.t. 0 ≤ α_i ≤ C,  Q_ij = y_i y_j x_iᵀx_j.
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> w(d + 1, 0.0);
+  std::vector<double> qii(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double s = 0.0;
+    for (std::size_t g = 0; g <= d; ++g) {
+      const double v = x[r * (d + 1) + g];
+      s += v * v;
+    }
+    qii[r] = s;
+  }
+  double c_value = options.c;
+  if (c_value <= 0.0) {
+    // SVM-light's default: C = 1 / avg(||x||^2).
+    double avg_sq = 0.0;
+    for (std::size_t r = 0; r < n; ++r) avg_sq += qii[r];
+    avg_sq /= std::max<std::size_t>(1, n);
+    c_value = avg_sq > 0.0 ? 1.0 / avg_sq : 1.0;
+  }
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t r = 0; r < n; ++r) order[r] = r;
+  Rng rng(options.seed);
+
+  std::size_t pass = 0;
+  for (; pass < options.max_passes; ++pass) {
+    // Shuffle the coordinate order each pass.
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBelow(i)]);
+    }
+    double max_violation = 0.0;
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      const std::size_t r = order[idx];
+      if (qii[r] <= 0.0) continue;
+      const double* xr = &x[r * (d + 1)];
+      double wx = 0.0;
+      for (std::size_t g = 0; g <= d; ++g) wx += w[g] * xr[g];
+      const double grad = y[r] * wx - 1.0;
+      double pg = grad;  // Projected gradient.
+      if (alpha[r] <= 0.0) {
+        pg = std::min(grad, 0.0);
+      } else if (alpha[r] >= c_value) {
+        pg = std::max(grad, 0.0);
+      }
+      max_violation = std::max(max_violation, std::fabs(pg));
+      if (pg == 0.0) continue;
+      const double old = alpha[r];
+      alpha[r] = std::clamp(old - grad / qii[r], 0.0, c_value);
+      const double delta = (alpha[r] - old) * y[r];
+      if (delta != 0.0) {
+        for (std::size_t g = 0; g <= d; ++g) w[g] += delta * xr[g];
+      }
+    }
+    if (max_violation < options.tolerance) {
+      ++pass;
+      break;
+    }
+  }
+  svm.passes_run_ = pass;
+  svm.bias_ = w[d];
+  w.pop_back();
+  svm.w_ = std::move(w);
+  return svm;
+}
+
+double LinearSvm::Decision(const double* sample) const {
+  double s = bias_;
+  for (std::size_t g = 0; g < w_.size(); ++g) {
+    double v = sample[g];
+    if (standardize_) v = (v - mean_[g]) * scale_[g];
+    s += w_[g] * v;
+  }
+  return s;
+}
+
+ClassLabel LinearSvm::Predict(const double* sample) const {
+  return Decision(sample) >= 0.0 ? positive_label_ : negative_label_;
+}
+
+}  // namespace farmer

@@ -1,0 +1,189 @@
+#include "core/carpenter.h"
+
+#include <algorithm>
+
+#include "dataset/transpose.h"
+#include "util/bitset.h"
+
+namespace farmer {
+
+namespace {
+
+class CarpenterImpl {
+ public:
+  CarpenterImpl(const BinaryDataset& dataset,
+                const CarpenterOptions& options)
+      : options_(options),
+        min_support_(std::max<std::size_t>(1, options.min_support)),
+        tt_(TransposedTable::Build(dataset)),
+        n_(dataset.num_rows()) {
+    cnt_.assign(n_, 0);
+    cnt_epoch_.assign(n_, 0);
+  }
+
+  CarpenterResult Run() {
+    Stopwatch sw;
+    if (n_ > 0) {
+      std::vector<NodeTuple> tuples;
+      for (ItemId i = 0; i < tt_.num_items(); ++i) {
+        if (!tt_.tuple(i).empty()) {
+          tuples.push_back(NodeTuple{i, tt_.tuple(i)});
+        }
+      }
+      RowVector cands(n_);
+      for (RowId r = 0; r < n_; ++r) cands[r] = r;
+      MinePattern(std::move(tuples), std::move(cands), Bitset(n_));
+    }
+    result_.seconds = sw.ElapsedSeconds();
+    return std::move(result_);
+  }
+
+ private:
+  struct NodeTuple {
+    ItemId item;
+    RowVector cand;
+  };
+
+  bool ShouldStop() {
+    if (result_.timed_out || result_.overflowed) return true;
+    if (options_.deadline.Expired()) {
+      result_.timed_out = true;
+      return true;
+    }
+    if (options_.max_closed != 0 &&
+        result_.closed.size() >= options_.max_closed) {
+      result_.overflowed = true;
+      return true;
+    }
+    return false;
+  }
+
+  // Pruning 2, identical to FARMER's: a row outside the identified support
+  // and the candidate list occurring in every tuple proves the subtree was
+  // enumerated before.
+  bool BackScanFindsForeignRow(const std::vector<NodeTuple>& tuples,
+                               const RowVector& cands,
+                               const Bitset& support_rows) const {
+    const RowVector* shortest = &tt_.tuple(tuples[0].item);
+    for (const NodeTuple& t : tuples) {
+      const RowVector& full = tt_.tuple(t.item);
+      if (full.size() < shortest->size()) shortest = &full;
+    }
+    for (RowId r : *shortest) {
+      if (support_rows.Test(r)) continue;
+      if (std::binary_search(cands.begin(), cands.end(), r)) continue;
+      bool in_all = true;
+      for (const NodeTuple& t : tuples) {
+        const RowVector& full = tt_.tuple(t.item);
+        if (&full == shortest) continue;
+        if (!std::binary_search(full.begin(), full.end(), r)) {
+          in_all = false;
+          break;
+        }
+      }
+      if (in_all) return true;
+    }
+    return false;
+  }
+
+  void MinePattern(std::vector<NodeTuple> tuples, RowVector cands,
+                   Bitset support_rows) {
+    if (ShouldStop()) return;
+    ++result_.nodes_visited;
+    if (tuples.empty()) return;
+
+    if (BackScanFindsForeignRow(tuples, cands, support_rows)) {
+      ++result_.pruned_by_backscan;
+      return;
+    }
+
+    const std::size_t count_entry = support_rows.Count();
+    // Loose support bound: every future support row is a candidate.
+    if (count_entry + cands.size() < min_support_) {
+      ++result_.pruned_by_support;
+      return;
+    }
+
+    // Scan: occurrence counts, absorption of full-cover rows (pruning 1),
+    // and the per-tuple maximum for the tight bound.
+    ++epoch_;
+    std::size_t max_in_tuple = 0;
+    for (const NodeTuple& t : tuples) {
+      max_in_tuple = std::max(max_in_tuple, t.cand.size());
+      for (RowId r : t.cand) {
+        if (cnt_epoch_[r] != epoch_) {
+          cnt_epoch_[r] = epoch_;
+          cnt_[r] = 0;
+        }
+        ++cnt_[r];
+      }
+    }
+    RowVector new_cands;
+    new_cands.reserve(cands.size());
+    for (RowId r : cands) {
+      const std::size_t c = (cnt_epoch_[r] == epoch_) ? cnt_[r] : 0;
+      if (c == 0) continue;
+      if (c == tuples.size()) {
+        support_rows.Set(r);
+      } else {
+        new_cands.push_back(r);
+      }
+    }
+
+    // Tight support bound: future rows must share at least one tuple.
+    if (count_entry + max_in_tuple < min_support_) {
+      ++result_.pruned_by_support;
+      return;
+    }
+
+    for (std::size_t idx = 0; idx < new_cands.size(); ++idx) {
+      const RowId ri = new_cands[idx];
+      std::vector<NodeTuple> child_tuples;
+      child_tuples.reserve(tuples.size());
+      for (const NodeTuple& t : tuples) {
+        if (!std::binary_search(t.cand.begin(), t.cand.end(), ri)) continue;
+        NodeTuple ct;
+        ct.item = t.item;
+        for (RowId r : t.cand) {
+          if (r > ri && !support_rows.Test(r)) ct.cand.push_back(r);
+        }
+        child_tuples.push_back(std::move(ct));
+      }
+      RowVector child_cands(new_cands.begin() +
+                                static_cast<std::ptrdiff_t>(idx) + 1,
+                            new_cands.end());
+      Bitset child_support = support_rows;
+      child_support.Set(ri);
+      MinePattern(std::move(child_tuples), std::move(child_cands),
+                  std::move(child_support));
+      if (result_.timed_out || result_.overflowed) return;
+    }
+
+    if (support_rows.Count() >= min_support_) {
+      ClosedItemset closed;
+      closed.items.reserve(tuples.size());
+      for (const NodeTuple& t : tuples) closed.items.push_back(t.item);
+      closed.rows = std::move(support_rows);
+      result_.closed.push_back(std::move(closed));
+    }
+  }
+
+  const CarpenterOptions& options_;
+  const std::size_t min_support_;
+  TransposedTable tt_;
+  const std::size_t n_;
+  CarpenterResult result_;
+  std::vector<std::uint64_t> cnt_;
+  std::vector<std::uint64_t> cnt_epoch_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace
+
+CarpenterResult MineCarpenter(const BinaryDataset& dataset,
+                              const CarpenterOptions& options) {
+  CarpenterImpl impl(dataset, options);
+  return impl.Run();
+}
+
+}  // namespace farmer

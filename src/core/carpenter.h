@@ -1,0 +1,47 @@
+#ifndef FARMER_CORE_CARPENTER_H_
+#define FARMER_CORE_CARPENTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/brute_force.h"  // ClosedItemset
+#include "dataset/dataset.h"
+#include "util/timer.h"
+
+namespace farmer {
+
+/// Options for CARPENTER.
+struct CarpenterOptions {
+  /// Minimum absolute support (rows) of a closed itemset. Must be >= 1.
+  std::size_t min_support = 1;
+  Deadline deadline;
+  /// Stop (with `overflowed`) once this many closed sets were found;
+  /// 0 = unlimited.
+  std::size_t max_closed = 0;
+};
+
+/// Result of a CARPENTER run.
+struct CarpenterResult {
+  std::vector<ClosedItemset> closed;
+  std::size_t nodes_visited = 0;
+  std::size_t pruned_by_backscan = 0;
+  std::size_t pruned_by_support = 0;
+  bool timed_out = false;
+  bool overflowed = false;
+  double seconds = 0.0;
+};
+
+/// CARPENTER (Pan, Cong, Tung, Yang & Zaki, KDD 2003): finds all frequent
+/// closed itemsets by depth-first *row* enumeration — the paper's
+/// predecessor that FARMER generalizes from closed-pattern mining to
+/// interesting rule groups. Class labels are ignored.
+///
+/// Shares FARMER's machinery: conditional transposed tables, row
+/// absorption (pruning 1), the back scan (pruning 2), and a support-based
+/// bound (pruning 3 reduces to |X| + |candidates| < minsup).
+CarpenterResult MineCarpenter(const BinaryDataset& dataset,
+                              const CarpenterOptions& options);
+
+}  // namespace farmer
+
+#endif  // FARMER_CORE_CARPENTER_H_

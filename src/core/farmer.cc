@@ -1,0 +1,422 @@
+#include "core/farmer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "core/measures.h"
+#include "core/minelb.h"
+#include "util/timer.h"
+
+namespace farmer {
+namespace internal {
+
+FarmerMiner::FarmerMiner(const BinaryDataset& dataset,
+                         const MinerOptions& options)
+    : options_(options),
+      order_(OrderRowsByConsequent(dataset, options.consequent)),
+      permuted_(PermuteRows(dataset, order_)),
+      tt_(TransposedTable::Build(permuted_)),
+      n_(dataset.num_rows()),
+      m_(order_.num_positive),
+      exact_mode_(!options.enable_pruning1 || !options.enable_pruning2) {
+  cnt_.assign(n_, 0);
+  cnt_epoch_.assign(n_, 0);
+}
+
+bool FarmerMiner::PassesThresholds(std::size_t supp, std::size_t supn) const {
+  if (supp < std::max<std::size_t>(1, options_.min_support)) return false;
+  const std::size_t x = supp + supn;
+  const double conf = Confidence(supp, x);
+  if (conf < options_.min_confidence) return false;
+  if (options_.min_chi_square > 0.0 &&
+      ChiSquare(x, supp, n_, m_) < options_.min_chi_square) {
+    return false;
+  }
+  if (options_.min_lift > 0.0 &&
+      Lift(x, supp, n_, m_) < options_.min_lift) {
+    return false;
+  }
+  if (options_.min_conviction > 0.0 &&
+      Conviction(x, supp, n_, m_) < options_.min_conviction) {
+    return false;
+  }
+  if (options_.min_entropy_gain > 0.0 &&
+      EntropyGain(x, supp, n_, m_) < options_.min_entropy_gain) {
+    return false;
+  }
+  if (options_.min_gini_gain > 0.0 &&
+      GiniGain(x, supp, n_, m_) < options_.min_gini_gain) {
+    return false;
+  }
+  if (options_.min_correlation > 0.0 &&
+      PhiCoefficient(x, supp, n_, m_) < options_.min_correlation) {
+    return false;
+  }
+  return true;
+}
+
+double FarmerMiner::EffectiveMinConfidence() const {
+  double floor = options_.min_confidence;
+  if (options_.top_k > 0 && topk_confs_.size() == options_.top_k) {
+    // topk_confs_ is sorted descending; back() is the k-th best. Subtrees
+    // whose confidence bound is strictly below it cannot improve the top-k
+    // (ties still enter via the support tie-break, so the prune below uses
+    // a strict comparison).
+    floor = std::max(floor, topk_confs_.back());
+  }
+  return floor;
+}
+
+bool FarmerMiner::BackScanFindsForeignRow(const std::vector<NodeTuple>& tuples,
+                                          const RowVector& cands,
+                                          const Bitset& support_rows) const {
+  // A "foreign" row occurs in every tuple of the conditional table but is
+  // neither part of the identified support (X ∪ absorbed) nor a candidate:
+  // by Lemma 3.6 the node's whole subtree was then already enumerated
+  // under an earlier node. Scan the shortest tuple's full row list (the
+  // paper's back scan through the conditional pointer lists).
+  const RowVector* shortest = &tt_.tuple(tuples[0].item);
+  for (const NodeTuple& t : tuples) {
+    const RowVector& full = tt_.tuple(t.item);
+    if (full.size() < shortest->size()) shortest = &full;
+  }
+  for (RowId r : *shortest) {
+    if (support_rows.Test(r)) continue;
+    if (std::binary_search(cands.begin(), cands.end(), r)) continue;
+    bool in_all = true;
+    for (const NodeTuple& t : tuples) {
+      const RowVector& full = tt_.tuple(t.item);
+      if (&full == shortest) continue;
+      if (!std::binary_search(full.begin(), full.end(), r)) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) return true;
+  }
+  return false;
+}
+
+void FarmerMiner::MaybeInsertGroup(const std::vector<NodeTuple>& tuples,
+                                   std::size_t supp, std::size_t supn,
+                                   const Bitset& support_rows) {
+  Bitset rows = support_rows;
+  if (exact_mode_) {
+    // With Pruning 1 or 2 disabled, the incremental counts undercount the
+    // true support: recompute R(I(X)) as the rows occurring in every tuple
+    // and deduplicate (the same group is then reached at several nodes).
+    rows.Resize(n_);
+    rows.ResetAll();
+    for (RowId r : tt_.tuple(tuples[0].item)) rows.Set(r);
+    Bitset tmp(n_);
+    for (std::size_t t = 1; t < tuples.size(); ++t) {
+      tmp.ResetAll();
+      for (RowId r : tt_.tuple(tuples[t].item)) tmp.Set(r);
+      rows &= tmp;
+    }
+    supp = 0;
+    rows.ForEach([&](std::size_t r) {
+      if (r < m_) ++supp;
+    });
+    supn = rows.Count() - supp;
+    for (const Bitset& seen : seen_exact_) {
+      if (seen == rows) return;
+    }
+    seen_exact_.push_back(rows);
+  }
+
+  if (!PassesThresholds(supp, supn)) return;
+  const double conf = Confidence(supp, supp + supn);
+  const std::size_t row_count = supp + supn;
+
+  // The IRG comparison (Definition 2.2): a more general rule group exists
+  // with confidence >= ours iff some stored group's row set is a proper
+  // superset of ours (antecedent closure reverses inclusion). Lemma 3.4
+  // plus the post-order insert guarantees all more general groups passing
+  // the constraints are already stored.
+  if (!options_.report_all_rule_groups) {
+    for (std::size_t c = row_count + 1; c < store_by_count_.size(); ++c) {
+      for (std::size_t idx : store_by_count_[c]) {
+        const RuleGroup& g = store_[idx];
+        if (g.confidence >= conf && rows.IsSubsetOf(g.rows)) return;
+      }
+    }
+  }
+
+  RuleGroup g;
+  if (options_.store_antecedents) {
+    g.antecedent.reserve(tuples.size());
+    for (const NodeTuple& t : tuples) g.antecedent.push_back(t.item);
+  }
+  g.rows = std::move(rows);
+  g.support_pos = supp;
+  g.support_neg = supn;
+  g.confidence = conf;
+  g.chi_square = ChiSquare(supp + supn, supp, n_, m_);
+  if (store_by_count_.size() <= row_count) {
+    store_by_count_.resize(n_ + 1);
+  }
+  store_by_count_[row_count].push_back(store_.size());
+  store_.push_back(std::move(g));
+
+  if (options_.top_k > 0) {
+    auto it = std::lower_bound(topk_confs_.begin(), topk_confs_.end(), conf,
+                               [](double a, double b) { return a > b; });
+    topk_confs_.insert(it, conf);
+    if (topk_confs_.size() > options_.top_k) topk_confs_.pop_back();
+  }
+}
+
+void FarmerMiner::MineIRGs(std::vector<NodeTuple> tuples, RowVector cands,
+                           std::size_t supp, std::size_t supn,
+                           Bitset support_rows) {
+  if (stats_.timed_out) return;
+  if (options_.deadline.Expired()) {
+    stats_.timed_out = true;
+    return;
+  }
+  ++stats_.nodes_visited;
+  if (tuples.empty()) return;  // I(X) = ∅: no rule here or below.
+
+  // Step 1 — Pruning 2 (back scan, Lemma 3.6).
+  if (options_.enable_pruning2 &&
+      BackScanFindsForeignRow(tuples, cands, support_rows)) {
+    ++stats_.pruned_by_backscan;
+    return;
+  }
+
+  // Step 2 — Pruning 3 with the loose bounds (before scanning).
+  // Candidates are sorted and consequent rows have ids < m_, so the
+  // class-C candidates form a prefix.
+  std::size_t ep = 0;
+  for (RowId r : cands) {
+    if (r >= m_) break;
+    ++ep;
+  }
+  const std::size_t supp_entry = supp;
+  const std::size_t us2 = supp_entry + ep;
+  if (options_.enable_pruning3) {
+    if (us2 < std::max<std::size_t>(1, options_.min_support)) {
+      ++stats_.pruned_by_support;
+      return;
+    }
+    const double minconf = EffectiveMinConfidence();
+    if (minconf > 0.0) {
+      const double uc2 = Confidence(us2, us2 + supn);
+      if (uc2 < minconf) {
+        ++stats_.pruned_by_confidence;
+        return;
+      }
+    }
+  }
+
+  // Step 3 — scan the conditional table: per-candidate occurrence counts,
+  // U (>=1 occurrence), Y (in every tuple), and the per-tuple maximum of
+  // class-C candidates for the tight support bound.
+  ++epoch_;
+  std::size_t max_ep_tuple = 0;
+  for (const NodeTuple& t : tuples) {
+    std::size_t ep_in_t = 0;
+    for (RowId r : t.cand) {
+      if (cnt_epoch_[r] != epoch_) {
+        cnt_epoch_[r] = epoch_;
+        cnt_[r] = 0;
+      }
+      ++cnt_[r];
+      if (r < m_) ++ep_in_t;
+    }
+    max_ep_tuple = std::max(max_ep_tuple, ep_in_t);
+  }
+  const std::size_t num_tuples = tuples.size();
+  RowVector new_cands;
+  new_cands.reserve(cands.size());
+  for (RowId r : cands) {
+    const std::size_t c = (cnt_epoch_[r] == epoch_) ? cnt_[r] : 0;
+    if (c == 0) continue;  // Not in U: occurs in no tuple.
+    if (c == num_tuples && options_.enable_pruning1) {
+      // Pruning 1: the row occurs in every tuple — absorb it (Lemma 3.5).
+      ++stats_.rows_absorbed;
+      support_rows.Set(r);
+      if (r < m_) {
+        ++supp;
+      } else {
+        ++supn;
+      }
+    } else {
+      new_cands.push_back(r);
+    }
+  }
+
+  // Step 4 — Pruning 3 with the tight bounds (after scanning).
+  if (options_.enable_pruning3) {
+    const std::size_t us1 = supp_entry + max_ep_tuple;
+    if (us1 < std::max<std::size_t>(1, options_.min_support)) {
+      ++stats_.pruned_by_support;
+      return;
+    }
+    if (!exact_mode_) {
+      // The tight confidence/chi-square bounds require supp/supn to be the
+      // exact counts of R(I(X)); that only holds when Prunings 1 and 2 are
+      // active (ablation runs fall back to the loose bounds above).
+      const double uc1 = Confidence(us1, us1 + supn);
+      const double minconf = EffectiveMinConfidence();
+      if (minconf > 0.0 && uc1 < minconf) {
+        ++stats_.pruned_by_confidence;
+        return;
+      }
+      if (options_.min_chi_square > 0.0 &&
+          ChiSquareUpperBound(supp + supn, supp, n_, m_) <
+              options_.min_chi_square) {
+        ++stats_.pruned_by_chi;
+        return;
+      }
+      if (options_.min_lift > 0.0 &&
+          LiftUpperBound(uc1, n_, m_) < options_.min_lift) {
+        ++stats_.pruned_by_extension;
+        return;
+      }
+      if (options_.min_conviction > 0.0 &&
+          ConvictionUpperBound(uc1, n_, m_) < options_.min_conviction) {
+        ++stats_.pruned_by_extension;
+        return;
+      }
+      if (options_.min_entropy_gain > 0.0 &&
+          EntropyGainUpperBound(supp + supn, supp, n_, m_) <
+              options_.min_entropy_gain) {
+        ++stats_.pruned_by_extension;
+        return;
+      }
+      if (options_.min_gini_gain > 0.0 &&
+          GiniGainUpperBound(supp + supn, supp, n_, m_) <
+              options_.min_gini_gain) {
+        ++stats_.pruned_by_extension;
+        return;
+      }
+      if (options_.min_correlation > 0.0 &&
+          PhiUpperBound(supp + supn, supp, n_, m_) <
+              options_.min_correlation) {
+        ++stats_.pruned_by_extension;
+        return;
+      }
+    }
+  }
+
+  // Steps 5/6 — recurse into each remaining candidate, ascending. The ORD
+  // order makes the class restriction implicit: after descending into a
+  // ¬C row, every later row is ¬C as well.
+  for (std::size_t idx = 0; idx < new_cands.size(); ++idx) {
+    const RowId ri = new_cands[idx];
+    std::vector<NodeTuple> child_tuples;
+    child_tuples.reserve(tuples.size());
+    for (const NodeTuple& t : tuples) {
+      if (!std::binary_search(t.cand.begin(), t.cand.end(), ri)) continue;
+      NodeTuple ct;
+      ct.item = t.item;
+      for (RowId r : t.cand) {
+        // Keep candidates after ri that were not absorbed by Pruning 1.
+        if (r > ri && !support_rows.Test(r)) ct.cand.push_back(r);
+      }
+      child_tuples.push_back(std::move(ct));
+    }
+    RowVector child_cands(new_cands.begin() +
+                              static_cast<std::ptrdiff_t>(idx) + 1,
+                          new_cands.end());
+    Bitset child_support = support_rows;
+    child_support.Set(ri);
+    MineIRGs(std::move(child_tuples), std::move(child_cands),
+             supp + (ri < m_ ? 1 : 0), supn + (ri >= m_ ? 1 : 0),
+             std::move(child_support));
+    if (stats_.timed_out) return;
+  }
+
+  // Step 7 — after the whole subtree (so every more general group is
+  // already stored), decide whether I(X) -> C is an IRG.
+  MaybeInsertGroup(tuples, supp, supn, support_rows);
+}
+
+FarmerResult FarmerMiner::Mine() {
+  FarmerResult result;
+  result.num_rows = n_;
+  result.num_consequent_rows = m_;
+  if (n_ == 0) return result;
+
+  Stopwatch sw;
+  std::vector<NodeTuple> root_tuples;
+  for (ItemId i = 0; i < tt_.num_items(); ++i) {
+    if (!tt_.tuple(i).empty()) {
+      root_tuples.push_back(NodeTuple{i, tt_.tuple(i)});
+    }
+  }
+  RowVector root_cands(n_);
+  for (RowId r = 0; r < n_; ++r) root_cands[r] = r;
+  MineIRGs(std::move(root_tuples), std::move(root_cands), 0, 0, Bitset(n_));
+  stats_.mine_seconds = sw.ElapsedSeconds();
+
+  // Top-k selection: best confidence first, support breaks ties.
+  if (options_.top_k > 0 && store_.size() > options_.top_k) {
+    std::stable_sort(store_.begin(), store_.end(),
+                     [](const RuleGroup& a, const RuleGroup& b) {
+                       if (a.confidence != b.confidence) {
+                         return a.confidence > b.confidence;
+                       }
+                       return a.support_pos > b.support_pos;
+                     });
+    store_.resize(options_.top_k);
+  }
+
+  // Optional lower-bound mining (MineLB), still in permuted row ids.
+  if (options_.mine_lower_bounds) {
+    Stopwatch lb_sw;
+    for (RuleGroup& g : store_) {
+      if (options_.deadline.Expired()) {
+        stats_.timed_out = true;
+        break;
+      }
+      ItemVector antecedent = g.antecedent;
+      if (antecedent.empty()) {
+        // Antecedents were not stored: recover I(rows) by intersecting the
+        // member rows' itemsets.
+        const std::size_t first = g.rows.FindFirst();
+        antecedent = permuted_.row(static_cast<RowId>(first));
+        for (std::size_t r = g.rows.FindNext(first); r < g.rows.size();
+             r = g.rows.FindNext(r)) {
+          const ItemVector& row = permuted_.row(static_cast<RowId>(r));
+          ItemVector merged;
+          std::set_intersection(antecedent.begin(), antecedent.end(),
+                                row.begin(), row.end(),
+                                std::back_inserter(merged));
+          antecedent = std::move(merged);
+        }
+      }
+      LowerBoundResult lb = MineLowerBounds(
+          permuted_, antecedent, g.rows,
+          options_.max_lower_bound_candidates);
+      g.lower_bounds = std::move(lb.lower_bounds);
+      g.lower_bounds_truncated = lb.truncated;
+    }
+    stats_.lower_bound_seconds = lb_sw.ElapsedSeconds();
+  }
+
+  // Remap row sets from permuted to original row ids.
+  for (RuleGroup& g : store_) {
+    Bitset original(n_);
+    g.rows.ForEach(
+        [&](std::size_t pos) { original.Set(order_.order[pos]); });
+    g.rows = std::move(original);
+  }
+
+  result.groups = std::move(store_);
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace internal
+
+FarmerResult MineFarmer(const BinaryDataset& dataset,
+                        const MinerOptions& options) {
+  internal::FarmerMiner miner(dataset, options);
+  return miner.Mine();
+}
+
+}  // namespace farmer

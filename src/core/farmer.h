@@ -1,0 +1,124 @@
+#ifndef FARMER_CORE_FARMER_H_
+#define FARMER_CORE_FARMER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/miner_options.h"
+#include "core/rule.h"
+#include "dataset/dataset.h"
+#include "dataset/transpose.h"
+#include "dataset/types.h"
+#include "util/bitset.h"
+
+namespace farmer {
+
+/// Result of a FARMER run.
+struct FarmerResult {
+  /// The interesting rule groups satisfying all constraints, in discovery
+  /// order (top-k mode: the k best by confidence, then support).
+  std::vector<RuleGroup> groups;
+  MinerStats stats;
+  /// Dataset context: total rows and rows labeled with the consequent.
+  std::size_t num_rows = 0;
+  std::size_t num_consequent_rows = 0;
+};
+
+/// The FARMER algorithm (paper §3): finds all interesting rule groups with
+/// the configured consequent by depth-first *row* enumeration over the
+/// transposed table, with pruning strategies 1–3, and optionally computes
+/// each group's lower bounds with MineLB.
+///
+/// Usage:
+///   MinerOptions opts;
+///   opts.consequent = 1;
+///   opts.min_support = 3;
+///   opts.min_confidence = 0.9;
+///   FarmerResult result = MineFarmer(dataset, opts);
+///
+/// The input dataset may list rows in any order; the miner permutes them
+/// into the consequent-first order internally and reports row sets in the
+/// caller's original row ids.
+FarmerResult MineFarmer(const BinaryDataset& dataset,
+                        const MinerOptions& options);
+
+namespace internal {
+
+/// Implementation class exposed for white-box tests.
+class FarmerMiner {
+ public:
+  FarmerMiner(const BinaryDataset& dataset, const MinerOptions& options);
+
+  FarmerResult Mine();
+
+ private:
+  // One tuple of a conditional transposed table: the item plus the
+  // candidate rows (a subset of the node's enumeration candidate list)
+  // occurring in the item's tuple.
+  struct NodeTuple {
+    ItemId item;
+    RowVector cand;
+  };
+
+  // Recursive MineIRGs (paper Figure 5). `tuples` is the node's conditional
+  // transposed table, `cands` its enumeration candidate list (sorted row
+  // ids, class-C rows first by construction of ORD), `supp`/`supn` the
+  // identified counts of R(I(X) ∪ C) / R(I(X) ∪ ¬C), and `support_rows`
+  // the rows identified so far as members of R(I(X)) (X plus rows absorbed
+  // by Pruning 1 on the path).
+  void MineIRGs(std::vector<NodeTuple> tuples, RowVector cands,
+                std::size_t supp, std::size_t supn, Bitset support_rows);
+
+  // Pruning 2: true when some row outside `support_rows` and outside the
+  // candidate list occurs in every tuple — the subtree duplicates an
+  // earlier one (Lemma 3.6).
+  bool BackScanFindsForeignRow(const std::vector<NodeTuple>& tuples,
+                               const RowVector& cands,
+                               const Bitset& support_rows) const;
+
+  // Step 7: applies the constraint checks and the IRG comparison, and
+  // stores the group when it qualifies. In exact mode (ablation with
+  // Pruning 1 or 2 disabled) recomputes the true row support first.
+  void MaybeInsertGroup(const std::vector<NodeTuple>& tuples,
+                        std::size_t supp, std::size_t supn,
+                        const Bitset& support_rows);
+
+  // True when all measure thresholds hold for a rule with the given exact
+  // counts (x = supp + supn, y = supp).
+  bool PassesThresholds(std::size_t supp, std::size_t supn) const;
+
+  // The dynamic confidence floor: min_confidence, raised in top-k mode to
+  // the current k-th best confidence.
+  double EffectiveMinConfidence() const;
+
+  MinerOptions options_;  // Copied: the miner may outlive the caller's copy.
+  RowOrder order_;
+  BinaryDataset permuted_;
+  TransposedTable tt_;
+  std::size_t n_ = 0;  // rows
+  std::size_t m_ = 0;  // rows labeled with the consequent (first m_ ids)
+  bool exact_mode_ = false;
+
+  // Discovered groups (row sets in *permuted* ids until the final remap).
+  std::vector<RuleGroup> store_;
+  // store_ indices bucketed by row-set size: the IRG comparison only needs
+  // groups with strictly larger row sets (equal-size sets are never proper
+  // supersets), and most groups sit at the minimum support.
+  std::vector<std::vector<std::size_t>> store_by_count_;
+  // Sorted confidences of the current top-k groups (top-k mode only).
+  std::vector<double> topk_confs_;
+  // Row sets already inserted (exact mode deduplication).
+  std::vector<Bitset> seen_exact_;
+
+  MinerStats stats_;
+
+  // Scratch counters for the per-node scan, epoch-cleared.
+  std::vector<std::uint64_t> cnt_;
+  std::vector<std::uint64_t> cnt_epoch_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace internal
+}  // namespace farmer
+
+#endif  // FARMER_CORE_FARMER_H_

@@ -1,0 +1,145 @@
+#include "core/measures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace farmer {
+
+namespace {
+
+double BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+}  // namespace
+
+double Confidence(std::size_t y, std::size_t x) {
+  if (x == 0) return 0.0;
+  return static_cast<double>(y) / static_cast<double>(x);
+}
+
+double ChiSquare(std::size_t x, std::size_t y, std::size_t n, std::size_t m) {
+  if (x == 0 || x >= n || m == 0 || m >= n) return 0.0;
+  // chi = n (ad - bc)^2 / (x m (n-x) (n-m)) with
+  // a = y, b = x-y, c = m-y, d = n-m-x+y.
+  const double a = static_cast<double>(y);
+  const double b = static_cast<double>(x - y);
+  const double c = static_cast<double>(m - y);
+  const double d = static_cast<double>(n - m - (x - y));
+  const double det = a * d - b * c;
+  const double denom = static_cast<double>(x) * static_cast<double>(m) *
+                       static_cast<double>(n - x) *
+                       static_cast<double>(n - m);
+  return static_cast<double>(n) * det * det / denom;
+}
+
+double ChiSquareUpperBound(std::size_t x, std::size_t y, std::size_t n,
+                           std::size_t m) {
+  // Vertices of the feasible parallelogram other than (n, m), where the
+  // statistic is 0 (Lemma 3.9). All three are valid count pairs by
+  // construction: y <= m and x - y <= n - m.
+  const double v1 = ChiSquare(x - y + m, m, n, m);
+  const double v2 = ChiSquare(y + n - m, y, n, m);
+  const double v3 = ChiSquare(x, y, n, m);
+  return std::max({v1, v2, v3});
+}
+
+double Lift(std::size_t x, std::size_t y, std::size_t n, std::size_t m) {
+  if (x == 0 || m == 0 || n == 0) return 0.0;
+  return Confidence(y, x) * static_cast<double>(n) / static_cast<double>(m);
+}
+
+double Conviction(std::size_t x, std::size_t y, std::size_t n,
+                  std::size_t m) {
+  if (x == 0 || n == 0) return 0.0;
+  const double conf = Confidence(y, x);
+  const double base = 1.0 - static_cast<double>(m) / static_cast<double>(n);
+  if (conf >= 1.0) return std::numeric_limits<double>::infinity();
+  return base / (1.0 - conf);
+}
+
+double EntropyGain(std::size_t x, std::size_t y, std::size_t n,
+                   std::size_t m) {
+  if (x == 0 || x >= n || n == 0) return 0.0;
+  const double nn = static_cast<double>(n);
+  const double hm = BinaryEntropy(static_cast<double>(m) / nn);
+  const double p_in = static_cast<double>(x) / nn;
+  const double h_in = BinaryEntropy(static_cast<double>(y) /
+                                    static_cast<double>(x));
+  const double h_out = BinaryEntropy(static_cast<double>(m - y) /
+                                     static_cast<double>(n - x));
+  return hm - (p_in * h_in + (1.0 - p_in) * h_out);
+}
+
+double EntropyGainUpperBound(std::size_t x, std::size_t y, std::size_t n,
+                             std::size_t m) {
+  const double v1 = EntropyGain(x - y + m, m, n, m);
+  const double v2 = EntropyGain(y + n - m, y, n, m);
+  const double v3 = EntropyGain(x, y, n, m);
+  return std::max({v1, v2, v3});
+}
+
+namespace {
+
+double GiniImpurity(double p) { return 2.0 * p * (1.0 - p); }
+
+}  // namespace
+
+double GiniGain(std::size_t x, std::size_t y, std::size_t n,
+                std::size_t m) {
+  if (x == 0 || x >= n || n == 0) return 0.0;
+  const double nn = static_cast<double>(n);
+  const double base = GiniImpurity(static_cast<double>(m) / nn);
+  const double p_in = static_cast<double>(x) / nn;
+  const double g_in = GiniImpurity(static_cast<double>(y) /
+                                   static_cast<double>(x));
+  const double g_out = GiniImpurity(static_cast<double>(m - y) /
+                                    static_cast<double>(n - x));
+  return base - (p_in * g_in + (1.0 - p_in) * g_out);
+}
+
+double GiniGainUpperBound(std::size_t x, std::size_t y, std::size_t n,
+                          std::size_t m) {
+  const double v1 = GiniGain(x - y + m, m, n, m);
+  const double v2 = GiniGain(y + n - m, y, n, m);
+  const double v3 = GiniGain(x, y, n, m);
+  return std::max({v1, v2, v3});
+}
+
+double PhiCoefficient(std::size_t x, std::size_t y, std::size_t n,
+                      std::size_t m) {
+  if (x == 0 || x >= n || m == 0 || m >= n) return 0.0;
+  const double a = static_cast<double>(y);
+  const double b = static_cast<double>(x - y);
+  const double c = static_cast<double>(m - y);
+  const double d = static_cast<double>(n - m - (x - y));
+  const double denom = std::sqrt(
+      static_cast<double>(x) * static_cast<double>(m) *
+      static_cast<double>(n - x) * static_cast<double>(n - m));
+  return (a * d - b * c) / denom;
+}
+
+double PhiUpperBound(std::size_t x, std::size_t y, std::size_t n,
+                     std::size_t m) {
+  // phi itself is not convex, but phi^2 = chi/n is, so the chi-square
+  // vertex bound dominates |phi| everywhere in the feasible region.
+  if (n == 0) return 0.0;
+  return std::sqrt(ChiSquareUpperBound(x, y, n, m) /
+                   static_cast<double>(n));
+}
+
+double LiftUpperBound(double conf_ub, std::size_t n, std::size_t m) {
+  if (m == 0 || n == 0) return 0.0;
+  return conf_ub * static_cast<double>(n) / static_cast<double>(m);
+}
+
+double ConvictionUpperBound(double conf_ub, std::size_t n, std::size_t m) {
+  if (n == 0) return 0.0;
+  const double base = 1.0 - static_cast<double>(m) / static_cast<double>(n);
+  if (conf_ub >= 1.0) return std::numeric_limits<double>::infinity();
+  return base / (1.0 - conf_ub);
+}
+
+}  // namespace farmer

@@ -1,0 +1,85 @@
+#ifndef FARMER_CORE_MEASURES_H_
+#define FARMER_CORE_MEASURES_H_
+
+#include <cstddef>
+
+namespace farmer {
+
+/// Interestingness measures of a class association rule `A -> C` and their
+/// anti-monotone upper bounds over the row-enumeration subtree.
+///
+/// All measures are functions of the pair `(x, y)` with
+///   x = |R(A)|        (rows containing the antecedent)
+///   y = |R(A ∪ C)|    (rows containing the antecedent and labeled C)
+/// plus the dataset constants
+///   n = |R|           (all rows)
+///   m = |R(C)|        (rows labeled C).
+///
+/// For any rule `A' -> C` discovered below a node whose rule is `A -> C`
+/// (so `A' ⊂ A`), the feasible `(x', y')` pairs lie in the parallelogram
+/// with vertices (x,y), (x-y+m, m), (n, m), (y+n-m, y) — the paper's
+/// Figure 7. Convex measures are therefore maximized at a vertex, and since
+/// they vanish at (n, m), the bound is the max over the other three
+/// vertices (Lemma 3.9). This holds for chi-square and entropy gain
+/// (Morishita & Sese); confidence, lift and conviction are monotone in
+/// confidence and get their own direct bound.
+
+/// Confidence y/x; 0 when x == 0.
+double Confidence(std::size_t y, std::size_t x);
+
+/// Pearson chi-square statistic of the 2x2 contingency table induced by
+/// (x, y, n, m). Returns 0 for degenerate margins (x==0, x==n, m==0, m==n).
+double ChiSquare(std::size_t x, std::size_t y, std::size_t n, std::size_t m);
+
+/// Upper bound of ChiSquare over all rules below a node whose rule has
+/// counts (x, y) — the max over the three non-trivial parallelogram
+/// vertices (Lemma 3.9).
+double ChiSquareUpperBound(std::size_t x, std::size_t y, std::size_t n,
+                           std::size_t m);
+
+/// Lift: confidence / base rate = (y/x) / (m/n); 0 when degenerate.
+double Lift(std::size_t x, std::size_t y, std::size_t n, std::size_t m);
+
+/// Conviction: (1 - m/n) / (1 - y/x). Returns +inf for 100%-confidence
+/// rules; 0 when x == 0.
+double Conviction(std::size_t x, std::size_t y, std::size_t n, std::size_t m);
+
+/// Entropy gain of splitting the dataset on "row contains A":
+/// H(m/n) - [x/n H(y/x) + (n-x)/n H((m-y)/(n-x))]. 0 when degenerate.
+double EntropyGain(std::size_t x, std::size_t y, std::size_t n,
+                   std::size_t m);
+
+/// Upper bound of EntropyGain over the subtree, via the same three-vertex
+/// convexity argument as chi-square.
+double EntropyGainUpperBound(std::size_t x, std::size_t y, std::size_t n,
+                             std::size_t m);
+
+/// Gini gain of splitting the dataset on "row contains A":
+/// gini(m/n) - [x/n gini(y/x) + (n-x)/n gini((m-y)/(n-x))] with
+/// gini(p) = 2p(1-p). 0 when degenerate.
+double GiniGain(std::size_t x, std::size_t y, std::size_t n, std::size_t m);
+
+/// Upper bound of GiniGain over the subtree (three-vertex convexity).
+double GiniGainUpperBound(std::size_t x, std::size_t y, std::size_t n,
+                          std::size_t m);
+
+/// Phi correlation coefficient of the 2x2 table: (ad - bc) /
+/// sqrt(x m (n-x)(n-m)); positive when A and C are positively associated.
+/// 0 for degenerate margins. Note phi^2 * n == chi-square.
+double PhiCoefficient(std::size_t x, std::size_t y, std::size_t n,
+                      std::size_t m);
+
+/// Upper bound of PhiCoefficient over the subtree: phi is not convex, but
+/// phi^2 = chi/n is, so sqrt(chi-bound / n) dominates it.
+double PhiUpperBound(std::size_t x, std::size_t y, std::size_t n,
+                     std::size_t m);
+
+/// Given an upper bound `conf_ub` on the confidence reachable in a subtree,
+/// the corresponding bounds for lift and conviction (both are increasing
+/// functions of confidence).
+double LiftUpperBound(double conf_ub, std::size_t n, std::size_t m);
+double ConvictionUpperBound(double conf_ub, std::size_t n, std::size_t m);
+
+}  // namespace farmer
+
+#endif  // FARMER_CORE_MEASURES_H_

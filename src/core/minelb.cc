@@ -1,0 +1,160 @@
+#include "core/minelb.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace farmer {
+
+namespace {
+
+// Keeps only itemsets that are maximal under inclusion. Input bitsets all
+// have the same size; output order is by descending cardinality.
+std::vector<Bitset> KeepMaximal(std::vector<Bitset> sets) {
+  std::sort(sets.begin(), sets.end(), [](const Bitset& a, const Bitset& b) {
+    return a.Count() > b.Count();
+  });
+  std::vector<Bitset> maximal;
+  for (Bitset& s : sets) {
+    bool subsumed = false;
+    for (const Bitset& kept : maximal) {
+      if (s.IsSubsetOf(kept)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) maximal.push_back(std::move(s));
+  }
+  return maximal;
+}
+
+}  // namespace
+
+LowerBoundResult MineLowerBounds(const BinaryDataset& dataset,
+                                 const ItemVector& antecedent,
+                                 const Bitset& rows,
+                                 std::size_t max_candidates) {
+  LowerBoundResult result;
+  const std::size_t a_size = antecedent.size();
+  if (a_size == 0) return result;
+
+  // Step 1: Γ starts as the singletons of the antecedent. All bitsets use
+  // positions local to `antecedent` (antecedent is sorted, so membership
+  // maps via binary search).
+  std::vector<Bitset> gamma;
+  gamma.reserve(a_size);
+  for (std::size_t p = 0; p < a_size; ++p) {
+    Bitset b(a_size);
+    b.Set(p);
+    gamma.push_back(std::move(b));
+  }
+
+  // Step 2: collect Σ = the distinct proper subsets I(r) ∩ A for rows
+  // outside R(A); by Lemma 3.11 only the maximal ones matter.
+  std::vector<Bitset> sigma;
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    if (rows.Test(r)) continue;
+    Bitset inter(a_size);
+    const ItemVector& row = dataset.row(r);
+    // Both `row` and `antecedent` are sorted: merge-intersect.
+    std::size_t i = 0, j = 0;
+    while (i < row.size() && j < a_size) {
+      if (row[i] < antecedent[j]) {
+        ++i;
+      } else if (row[i] > antecedent[j]) {
+        ++j;
+      } else {
+        inter.Set(j);
+        ++i;
+        ++j;
+      }
+    }
+    // I(r) ∩ A ⊂ A is guaranteed: if it equaled A, r would be in R(A).
+    assert(inter.Count() < a_size);
+    sigma.push_back(std::move(inter));
+  }
+  sigma = KeepMaximal(std::move(sigma));
+
+  // Step 3: incremental update of Γ per added closed set (Lemma 3.10).
+  for (const Bitset& a_prime : sigma) {
+    std::vector<Bitset> gamma1;  // bounds contained in A'
+    std::vector<Bitset> gamma2;  // bounds that survive as-is
+    for (Bitset& l : gamma) {
+      if (l.IsSubsetOf(a_prime)) {
+        gamma1.push_back(std::move(l));
+      } else {
+        gamma2.push_back(std::move(l));
+      }
+    }
+    if (gamma1.empty()) {
+      gamma = std::move(gamma2);
+      continue;
+    }
+
+    // Candidates l1 ∪ {i}, l1 ∈ Γ1, i ∈ A − A'.
+    std::vector<std::size_t> missing;  // positions of A − A'
+    for (std::size_t p = 0; p < a_size; ++p) {
+      if (!a_prime.Test(p)) missing.push_back(p);
+    }
+    if (max_candidates != 0 &&
+        gamma1.size() * missing.size() > max_candidates) {
+      result.truncated = true;
+      gamma = std::move(gamma2);
+      for (Bitset& l : gamma1) gamma.push_back(std::move(l));
+      break;
+    }
+    std::vector<Bitset> candidates;
+    candidates.reserve(gamma1.size() * missing.size());
+    for (const Bitset& l1 : gamma1) {
+      for (std::size_t p : missing) {
+        Bitset c = l1;
+        c.Set(p);
+        candidates.push_back(std::move(c));
+      }
+    }
+    // Deduplicate, then keep candidates that neither cover a surviving
+    // bound from Γ2 nor another (smaller or equal) candidate.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Bitset& a, const Bitset& b) {
+                if (a.Count() != b.Count()) return a.Count() < b.Count();
+                return a.ToVector() < b.ToVector();
+              });
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    std::vector<Bitset> accepted;
+    for (Bitset& c : candidates) {
+      bool covers = false;
+      for (const Bitset& l2 : gamma2) {
+        if (l2.IsSubsetOf(c)) {
+          covers = true;
+          break;
+        }
+      }
+      if (!covers) {
+        // Candidates are sorted by ascending cardinality, so any candidate
+        // covered by another has already been accepted before it.
+        for (const Bitset& other : accepted) {
+          if (other.IsSubsetOf(c)) {
+            covers = true;
+            break;
+          }
+        }
+      }
+      if (!covers) accepted.push_back(std::move(c));
+    }
+    gamma = std::move(gamma2);
+    for (Bitset& c : accepted) gamma.push_back(std::move(c));
+  }
+
+  // Convert local positions back to global item ids.
+  result.lower_bounds.reserve(gamma.size());
+  for (const Bitset& l : gamma) {
+    ItemVector items;
+    items.reserve(l.Count());
+    l.ForEach([&](std::size_t p) { items.push_back(antecedent[p]); });
+    result.lower_bounds.push_back(std::move(items));
+  }
+  std::sort(result.lower_bounds.begin(), result.lower_bounds.end());
+  return result;
+}
+
+}  // namespace farmer

@@ -1,0 +1,38 @@
+#ifndef FARMER_CORE_MINELB_H_
+#define FARMER_CORE_MINELB_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dataset/types.h"
+#include "util/bitset.h"
+
+namespace farmer {
+
+/// Result of a lower-bound computation for one rule group.
+struct LowerBoundResult {
+  /// The minimal antecedents of the group, each sorted ascending.
+  std::vector<ItemVector> lower_bounds;
+  /// True when the computation stopped early because the candidate cap was
+  /// hit; `lower_bounds` is then a (valid-prefix) under-approximation.
+  bool truncated = false;
+};
+
+/// MineLB (paper §3.4, Figure 9): computes the lower bounds of the closed
+/// set `antecedent`, i.e. the minimal itemsets L ⊆ antecedent with
+/// R(L) = R(antecedent).
+///
+/// `rows` must be R(antecedent) over `dataset`'s row ids. The algorithm is
+/// incremental: it starts from singleton bounds and updates them for each
+/// maximal proper subset `I(r) ∩ antecedent` contributed by rows outside
+/// `rows` (Lemmas 3.10/3.11). `max_candidates` caps the intermediate
+/// candidate set per update step (0 = unlimited).
+LowerBoundResult MineLowerBounds(const BinaryDataset& dataset,
+                                 const ItemVector& antecedent,
+                                 const Bitset& rows,
+                                 std::size_t max_candidates = 0);
+
+}  // namespace farmer
+
+#endif  // FARMER_CORE_MINELB_H_

@@ -1,0 +1,81 @@
+#ifndef FARMER_CORE_MINER_OPTIONS_H_
+#define FARMER_CORE_MINER_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dataset/types.h"
+#include "util/timer.h"
+
+namespace farmer {
+
+/// Configuration shared by the FARMER miner and (where applicable) the
+/// baseline miners.
+struct MinerOptions {
+  /// The consequent class `C`; rules take the form `A -> consequent`.
+  ClassLabel consequent = 1;
+
+  /// Minimum rule support: |R(A ∪ C)| >= min_support. Must be >= 1.
+  std::size_t min_support = 1;
+
+  /// Minimum confidence in [0, 1].
+  double min_confidence = 0.0;
+
+  /// Minimum chi-square value (0 disables the constraint).
+  double min_chi_square = 0.0;
+
+  /// Optional extension constraints (0 disables; footnote 3 of the paper).
+  double min_lift = 0.0;
+  double min_conviction = 0.0;
+  double min_entropy_gain = 0.0;
+  double min_gini_gain = 0.0;
+  double min_correlation = 0.0;  // Phi coefficient.
+
+  /// When > 0, keep only the top-k IRGs by (confidence, support) and use the
+  /// running k-th confidence as an additional dynamic pruning threshold.
+  std::size_t top_k = 0;
+
+  /// Report every constraint-satisfying rule group instead of only the
+  /// interesting ones (skips the confidence-dominance comparison). Used,
+  /// e.g., to materialize CBA's candidate rules.
+  bool report_all_rule_groups = false;
+
+  /// Compute lower bounds of every reported IRG (MineLB). The paper's
+  /// experiments include this in FARMER's runtime.
+  bool mine_lower_bounds = true;
+
+  /// Cap on MineLB candidate sets per group; prevents pathological
+  /// combinatorial blow-up on extremely long antecedents. Groups that hit
+  /// the cap are flagged `lower_bounds_truncated`.
+  std::size_t max_lower_bound_candidates = 100000;
+
+  /// Store each IRG's upper-bound antecedent. Disable to save memory in
+  /// sweeps that only count IRGs; the row set is always stored.
+  bool store_antecedents = true;
+
+  /// Pruning toggles (for the ablation study; all on in normal use).
+  bool enable_pruning1 = true;  // Remove rows found in every tuple.
+  bool enable_pruning2 = true;  // Back-scan duplicate-subtree detection.
+  bool enable_pruning3 = true;  // Measure-threshold bounds.
+
+  /// Cooperative time limit; the miner reports `timed_out` when it fires.
+  Deadline deadline;
+};
+
+/// Search statistics reported by the miners.
+struct MinerStats {
+  std::size_t nodes_visited = 0;
+  std::size_t pruned_by_backscan = 0;   // Pruning 2.
+  std::size_t pruned_by_support = 0;    // Pruning 3, support bounds.
+  std::size_t pruned_by_confidence = 0; // Pruning 3, confidence bounds.
+  std::size_t pruned_by_chi = 0;        // Pruning 3, chi-square bound.
+  std::size_t pruned_by_extension = 0;  // Extension-measure bounds.
+  std::size_t rows_absorbed = 0;        // Pruning 1 removals.
+  double mine_seconds = 0.0;            // Upper-bound search time.
+  double lower_bound_seconds = 0.0;     // MineLB time.
+  bool timed_out = false;
+};
+
+}  // namespace farmer
+
+#endif  // FARMER_CORE_MINER_OPTIONS_H_

@@ -1,0 +1,29 @@
+#include "core/rule.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace farmer {
+
+std::string FormatRuleGroup(const RuleGroup& group,
+                            const BinaryDataset& dataset,
+                            const std::string& consequent_name) {
+  std::ostringstream os;
+  if (group.antecedent.empty()) {
+    os << "<unstored antecedent of " << group.rows.Count() << " rows>";
+  } else {
+    for (std::size_t i = 0; i < group.antecedent.size(); ++i) {
+      if (i > 0) os << ',';
+      os << dataset.ItemName(group.antecedent[i]);
+    }
+  }
+  os << " -> " << consequent_name << std::setprecision(4) << " (sup="
+     << group.support_pos << ", conf=" << group.confidence
+     << ", chi=" << group.chi_square << ')';
+  if (!group.lower_bounds.empty()) {
+    os << " lower_bounds=" << group.lower_bounds.size();
+  }
+  return os.str();
+}
+
+}  // namespace farmer

@@ -1,0 +1,62 @@
+#ifndef FARMER_CORE_RULE_H_
+#define FARMER_CORE_RULE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dataset/types.h"
+#include "util/bitset.h"
+
+namespace farmer {
+
+/// A rule group `A -> C` identified by its unique upper bound.
+///
+/// All rules whose antecedents occur in exactly the rows of `rows` form one
+/// group (Definition 2.1); `antecedent` is the group's upper bound `I(rows)`
+/// and `lower_bounds` its minimal members. All group members share the same
+/// support, confidence and chi-square value.
+struct RuleGroup {
+  /// Upper-bound antecedent, sorted item ids. May be empty when the miner
+  /// was configured not to store antecedents (see
+  /// MinerOptions::store_antecedents); the row set always identifies the
+  /// group and the antecedent can be recovered as I(rows).
+  ItemVector antecedent;
+
+  /// Antecedent support set R(antecedent) over the *original* dataset's row
+  /// ids (one bit per row).
+  Bitset rows;
+
+  /// |R(A ∪ C)| — rows matching the rule (the rule's support).
+  std::size_t support_pos = 0;
+
+  /// |R(A ∪ ¬C)|.
+  std::size_t support_neg = 0;
+
+  /// support_pos / (support_pos + support_neg).
+  double confidence = 0.0;
+
+  /// Chi-square statistic of the rule.
+  double chi_square = 0.0;
+
+  /// Lower bounds of the group (most general antecedents); each is a sorted
+  /// item vector. Filled only when lower-bound mining is enabled.
+  std::vector<ItemVector> lower_bounds;
+
+  /// True when the lower-bound list was truncated by the candidate cap.
+  bool lower_bounds_truncated = false;
+
+  /// |R(A)|.
+  std::size_t antecedent_support() const { return support_pos + support_neg; }
+};
+
+/// Renders `group` as "a,b,c -> C (sup=…, conf=…, chi=…)" using the
+/// dataset's item names.
+std::string FormatRuleGroup(const RuleGroup& group,
+                            const BinaryDataset& dataset,
+                            const std::string& consequent_name);
+
+}  // namespace farmer
+
+#endif  // FARMER_CORE_RULE_H_

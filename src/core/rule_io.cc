@@ -1,0 +1,129 @@
+#include "core/rule_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace farmer {
+
+Status SaveRuleGroups(const std::vector<RuleGroup>& groups,
+                      std::size_t num_rows, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::IoError("cannot open " + path + " for writing");
+  os << "farmer-rules v1 " << num_rows << '\n';
+  os.precision(17);
+  for (const RuleGroup& g : groups) {
+    os << "group " << g.support_pos << ' ' << g.support_neg << ' '
+       << g.confidence << ' ' << g.chi_square << '\n';
+    os << "rows";
+    g.rows.ForEach([&os](std::size_t r) { os << ' ' << r; });
+    os << '\n';
+    os << "upper";
+    for (ItemId i : g.antecedent) os << ' ' << i;
+    os << '\n';
+    for (const ItemVector& lb : g.lower_bounds) {
+      os << "lower";
+      for (ItemId i : lb) os << ' ' << i;
+      os << '\n';
+    }
+    os << "end\n";
+  }
+  if (!os) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+namespace {
+
+// Parses the space-separated integers after the tag word of `line`.
+template <typename Fn>
+bool ParseIds(const std::string& line, Fn&& fn) {
+  std::istringstream is(line);
+  std::string tag;
+  is >> tag;
+  unsigned long v = 0;
+  while (is >> v) fn(v);
+  return is.eof();
+}
+
+}  // namespace
+
+Status LoadRuleGroups(const std::string& path,
+                      std::vector<RuleGroup>* groups,
+                      std::size_t* num_rows) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(path + ": empty file");
+  }
+  std::istringstream header(line);
+  std::string magic, version;
+  std::size_t n = 0;
+  header >> magic >> version >> n;
+  if (magic != "farmer-rules" || version != "v1" || header.fail()) {
+    return Status::InvalidArgument(path + ": bad header '" + line + "'");
+  }
+  *num_rows = n;
+
+  std::vector<RuleGroup> out;
+  RuleGroup current;
+  bool in_group = false;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto err = [&](const std::string& msg) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + msg);
+    };
+    if (line.rfind("group ", 0) == 0) {
+      if (in_group) return err("nested 'group'");
+      in_group = true;
+      current = RuleGroup();
+      current.rows = Bitset(n);
+      std::istringstream is(line.substr(6));
+      is >> current.support_pos >> current.support_neg >>
+          current.confidence >> current.chi_square;
+      if (is.fail()) return err("bad group stats");
+    } else if (line.rfind("rows", 0) == 0) {
+      if (!in_group) return err("'rows' outside a group");
+      bool ok = true;
+      ParseIds(line, [&](unsigned long r) {
+        if (r >= n) {
+          ok = false;
+        } else {
+          current.rows.Set(r);
+        }
+      });
+      if (!ok) return err("row id out of range");
+    } else if (line.rfind("upper", 0) == 0) {
+      if (!in_group) return err("'upper' outside a group");
+      ParseIds(line, [&](unsigned long i) {
+        current.antecedent.push_back(static_cast<ItemId>(i));
+      });
+    } else if (line.rfind("lower", 0) == 0) {
+      if (!in_group) return err("'lower' outside a group");
+      ItemVector lb;
+      ParseIds(line, [&](unsigned long i) {
+        lb.push_back(static_cast<ItemId>(i));
+      });
+      current.lower_bounds.push_back(std::move(lb));
+    } else if (line == "end") {
+      if (!in_group) return err("'end' outside a group");
+      if (current.rows.Count() !=
+          current.support_pos + current.support_neg) {
+        return err("row count does not match supports");
+      }
+      out.push_back(std::move(current));
+      in_group = false;
+    } else {
+      return err("unknown record '" + line + "'");
+    }
+  }
+  if (in_group) {
+    return Status::InvalidArgument(path + ": truncated final group");
+  }
+  *groups = std::move(out);
+  return Status::Ok();
+}
+
+}  // namespace farmer

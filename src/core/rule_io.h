@@ -1,0 +1,36 @@
+#ifndef FARMER_CORE_RULE_IO_H_
+#define FARMER_CORE_RULE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/farmer.h"
+#include "core/rule.h"
+#include "util/status.h"
+
+namespace farmer {
+
+/// Serializes mined rule groups to a line-oriented text format and back,
+/// so rules can be mined once and reused (e.g. by a classifier in another
+/// process).
+///
+/// Format (one record per rule group):
+///   group <support_pos> <support_neg> <confidence> <chi_square>
+///   rows <row> <row> ...
+///   upper <item> <item> ...
+///   lower <item> ...                (zero or more lines)
+///   end
+/// Lines starting with '#' are comments. `num_rows` in the header line
+/// `farmer-rules v1 <num_rows>` sizes the row bitsets on load.
+Status SaveRuleGroups(const std::vector<RuleGroup>& groups,
+                      std::size_t num_rows, const std::string& path);
+
+/// Loads rule groups written by SaveRuleGroups. Returns InvalidArgument
+/// on malformed or version-mismatched input.
+Status LoadRuleGroups(const std::string& path,
+                      std::vector<RuleGroup>* groups,
+                      std::size_t* num_rows);
+
+}  // namespace farmer
+
+#endif  // FARMER_CORE_RULE_IO_H_

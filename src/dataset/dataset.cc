@@ -1,0 +1,107 @@
+#include "dataset/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace farmer {
+
+void BinaryDataset::AddRow(ItemVector items, ClassLabel label) {
+  assert(std::is_sorted(items.begin(), items.end()));
+  assert(std::adjacent_find(items.begin(), items.end()) == items.end());
+  assert(items.empty() || items.back() < num_items_);
+  rows_.push_back(std::move(items));
+  labels_.push_back(label);
+}
+
+std::size_t BinaryDataset::CountLabel(ClassLabel label) const {
+  return static_cast<std::size_t>(
+      std::count(labels_.begin(), labels_.end(), label));
+}
+
+std::size_t BinaryDataset::num_classes() const {
+  if (labels_.empty()) return 0;
+  return static_cast<std::size_t>(
+             *std::max_element(labels_.begin(), labels_.end())) +
+         1;
+}
+
+bool BinaryDataset::RowContains(RowId r, ItemId i) const {
+  const ItemVector& items = rows_[r];
+  return std::binary_search(items.begin(), items.end(), i);
+}
+
+double BinaryDataset::AverageRowLength() const {
+  if (rows_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const ItemVector& row : rows_) total += row.size();
+  return static_cast<double>(total) / static_cast<double>(rows_.size());
+}
+
+Status BinaryDataset::Validate() const {
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const ItemVector& items = rows_[r];
+    if (!std::is_sorted(items.begin(), items.end())) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     " is not sorted");
+    }
+    if (std::adjacent_find(items.begin(), items.end()) != items.end()) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     " has duplicate items");
+    }
+    if (!items.empty() && items.back() >= num_items_) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     " has item id out of range");
+    }
+  }
+  if (!item_names_.empty() && item_names_.size() != num_items_) {
+    return Status::InvalidArgument("item_names size mismatch");
+  }
+  return Status::Ok();
+}
+
+std::string BinaryDataset::ItemName(ItemId i) const {
+  if (i < item_names_.size()) return item_names_[i];
+  return "i" + std::to_string(i);
+}
+
+RowOrder OrderRowsByConsequent(const BinaryDataset& dataset,
+                               ClassLabel consequent) {
+  RowOrder out;
+  const std::size_t n = dataset.num_rows();
+  out.order.reserve(n);
+  out.inverse.assign(n, 0);
+  for (RowId r = 0; r < n; ++r) {
+    if (dataset.label(r) == consequent) out.order.push_back(r);
+  }
+  out.num_positive = out.order.size();
+  for (RowId r = 0; r < n; ++r) {
+    if (dataset.label(r) != consequent) out.order.push_back(r);
+  }
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    out.inverse[out.order[pos]] = static_cast<RowId>(pos);
+  }
+  return out;
+}
+
+BinaryDataset PermuteRows(const BinaryDataset& dataset, const RowOrder& order) {
+  BinaryDataset out(dataset.num_items());
+  for (RowId r : order.order) {
+    out.AddRow(dataset.row(r), dataset.label(r));
+  }
+  out.set_item_names(dataset.item_names());
+  return out;
+}
+
+BinaryDataset ReplicateRows(const BinaryDataset& dataset, std::size_t factor) {
+  assert(factor >= 1);
+  BinaryDataset out(dataset.num_items());
+  for (std::size_t k = 0; k < factor; ++k) {
+    for (RowId r = 0; r < dataset.num_rows(); ++r) {
+      out.AddRow(dataset.row(r), dataset.label(r));
+    }
+  }
+  out.set_item_names(dataset.item_names());
+  return out;
+}
+
+}  // namespace farmer

@@ -1,0 +1,105 @@
+#ifndef FARMER_DATASET_DATASET_H_
+#define FARMER_DATASET_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dataset/types.h"
+#include "util/status.h"
+
+namespace farmer {
+
+/// A labeled binary transaction dataset: each row is a sorted set of items
+/// plus a class label.
+///
+/// This is the input format of every miner in the library. For microarray
+/// data, rows are samples and items are discretized gene intervals (see
+/// `discretize.h`). Item ids are dense in [0, num_items()).
+class BinaryDataset {
+ public:
+  BinaryDataset() = default;
+
+  /// Creates an empty dataset over `num_items` items.
+  explicit BinaryDataset(std::size_t num_items) : num_items_(num_items) {}
+
+  /// Appends a row. `items` must be sorted and duplicate-free with every id
+  /// < num_items(); enforced in debug builds and by Validate().
+  void AddRow(ItemVector items, ClassLabel label);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_items() const { return num_items_; }
+
+  /// Raises the item universe to at least `num_items`.
+  void set_num_items(std::size_t num_items) {
+    if (num_items > num_items_) num_items_ = num_items;
+  }
+
+  /// The items of row `r`, sorted ascending.
+  const ItemVector& row(RowId r) const { return rows_[r]; }
+
+  /// The class label of row `r`.
+  ClassLabel label(RowId r) const { return labels_[r]; }
+
+  /// All labels, indexed by row.
+  const std::vector<ClassLabel>& labels() const { return labels_; }
+
+  /// Number of rows carrying `label`.
+  std::size_t CountLabel(ClassLabel label) const;
+
+  /// Number of distinct labels present (max label + 1; 0 when empty).
+  std::size_t num_classes() const;
+
+  /// True when row `r` contains item `i` (binary search).
+  bool RowContains(RowId r, ItemId i) const;
+
+  /// Mean number of items per row.
+  double AverageRowLength() const;
+
+  /// Checks structural invariants: sorted duplicate-free rows, item ids in
+  /// range. Returns the first violation found.
+  Status Validate() const;
+
+  /// Optional human-readable item names (for rule printing). Either empty
+  /// or exactly num_items() entries.
+  const std::vector<std::string>& item_names() const { return item_names_; }
+  void set_item_names(std::vector<std::string> names) {
+    item_names_ = std::move(names);
+  }
+
+  /// Name of item `i`: the configured name, or "i<index>".
+  std::string ItemName(ItemId i) const;
+
+ private:
+  std::size_t num_items_ = 0;
+  std::vector<ItemVector> rows_;
+  std::vector<ClassLabel> labels_;
+  std::vector<std::string> item_names_;
+};
+
+/// A row permutation that places all rows labeled `consequent` before all
+/// other rows — the order `ORD` FARMER's pruning bounds require.
+///
+/// `order[new_pos] = old_row`, `inverse[old_row] = new_pos`.
+struct RowOrder {
+  std::vector<RowId> order;
+  std::vector<RowId> inverse;
+  /// Number of rows labeled with the consequent (they occupy positions
+  /// [0, num_positive) in the new order).
+  std::size_t num_positive = 0;
+};
+
+/// Computes the consequent-first row order for `dataset`.
+RowOrder OrderRowsByConsequent(const BinaryDataset& dataset,
+                               ClassLabel consequent);
+
+/// Returns `dataset` with its rows permuted by `order`.
+BinaryDataset PermuteRows(const BinaryDataset& dataset, const RowOrder& order);
+
+/// Returns `dataset` with every row duplicated `factor` times (the paper's
+/// §4.1 row-scaling experiment). `factor` must be >= 1.
+BinaryDataset ReplicateRows(const BinaryDataset& dataset, std::size_t factor);
+
+}  // namespace farmer
+
+#endif  // FARMER_DATASET_DATASET_H_

@@ -1,0 +1,317 @@
+#include "dataset/discretize.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace farmer {
+
+namespace {
+
+// One (value, label) observation of a gene, sorted by value while fitting.
+struct Obs {
+  double value;
+  ClassLabel label;
+};
+
+// Class histogram over obs[begin, end).
+std::vector<std::size_t> CountClasses(const std::vector<Obs>& obs,
+                                      std::size_t begin, std::size_t end,
+                                      std::size_t num_classes) {
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (std::size_t i = begin; i < end; ++i) ++counts[obs[i].label];
+  return counts;
+}
+
+std::size_t DistinctClasses(const std::vector<std::size_t>& counts) {
+  std::size_t k = 0;
+  for (std::size_t c : counts) {
+    if (c > 0) ++k;
+  }
+  return k;
+}
+
+// Recursive Fayyad–Irani MDL partitioning of obs[begin, end), appending
+// accepted cut values to `cuts`.
+void MdlPartition(const std::vector<Obs>& obs, std::size_t begin,
+                  std::size_t end, std::size_t num_classes,
+                  std::vector<double>* cuts) {
+  const std::size_t n = end - begin;
+  if (n < 2) return;
+
+  const std::vector<std::size_t> total = CountClasses(obs, begin, end,
+                                                      num_classes);
+  const double ent_s = ClassEntropy(total);
+  if (ent_s == 0.0) return;  // Pure already.
+
+  // Scan boundary candidates: positions where the value changes. Maintain
+  // left-side class counts incrementally.
+  std::vector<std::size_t> left(num_classes, 0);
+  std::vector<std::size_t> best_left;
+  double best_score = -1.0;
+  std::size_t best_pos = 0;  // Split between best_pos-1 and best_pos.
+  std::vector<std::size_t> running(num_classes, 0);
+  for (std::size_t i = begin; i + 1 < end; ++i) {
+    ++running[obs[i].label];
+    if (obs[i].value == obs[i + 1].value) continue;
+    const std::size_t n1 = i + 1 - begin;
+    const std::size_t n2 = end - i - 1;
+    std::vector<std::size_t> right(num_classes);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      right[c] = total[c] - running[c];
+    }
+    const double e1 = ClassEntropy(running);
+    const double e2 = ClassEntropy(right);
+    const double weighted =
+        (static_cast<double>(n1) * e1 + static_cast<double>(n2) * e2) /
+        static_cast<double>(n);
+    const double gain = ent_s - weighted;
+    if (gain > best_score) {
+      best_score = gain;
+      best_pos = i + 1;
+      best_left = running;
+    }
+  }
+  if (best_score <= 0.0) return;  // No boundary found (constant values).
+
+  // MDL acceptance test.
+  const std::size_t n1 = best_pos - begin;
+  const std::size_t n2 = end - best_pos;
+  std::vector<std::size_t> right(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    right[c] = total[c] - best_left[c];
+  }
+  const double e1 = ClassEntropy(best_left);
+  const double e2 = ClassEntropy(right);
+  const double k = static_cast<double>(DistinctClasses(total));
+  const double k1 = static_cast<double>(DistinctClasses(best_left));
+  const double k2 = static_cast<double>(DistinctClasses(right));
+  const double delta = std::log2(std::pow(3.0, k) - 2.0) -
+                       (k * ent_s - k1 * e1 - k2 * e2);
+  const double threshold =
+      (std::log2(static_cast<double>(n) - 1.0) + delta) /
+      static_cast<double>(n);
+  if (best_score <= threshold) return;
+
+  // Cut midway between the adjacent distinct values.
+  const double cut =
+      0.5 * (obs[best_pos - 1].value + obs[best_pos].value);
+  MdlPartition(obs, begin, best_pos, num_classes, cuts);
+  cuts->push_back(cut);
+  MdlPartition(obs, best_pos, end, num_classes, cuts);
+  (void)n1;
+  (void)n2;
+}
+
+}  // namespace
+
+double ClassEntropy(const std::vector<std::size_t>& counts) {
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double ent = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    ent -= p * std::log2(p);
+  }
+  return ent;
+}
+
+Discretization Discretization::FitEqualDepth(const ExpressionMatrix& matrix,
+                                             int buckets) {
+  assert(buckets >= 1);
+  Discretization d;
+  const std::size_t n = matrix.num_rows();
+  d.cuts_.resize(matrix.num_genes());
+  std::vector<double> column(n);
+  for (std::size_t g = 0; g < matrix.num_genes(); ++g) {
+    for (std::size_t r = 0; r < n; ++r) column[r] = matrix.at(r, g);
+    std::sort(column.begin(), column.end());
+    std::vector<double>& cuts = d.cuts_[g];
+    for (int b = 1; b < buckets; ++b) {
+      const std::size_t idx = (n * static_cast<std::size_t>(b)) /
+                              static_cast<std::size_t>(buckets);
+      if (idx == 0 || idx >= n) continue;
+      const double cut = column[idx];
+      // Skip degenerate cuts: a cut equal to the minimum puts nothing below
+      // it; duplicates collapse.
+      if (cut <= column.front()) continue;
+      if (!cuts.empty() && cut <= cuts.back()) continue;
+      cuts.push_back(cut);
+    }
+  }
+  d.BuildItemIndex(/*keep_single_bin=*/true);
+  return d;
+}
+
+Discretization Discretization::FitEntropyMdl(const ExpressionMatrix& matrix) {
+  Discretization d;
+  const std::size_t n = matrix.num_rows();
+  const std::size_t num_classes =
+      matrix.num_rows() == 0
+          ? 0
+          : static_cast<std::size_t>(*std::max_element(
+                matrix.labels().begin(), matrix.labels().end())) +
+                1;
+  d.cuts_.resize(matrix.num_genes());
+  std::vector<Obs> obs(n);
+  for (std::size_t g = 0; g < matrix.num_genes(); ++g) {
+    for (std::size_t r = 0; r < n; ++r) {
+      obs[r] = Obs{matrix.at(r, g), matrix.label(r)};
+    }
+    std::sort(obs.begin(), obs.end(),
+              [](const Obs& a, const Obs& b) { return a.value < b.value; });
+    MdlPartition(obs, 0, n, num_classes, &d.cuts_[g]);
+    std::sort(d.cuts_[g].begin(), d.cuts_[g].end());
+  }
+  d.BuildItemIndex(/*keep_single_bin=*/false);
+  return d;
+}
+
+void Discretization::BuildItemIndex(bool keep_single_bin) {
+  std::vector<bool> kept(cuts_.size());
+  for (std::size_t g = 0; g < cuts_.size(); ++g) {
+    kept[g] = !cuts_[g].empty() || keep_single_bin;
+  }
+  BuildItemIndexKept(kept);
+}
+
+void Discretization::BuildItemIndexKept(const std::vector<bool>& kept) {
+  base_.assign(cuts_.size(), kNoItem);
+  item_gene_.clear();
+  item_bin_.clear();
+  ItemId next = 0;
+  for (std::size_t g = 0; g < cuts_.size(); ++g) {
+    if (!kept[g]) continue;
+    const std::size_t bins = cuts_[g].size() + 1;
+    base_[g] = next;
+    for (std::size_t b = 0; b < bins; ++b) {
+      item_gene_.push_back(static_cast<std::uint32_t>(g));
+      item_bin_.push_back(static_cast<std::uint32_t>(b));
+    }
+    next += static_cast<ItemId>(bins);
+  }
+  num_items_ = next;
+}
+
+ItemId Discretization::ItemFor(std::size_t g, double value) const {
+  if (base_[g] == kNoItem) return kNoItem;
+  const std::vector<double>& cuts = cuts_[g];
+  const std::size_t bin = static_cast<std::size_t>(
+      std::upper_bound(cuts.begin(), cuts.end(), value) - cuts.begin());
+  return base_[g] + static_cast<ItemId>(bin);
+}
+
+BinaryDataset Discretization::Apply(const ExpressionMatrix& matrix) const {
+  assert(matrix.num_genes() == cuts_.size());
+  BinaryDataset out(num_items_);
+  for (std::size_t r = 0; r < matrix.num_rows(); ++r) {
+    ItemVector items;
+    items.reserve(matrix.num_genes());
+    for (std::size_t g = 0; g < matrix.num_genes(); ++g) {
+      const ItemId item = ItemFor(g, matrix.at(r, g));
+      if (item != kNoItem) items.push_back(item);
+    }
+    // Items are emitted in gene order and bases ascend, so already sorted.
+    out.AddRow(std::move(items), matrix.label(r));
+  }
+  return out;
+}
+
+std::size_t Discretization::num_kept_genes() const {
+  std::size_t kept = 0;
+  for (ItemId b : base_) {
+    if (b != kNoItem) ++kept;
+  }
+  return kept;
+}
+
+Status Discretization::Save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return Status::IoError("cannot open " + path + " for writing");
+  os << "farmer-cuts v1 " << cuts_.size() << '\n';
+  os.precision(17);
+  for (std::size_t g = 0; g < cuts_.size(); ++g) {
+    os << "gene " << g << ' '
+       << (base_[g] == kNoItem ? "dropped" : "kept");
+    for (double c : cuts_[g]) os << ' ' << c;
+    os << '\n';
+  }
+  if (!os) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status Discretization::Load(const std::string& path, Discretization* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(path + ": empty file");
+  }
+  std::istringstream header(line);
+  std::string magic, version;
+  std::size_t num_genes = 0;
+  header >> magic >> version >> num_genes;
+  if (magic != "farmer-cuts" || version != "v1" || header.fail()) {
+    return Status::InvalidArgument(path + ": bad header '" + line + "'");
+  }
+  Discretization d;
+  d.cuts_.assign(num_genes, {});
+  std::vector<bool> kept(num_genes, false);
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string tag, keep_word;
+    std::size_t g = 0;
+    is >> tag >> g >> keep_word;
+    if (tag != "gene" || is.fail() || g >= num_genes ||
+        (keep_word != "kept" && keep_word != "dropped")) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": bad gene record");
+    }
+    kept[g] = keep_word == "kept";
+    double cut = 0.0;
+    std::vector<double>& cuts = d.cuts_[g];
+    while (is >> cut) {
+      if (!cuts.empty() && cut <= cuts.back()) {
+        return Status::InvalidArgument(
+            path + ":" + std::to_string(line_no) + ": cuts not ascending");
+      }
+      cuts.push_back(cut);
+    }
+  }
+  d.BuildItemIndexKept(kept);
+  *out = std::move(d);
+  return Status::Ok();
+}
+
+std::vector<std::string> Discretization::MakeItemNames(
+    const ExpressionMatrix& matrix) const {
+  std::vector<std::string> names(num_items_);
+  for (ItemId i = 0; i < num_items_; ++i) {
+    const std::size_t g = item_gene_[i];
+    const std::size_t b = item_bin_[i];
+    const std::vector<double>& cuts = cuts_[g];
+    std::ostringstream os;
+    os << matrix.GeneName(g) << ':';
+    if (b == 0) {
+      os << "(-inf,";
+    } else {
+      os << '[' << cuts[b - 1] << ',';
+    }
+    if (b == cuts.size()) {
+      os << "+inf)";
+    } else {
+      os << cuts[b] << ')';
+    }
+    names[i] = os.str();
+  }
+  return names;
+}
+
+}  // namespace farmer

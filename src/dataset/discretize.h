@@ -1,0 +1,96 @@
+#ifndef FARMER_DATASET_DISCRETIZE_H_
+#define FARMER_DATASET_DISCRETIZE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dataset/expression_matrix.h"
+#include "dataset/types.h"
+
+namespace farmer {
+
+/// A per-gene interval discretization mapping real expression levels to
+/// binary items.
+///
+/// For gene `g` with cut points `c_1 < ... < c_k`, values fall into bins
+/// `(-inf,c_1), [c_1,c_2), ..., [c_k,+inf)`, and each (gene, bin) pair is a
+/// distinct item. Genes may carry zero cut points; whether such single-bin
+/// genes emit an item is decided at fit time (equal-depth keeps them,
+/// entropy-MDL drops them as uninformative, matching common practice).
+///
+/// The same fitted Discretization must be applied to both the training and
+/// the test matrix so that item ids agree — this is why fitting and applying
+/// are separate steps.
+class Discretization {
+ public:
+  /// Fits equal-depth (equi-frequency) cut points with `buckets` buckets per
+  /// gene, the scheme the paper uses for the efficiency experiments
+  /// (10 buckets). Duplicate quantile values collapse, so a gene can end up
+  /// with fewer than `buckets` bins.
+  static Discretization FitEqualDepth(const ExpressionMatrix& matrix,
+                                      int buckets);
+
+  /// Fits Fayyad–Irani entropy-minimized cut points with the MDL stopping
+  /// criterion, the scheme the paper uses for the classification
+  /// experiments. Uses the labels in `matrix`. Genes where MDL accepts no
+  /// cut are dropped (they emit no items).
+  static Discretization FitEntropyMdl(const ExpressionMatrix& matrix);
+
+  /// Maps every row of `matrix` to its itemset. `matrix` must have the same
+  /// gene count the discretization was fitted on.
+  BinaryDataset Apply(const ExpressionMatrix& matrix) const;
+
+  /// Total number of items (bins across all kept genes).
+  std::size_t num_items() const { return num_items_; }
+
+  /// Number of genes that emit at least one item.
+  std::size_t num_kept_genes() const;
+
+  /// Cut points of gene `g`, ascending (empty for single-bin genes).
+  const std::vector<double>& cuts(std::size_t g) const { return cuts_[g]; }
+
+  /// Item id for `value` of gene `g`, or `kNoItem` when the gene is dropped.
+  static constexpr ItemId kNoItem = static_cast<ItemId>(-1);
+  ItemId ItemFor(std::size_t g, double value) const;
+
+  /// The gene a given item belongs to.
+  std::size_t GeneOfItem(ItemId item) const { return item_gene_[item]; }
+
+  /// The bin index (within its gene) of a given item.
+  std::size_t BinOfItem(ItemId item) const { return item_bin_[item]; }
+
+  /// Human-readable names like "g12:[0.35,1.2)" for every item, using
+  /// `matrix`'s gene names.
+  std::vector<std::string> MakeItemNames(const ExpressionMatrix& matrix) const;
+
+  /// Persists the fitted cut points (and which genes emit items) so the
+  /// same item universe can be applied in another process.
+  Status Save(const std::string& path) const;
+
+  /// Loads a discretization written by Save().
+  static Status Load(const std::string& path, Discretization* out);
+
+ private:
+  // Assigns item ids from the fitted cuts. `keep_single_bin` controls
+  // whether genes without cut points emit an item.
+  void BuildItemIndex(bool keep_single_bin);
+
+  // Assigns item ids with an explicit per-gene keep decision (Load path).
+  void BuildItemIndexKept(const std::vector<bool>& kept);
+
+  std::vector<std::vector<double>> cuts_;  // per gene, ascending
+  // base_[g]: first item id of gene g, or kNoItem when the gene is dropped.
+  std::vector<ItemId> base_;
+  std::vector<std::uint32_t> item_gene_;  // per item: owning gene
+  std::vector<std::uint32_t> item_bin_;   // per item: bin within the gene
+  std::size_t num_items_ = 0;
+};
+
+/// Entropy (base 2) of a class histogram. Exposed for tests.
+double ClassEntropy(const std::vector<std::size_t>& counts);
+
+}  // namespace farmer
+
+#endif  // FARMER_DATASET_DISCRETIZE_H_

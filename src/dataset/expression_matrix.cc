@@ -1,0 +1,31 @@
+#include "dataset/expression_matrix.h"
+
+#include <algorithm>
+
+namespace farmer {
+
+std::size_t ExpressionMatrix::CountLabel(ClassLabel label) const {
+  return static_cast<std::size_t>(
+      std::count(labels_.begin(), labels_.end(), label));
+}
+
+std::string ExpressionMatrix::GeneName(std::size_t g) const {
+  if (g < gene_names_.size()) return gene_names_[g];
+  return "g" + std::to_string(g);
+}
+
+ExpressionMatrix ExpressionMatrix::SelectRows(
+    const std::vector<std::size_t>& rows) const {
+  ExpressionMatrix out(rows.size(), num_genes_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::size_t src = rows[i];
+    std::copy(row_data(src), row_data(src) + num_genes_,
+              out.values_.data() + i * num_genes_);
+    out.labels_[i] = labels_[src];
+  }
+  out.gene_names_ = gene_names_;
+  out.class_names_ = class_names_;
+  return out;
+}
+
+}  // namespace farmer

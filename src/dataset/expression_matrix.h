@@ -1,0 +1,81 @@
+#ifndef FARMER_DATASET_EXPRESSION_MATRIX_H_
+#define FARMER_DATASET_EXPRESSION_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dataset/types.h"
+#include "util/status.h"
+
+namespace farmer {
+
+/// A real-valued gene expression matrix: `num_rows` samples ×
+/// `num_genes` expression levels, plus one class label per sample.
+///
+/// This is the raw form of a microarray dataset before discretization.
+/// Values are stored row-major.
+class ExpressionMatrix {
+ public:
+  ExpressionMatrix() = default;
+
+  /// Creates a zero matrix of the given shape.
+  ExpressionMatrix(std::size_t num_rows, std::size_t num_genes)
+      : num_rows_(num_rows),
+        num_genes_(num_genes),
+        values_(num_rows * num_genes, 0.0),
+        labels_(num_rows, 0) {}
+
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_genes() const { return num_genes_; }
+
+  double at(std::size_t row, std::size_t gene) const {
+    return values_[row * num_genes_ + gene];
+  }
+  double& at(std::size_t row, std::size_t gene) {
+    return values_[row * num_genes_ + gene];
+  }
+
+  ClassLabel label(std::size_t row) const { return labels_[row]; }
+  void set_label(std::size_t row, ClassLabel label) { labels_[row] = label; }
+  const std::vector<ClassLabel>& labels() const { return labels_; }
+
+  /// Number of rows carrying `label`.
+  std::size_t CountLabel(ClassLabel label) const;
+
+  /// Pointer to the start of row `row` (num_genes() doubles).
+  const double* row_data(std::size_t row) const {
+    return values_.data() + row * num_genes_;
+  }
+
+  /// Optional gene names; either empty or num_genes() entries.
+  const std::vector<std::string>& gene_names() const { return gene_names_; }
+  void set_gene_names(std::vector<std::string> names) {
+    gene_names_ = std::move(names);
+  }
+
+  /// Name of gene `g`: the configured name, or "g<index>".
+  std::string GeneName(std::size_t g) const;
+
+  /// Optional class names indexed by label value.
+  const std::vector<std::string>& class_names() const { return class_names_; }
+  void set_class_names(std::vector<std::string> names) {
+    class_names_ = std::move(names);
+  }
+
+  /// Copies the selected rows into a new matrix (used for train/test
+  /// splits). Row indices must be valid.
+  ExpressionMatrix SelectRows(const std::vector<std::size_t>& rows) const;
+
+ private:
+  std::size_t num_rows_ = 0;
+  std::size_t num_genes_ = 0;
+  std::vector<double> values_;
+  std::vector<ClassLabel> labels_;
+  std::vector<std::string> gene_names_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace farmer
+
+#endif  // FARMER_DATASET_EXPRESSION_MATRIX_H_

@@ -1,0 +1,191 @@
+#include "dataset/io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace farmer {
+
+namespace {
+
+// Splits `line` on commas; no quoting support (the formats we define never
+// need it).
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) out.push_back(field);
+  if (!line.empty() && line.back() == ',') out.emplace_back();
+  return out;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return errno == 0 && end != s.c_str() && *end == '\0';
+}
+
+bool ParseUnsigned(const std::string& s, unsigned long* out) {
+  errno = 0;
+  char* end = nullptr;
+  *out = std::strtoul(s.c_str(), &end, 10);
+  return errno == 0 && end != s.c_str() && *end == '\0';
+}
+
+}  // namespace
+
+Status LoadExpressionCsv(const std::string& path, ExpressionMatrix* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(path + ": empty file");
+  }
+  std::vector<std::string> header = SplitCsv(line);
+  if (header.empty() || header[0] != "class") {
+    return Status::InvalidArgument(path + ": header must start with 'class'");
+  }
+  const std::size_t num_genes = header.size() - 1;
+  std::vector<std::string> gene_names(header.begin() + 1, header.end());
+
+  std::vector<ClassLabel> labels;
+  std::vector<double> values;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsv(line);
+    if (fields.size() != num_genes + 1) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": expected " +
+                                     std::to_string(num_genes + 1) +
+                                     " fields, got " +
+                                     std::to_string(fields.size()));
+    }
+    unsigned long label = 0;
+    if (!ParseUnsigned(fields[0], &label) || label > 255) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": bad class label '" + fields[0] + "'");
+    }
+    labels.push_back(static_cast<ClassLabel>(label));
+    for (std::size_t g = 0; g < num_genes; ++g) {
+      double v = 0.0;
+      if (!ParseDouble(fields[g + 1], &v)) {
+        return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                       ": bad value '" + fields[g + 1] + "'");
+      }
+      values.push_back(v);
+    }
+  }
+
+  ExpressionMatrix m(labels.size(), num_genes);
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    m.set_label(r, labels[r]);
+    for (std::size_t g = 0; g < num_genes; ++g) {
+      m.at(r, g) = values[r * num_genes + g];
+    }
+  }
+  m.set_gene_names(std::move(gene_names));
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+Status SaveExpressionCsv(const ExpressionMatrix& matrix,
+                         const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::IoError("cannot open " + path + " for writing");
+  os << "class";
+  for (std::size_t g = 0; g < matrix.num_genes(); ++g) {
+    os << ',' << matrix.GeneName(g);
+  }
+  os << '\n';
+  os.precision(9);
+  for (std::size_t r = 0; r < matrix.num_rows(); ++r) {
+    os << static_cast<unsigned>(matrix.label(r));
+    for (std::size_t g = 0; g < matrix.num_genes(); ++g) {
+      os << ',' << matrix.at(r, g);
+    }
+    os << '\n';
+  }
+  if (!os) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadTransactions(const std::string& path, BinaryDataset* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  BinaryDataset ds;
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t declared_items = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '%') continue;
+    if (line.rfind("#items ", 0) == 0) {
+      unsigned long n = 0;
+      if (!ParseUnsigned(line.substr(7), &n)) {
+        return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                       ": bad #items directive");
+      }
+      declared_items = n;
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": missing ':' separator");
+    }
+    unsigned long label = 0;
+    if (!ParseUnsigned(line.substr(0, colon), &label) || label > 255) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": bad class label");
+    }
+    ItemVector items;
+    std::istringstream is(line.substr(colon + 1));
+    std::string tok;
+    while (is >> tok) {
+      unsigned long item = 0;
+      if (!ParseUnsigned(tok, &item)) {
+        return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                       ": bad item '" + tok + "'");
+      }
+      items.push_back(static_cast<ItemId>(item));
+    }
+    std::sort(items.begin(), items.end());
+    if (std::adjacent_find(items.begin(), items.end()) != items.end()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": duplicate item in row");
+    }
+    if (!items.empty()) {
+      ds.set_num_items(static_cast<std::size_t>(items.back()) + 1);
+    }
+    ds.AddRow(std::move(items), static_cast<ClassLabel>(label));
+  }
+  ds.set_num_items(declared_items);
+  Status s = ds.Validate();
+  if (!s.ok()) return s;
+  *out = std::move(ds);
+  return Status::Ok();
+}
+
+Status SaveTransactions(const BinaryDataset& dataset,
+                        const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::IoError("cannot open " + path + " for writing");
+  os << "#items " << dataset.num_items() << '\n';
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    os << static_cast<unsigned>(dataset.label(r)) << ':';
+    for (ItemId i : dataset.row(r)) os << ' ' << i;
+    os << '\n';
+  }
+  if (!os) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace farmer

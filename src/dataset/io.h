@@ -1,0 +1,36 @@
+#ifndef FARMER_DATASET_IO_H_
+#define FARMER_DATASET_IO_H_
+
+#include <string>
+
+#include "dataset/dataset.h"
+#include "dataset/expression_matrix.h"
+#include "util/status.h"
+
+namespace farmer {
+
+/// Loads an expression matrix from CSV.
+///
+/// Expected layout: a header line `class,<gene>,<gene>,...` followed by one
+/// line per sample: `<label>,<value>,...`. Labels are small non-negative
+/// integers. Returns InvalidArgument/IoError on malformed input.
+Status LoadExpressionCsv(const std::string& path, ExpressionMatrix* out);
+
+/// Writes `matrix` in the format LoadExpressionCsv reads.
+Status SaveExpressionCsv(const ExpressionMatrix& matrix,
+                         const std::string& path);
+
+/// Loads a labeled transaction dataset.
+///
+/// One line per row: `<label>: <item> <item> ...` with integer item ids
+/// (any order; duplicates rejected). The item universe is
+/// `max item id + 1` unless a larger universe is implied by a leading
+/// `#items <n>` directive line.
+Status LoadTransactions(const std::string& path, BinaryDataset* out);
+
+/// Writes `dataset` in the format LoadTransactions reads.
+Status SaveTransactions(const BinaryDataset& dataset, const std::string& path);
+
+}  // namespace farmer
+
+#endif  // FARMER_DATASET_IO_H_

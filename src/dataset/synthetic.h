@@ -1,0 +1,101 @@
+#ifndef FARMER_DATASET_SYNTHETIC_H_
+#define FARMER_DATASET_SYNTHETIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/expression_matrix.h"
+
+namespace farmer {
+
+/// Parameters of the synthetic microarray generator.
+///
+/// The generator substitutes for the paper's five clinical datasets (whose
+/// distribution URLs are dead; see DESIGN.md §3). It uses a latent
+/// sample-cluster model that reproduces the two structural properties the
+/// paper's experiments hinge on:
+///
+///  * **Pervasive inter-sample correlation.** Real microarray samples
+///    cluster by tissue subtype, so two same-cluster samples agree on the
+///    discretized level of *hundreds* of genes. Any subset of those shared
+///    items is a frequent itemset — this is what makes the column
+///    enumeration space (2^items) explode while the row enumeration space
+///    (2^rows) stays small.
+///  * **Class-correlated structure.** Clusters are biased towards one
+///    class (`cluster_purity`), so cluster-marker item combinations form
+///    high-confidence rules for the class consequent.
+///
+/// Each cluster-informative gene gets an independent per-cluster level in
+/// {-shift, 0, +shift}; samples draw their gene values from their
+/// cluster's levels plus Gaussian noise.
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  std::size_t num_rows = 100;
+  std::size_t num_genes = 1000;
+  /// Rows labeled class 1 (the mined consequent); the rest are class 0.
+  std::size_t num_class1 = 50;
+  /// Number of latent sample clusters (split between the classes).
+  std::size_t num_clusters = 8;
+  /// Probability a row's cluster is one of its own class's clusters.
+  double cluster_purity = 0.85;
+  /// Probability a gene is cluster-informative (carries per-cluster
+  /// levels); the rest are pure noise.
+  double p_informative = 0.5;
+  /// Number of directly *class*-informative genes: their means differ
+  /// between the classes by `shift` (differentially expressed genes, the
+  /// signal classifiers and entropy discretization feed on). An absolute
+  /// count — real datasets have a few dozen marker genes regardless of
+  /// array size — spread evenly across the matrix.
+  std::size_t num_class_genes = 10;
+  /// Magnitude of the per-cluster expression levels.
+  double shift = 2.5;
+  /// Strength of the per-sample intensity effect (microarray samples have
+  /// global brightness differences; a strongly biased sample lands in
+  /// extreme buckets across most genes, which is what produces the long
+  /// frequent itemsets that defeat column enumeration).
+  double row_effect = 1.5;
+  /// Standard deviation of the per-sample noise.
+  double noise_sigma = 0.8;
+  std::uint64_t seed = 1;
+};
+
+/// Generates an expression matrix according to `spec`. Deterministic in
+/// `spec.seed`.
+ExpressionMatrix GenerateSynthetic(const SyntheticSpec& spec);
+
+/// The five datasets of the paper's Table 1 (shape only; content is
+/// synthetic). `name` is one of "BC", "LC", "CT", "PC", "ALL".
+///
+/// `column_scale` scales the gene count: 1.0 reproduces the paper's column
+/// counts (24481 for BC, ...), smaller values give faster bench runs while
+/// preserving the rows ≪ columns regime. Row counts and class balance are
+/// always exact.
+SyntheticSpec PaperDatasetSpec(const std::string& name, double column_scale);
+
+/// Names of all five paper datasets, in the paper's order.
+const std::vector<std::string>& PaperDatasetNames();
+
+/// Train/test split sizes used in the paper's Table 2 for `name`
+/// (e.g. BC: 78 train / 19 test).
+struct TrainTestSizes {
+  std::size_t train = 0;
+  std::size_t test = 0;
+};
+TrainTestSizes PaperSplitSizes(const std::string& name);
+
+/// Adds a per-gene batch offset ~ N(0, sigma) to every row of `matrix` —
+/// the cohort/batch shift real microarray studies exhibit between
+/// independently collected folds (the van't Veer breast-cancer test set
+/// being the canonical example). Deterministic in `seed`.
+void ApplyBatchEffect(ExpressionMatrix* matrix, double sigma,
+                      std::uint64_t seed);
+
+/// Batch-shift strength between the paper's train and test folds for
+/// `name` (large for BC, small elsewhere; see DESIGN.md §3).
+double PaperBatchSigma(const std::string& name);
+
+}  // namespace farmer
+
+#endif  // FARMER_DATASET_SYNTHETIC_H_

@@ -1,0 +1,32 @@
+#include "dataset/transpose.h"
+
+#include <algorithm>
+
+namespace farmer {
+
+TransposedTable TransposedTable::Build(const BinaryDataset& dataset) {
+  TransposedTable tt;
+  tt.num_rows_ = dataset.num_rows();
+  tt.tuples_.assign(dataset.num_items(), RowVector{});
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    for (ItemId i : dataset.row(r)) {
+      tt.tuples_[i].push_back(r);
+    }
+  }
+  // Rows are visited in ascending order, so tuples are already sorted.
+  return tt;
+}
+
+std::vector<ItemId> TransposedTable::ItemsByTupleLength() const {
+  std::vector<ItemId> items;
+  items.reserve(tuples_.size());
+  for (ItemId i = 0; i < tuples_.size(); ++i) {
+    if (!tuples_[i].empty()) items.push_back(i);
+  }
+  std::stable_sort(items.begin(), items.end(), [this](ItemId a, ItemId b) {
+    return tuples_[a].size() < tuples_[b].size();
+  });
+  return items;
+}
+
+}  // namespace farmer

@@ -1,0 +1,42 @@
+#ifndef FARMER_DATASET_TRANSPOSE_H_
+#define FARMER_DATASET_TRANSPOSE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dataset/types.h"
+
+namespace farmer {
+
+/// The transposed view of a BinaryDataset: one tuple per item listing the
+/// rows that contain it (the table `TT` of the paper, Figure 1(b)).
+///
+/// Row ids inside tuples are sorted ascending; the caller is expected to
+/// have permuted rows into the consequent-first order `ORD` beforehand
+/// (see OrderRowsByConsequent), so ascending row id == ascending ORD rank.
+class TransposedTable {
+ public:
+  TransposedTable() = default;
+
+  /// Builds the transposed table of `dataset`.
+  static TransposedTable Build(const BinaryDataset& dataset);
+
+  std::size_t num_items() const { return tuples_.size(); }
+  std::size_t num_rows() const { return num_rows_; }
+
+  /// The sorted row ids containing item `i`.
+  const RowVector& tuple(ItemId i) const { return tuples_[i]; }
+
+  /// Items sorted by ascending tuple length (useful for intersection-order
+  /// heuristics); empty tuples excluded.
+  std::vector<ItemId> ItemsByTupleLength() const;
+
+ private:
+  std::size_t num_rows_ = 0;
+  std::vector<RowVector> tuples_;
+};
+
+}  // namespace farmer
+
+#endif  // FARMER_DATASET_TRANSPOSE_H_

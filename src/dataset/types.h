@@ -1,0 +1,28 @@
+#ifndef FARMER_DATASET_TYPES_H_
+#define FARMER_DATASET_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace farmer {
+
+/// Index of a row (sample) in a dataset. Microarray datasets have at most a
+/// few thousand rows, so 32 bits are ample.
+using RowId = std::uint32_t;
+
+/// Index of a binary item (a discretized gene interval).
+using ItemId = std::uint32_t;
+
+/// Class label of a row. The miners treat one label as the consequent `C`
+/// and everything else as `¬C`, so any small integer domain works.
+using ClassLabel = std::uint8_t;
+
+/// A row's itemset: sorted, duplicate-free item ids.
+using ItemVector = std::vector<ItemId>;
+
+/// A set of rows as sorted, duplicate-free row ids.
+using RowVector = std::vector<RowId>;
+
+}  // namespace farmer
+
+#endif  // FARMER_DATASET_TYPES_H_

@@ -1,0 +1,138 @@
+#include "util/bitset.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace farmer {
+
+void Bitset::Resize(std::size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.resize((num_bits + 63) / 64, 0);
+  TrimTail();
+}
+
+void Bitset::ResetAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+void Bitset::SetAll() {
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  TrimTail();
+}
+
+std::size_t Bitset::Count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += __builtin_popcountll(w);
+  return total;
+}
+
+bool Bitset::None() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  for (std::size_t i = n; i < words_.size(); ++i) {
+    if (words_[i] != 0) return false;
+  }
+  return true;
+}
+
+bool Bitset::Intersects(const Bitset& other) const {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::size_t Bitset::IntersectCount(const Bitset& other) const {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += __builtin_popcountll(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  if (other.num_bits_ > num_bits_) Resize(other.num_bits_);
+  for (std::size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+  return *this;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) words_[i] &= other.words_[i];
+  for (std::size_t i = n; i < words_.size(); ++i) words_[i] = 0;
+  return *this;
+}
+
+Bitset& Bitset::operator-=(const Bitset& other) {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+std::size_t Bitset::FindFirst() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) return w * 64 + __builtin_ctzll(words_[w]);
+  }
+  return num_bits_;
+}
+
+std::size_t Bitset::FindNext(std::size_t pos) const {
+  ++pos;
+  if (pos >= num_bits_) return num_bits_;
+  std::size_t w = pos >> 6;
+  std::uint64_t word = words_[w] >> (pos & 63);
+  if (word != 0) return pos + __builtin_ctzll(word);
+  for (++w; w < words_.size(); ++w) {
+    if (words_[w] != 0) return w * 64 + __builtin_ctzll(words_[w]);
+  }
+  return num_bits_;
+}
+
+std::vector<std::size_t> Bitset::ToVector() const {
+  std::vector<std::size_t> out;
+  out.reserve(Count());
+  ForEach([&out](std::size_t pos) { out.push_back(pos); });
+  return out;
+}
+
+std::string Bitset::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  ForEach([&](std::size_t pos) {
+    if (!first) os << ',';
+    first = false;
+    os << pos;
+  });
+  os << '}';
+  return os.str();
+}
+
+std::size_t Bitset::Hash() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis.
+  for (std::uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;  // FNV prime.
+  }
+  return static_cast<std::size_t>(h);
+}
+
+void Bitset::TrimTail() {
+  const std::size_t tail = num_bits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (kOne << tail) - 1;
+  }
+}
+
+}  // namespace farmer

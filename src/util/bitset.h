@@ -1,0 +1,138 @@
+#ifndef FARMER_UTIL_BITSET_H_
+#define FARMER_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace farmer {
+
+/// A dynamically sized bit set.
+///
+/// Used throughout the miners for row-support sets (a few hundred bits) and
+/// for item masks local to an antecedent in MineLB. The interface mirrors
+/// `std::bitset` where practical but supports run-time sizing and the set
+/// algebra the miners need (subset/superset tests, intersection counts,
+/// iteration over set bits).
+class Bitset {
+ public:
+  Bitset() = default;
+
+  /// Creates a bitset with `num_bits` bits, all clear.
+  explicit Bitset(std::size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  Bitset(const Bitset&) = default;
+  Bitset& operator=(const Bitset&) = default;
+  Bitset(Bitset&&) = default;
+  Bitset& operator=(Bitset&&) = default;
+
+  /// Number of bits this set can hold.
+  std::size_t size() const { return num_bits_; }
+
+  /// Grows (or shrinks) to `num_bits`; new bits are clear.
+  void Resize(std::size_t num_bits);
+
+  /// Sets bit `pos` (must be < size()).
+  void Set(std::size_t pos) { words_[pos >> 6] |= (kOne << (pos & 63)); }
+
+  /// Clears bit `pos` (must be < size()).
+  void Reset(std::size_t pos) { words_[pos >> 6] &= ~(kOne << (pos & 63)); }
+
+  /// Clears every bit.
+  void ResetAll();
+
+  /// Sets every bit in [0, size()).
+  void SetAll();
+
+  /// Returns bit `pos` (must be < size()).
+  bool Test(std::size_t pos) const {
+    return (words_[pos >> 6] >> (pos & 63)) & 1u;
+  }
+
+  /// Number of set bits.
+  std::size_t Count() const;
+
+  /// True when no bit is set.
+  bool None() const;
+
+  /// True when at least one bit is set.
+  bool Any() const { return !None(); }
+
+  /// True when every bit of *this is also set in `other`.
+  /// Requires other.size() == size().
+  bool IsSubsetOf(const Bitset& other) const;
+
+  /// True when IsSubsetOf(other) and the sets differ.
+  bool IsProperSubsetOf(const Bitset& other) const {
+    return IsSubsetOf(other) && *this != other;
+  }
+
+  /// True when the two sets share at least one bit.
+  bool Intersects(const Bitset& other) const;
+
+  /// Number of bits set in both *this and `other`.
+  std::size_t IntersectCount(const Bitset& other) const;
+
+  /// In-place union / intersection / difference.
+  Bitset& operator|=(const Bitset& other);
+  Bitset& operator&=(const Bitset& other);
+  Bitset& operator-=(const Bitset& other);
+
+  friend Bitset operator|(Bitset a, const Bitset& b) { return a |= b; }
+  friend Bitset operator&(Bitset a, const Bitset& b) { return a &= b; }
+  friend Bitset operator-(Bitset a, const Bitset& b) { return a -= b; }
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const Bitset& a, const Bitset& b) { return !(a == b); }
+
+  /// Index of the first set bit, or size() when empty.
+  std::size_t FindFirst() const;
+
+  /// Index of the first set bit strictly after `pos`, or size() when none.
+  std::size_t FindNext(std::size_t pos) const;
+
+  /// Calls `fn(pos)` for every set bit in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Indices of the set bits, ascending.
+  std::vector<std::size_t> ToVector() const;
+
+  /// "{1,4,7}"-style rendering, for test failure messages.
+  std::string ToString() const;
+
+  /// Stable hash of the contents (FNV-1a over the words).
+  std::size_t Hash() const;
+
+ private:
+  static constexpr std::uint64_t kOne = 1;
+
+  // Clears bits at positions >= num_bits_ in the last word.
+  void TrimTail();
+
+  std::size_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Hash functor so Bitset can key unordered containers.
+struct BitsetHash {
+  std::size_t operator()(const Bitset& b) const { return b.Hash(); }
+};
+
+}  // namespace farmer
+
+#endif  // FARMER_UTIL_BITSET_H_

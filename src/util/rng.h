@@ -1,0 +1,99 @@
+#ifndef FARMER_UTIL_RNG_H_
+#define FARMER_UTIL_RNG_H_
+
+#include <cstdint>
+#include <cmath>
+
+namespace farmer {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Self-contained so synthetic datasets are bit-identical across platforms
+/// and standard-library versions — std::mt19937 is portable but the
+/// std::*_distribution wrappers are not.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 expansion of the seed into the 4-word state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    NextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+  /// Standard normal variate (Box–Muller; one value per call).
+  double NextGaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    spare_ = mag * std::sin(kTwoPi * u2);
+    have_spare_ = true;
+    return mag * std::cos(kTwoPi * u2);
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace farmer
+
+#endif  // FARMER_UTIL_RNG_H_

@@ -1,0 +1,63 @@
+#ifndef FARMER_UTIL_STATUS_H_
+#define FARMER_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace farmer {
+
+/// Lightweight error carrier for fallible operations (I/O, parsing).
+///
+/// The library does not use exceptions; functions that can fail return a
+/// Status (or a value + Status pair) in the style of Arrow / RocksDB.
+class Status {
+ public:
+  /// Success.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+
+  /// Human-readable message; empty on success.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument: " + message_;
+      case Code::kIoError:
+        return "IoError: " + message_;
+      case Code::kNotFound:
+        return "NotFound: " + message_;
+    }
+    return "Unknown";
+  }
+
+ private:
+  enum class Code { kOk, kInvalidArgument, kIoError, kNotFound };
+
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace farmer
+
+#endif  // FARMER_UTIL_STATUS_H_

@@ -1,0 +1,75 @@
+#ifndef FARMER_UTIL_TIMER_H_
+#define FARMER_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace farmer {
+
+/// A simple wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A cooperative deadline handed to long-running miners.
+///
+/// Miners call Expired() at enumeration-node granularity and abandon the
+/// search when it returns true, reporting `timed_out` in their result. The
+/// default-constructed Deadline never expires. Checking is cheap: the clock
+/// is only consulted every `kCheckInterval` calls.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires `seconds` from now. Non-positive values mean "never".
+  static Deadline After(double seconds) {
+    Deadline d;
+    if (seconds > 0) {
+      d.has_deadline_ = true;
+      d.deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double>(seconds));
+    }
+    return d;
+  }
+
+  /// True once the deadline has passed. Mutable counter throttles clock
+  /// reads; safe to call at very high frequency.
+  bool Expired() const {
+    if (!has_deadline_) return false;
+    if (expired_) return true;
+    if (++calls_ % kCheckInterval != 0) return false;
+    expired_ = Clock::now() >= deadline_;
+    return expired_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::uint32_t kCheckInterval = 256;
+
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  mutable std::uint32_t calls_ = 0;
+  mutable bool expired_ = false;
+};
+
+}  // namespace farmer
+
+#endif  // FARMER_UTIL_TIMER_H_

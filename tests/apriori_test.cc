@@ -1,0 +1,85 @@
+#include "baselines/apriori.h"
+
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace farmer {
+namespace {
+
+using testing_util::MakeDataset;
+using testing_util::RandomDataset;
+
+std::set<std::pair<ItemVector, std::size_t>> Canon(
+    const std::vector<FrequentClosed>& itemsets) {
+  std::set<std::pair<ItemVector, std::size_t>> out;
+  for (const FrequentClosed& f : itemsets) out.emplace(f.items, f.support);
+  return out;
+}
+
+// Exhaustive oracle for frequent itemsets.
+std::set<std::pair<ItemVector, std::size_t>> Oracle(const BinaryDataset& ds,
+                                                    std::size_t minsup) {
+  std::set<std::pair<ItemVector, std::size_t>> out;
+  const std::size_t items = ds.num_items();
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << items); ++mask) {
+    ItemVector itemset;
+    for (std::size_t i = 0; i < items; ++i) {
+      if ((mask >> i) & 1) itemset.push_back(static_cast<ItemId>(i));
+    }
+    std::size_t support = 0;
+    for (RowId r = 0; r < ds.num_rows(); ++r) {
+      const ItemVector& row = ds.row(r);
+      if (std::includes(row.begin(), row.end(), itemset.begin(),
+                        itemset.end())) {
+        ++support;
+      }
+    }
+    if (support >= minsup) out.emplace(std::move(itemset), support);
+  }
+  return out;
+}
+
+TEST(AprioriTest, HandComputedExample) {
+  BinaryDataset ds =
+      MakeDataset({{{0, 1}, 1}, {{0, 1}, 0}, {{0, 2}, 1}});
+  AprioriOptions opts;
+  opts.min_support = 2;
+  AprioriResult r = MineApriori(ds, opts);
+  EXPECT_EQ(Canon(r.frequent),
+            (std::set<std::pair<ItemVector, std::size_t>>{{{0}, 3},
+                                                          {{1}, 2},
+                                                          {{0, 1}, 2}}));
+}
+
+class AprioriSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AprioriSweepTest, MatchesExhaustiveOracle) {
+  for (std::size_t minsup : {1u, 2u, 4u}) {
+    BinaryDataset ds = RandomDataset(10, 10, 0.5, GetParam());
+    AprioriOptions opts;
+    opts.min_support = minsup;
+    AprioriResult r = MineApriori(ds, opts);
+    ASSERT_FALSE(r.timed_out);
+    EXPECT_EQ(Canon(r.frequent), Oracle(ds, minsup))
+        << "seed=" << GetParam() << " minsup=" << minsup;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatasets, AprioriSweepTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(AprioriTest, OverflowCapStops) {
+  BinaryDataset ds = RandomDataset(12, 20, 0.7, 1);
+  AprioriOptions opts;
+  opts.min_support = 1;
+  opts.max_itemsets = 10;
+  AprioriResult r = MineApriori(ds, opts);
+  EXPECT_TRUE(r.overflowed);
+}
+
+}  // namespace
+}  // namespace farmer

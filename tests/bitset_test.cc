@@ -1,0 +1,141 @@
+#include "util/bitset.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace farmer {
+namespace {
+
+TEST(BitsetTest, BasicSetResetTest) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_TRUE(b.None());
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+  b.ResetAll();
+  EXPECT_TRUE(b.None());
+}
+
+TEST(BitsetTest, SetAllRespectsSize) {
+  Bitset b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+  Bitset c(64);
+  c.SetAll();
+  EXPECT_EQ(c.Count(), 64u);
+}
+
+TEST(BitsetTest, SubsetAndIntersection) {
+  Bitset a(100), b(100);
+  a.Set(3);
+  a.Set(50);
+  b.Set(3);
+  b.Set(50);
+  b.Set(99);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsProperSubsetOf(b));
+  EXPECT_FALSE(a.IsProperSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.IntersectCount(b), 2u);
+  Bitset c(100);
+  c.Set(1);
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(BitsetTest, SetAlgebraOperators) {
+  Bitset a(66), b(66);
+  a.Set(0);
+  a.Set(65);
+  b.Set(65);
+  b.Set(30);
+  EXPECT_EQ((a | b).ToVector(), (std::vector<std::size_t>{0, 30, 65}));
+  EXPECT_EQ((a & b).ToVector(), (std::vector<std::size_t>{65}));
+  EXPECT_EQ((a - b).ToVector(), (std::vector<std::size_t>{0}));
+}
+
+TEST(BitsetTest, FindFirstAndNext) {
+  Bitset b(200);
+  EXPECT_EQ(b.FindFirst(), 200u);
+  b.Set(5);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_EQ(b.FindFirst(), 5u);
+  EXPECT_EQ(b.FindNext(5), 64u);
+  EXPECT_EQ(b.FindNext(64), 199u);
+  EXPECT_EQ(b.FindNext(199), 200u);
+}
+
+TEST(BitsetTest, ResizeClearsNewBitsAndTrims) {
+  Bitset b(10);
+  b.SetAll();
+  b.Resize(100);
+  EXPECT_EQ(b.Count(), 10u);
+  b.Resize(4);
+  EXPECT_EQ(b.Count(), 4u);
+  b.Resize(10);
+  EXPECT_EQ(b.Count(), 4u);  // Trimmed bits stay cleared.
+}
+
+TEST(BitsetTest, EqualityAndHash) {
+  Bitset a(80), b(80);
+  a.Set(7);
+  b.Set(7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(8);
+  EXPECT_NE(a, b);
+}
+
+TEST(BitsetTest, ToStringRendersSetBits) {
+  Bitset b(10);
+  b.Set(1);
+  b.Set(4);
+  EXPECT_EQ(b.ToString(), "{1,4}");
+  EXPECT_EQ(Bitset(3).ToString(), "{}");
+}
+
+TEST(BitsetTest, RandomizedAgainstStdSet) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t size = 1 + rng.NextBelow(300);
+    Bitset bits(size);
+    std::set<std::size_t> model;
+    for (int op = 0; op < 200; ++op) {
+      const std::size_t pos = rng.NextBelow(size);
+      if (rng.NextBool(0.6)) {
+        bits.Set(pos);
+        model.insert(pos);
+      } else {
+        bits.Reset(pos);
+        model.erase(pos);
+      }
+    }
+    EXPECT_EQ(bits.Count(), model.size());
+    EXPECT_EQ(bits.ToVector(),
+              std::vector<std::size_t>(model.begin(), model.end()));
+    std::size_t iterated = 0;
+    bits.ForEach([&](std::size_t pos) {
+      EXPECT_TRUE(model.count(pos));
+      ++iterated;
+    });
+    EXPECT_EQ(iterated, model.size());
+  }
+}
+
+}  // namespace
+}  // namespace farmer

@@ -1,0 +1,114 @@
+#include "core/carpenter.h"
+
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "baselines/charm.h"
+#include "core/brute_force.h"
+#include "dataset/discretize.h"
+#include "dataset/synthetic.h"
+#include "tests/test_util.h"
+
+namespace farmer {
+namespace {
+
+using testing_util::MakeDataset;
+using testing_util::PaperExampleDataset;
+using testing_util::RandomDataset;
+
+std::set<std::pair<ItemVector, std::size_t>> Canon(
+    const std::vector<ClosedItemset>& closed) {
+  std::set<std::pair<ItemVector, std::size_t>> out;
+  for (const ClosedItemset& c : closed) {
+    out.emplace(c.items, c.rows.Count());
+  }
+  return out;
+}
+
+TEST(CarpenterTest, PaperExampleClosedSets) {
+  // The running example: aeh is closed with support 3 ({2,3,4} 1-based);
+  // a is closed with support 4.
+  BinaryDataset ds = PaperExampleDataset();
+  CarpenterOptions opts;
+  opts.min_support = 3;
+  CarpenterResult r = MineCarpenter(ds, opts);
+  auto ch = [](char c) { return static_cast<ItemId>(c - 'a'); };
+  const auto canon = Canon(r.closed);
+  EXPECT_TRUE(canon.count({{ch('a'), ch('e'), ch('h')}, 3}));
+  EXPECT_TRUE(canon.count({{ch('a')}, 4}));
+  // Every set reported must be closed with exact support.
+  for (const ClosedItemset& c : r.closed) {
+    EXPECT_EQ(RowSupportSet(ds, c.items), c.rows);
+  }
+}
+
+TEST(CarpenterTest, RowSupportSetsAreExact) {
+  BinaryDataset ds = RandomDataset(12, 14, 0.5, 8);
+  CarpenterResult r = MineCarpenter(ds, CarpenterOptions{});
+  for (const ClosedItemset& c : r.closed) {
+    EXPECT_EQ(RowSupportSet(ds, c.items), c.rows);
+  }
+}
+
+TEST(CarpenterTest, DeadlineAndCap) {
+  BinaryDataset ds = RandomDataset(14, 30, 0.6, 3);
+  CarpenterOptions opts;
+  opts.deadline = Deadline::After(1e-9);
+  EXPECT_TRUE(MineCarpenter(ds, opts).timed_out);
+
+  CarpenterOptions cap;
+  cap.max_closed = 2;
+  CarpenterResult r = MineCarpenter(ds, cap);
+  EXPECT_TRUE(r.overflowed);
+}
+
+class CarpenterSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(CarpenterSweepTest, MatchesBruteForceClosedSets) {
+  const auto [seed, minsup] = GetParam();
+  for (double density : {0.15, 0.3, 0.55, 0.8, 0.9}) {
+    BinaryDataset ds = RandomDataset(11, 13, density, seed);
+    CarpenterOptions opts;
+    opts.min_support = static_cast<std::size_t>(minsup);
+    CarpenterResult mined = MineCarpenter(ds, opts);
+    ASSERT_FALSE(mined.timed_out);
+    EXPECT_EQ(Canon(mined.closed),
+              Canon(BruteForceClosedItemsets(ds, opts.min_support)))
+        << "seed=" << seed << " minsup=" << minsup
+        << " density=" << density;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDatasets, CarpenterSweepTest,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 9),
+                       ::testing::Values(1, 2, 4)));
+
+TEST(CarpenterTest, AgreesWithCharmOnMicroarrayShapedData) {
+  SyntheticSpec spec;
+  spec.num_rows = 24;
+  spec.num_genes = 80;
+  spec.num_class1 = 12;
+  spec.num_clusters = 4;
+  spec.seed = 12;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  BinaryDataset ds = Discretization::FitEqualDepth(m, 4).Apply(m);
+  for (std::size_t minsup : {2u, 4u, 8u}) {
+    CarpenterOptions copts;
+    copts.min_support = minsup;
+    CarpenterResult carpenter = MineCarpenter(ds, copts);
+    CharmOptions chopts;
+    chopts.min_support = minsup;
+    CharmResult charm = MineCharm(ds, chopts);
+    ASSERT_FALSE(carpenter.timed_out);
+    ASSERT_FALSE(charm.timed_out);
+    EXPECT_EQ(Canon(carpenter.closed), Canon(charm.closed))
+        << "minsup=" << minsup;
+  }
+}
+
+}  // namespace
+}  // namespace farmer

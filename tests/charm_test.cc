@@ -1,0 +1,99 @@
+#include "baselines/charm.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "tests/test_util.h"
+
+namespace farmer {
+namespace {
+
+using testing_util::MakeDataset;
+using testing_util::RandomDataset;
+
+std::set<std::pair<ItemVector, std::size_t>> Canon(
+    const std::vector<ClosedItemset>& closed) {
+  std::set<std::pair<ItemVector, std::size_t>> out;
+  for (const ClosedItemset& c : closed) {
+    out.emplace(c.items, c.rows.Count());
+  }
+  return out;
+}
+
+TEST(CharmTest, HandComputedExample) {
+  // Rows: {0,1}, {0,1}, {0,2}. Closed sets: {0} sup 3, {0,1} sup 2,
+  // {0,2} sup 1.
+  BinaryDataset ds =
+      MakeDataset({{{0, 1}, 1}, {{0, 1}, 0}, {{0, 2}, 1}});
+  CharmOptions opts;
+  opts.min_support = 1;
+  CharmResult r = MineCharm(ds, opts);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(Canon(r.closed),
+            (std::set<std::pair<ItemVector, std::size_t>>{
+                {{0}, 3}, {{0, 1}, 2}, {{0, 2}, 1}}));
+}
+
+TEST(CharmTest, MinSupportFilters) {
+  BinaryDataset ds =
+      MakeDataset({{{0, 1}, 1}, {{0, 1}, 0}, {{0, 2}, 1}});
+  CharmOptions opts;
+  opts.min_support = 2;
+  CharmResult r = MineCharm(ds, opts);
+  EXPECT_EQ(Canon(r.closed),
+            (std::set<std::pair<ItemVector, std::size_t>>{{{0}, 3},
+                                                          {{0, 1}, 2}}));
+}
+
+TEST(CharmTest, TidsetsAreExact) {
+  BinaryDataset ds = RandomDataset(12, 10, 0.5, 21);
+  CharmOptions opts;
+  CharmResult r = MineCharm(ds, opts);
+  for (const ClosedItemset& c : r.closed) {
+    EXPECT_EQ(c.rows, RowSupportSet(ds, c.items));
+  }
+}
+
+TEST(CharmTest, DeadlineAndOverflowStops) {
+  BinaryDataset ds = RandomDataset(14, 30, 0.6, 3);
+  CharmOptions opts;
+  opts.deadline = Deadline::After(1e-9);
+  EXPECT_TRUE(MineCharm(ds, opts).timed_out);
+
+  CharmOptions cap;
+  cap.max_closed = 3;
+  CharmResult r = MineCharm(ds, cap);
+  EXPECT_TRUE(r.overflowed);
+  EXPECT_LE(r.closed.size(), 4u);
+}
+
+class CharmSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(CharmSweepTest, MatchesBruteForceClosedSets) {
+  const auto [seed, minsup] = GetParam();
+  for (double density : {0.15, 0.3, 0.55, 0.8, 0.9}) {
+    BinaryDataset ds = RandomDataset(11, 13, density, seed);
+    CharmOptions opts;
+    opts.min_support = static_cast<std::size_t>(minsup);
+    CharmResult mined = MineCharm(ds, opts);
+    ASSERT_FALSE(mined.timed_out);
+    std::vector<ClosedItemset> expected =
+        BruteForceClosedItemsets(ds, opts.min_support);
+    EXPECT_EQ(Canon(mined.closed), Canon(expected))
+        << "seed=" << seed << " minsup=" << minsup
+        << " density=" << density;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDatasets, CharmSweepTest,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 9),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace farmer

@@ -1,0 +1,297 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "classify/cba.h"
+#include "classify/evaluation.h"
+#include "classify/irg_classifier.h"
+#include "classify/rule_ranking.h"
+#include "classify/svm.h"
+#include "dataset/discretize.h"
+#include "dataset/synthetic.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace farmer {
+namespace {
+
+using testing_util::MakeDataset;
+
+TEST(RuleRankingTest, PrecedenceOrder) {
+  ClassRule high_conf{{0}, 1, 2, 0.9};
+  ClassRule low_conf{{1}, 1, 5, 0.8};
+  ClassRule high_sup{{2}, 1, 9, 0.9};
+  ClassRule shorter{{3}, 1, 2, 0.9};
+  EXPECT_TRUE(RulePrecedes(high_conf, low_conf));
+  EXPECT_TRUE(RulePrecedes(high_sup, high_conf));
+  // Same conf+sup: shorter antecedent first; these are same length, so
+  // lexicographic item order decides.
+  EXPECT_TRUE(RulePrecedes(high_conf, shorter));
+
+  std::vector<ClassRule> rules = {low_conf, shorter, high_sup, high_conf};
+  RankRules(&rules);
+  EXPECT_EQ(rules[0].items, (ItemVector{2}));
+  EXPECT_EQ(rules.back().items, (ItemVector{1}));
+}
+
+TEST(RuleRankingTest, CoverageSelection) {
+  // Rows: two class-1 rows matched by rule {0}->1, one class-0 row matched
+  // by {1}->0, one class-0 row matched by nothing.
+  BinaryDataset train = MakeDataset(
+      {{{0, 2}, 1}, {{0, 3}, 1}, {{1, 2}, 0}, {{4}, 0}});
+  std::vector<ClassRule> ranked = {
+      {{0}, 1, 2, 1.0},
+      {{1}, 0, 1, 1.0},
+      {{2}, 1, 1, 0.5},  // Matches rows 0 and 2; both already covered.
+  };
+  CoverageResult sel = SelectByCoverage(train, ranked);
+  ASSERT_EQ(sel.rules.size(), 2u);
+  EXPECT_EQ(sel.rules[0].items, (ItemVector{0}));
+  EXPECT_EQ(sel.rules[1].items, (ItemVector{1}));
+  EXPECT_EQ(sel.default_class, 0);  // Row 3 uncovered, class 0.
+}
+
+TEST(RuleRankingTest, WrongClassRulesAreSkipped) {
+  BinaryDataset train = MakeDataset({{{0}, 1}, {{1}, 0}});
+  std::vector<ClassRule> ranked = {
+      {{0}, 0, 1, 1.0},  // Matches row 0 but predicts the wrong class.
+      {{0}, 1, 1, 1.0},
+  };
+  CoverageResult sel = SelectByCoverage(train, ranked);
+  ASSERT_EQ(sel.rules.size(), 1u);
+  EXPECT_EQ(sel.rules[0].label, 1);
+}
+
+TEST(CbaTest, TrainPredictSeparableData) {
+  // Item 0 <=> class 1, item 1 <=> class 0, item 2 noise.
+  BinaryDataset train = MakeDataset({{{0, 2}, 1},
+                                     {{0}, 1},
+                                     {{0, 2}, 1},
+                                     {{1, 2}, 0},
+                                     {{1}, 0}});
+  std::vector<ClassRule> candidates = {
+      {{0}, 1, 3, 1.0},
+      {{1}, 0, 2, 1.0},
+      {{2}, 1, 2, 2.0 / 3.0},
+  };
+  CbaClassifier cba = CbaClassifier::Train(train, candidates);
+  EXPECT_EQ(cba.Predict({0}), 1);
+  EXPECT_EQ(cba.Predict({1}), 0);
+  EXPECT_EQ(cba.Predict({0, 2}), 1);
+  // Unmatched row falls back to the default class.
+  const ClassLabel def = cba.default_class();
+  EXPECT_EQ(cba.Predict({5}), def);
+}
+
+TEST(CbaTest, GenerateRulesWithFarmerProducesMatchingRules) {
+  BinaryDataset train = MakeDataset({{{0, 2}, 1},
+                                     {{0, 3}, 1},
+                                     {{0, 2, 3}, 1},
+                                     {{1, 2}, 0},
+                                     {{1, 3}, 0}});
+  std::vector<ClassRule> rules =
+      GenerateRulesWithFarmer(train, 0.6, 0.8);
+  ASSERT_FALSE(rules.empty());
+  bool has_item0_for_class1 = false;
+  for (const ClassRule& r : rules) {
+    EXPECT_GE(r.confidence, 0.8);
+    if (r.label == 1 && r.items == ItemVector{0}) has_item0_for_class1 = true;
+  }
+  EXPECT_TRUE(has_item0_for_class1);
+}
+
+TEST(IrgClassifierTest, LearnsSeparableConcept) {
+  BinaryDataset train = MakeDataset({{{0, 2}, 1},
+                                     {{0, 3}, 1},
+                                     {{0, 2, 3}, 1},
+                                     {{1, 2}, 0},
+                                     {{1, 3}, 0},
+                                     {{1}, 0}});
+  IrgClassifierOptions opts;
+  opts.min_support_fraction = 0.5;
+  opts.min_confidence = 0.8;
+  IrgClassifier clf = IrgClassifier::Train(train, opts);
+  EXPECT_GT(clf.num_mined_groups(), 0u);
+  EXPECT_EQ(clf.Predict({0, 2}), 1);
+  EXPECT_EQ(clf.Predict({0}), 1);
+  EXPECT_EQ(clf.Predict({1, 3}), 0);
+}
+
+TEST(IrgClassifierTest, WeightedVotePredicts) {
+  BinaryDataset train = MakeDataset({{{0, 2}, 1},
+                                     {{0, 3}, 1},
+                                     {{0, 2, 3}, 1},
+                                     {{1, 2}, 0},
+                                     {{1, 3}, 0},
+                                     {{1}, 0}});
+  IrgClassifierOptions opts;
+  opts.min_support_fraction = 0.5;
+  opts.min_confidence = 0.8;
+  opts.prediction = IrgPrediction::kWeightedVote;
+  IrgClassifier clf = IrgClassifier::Train(train, opts);
+  EXPECT_EQ(clf.Predict({0, 2}), 1);
+  EXPECT_EQ(clf.Predict({1, 3}), 0);
+  // Unmatched rows fall back to the default class.
+  EXPECT_EQ(clf.Predict({9}), clf.default_class());
+}
+
+TEST(IrgClassifierTest, VotePoliciesAgreeOnCleanData) {
+  BinaryDataset train = MakeDataset({{{0}, 1},
+                                     {{0}, 1},
+                                     {{0}, 1},
+                                     {{1}, 0},
+                                     {{1}, 0},
+                                     {{1}, 0}});
+  IrgClassifierOptions first, vote;
+  first.min_support_fraction = 0.5;
+  vote.min_support_fraction = 0.5;
+  vote.prediction = IrgPrediction::kWeightedVote;
+  IrgClassifier a = IrgClassifier::Train(train, first);
+  IrgClassifier b = IrgClassifier::Train(train, vote);
+  for (RowId r = 0; r < train.num_rows(); ++r) {
+    EXPECT_EQ(a.Predict(train.row(r)), b.Predict(train.row(r)));
+    EXPECT_EQ(a.Predict(train.row(r)), train.label(r));
+  }
+}
+
+TEST(IrgClassifierTest, EndToEndOnSyntheticMicroarray) {
+  SyntheticSpec spec;
+  spec.num_rows = 60;
+  spec.num_genes = 120;
+  spec.num_class1 = 30;
+  spec.num_clusters = 4;
+  spec.cluster_purity = 0.95;
+  spec.p_informative = 0.7;
+  spec.shift = 3.0;
+  spec.row_effect = 0.4;  // Mild intensity bias keeps the class signal.
+  spec.seed = 77;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  Split split = StratifiedSplit(m.labels(), 40, 1);
+  ExpressionMatrix train_m = m.SelectRows(split.train);
+  ExpressionMatrix test_m = m.SelectRows(split.test);
+  Discretization disc = Discretization::FitEntropyMdl(train_m);
+  BinaryDataset train = disc.Apply(train_m);
+  BinaryDataset test = disc.Apply(test_m);
+
+  IrgClassifierOptions opts;
+  opts.min_support_fraction = 0.7;
+  opts.min_confidence = 0.8;
+  IrgClassifier clf = IrgClassifier::Train(train, opts);
+  std::vector<ClassLabel> truth, predicted;
+  for (RowId r = 0; r < test.num_rows(); ++r) {
+    truth.push_back(test.label(r));
+    predicted.push_back(clf.Predict(test.row(r)));
+  }
+  // Planted-signal data must classify clearly better than chance.
+  EXPECT_GT(Accuracy(truth, predicted), 0.7);
+}
+
+TEST(SvmTest, SeparableGaussians) {
+  ExpressionMatrix m(40, 3);
+  Rng rng(5);
+  for (std::size_t r = 0; r < 40; ++r) {
+    const bool pos = r % 2 == 0;
+    m.set_label(r, pos ? 1 : 0);
+    for (std::size_t g = 0; g < 3; ++g) {
+      m.at(r, g) = rng.NextGaussian() * 0.3 + (pos ? 2.0 : -2.0);
+    }
+  }
+  SvmOptions opts;
+  LinearSvm svm = LinearSvm::Train(m, 1, opts);
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < 40; ++r) {
+    if (svm.Predict(m.row_data(r)) == m.label(r)) ++correct;
+  }
+  EXPECT_EQ(correct, 40u);
+  EXPECT_LT(svm.passes_run(), opts.max_passes);  // Converged.
+}
+
+TEST(SvmTest, AutoCDefaultsLikeSvmLight) {
+  // c <= 0 selects C = 1/avg(||x||^2): on well-separated data this still
+  // classifies the training set, just with a heavily regularized margin.
+  ExpressionMatrix m(30, 4);
+  Rng rng(11);
+  for (std::size_t r = 0; r < 30; ++r) {
+    const bool pos = r % 2 == 0;
+    m.set_label(r, pos ? 1 : 0);
+    for (std::size_t g = 0; g < 4; ++g) {
+      m.at(r, g) = rng.NextGaussian() * 0.3 + (pos ? 3.0 : -3.0);
+    }
+  }
+  SvmOptions opts;
+  opts.c = 0.0;
+  opts.standardize = false;
+  LinearSvm svm = LinearSvm::Train(m, 1, opts);
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < 30; ++r) {
+    if (svm.Predict(m.row_data(r)) == m.label(r)) ++correct;
+  }
+  EXPECT_EQ(correct, 30u);
+  // The auto-C box constraint keeps the weight norm small relative to an
+  // unregularized fit.
+  SvmOptions big;
+  big.c = 100.0;
+  big.standardize = false;
+  LinearSvm unreg = LinearSvm::Train(m, 1, big);
+  double norm_auto = 0, norm_big = 0;
+  for (double w : svm.weights()) norm_auto += w * w;
+  for (double w : unreg.weights()) norm_big += w * w;
+  EXPECT_LE(norm_auto, norm_big + 1e-12);
+}
+
+TEST(SvmTest, HighDimensionalFewSamples) {
+  // n << d, like microarray data: 20 samples, 500 genes, 10 informative.
+  ExpressionMatrix m(20, 500);
+  Rng rng(6);
+  for (std::size_t r = 0; r < 20; ++r) {
+    const bool pos = r < 10;
+    m.set_label(r, pos ? 1 : 0);
+    for (std::size_t g = 0; g < 500; ++g) {
+      m.at(r, g) = rng.NextGaussian();
+      if (g < 10) m.at(r, g) += pos ? 1.5 : -1.5;
+    }
+  }
+  LinearSvm svm = LinearSvm::Train(m, 1, SvmOptions{});
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < 20; ++r) {
+    if (svm.Predict(m.row_data(r)) == m.label(r)) ++correct;
+  }
+  EXPECT_GE(correct, 19u);
+}
+
+TEST(EvaluationTest, StratifiedSplitProportions) {
+  std::vector<ClassLabel> labels;
+  for (int i = 0; i < 60; ++i) labels.push_back(i < 40 ? 0 : 1);
+  Split split = StratifiedSplit(labels, 30, 3);
+  EXPECT_EQ(split.train.size(), 30u);
+  EXPECT_EQ(split.test.size(), 30u);
+  std::size_t train_class1 = 0;
+  for (std::size_t r : split.train) train_class1 += labels[r];
+  EXPECT_EQ(train_class1, 10u);  // 20 of 60 are class 1 -> 10 of 30.
+  // Disjoint and complete.
+  std::vector<std::size_t> all = split.train;
+  all.insert(all.end(), split.test.begin(), split.test.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(EvaluationTest, AccuracyAndKFold) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1}, {1, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+
+  std::vector<ClassLabel> labels;
+  for (int i = 0; i < 25; ++i) labels.push_back(i % 2 == 0 ? 0 : 1);
+  auto folds = StratifiedKFold(labels, 5, 9);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<std::size_t> seen;
+  for (const Split& f : folds) {
+    EXPECT_EQ(f.train.size() + f.test.size(), labels.size());
+    seen.insert(seen.end(), f.test.begin(), f.test.end());
+  }
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+}  // namespace
+}  // namespace farmer

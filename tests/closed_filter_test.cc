@@ -1,0 +1,66 @@
+#include "baselines/closed_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace farmer {
+namespace {
+
+TEST(ClosedFilterTest, RemovesEqualSupportSubsets) {
+  std::vector<FrequentClosed> candidates = {
+      {{0, 1, 2}, 3},
+      {{0, 1}, 3},     // Subsumed: subset with equal support.
+      {{0, 1}, 4},     // Kept: different support.
+      {{3}, 3},        // Kept: not a subset of {0,1,2}.
+  };
+  RemoveNonClosed(&candidates);
+  ASSERT_EQ(candidates.size(), 3u);
+  for (const FrequentClosed& c : candidates) {
+    EXPECT_FALSE(c.items == ItemVector({0, 1}) && c.support == 3);
+  }
+}
+
+TEST(ClosedFilterTest, RemovesDuplicates) {
+  std::vector<FrequentClosed> candidates = {
+      {{0, 1}, 2},
+      {{0, 1}, 2},
+      {{0, 1}, 2},
+  };
+  RemoveNonClosed(&candidates);
+  EXPECT_EQ(candidates.size(), 1u);
+}
+
+TEST(ClosedFilterTest, EmptyAndSingletonInputs) {
+  std::vector<FrequentClosed> empty;
+  RemoveNonClosed(&empty);
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<FrequentClosed> one = {{{5}, 1}};
+  RemoveNonClosed(&one);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].items, ItemVector({5}));
+}
+
+TEST(ClosedFilterTest, ChainOfSubsets) {
+  std::vector<FrequentClosed> candidates = {
+      {{0}, 5},
+      {{0, 1}, 5},
+      {{0, 1, 2}, 5},
+      {{0, 1, 2, 3}, 5},
+  };
+  RemoveNonClosed(&candidates);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].items, ItemVector({0, 1, 2, 3}));
+}
+
+TEST(ClosedFilterTest, IncomparableSetsAllSurvive) {
+  std::vector<FrequentClosed> candidates = {
+      {{0, 1}, 2},
+      {{1, 2}, 2},
+      {{0, 2}, 2},
+  };
+  RemoveNonClosed(&candidates);
+  EXPECT_EQ(candidates.size(), 3u);
+}
+
+}  // namespace
+}  // namespace farmer

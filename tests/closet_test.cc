@@ -1,0 +1,94 @@
+#include "baselines/closet.h"
+
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "baselines/charm.h"
+#include "core/brute_force.h"
+#include "tests/test_util.h"
+
+namespace farmer {
+namespace {
+
+using testing_util::MakeDataset;
+using testing_util::RandomDataset;
+
+std::set<std::pair<ItemVector, std::size_t>> Canon(
+    const std::vector<FrequentClosed>& closed) {
+  std::set<std::pair<ItemVector, std::size_t>> out;
+  for (const FrequentClosed& c : closed) out.emplace(c.items, c.support);
+  return out;
+}
+
+std::set<std::pair<ItemVector, std::size_t>> CanonBf(
+    const std::vector<ClosedItemset>& closed) {
+  std::set<std::pair<ItemVector, std::size_t>> out;
+  for (const ClosedItemset& c : closed) out.emplace(c.items, c.rows.Count());
+  return out;
+}
+
+TEST(ClosetTest, HandComputedExample) {
+  BinaryDataset ds =
+      MakeDataset({{{0, 1}, 1}, {{0, 1}, 0}, {{0, 2}, 1}});
+  ClosetOptions opts;
+  ClosetResult r = MineCloset(ds, opts);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(Canon(r.closed),
+            (std::set<std::pair<ItemVector, std::size_t>>{
+                {{0}, 3}, {{0, 1}, 2}, {{0, 2}, 1}}));
+}
+
+TEST(ClosetTest, SinglePathDataset) {
+  // Nested rows produce a single-path FP-tree.
+  BinaryDataset ds = MakeDataset(
+      {{{0}, 1}, {{0, 1}, 1}, {{0, 1, 2}, 0}, {{0, 1, 2, 3}, 0}});
+  ClosetOptions opts;
+  ClosetResult r = MineCloset(ds, opts);
+  EXPECT_EQ(Canon(r.closed),
+            (std::set<std::pair<ItemVector, std::size_t>>{
+                {{0}, 4}, {{0, 1}, 3}, {{0, 1, 2}, 2}, {{0, 1, 2, 3}, 1}}));
+}
+
+TEST(ClosetTest, DeadlineStops) {
+  BinaryDataset ds = RandomDataset(14, 30, 0.6, 3);
+  ClosetOptions opts;
+  opts.deadline = Deadline::After(1e-9);
+  EXPECT_TRUE(MineCloset(ds, opts).timed_out);
+}
+
+class ClosetSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(ClosetSweepTest, MatchesBruteForceAndCharm) {
+  const auto [seed, minsup] = GetParam();
+  for (double density : {0.15, 0.3, 0.55, 0.8, 0.9}) {
+    BinaryDataset ds = RandomDataset(11, 13, density, seed);
+    ClosetOptions opts;
+    opts.min_support = static_cast<std::size_t>(minsup);
+    ClosetResult mined = MineCloset(ds, opts);
+    ASSERT_FALSE(mined.timed_out);
+    EXPECT_EQ(Canon(mined.closed),
+              CanonBf(BruteForceClosedItemsets(ds, opts.min_support)))
+        << "seed=" << seed << " minsup=" << minsup
+        << " density=" << density;
+
+    CharmOptions charm_opts;
+    charm_opts.min_support = opts.min_support;
+    CharmResult charm = MineCharm(ds, charm_opts);
+    std::set<std::pair<ItemVector, std::size_t>> charm_canon;
+    for (const ClosedItemset& c : charm.closed) {
+      charm_canon.emplace(c.items, c.rows.Count());
+    }
+    EXPECT_EQ(Canon(mined.closed), charm_canon);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDatasets, ClosetSweepTest,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 9),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace farmer

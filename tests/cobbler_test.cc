@@ -1,0 +1,128 @@
+#include "baselines/cobbler.h"
+
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "baselines/charm.h"
+#include "core/brute_force.h"
+#include "dataset/discretize.h"
+#include "dataset/synthetic.h"
+#include "tests/test_util.h"
+
+namespace farmer {
+namespace {
+
+using testing_util::MakeDataset;
+using testing_util::RandomDataset;
+
+std::set<std::pair<ItemVector, std::size_t>> Canon(
+    const std::vector<FrequentClosed>& closed) {
+  std::set<std::pair<ItemVector, std::size_t>> out;
+  for (const FrequentClosed& c : closed) out.emplace(c.items, c.support);
+  return out;
+}
+
+std::set<std::pair<ItemVector, std::size_t>> CanonBf(
+    const std::vector<ClosedItemset>& closed) {
+  std::set<std::pair<ItemVector, std::size_t>> out;
+  for (const ClosedItemset& c : closed) out.emplace(c.items, c.rows.Count());
+  return out;
+}
+
+TEST(CobblerTest, HandComputedExample) {
+  BinaryDataset ds =
+      MakeDataset({{{0, 1}, 1}, {{0, 1}, 0}, {{0, 2}, 1}});
+  CobblerOptions opts;
+  CobblerResult r = MineCobbler(ds, opts);
+  EXPECT_EQ(Canon(r.closed),
+            (std::set<std::pair<ItemVector, std::size_t>>{
+                {{0}, 3}, {{0, 1}, 2}, {{0, 2}, 1}}));
+}
+
+class CobblerSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, int, CobblerMode>> {};
+
+TEST_P(CobblerSweepTest, MatchesBruteForceInEveryMode) {
+  const auto [seed, minsup, mode] = GetParam();
+  for (double density : {0.3, 0.6}) {
+    BinaryDataset ds = RandomDataset(10, 12, density, seed);
+    CobblerOptions opts;
+    opts.min_support = static_cast<std::size_t>(minsup);
+    opts.mode = mode;
+    CobblerResult mined = MineCobbler(ds, opts);
+    ASSERT_FALSE(mined.timed_out);
+    EXPECT_EQ(Canon(mined.closed),
+              CanonBf(BruteForceClosedItemsets(ds, opts.min_support)))
+        << "seed=" << seed << " minsup=" << minsup
+        << " mode=" << static_cast<int>(mode) << " density=" << density;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDatasets, CobblerSweepTest,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 7),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(CobblerMode::kDynamic,
+                                         CobblerMode::kColumnOnly,
+                                         CobblerMode::kRowOnly)));
+
+TEST(CobblerTest, DynamicSwitchesToRowsOnWideData) {
+  // A wide microarray-shaped context should trip the estimator into row
+  // enumeration.
+  SyntheticSpec spec;
+  spec.num_rows = 20;
+  spec.num_genes = 120;
+  spec.num_class1 = 10;
+  spec.num_clusters = 3;
+  spec.seed = 4;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  BinaryDataset ds = Discretization::FitEqualDepth(m, 4).Apply(m);
+  CobblerOptions opts;
+  opts.min_support = 2;
+  CobblerResult r = MineCobbler(ds, opts);
+  EXPECT_GT(r.switches_to_rows, 0u);
+
+  // And the result still matches CHARM.
+  CharmOptions chopts;
+  chopts.min_support = 2;
+  CharmResult charm = MineCharm(ds, chopts);
+  std::set<std::pair<ItemVector, std::size_t>> charm_canon;
+  for (const ClosedItemset& c : charm.closed) {
+    charm_canon.emplace(c.items, c.rows.Count());
+  }
+  EXPECT_EQ(Canon(r.closed), charm_canon);
+}
+
+TEST(CobblerTest, ModesAgreeOnMicroarrayShapedData) {
+  SyntheticSpec spec;
+  spec.num_rows = 18;
+  spec.num_genes = 50;
+  spec.num_class1 = 9;
+  spec.seed = 7;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  BinaryDataset ds = Discretization::FitEqualDepth(m, 3).Apply(m);
+  CobblerOptions a, b, c;
+  a.min_support = b.min_support = c.min_support = 3;
+  a.mode = CobblerMode::kDynamic;
+  b.mode = CobblerMode::kColumnOnly;
+  c.mode = CobblerMode::kRowOnly;
+  const auto ra = Canon(MineCobbler(ds, a).closed);
+  const auto rb = Canon(MineCobbler(ds, b).closed);
+  const auto rc = Canon(MineCobbler(ds, c).closed);
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(rb, rc);
+  EXPECT_FALSE(ra.empty());
+}
+
+TEST(CobblerTest, DeadlineStops) {
+  BinaryDataset ds = RandomDataset(16, 40, 0.6, 2);
+  CobblerOptions opts;
+  opts.deadline = Deadline::After(1e-9);
+  EXPECT_TRUE(MineCobbler(ds, opts).timed_out);
+}
+
+}  // namespace
+}  // namespace farmer

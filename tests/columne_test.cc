@@ -1,0 +1,158 @@
+#include "baselines/columne.h"
+
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/farmer.h"
+#include "core/measures.h"
+#include "tests/test_util.h"
+
+namespace farmer {
+namespace {
+
+using testing_util::MakeDataset;
+using testing_util::RandomDataset;
+
+// Rule-level brute-force oracle: enumerate every itemset, keep those
+// passing the constraints, then keep rules whose confidence strictly
+// exceeds every passing proper sub-rule's.
+std::vector<ColumnERule> OracleInterestingRules(const BinaryDataset& ds,
+                                                const ColumnEOptions& opts) {
+  const std::size_t n = ds.num_rows();
+  const std::size_t m = ds.CountLabel(opts.consequent);
+  const std::size_t items = ds.num_items();
+  std::vector<ColumnERule> passing;
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << items); ++mask) {
+    ItemVector itemset;
+    for (std::size_t i = 0; i < items; ++i) {
+      if ((mask >> i) & 1) itemset.push_back(static_cast<ItemId>(i));
+    }
+    std::size_t y = 0, nn = 0;
+    for (RowId r = 0; r < n; ++r) {
+      const ItemVector& row = ds.row(r);
+      if (std::includes(row.begin(), row.end(), itemset.begin(),
+                        itemset.end())) {
+        if (ds.label(r) == opts.consequent) {
+          ++y;
+        } else {
+          ++nn;
+        }
+      }
+    }
+    if (y < std::max<std::size_t>(1, opts.min_support)) continue;
+    const double conf = Confidence(y, y + nn);
+    if (conf < opts.min_confidence) continue;
+    const double chi = ChiSquare(y + nn, y, n, m);
+    if (opts.min_chi_square > 0 && chi < opts.min_chi_square) continue;
+    ColumnERule rule;
+    rule.items = itemset;
+    rule.support_pos = y;
+    rule.support_neg = nn;
+    rule.confidence = conf;
+    rule.chi_square = chi;
+    passing.push_back(std::move(rule));
+  }
+  std::vector<ColumnERule> interesting;
+  for (const ColumnERule& rule : passing) {
+    bool keep = true;
+    for (const ColumnERule& sub : passing) {
+      if (sub.items.size() < rule.items.size() &&
+          sub.confidence >= rule.confidence &&
+          std::includes(rule.items.begin(), rule.items.end(),
+                        sub.items.begin(), sub.items.end())) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) interesting.push_back(rule);
+  }
+  return interesting;
+}
+
+std::set<std::tuple<ItemVector, std::size_t, std::size_t>> Canon(
+    const std::vector<ColumnERule>& rules) {
+  std::set<std::tuple<ItemVector, std::size_t, std::size_t>> out;
+  for (const ColumnERule& r : rules) {
+    out.emplace(r.items, r.support_pos, r.support_neg);
+  }
+  return out;
+}
+
+TEST(ColumnETest, HandComputedExample) {
+  // Rows: 0:{a,b} C, 1:{a} C, 2:{a,b} ¬C. Rules with minsup=1, minconf=0:
+  // a: conf 2/3; b: conf 1/2; ab: conf 1/2. Interesting: a (its empty
+  // proper subsets are not rules), b, ab? b's subsets: none. ab covered by
+  // a (conf 2/3 >= 1/2) and b (1/2 >= 1/2) -> not interesting.
+  BinaryDataset ds = MakeDataset({{{0, 1}, 1}, {{0}, 1}, {{0, 1}, 0}});
+  ColumnEOptions opts;
+  ColumnEResult r = MineColumnE(ds, opts);
+  EXPECT_EQ(Canon(r.rules),
+            Canon({ColumnERule{{0}, 2, 1, 0, 0}, ColumnERule{{1}, 1, 1, 0, 0}}));
+}
+
+TEST(ColumnETest, DeadlineAndOverflow) {
+  BinaryDataset ds = RandomDataset(12, 24, 0.6, 5);
+  ColumnEOptions opts;
+  opts.deadline = Deadline::After(1e-9);
+  EXPECT_TRUE(MineColumnE(ds, opts).timed_out);
+
+  ColumnEOptions cap;
+  cap.max_rules = 5;
+  EXPECT_TRUE(MineColumnE(ds, cap).overflowed);
+}
+
+class ColumnESweepTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ColumnESweepTest, MatchesRuleLevelOracle) {
+  const std::uint64_t seed = GetParam();
+  for (const auto& [minsup, minconf, minchi] :
+       std::vector<std::tuple<std::size_t, double, double>>{
+           {1, 0.0, 0.0}, {2, 0.0, 0.0}, {1, 0.6, 0.0}, {1, 0.0, 1.0},
+           {2, 0.5, 0.5}}) {
+    BinaryDataset ds = RandomDataset(9, 9, 0.45, seed);
+    ColumnEOptions opts;
+    opts.min_support = minsup;
+    opts.min_confidence = minconf;
+    opts.min_chi_square = minchi;
+    ColumnEResult mined = MineColumnE(ds, opts);
+    ASSERT_FALSE(mined.timed_out);
+    EXPECT_EQ(Canon(mined.rules), Canon(OracleInterestingRules(ds, opts)))
+        << "seed=" << seed << " minsup=" << minsup << " minconf=" << minconf
+        << " minchi=" << minchi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatasets, ColumnESweepTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(ColumnETest, EveryFarmerIrgHasAnInterestingRuleWithItsRowSet) {
+  // Unconstrained cross-check against FARMER: every IRG's lower bounds are
+  // interesting rules, so its row set must appear among ColumnE's rules.
+  for (std::uint64_t seed : {2u, 4u, 6u}) {
+    BinaryDataset ds = RandomDataset(9, 10, 0.5, seed);
+    MinerOptions fopts;
+    fopts.min_support = 1;
+    FarmerResult farmer_result = MineFarmer(ds, fopts);
+
+    ColumnEOptions copts;
+    copts.min_support = 1;
+    ColumnEResult columne = MineColumnE(ds, copts);
+    std::set<std::vector<std::size_t>> columne_row_sets;
+    for (const ColumnERule& rule : columne.rules) {
+      columne_row_sets.insert(
+          RowSupportSet(ds, rule.items).ToVector());
+    }
+    for (const RuleGroup& g : farmer_result.groups) {
+      EXPECT_TRUE(columne_row_sets.count(g.rows.ToVector()))
+          << "seed=" << seed << " missing group rows "
+          << g.rows.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace farmer

@@ -1,0 +1,110 @@
+#include "dataset/dataset.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "dataset/io.h"
+#include "tests/test_util.h"
+
+namespace farmer {
+namespace {
+
+using testing_util::MakeDataset;
+
+TEST(DatasetTest, BasicAccessors) {
+  BinaryDataset ds = MakeDataset({{{0, 2, 4}, 1}, {{1, 2}, 0}});
+  EXPECT_EQ(ds.num_rows(), 2u);
+  EXPECT_EQ(ds.num_items(), 5u);
+  EXPECT_EQ(ds.num_classes(), 2u);
+  EXPECT_EQ(ds.CountLabel(1), 1u);
+  EXPECT_EQ(ds.CountLabel(0), 1u);
+  EXPECT_TRUE(ds.RowContains(0, 2));
+  EXPECT_FALSE(ds.RowContains(1, 0));
+  EXPECT_DOUBLE_EQ(ds.AverageRowLength(), 2.5);
+  EXPECT_TRUE(ds.Validate().ok());
+  EXPECT_EQ(ds.ItemName(3), "i3");
+}
+
+TEST(DatasetTest, OrderRowsByConsequentPutsPositivesFirst) {
+  BinaryDataset ds = MakeDataset(
+      {{{0}, 0}, {{1}, 1}, {{2}, 0}, {{3}, 1}, {{4}, 1}});
+  RowOrder order = OrderRowsByConsequent(ds, 1);
+  EXPECT_EQ(order.num_positive, 3u);
+  EXPECT_EQ(order.order, (std::vector<RowId>{1, 3, 4, 0, 2}));
+  for (RowId pos = 0; pos < 5; ++pos) {
+    EXPECT_EQ(order.inverse[order.order[pos]], pos);
+  }
+  BinaryDataset permuted = PermuteRows(ds, order);
+  EXPECT_EQ(permuted.label(0), 1);
+  EXPECT_EQ(permuted.label(2), 1);
+  EXPECT_EQ(permuted.label(3), 0);
+  EXPECT_EQ(permuted.row(0), (ItemVector{1}));
+  EXPECT_EQ(permuted.row(4), (ItemVector{2}));
+}
+
+TEST(DatasetTest, ReplicateRows) {
+  BinaryDataset ds = MakeDataset({{{0}, 1}, {{1}, 0}});
+  BinaryDataset triple = ReplicateRows(ds, 3);
+  EXPECT_EQ(triple.num_rows(), 6u);
+  EXPECT_EQ(triple.CountLabel(1), 3u);
+  EXPECT_EQ(triple.row(4), (ItemVector{0}));
+}
+
+TEST(DatasetTest, ValidateCatchesBadRows) {
+  BinaryDataset ds(3);
+  ds.AddRow({0, 2}, 1);
+  EXPECT_TRUE(ds.Validate().ok());
+  // Bypass AddRow's debug assertions by crafting names mismatch.
+  ds.set_item_names({"only-one"});
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(TransactionsIoTest, RoundTrip) {
+  BinaryDataset ds = MakeDataset({{{0, 3, 7}, 1}, {{}, 0}, {{2}, 1}});
+  const std::string path = ::testing::TempDir() + "/trans_roundtrip.txt";
+  ASSERT_TRUE(SaveTransactions(ds, path).ok());
+  BinaryDataset loaded;
+  ASSERT_TRUE(LoadTransactions(path, &loaded).ok());
+  EXPECT_EQ(loaded.num_rows(), 3u);
+  EXPECT_EQ(loaded.num_items(), 8u);
+  EXPECT_EQ(loaded.row(0), (ItemVector{0, 3, 7}));
+  EXPECT_TRUE(loaded.row(1).empty());
+  EXPECT_EQ(loaded.label(2), 1);
+  std::remove(path.c_str());
+}
+
+TEST(TransactionsIoTest, RejectsMalformedInput) {
+  const std::string path = ::testing::TempDir() + "/trans_bad.txt";
+  {
+    std::ofstream os(path);
+    os << "1 0 2 3\n";  // Missing ':'.
+  }
+  BinaryDataset ds;
+  Status s = LoadTransactions(path, &ds);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+
+  {
+    std::ofstream os(path);
+    os << "1: 0 0 2\n";  // Duplicate item.
+  }
+  EXPECT_FALSE(LoadTransactions(path, &ds).ok());
+
+  {
+    std::ofstream os(path);
+    os << "999: 0\n";  // Label out of range.
+  }
+  EXPECT_FALSE(LoadTransactions(path, &ds).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TransactionsIoTest, MissingFileIsIoError) {
+  BinaryDataset ds;
+  Status s = LoadTransactions("/nonexistent/nowhere.txt", &ds);
+  EXPECT_TRUE(s.IsIoError());
+}
+
+}  // namespace
+}  // namespace farmer

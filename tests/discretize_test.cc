@@ -1,0 +1,196 @@
+#include "dataset/discretize.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "util/rng.h"
+
+namespace farmer {
+namespace {
+
+ExpressionMatrix TinyMatrix() {
+  // 6 samples × 2 genes. Gene 0 perfectly separates the classes at 0;
+  // gene 1 is pure noise.
+  ExpressionMatrix m(6, 2);
+  const double g0[] = {-3, -2, -1, 1, 2, 3};
+  const double g1[] = {0.3, -0.1, 0.25, -0.2, 0.15, 0.05};
+  for (std::size_t r = 0; r < 6; ++r) {
+    m.at(r, 0) = g0[r];
+    m.at(r, 1) = g1[r];
+    m.set_label(r, r < 3 ? 0 : 1);
+  }
+  return m;
+}
+
+TEST(EqualDepthTest, ProducesRequestedBuckets) {
+  ExpressionMatrix m = TinyMatrix();
+  Discretization d = Discretization::FitEqualDepth(m, 3);
+  // Gene 0: 6 distinct values, 3 buckets -> 2 cuts.
+  EXPECT_EQ(d.cuts(0).size(), 2u);
+  EXPECT_EQ(d.cuts(1).size(), 2u);
+  EXPECT_EQ(d.num_items(), 6u);
+  BinaryDataset ds = d.Apply(m);
+  EXPECT_EQ(ds.num_rows(), 6u);
+  // Every row gets exactly one item per gene.
+  for (RowId r = 0; r < 6; ++r) {
+    EXPECT_EQ(ds.row(r).size(), 2u);
+  }
+  // Bucket occupancy of gene 0 is balanced: 2 rows per bucket.
+  std::vector<int> occupancy(3, 0);
+  for (RowId r = 0; r < 6; ++r) {
+    ++occupancy[ds.row(r)[0]];
+  }
+  EXPECT_EQ(occupancy, (std::vector<int>{2, 2, 2}));
+}
+
+TEST(EqualDepthTest, ConstantGeneCollapsesToOneBucket) {
+  ExpressionMatrix m(4, 1);
+  for (std::size_t r = 0; r < 4; ++r) m.at(r, 0) = 5.0;
+  Discretization d = Discretization::FitEqualDepth(m, 10);
+  EXPECT_TRUE(d.cuts(0).empty());
+  EXPECT_EQ(d.num_items(), 1u);  // Equal-depth keeps single-bin genes.
+  BinaryDataset ds = d.Apply(m);
+  for (RowId r = 0; r < 4; ++r) {
+    EXPECT_EQ(ds.row(r), (ItemVector{0}));
+  }
+}
+
+TEST(EntropyMdlTest, FindsTheSeparatingCutAndDropsNoise) {
+  ExpressionMatrix m = TinyMatrix();
+  Discretization d = Discretization::FitEntropyMdl(m);
+  // Gene 0 separates perfectly: exactly one cut near 0.
+  ASSERT_EQ(d.cuts(0).size(), 1u);
+  EXPECT_NEAR(d.cuts(0)[0], 0.0, 1.01);
+  // Gene 1 carries no class signal: dropped entirely.
+  EXPECT_TRUE(d.cuts(1).empty());
+  EXPECT_EQ(d.num_kept_genes(), 1u);
+  EXPECT_EQ(d.num_items(), 2u);
+
+  BinaryDataset ds = d.Apply(m);
+  // The two items now predict the class exactly.
+  for (RowId r = 0; r < 6; ++r) {
+    ASSERT_EQ(ds.row(r).size(), 1u);
+    EXPECT_EQ(ds.row(r)[0], m.label(r) == 0 ? 0u : 1u);
+  }
+}
+
+TEST(EntropyMdlTest, PureClassYieldsNoCuts) {
+  ExpressionMatrix m(5, 1);
+  for (std::size_t r = 0; r < 5; ++r) {
+    m.at(r, 0) = static_cast<double>(r);
+    m.set_label(r, 1);
+  }
+  Discretization d = Discretization::FitEntropyMdl(m);
+  EXPECT_TRUE(d.cuts(0).empty());
+  EXPECT_EQ(d.num_items(), 0u);
+}
+
+TEST(DiscretizeTest, ItemForMatchesApply) {
+  SyntheticSpec spec;
+  spec.num_rows = 30;
+  spec.num_genes = 12;
+  spec.num_class1 = 15;
+  spec.seed = 3;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  Discretization d = Discretization::FitEqualDepth(m, 4);
+  BinaryDataset ds = d.Apply(m);
+  for (std::size_t r = 0; r < m.num_rows(); ++r) {
+    ItemVector expected;
+    for (std::size_t g = 0; g < m.num_genes(); ++g) {
+      const ItemId item = d.ItemFor(g, m.at(r, g));
+      ASSERT_NE(item, Discretization::kNoItem);
+      expected.push_back(item);
+    }
+    EXPECT_EQ(ds.row(static_cast<RowId>(r)), expected);
+  }
+}
+
+TEST(DiscretizeTest, ItemNamesDescribeIntervals) {
+  ExpressionMatrix m = TinyMatrix();
+  Discretization d = Discretization::FitEntropyMdl(m);
+  const std::vector<std::string> names = d.MakeItemNames(m);
+  ASSERT_EQ(names.size(), d.num_items());
+  EXPECT_NE(names[0].find("g0"), std::string::npos);
+  EXPECT_NE(names[0].find("(-inf,"), std::string::npos);
+  EXPECT_NE(names[1].find("+inf)"), std::string::npos);
+}
+
+TEST(DiscretizeTest, ClassEntropyValues) {
+  EXPECT_DOUBLE_EQ(ClassEntropy({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ClassEntropy({4, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ClassEntropy({2, 2}), 1.0);
+  EXPECT_NEAR(ClassEntropy({1, 1, 1, 1}), 2.0, 1e-12);
+}
+
+TEST(DiscretizeTest, SaveLoadRoundTrip) {
+  ExpressionMatrix m = TinyMatrix();
+  for (const bool entropy : {false, true}) {
+    Discretization d = entropy ? Discretization::FitEntropyMdl(m)
+                               : Discretization::FitEqualDepth(m, 3);
+    const std::string path = ::testing::TempDir() + "/cuts_roundtrip.txt";
+    ASSERT_TRUE(d.Save(path).ok());
+    Discretization loaded;
+    ASSERT_TRUE(Discretization::Load(path, &loaded).ok());
+    EXPECT_EQ(loaded.num_items(), d.num_items());
+    EXPECT_EQ(loaded.num_kept_genes(), d.num_kept_genes());
+    for (std::size_t g = 0; g < m.num_genes(); ++g) {
+      ASSERT_EQ(loaded.cuts(g).size(), d.cuts(g).size());
+      for (std::size_t c = 0; c < d.cuts(g).size(); ++c) {
+        EXPECT_DOUBLE_EQ(loaded.cuts(g)[c], d.cuts(g)[c]);
+      }
+    }
+    // Applying the loaded discretization yields identical itemsets.
+    BinaryDataset a = d.Apply(m);
+    BinaryDataset b = loaded.Apply(m);
+    for (RowId r = 0; r < a.num_rows(); ++r) {
+      EXPECT_EQ(a.row(r), b.row(r));
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(DiscretizeTest, LoadRejectsMalformedCuts) {
+  const std::string path = ::testing::TempDir() + "/cuts_bad.txt";
+  Discretization out;
+  const char* cases[] = {
+      "wrong-header v1 2\n",
+      "farmer-cuts v9 2\n",
+      "farmer-cuts v1 2\ngene 5 kept 1.0\n",          // Gene out of range.
+      "farmer-cuts v1 2\ngene 0 maybe 1.0\n",         // Bad keep word.
+      "farmer-cuts v1 2\ngene 0 kept 2.0 1.0\n",      // Not ascending.
+  };
+  for (const char* contents : cases) {
+    {
+      std::ofstream os(path);
+      os << contents;
+    }
+    EXPECT_FALSE(Discretization::Load(path, &out).ok())
+        << "accepted:\n" << contents;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiscretizeTest, TrainFittedAppliedToTestKeepsItemUniverse) {
+  SyntheticSpec spec;
+  spec.num_rows = 40;
+  spec.num_genes = 10;
+  spec.num_class1 = 20;
+  spec.seed = 8;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  std::vector<std::size_t> train_rows, test_rows;
+  for (std::size_t r = 0; r < 30; ++r) train_rows.push_back(r);
+  for (std::size_t r = 30; r < 40; ++r) test_rows.push_back(r);
+  ExpressionMatrix train = m.SelectRows(train_rows);
+  ExpressionMatrix test = m.SelectRows(test_rows);
+  Discretization d = Discretization::FitEqualDepth(train, 5);
+  BinaryDataset train_ds = d.Apply(train);
+  BinaryDataset test_ds = d.Apply(test);
+  EXPECT_EQ(train_ds.num_items(), test_ds.num_items());
+  EXPECT_TRUE(test_ds.Validate().ok());
+}
+
+}  // namespace
+}  // namespace farmer

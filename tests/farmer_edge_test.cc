@@ -1,0 +1,165 @@
+// Edge-case behaviour of the FARMER miner: degenerate datasets, duplicate
+// rows, ubiquitous items, threshold boundary values.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/farmer.h"
+#include "tests/test_util.h"
+
+namespace farmer {
+namespace {
+
+using testing_util::MakeDataset;
+
+TEST(FarmerEdgeTest, MinSupportZeroIsTreatedAsOne) {
+  BinaryDataset ds = MakeDataset({{{0}, 1}, {{1}, 0}});
+  MinerOptions opts;
+  opts.min_support = 0;
+  FarmerResult r = MineFarmer(ds, opts);
+  for (const RuleGroup& g : r.groups) {
+    EXPECT_GE(g.support_pos, 1u);
+  }
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].antecedent, (ItemVector{0}));
+}
+
+TEST(FarmerEdgeTest, DuplicateRowsFormOneGroup) {
+  BinaryDataset ds = MakeDataset(
+      {{{0, 1}, 1}, {{0, 1}, 1}, {{0, 1}, 0}, {{2}, 0}});
+  MinerOptions opts;
+  FarmerResult r = MineFarmer(ds, opts);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].antecedent, (ItemVector{0, 1}));
+  EXPECT_EQ(r.groups[0].support_pos, 2u);
+  EXPECT_EQ(r.groups[0].support_neg, 1u);
+  EXPECT_EQ(r.groups[0].rows.Count(), 3u);
+}
+
+TEST(FarmerEdgeTest, AllRowsIdentical) {
+  BinaryDataset ds = MakeDataset(
+      {{{0, 1, 2}, 1}, {{0, 1, 2}, 1}, {{0, 1, 2}, 0}});
+  MinerOptions opts;
+  FarmerResult r = MineFarmer(ds, opts);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].antecedent, (ItemVector{0, 1, 2}));
+  EXPECT_NEAR(r.groups[0].confidence, 2.0 / 3.0, 1e-12);
+  // Lower bounds: every single item already pins the full row set.
+  EXPECT_EQ(testing_util::AsSet(r.groups[0].lower_bounds),
+            testing_util::AsSet({{0}, {1}, {2}}));
+}
+
+TEST(FarmerEdgeTest, UbiquitousItemJoinsEveryAntecedent) {
+  // Item 9 occurs everywhere; every upper bound must contain it.
+  BinaryDataset ds = MakeDataset(
+      {{{0, 9}, 1}, {{1, 9}, 1}, {{0, 1, 9}, 0}});
+  MinerOptions opts;
+  opts.report_all_rule_groups = true;
+  FarmerResult r = MineFarmer(ds, opts);
+  ASSERT_FALSE(r.groups.empty());
+  for (const RuleGroup& g : r.groups) {
+    EXPECT_TRUE(std::binary_search(g.antecedent.begin(),
+                                   g.antecedent.end(), ItemId{9}))
+        << "antecedent missing the ubiquitous item";
+  }
+}
+
+TEST(FarmerEdgeTest, ConfidenceExactlyAtThresholdIsKept) {
+  // Rule {0} -> C has confidence exactly 0.5.
+  BinaryDataset ds = MakeDataset({{{0}, 1}, {{0}, 0}});
+  MinerOptions opts;
+  opts.min_confidence = 0.5;
+  FarmerResult r = MineFarmer(ds, opts);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.groups[0].confidence, 0.5);
+
+  opts.min_confidence = 0.5 + 1e-9;
+  EXPECT_TRUE(MineFarmer(ds, opts).groups.empty());
+}
+
+TEST(FarmerEdgeTest, SupportExactlyAtThresholdIsKept) {
+  BinaryDataset ds = MakeDataset({{{0}, 1}, {{0}, 1}, {{1}, 0}});
+  MinerOptions opts;
+  opts.min_support = 2;
+  FarmerResult r = MineFarmer(ds, opts);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].support_pos, 2u);
+  opts.min_support = 3;
+  EXPECT_TRUE(MineFarmer(ds, opts).groups.empty());
+}
+
+TEST(FarmerEdgeTest, ItemsWithEmptyTuplesAreIgnored) {
+  // Universe of 100 items, only 3 used.
+  BinaryDataset ds(100);
+  ds.AddRow({10, 50}, 1);
+  ds.AddRow({10, 90}, 0);
+  MinerOptions opts;
+  FarmerResult r = MineFarmer(ds, opts);
+  // Two IRGs: {10,50} -> C (conf 1) and the more general {10} -> C
+  // (conf 1/2, lower but still undominated at its generality).
+  ASSERT_EQ(r.groups.size(), 2u);
+  std::set<ItemVector> antecedents;
+  for (const RuleGroup& g : r.groups) antecedents.insert(g.antecedent);
+  EXPECT_TRUE(antecedents.count({10, 50}));
+  EXPECT_TRUE(antecedents.count({10}));
+}
+
+TEST(FarmerEdgeTest, SingleClassDatasetAllConfidenceOne) {
+  BinaryDataset ds = MakeDataset({{{0, 1}, 1}, {{0, 2}, 1}, {{1, 2}, 1}});
+  MinerOptions opts;
+  FarmerResult r = MineFarmer(ds, opts);
+  EXPECT_FALSE(r.groups.empty());
+  for (const RuleGroup& g : r.groups) {
+    EXPECT_DOUBLE_EQ(g.confidence, 1.0);
+    EXPECT_EQ(g.support_neg, 0u);
+    // Chi-square is degenerate (m == n) and must be 0.
+    EXPECT_DOUBLE_EQ(g.chi_square, 0.0);
+  }
+  // And the IRG filter keeps only the most general groups (conf ties go to
+  // the more general ones): every kept group must not be contained in
+  // another kept group's row set.
+  for (const RuleGroup& a : r.groups) {
+    for (const RuleGroup& b : r.groups) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(a.rows.IsProperSubsetOf(b.rows));
+    }
+  }
+}
+
+TEST(FarmerEdgeTest, TopKLargerThanResultIsHarmless) {
+  BinaryDataset ds = MakeDataset({{{0}, 1}, {{1}, 0}});
+  MinerOptions opts;
+  opts.top_k = 1000;
+  FarmerResult r = MineFarmer(ds, opts);
+  EXPECT_EQ(r.groups.size(), 1u);
+}
+
+TEST(FarmerEdgeTest, MatchesOracleOnPathologicalShapes) {
+  // Staircase rows: r_i = {0..i}.
+  std::vector<std::pair<std::vector<int>, int>> stairs;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<int> items;
+    for (int j = 0; j <= i; ++j) items.push_back(j);
+    stairs.push_back({items, i % 2});
+  }
+  BinaryDataset ds = MakeDataset(stairs);
+  MinerOptions opts;
+  opts.min_support = 1;
+  FarmerResult mined = MineFarmer(ds, opts);
+  std::vector<RuleGroup> expected = BruteForceIRGs(ds, opts);
+  ASSERT_EQ(mined.groups.size(), expected.size());
+
+  // Disjoint blocks: two item blocks never co-occurring.
+  BinaryDataset blocks = MakeDataset({{{0, 1}, 1},
+                                      {{0, 1}, 1},
+                                      {{2, 3}, 0},
+                                      {{2, 3}, 1}});
+  FarmerResult mined2 = MineFarmer(blocks, opts);
+  std::vector<RuleGroup> expected2 = BruteForceIRGs(blocks, opts);
+  EXPECT_EQ(mined2.groups.size(), expected2.size());
+}
+
+}  // namespace
+}  // namespace farmer

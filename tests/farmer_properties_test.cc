@@ -1,0 +1,194 @@
+// Cross-cutting properties of the FARMER miner beyond the direct oracle
+// comparisons in farmer_test.cc.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/farmer.h"
+#include "dataset/dataset.h"
+#include "tests/test_util.h"
+
+namespace farmer {
+namespace {
+
+using testing_util::MakeDataset;
+using testing_util::RandomDataset;
+
+using GroupSig = std::tuple<std::vector<std::size_t>, std::size_t,
+                            std::size_t>;
+
+std::set<GroupSig> Sigs(const std::vector<RuleGroup>& groups) {
+  std::set<GroupSig> out;
+  for (const RuleGroup& g : groups) {
+    out.emplace(g.rows.ToVector(), g.support_pos, g.support_neg);
+  }
+  return out;
+}
+
+TEST(FarmerPropertiesTest, DeterministicAcrossRuns) {
+  BinaryDataset ds = RandomDataset(12, 15, 0.45, 2024);
+  MinerOptions opts;
+  opts.min_support = 2;
+  FarmerResult a = MineFarmer(ds, opts);
+  FarmerResult b = MineFarmer(ds, opts);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_EQ(a.groups[i].rows, b.groups[i].rows);
+    EXPECT_EQ(a.groups[i].antecedent, b.groups[i].antecedent);
+    EXPECT_EQ(a.groups[i].lower_bounds, b.groups[i].lower_bounds);
+  }
+}
+
+TEST(FarmerPropertiesTest, RowOrderInvariance) {
+  // Mining must not depend on the input row order (the miner permutes
+  // internally); row sets are reported in the caller's ids.
+  BinaryDataset ds = RandomDataset(11, 13, 0.5, 31);
+  MinerOptions opts;
+  opts.min_support = 2;
+  opts.min_confidence = 0.5;
+  FarmerResult base = MineFarmer(ds, opts);
+
+  // Reverse the rows.
+  BinaryDataset reversed(ds.num_items());
+  for (RowId r = ds.num_rows(); r-- > 0;) {
+    reversed.AddRow(ds.row(r), ds.label(r));
+  }
+  FarmerResult rev = MineFarmer(reversed, opts);
+
+  // Map reversed row ids back.
+  std::set<GroupSig> remapped;
+  const std::size_t n = ds.num_rows();
+  for (const RuleGroup& g : rev.groups) {
+    std::vector<std::size_t> rows;
+    g.rows.ForEach([&](std::size_t r) { rows.push_back(n - 1 - r); });
+    std::sort(rows.begin(), rows.end());
+    remapped.emplace(rows, g.support_pos, g.support_neg);
+  }
+  EXPECT_EQ(Sigs(base.groups), remapped);
+}
+
+TEST(FarmerPropertiesTest, OtherConsequentMinesTheOtherClass) {
+  BinaryDataset ds = RandomDataset(10, 12, 0.5, 55);
+  MinerOptions opts;
+  opts.consequent = 0;
+  opts.min_support = 2;
+  FarmerResult mined = MineFarmer(ds, opts);
+  std::vector<RuleGroup> expected = BruteForceIRGs(ds, opts);
+  EXPECT_EQ(Sigs(mined.groups), Sigs(expected));
+  for (const RuleGroup& g : mined.groups) {
+    std::size_t class0 = 0;
+    g.rows.ForEach([&](std::size_t r) {
+      if (ds.label(static_cast<RowId>(r)) == 0) ++class0;
+    });
+    EXPECT_EQ(class0, g.support_pos);
+  }
+}
+
+TEST(FarmerPropertiesTest, ThreeClassDataset) {
+  // Labels 0/1/2; consequent 2 treats 0 and 1 jointly as ¬C.
+  BinaryDataset ds(6);
+  Rng rng(77);
+  for (int r = 0; r < 12; ++r) {
+    ItemVector items;
+    for (ItemId i = 0; i < 6; ++i) {
+      if (rng.NextBool(0.5)) items.push_back(i);
+    }
+    ds.AddRow(std::move(items), static_cast<ClassLabel>(r % 3));
+  }
+  MinerOptions opts;
+  opts.consequent = 2;
+  opts.min_support = 1;
+  FarmerResult mined = MineFarmer(ds, opts);
+  std::vector<RuleGroup> expected = BruteForceIRGs(ds, opts);
+  EXPECT_EQ(Sigs(mined.groups), Sigs(expected));
+}
+
+TEST(FarmerPropertiesTest, ReplicationScalesSupports) {
+  BinaryDataset ds = RandomDataset(8, 10, 0.5, 91);
+  MinerOptions opts;
+  opts.min_support = 2;
+  FarmerResult base = MineFarmer(ds, opts);
+
+  const std::size_t k = 3;
+  BinaryDataset big = ReplicateRows(ds, k);
+  MinerOptions big_opts = opts;
+  big_opts.min_support = opts.min_support * k;
+  FarmerResult scaled = MineFarmer(big, big_opts);
+
+  // Same groups, supports multiplied by k. (Confidence and chi-square are
+  // scale-sensitive only through supports; confidences match exactly.)
+  ASSERT_EQ(base.groups.size(), scaled.groups.size());
+  std::map<ItemVector, const RuleGroup*> by_antecedent;
+  for (const RuleGroup& g : scaled.groups) {
+    by_antecedent[g.antecedent] = &g;
+  }
+  for (const RuleGroup& g : base.groups) {
+    auto it = by_antecedent.find(g.antecedent);
+    ASSERT_NE(it, by_antecedent.end());
+    EXPECT_EQ(it->second->support_pos, g.support_pos * k);
+    EXPECT_EQ(it->second->support_neg, g.support_neg * k);
+    EXPECT_DOUBLE_EQ(it->second->confidence, g.confidence);
+  }
+}
+
+TEST(FarmerPropertiesTest, PartialTimeoutResultsAreSound) {
+  // Groups reported before the deadline fires must be exactly correct
+  // (subset of the full result with identical stats).
+  BinaryDataset ds = RandomDataset(13, 16, 0.5, 17);
+  MinerOptions full;
+  full.min_support = 1;
+  full.mine_lower_bounds = false;
+  FarmerResult complete = MineFarmer(ds, full);
+  const std::set<GroupSig> complete_sigs = Sigs(complete.groups);
+
+  for (double limit : {1e-5, 1e-4, 1e-3}) {
+    MinerOptions capped = full;
+    capped.deadline = Deadline::After(limit);
+    FarmerResult partial = MineFarmer(ds, capped);
+    if (!partial.stats.timed_out) continue;
+    for (const GroupSig& sig : Sigs(partial.groups)) {
+      EXPECT_TRUE(complete_sigs.count(sig))
+          << "partial result contains a group the full run rejects";
+    }
+  }
+}
+
+TEST(FarmerPropertiesTest, LowerBoundsAreMinimalAndDistinct) {
+  BinaryDataset ds = RandomDataset(10, 12, 0.5, 123);
+  MinerOptions opts;
+  opts.min_support = 1;
+  FarmerResult mined = MineFarmer(ds, opts);
+  for (const RuleGroup& g : mined.groups) {
+    for (std::size_t a = 0; a < g.lower_bounds.size(); ++a) {
+      // Each lower bound has the group's exact row support.
+      EXPECT_EQ(RowSupportSet(ds, g.lower_bounds[a]), g.rows);
+      for (std::size_t b = 0; b < g.lower_bounds.size(); ++b) {
+        if (a == b) continue;
+        // No lower bound contains another.
+        EXPECT_FALSE(std::includes(
+            g.lower_bounds[a].begin(), g.lower_bounds[a].end(),
+            g.lower_bounds[b].begin(), g.lower_bounds[b].end()))
+            << "lower bounds not minimal";
+      }
+    }
+  }
+}
+
+TEST(FarmerPropertiesTest, StatsCountersAreConsistent) {
+  BinaryDataset ds = RandomDataset(12, 14, 0.5, 66);
+  MinerOptions opts;
+  opts.min_support = 2;
+  opts.min_confidence = 0.6;
+  FarmerResult r = MineFarmer(ds, opts);
+  EXPECT_GT(r.stats.nodes_visited, 0u);
+  EXPECT_GE(r.stats.mine_seconds, 0.0);
+  EXPECT_EQ(r.num_rows, ds.num_rows());
+  EXPECT_EQ(r.num_consequent_rows, ds.CountLabel(1));
+}
+
+}  // namespace
+}  // namespace farmer

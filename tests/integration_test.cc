@@ -1,0 +1,208 @@
+// Integration tests across subsystems: the synthetic generator,
+// discretizers, FARMER, the closed-set baselines and the classifiers,
+// on datasets larger than the brute-force oracles can handle.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/charm.h"
+#include "baselines/closet.h"
+#include "core/farmer.h"
+#include "core/measures.h"
+#include "dataset/discretize.h"
+#include "dataset/synthetic.h"
+#include "tests/test_util.h"
+
+namespace farmer {
+namespace {
+
+// Derives the constrained IRGs from a complete closed-itemset listing —
+// an independent computation path to compare FARMER against.
+std::vector<RuleGroup> IrgsFromClosedSets(
+    const BinaryDataset& ds, const std::vector<ClosedItemset>& closed,
+    const MinerOptions& opts) {
+  const std::size_t n = ds.num_rows();
+  const std::size_t m = ds.CountLabel(opts.consequent);
+  std::vector<RuleGroup> passing;
+  for (const ClosedItemset& c : closed) {
+    RuleGroup g;
+    g.antecedent = c.items;
+    g.rows = c.rows;
+    c.rows.ForEach([&](std::size_t r) {
+      if (ds.label(static_cast<RowId>(r)) == opts.consequent) {
+        ++g.support_pos;
+      } else {
+        ++g.support_neg;
+      }
+    });
+    if (g.support_pos < opts.min_support) continue;
+    g.confidence = Confidence(g.support_pos, g.antecedent_support());
+    if (g.confidence < opts.min_confidence) continue;
+    g.chi_square = ChiSquare(g.antecedent_support(), g.support_pos, n, m);
+    if (opts.min_chi_square > 0 && g.chi_square < opts.min_chi_square) {
+      continue;
+    }
+    passing.push_back(std::move(g));
+  }
+  std::vector<RuleGroup> result;
+  for (const RuleGroup& g : passing) {
+    bool interesting = true;
+    for (const RuleGroup& other : passing) {
+      if (other.antecedent_support() > g.antecedent_support() &&
+          g.rows.IsSubsetOf(other.rows) &&
+          other.confidence >= g.confidence) {
+        interesting = false;
+        break;
+      }
+    }
+    if (interesting) result.push_back(g);
+  }
+  return result;
+}
+
+using GroupSig =
+    std::tuple<std::vector<std::size_t>, ItemVector, std::size_t>;
+
+std::set<GroupSig> Sigs(const std::vector<RuleGroup>& groups) {
+  std::set<GroupSig> out;
+  for (const RuleGroup& g : groups) {
+    out.emplace(g.rows.ToVector(), g.antecedent, g.support_pos);
+  }
+  return out;
+}
+
+BinaryDataset MidSizeDataset(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_rows = 26;
+  spec.num_genes = 60;
+  spec.num_class1 = 13;
+  spec.num_clusters = 4;
+  spec.seed = seed;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  return Discretization::FitEqualDepth(m, 4).Apply(m);
+}
+
+class MidSizeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MidSizeSweep, FarmerMatchesCharmDerivedIrgs) {
+  BinaryDataset ds = MidSizeDataset(GetParam());
+  MinerOptions opts;
+  opts.consequent = 1;
+  opts.min_support = 3;
+  opts.min_confidence = 0.7;
+  FarmerResult farmer_result = MineFarmer(ds, opts);
+  ASSERT_FALSE(farmer_result.stats.timed_out);
+
+  CharmOptions chopts;
+  chopts.min_support = 1;  // All closed sets; filtering happens after.
+  CharmResult charm = MineCharm(ds, chopts);
+  ASSERT_FALSE(charm.timed_out);
+  std::vector<RuleGroup> expected =
+      IrgsFromClosedSets(ds, charm.closed, opts);
+  EXPECT_EQ(Sigs(farmer_result.groups), Sigs(expected))
+      << "seed=" << GetParam();
+}
+
+TEST_P(MidSizeSweep, CharmAndClosetAgreeOnClosedSets) {
+  BinaryDataset ds = MidSizeDataset(GetParam() + 1000);
+  for (std::size_t minsup : {1u, 3u, 6u}) {
+    CharmOptions chopts;
+    chopts.min_support = minsup;
+    CharmResult charm = MineCharm(ds, chopts);
+    ClosetOptions clopts;
+    clopts.min_support = minsup;
+    ClosetResult closet = MineCloset(ds, clopts);
+    ASSERT_FALSE(charm.timed_out);
+    ASSERT_FALSE(closet.timed_out);
+
+    std::set<std::pair<ItemVector, std::size_t>> a, b;
+    for (const ClosedItemset& c : charm.closed) {
+      a.emplace(c.items, c.rows.Count());
+    }
+    for (const FrequentClosed& c : closet.closed) {
+      b.emplace(c.items, c.support);
+    }
+    EXPECT_EQ(a, b) << "seed=" << GetParam() << " minsup=" << minsup;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MidSizeSweep,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(IntegrationTest, FarmerAllGroupsEqualsCharmClosedSetsWithClassCounts) {
+  // report_all_rule_groups mode must enumerate exactly the closed sets
+  // whose positive support passes minsup.
+  BinaryDataset ds = MidSizeDataset(404);
+  MinerOptions opts;
+  opts.consequent = 1;
+  opts.min_support = 2;
+  opts.report_all_rule_groups = true;
+  opts.mine_lower_bounds = false;
+  FarmerResult farmer_result = MineFarmer(ds, opts);
+
+  CharmOptions chopts;
+  chopts.min_support = 1;
+  CharmResult charm = MineCharm(ds, chopts);
+  std::set<GroupSig> expected;
+  for (const ClosedItemset& c : charm.closed) {
+    std::size_t pos = 0;
+    c.rows.ForEach([&](std::size_t r) {
+      if (ds.label(static_cast<RowId>(r)) == 1) ++pos;
+    });
+    if (pos >= 2) expected.emplace(c.rows.ToVector(), c.items, pos);
+  }
+  EXPECT_EQ(Sigs(farmer_result.groups), expected);
+}
+
+TEST(IntegrationTest, EntropyPipelineEndToEnd) {
+  // Generate -> split -> entropy discretize -> mine -> every reported
+  // group's stats verify against the raw data.
+  SyntheticSpec spec;
+  spec.num_rows = 50;
+  spec.num_genes = 150;
+  spec.num_class1 = 25;
+  spec.num_clusters = 4;
+  spec.cluster_purity = 0.9;
+  spec.seed = 9;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  Discretization disc = Discretization::FitEntropyMdl(m);
+  BinaryDataset ds = disc.Apply(m);
+  ASSERT_GT(ds.num_items(), 0u);
+
+  MinerOptions opts;
+  opts.consequent = 1;
+  opts.min_support = 5;
+  opts.min_confidence = 0.8;
+  FarmerResult result = MineFarmer(ds, opts);
+  ASSERT_FALSE(result.stats.timed_out);
+  EXPECT_GT(result.groups.size(), 0u);
+  for (const RuleGroup& g : result.groups) {
+    // Recheck the rule against the raw expression matrix.
+    std::size_t pos = 0, neg = 0;
+    for (std::size_t r = 0; r < m.num_rows(); ++r) {
+      bool matches = true;
+      for (ItemId item : g.antecedent) {
+        const std::size_t gene = disc.GeneOfItem(item);
+        if (disc.ItemFor(gene, m.at(r, gene)) != item) {
+          matches = false;
+          break;
+        }
+      }
+      if (!matches) continue;
+      if (m.label(r) == 1) {
+        ++pos;
+      } else {
+        ++neg;
+      }
+    }
+    EXPECT_EQ(pos, g.support_pos);
+    EXPECT_EQ(neg, g.support_neg);
+    EXPECT_GE(g.confidence, 0.8);
+  }
+}
+
+}  // namespace
+}  // namespace farmer

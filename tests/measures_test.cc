@@ -1,0 +1,130 @@
+#include "core/measures.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace farmer {
+namespace {
+
+TEST(MeasuresTest, ConfidenceBasics) {
+  EXPECT_DOUBLE_EQ(Confidence(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Confidence(3, 4), 0.75);
+  EXPECT_DOUBLE_EQ(Confidence(4, 4), 1.0);
+}
+
+TEST(MeasuresTest, ChiSquareKnownTable) {
+  // Contingency: a=30, b=10, c=20, d=40 -> n=100, m=50, x=40, y=30.
+  // chi = n(ad-bc)^2 / (x m (n-x)(n-m))
+  //     = 100*(30*40-10*20)^2 / (40*50*60*50) = 100*1e6/6e6.
+  EXPECT_NEAR(ChiSquare(40, 30, 100, 50), 100.0 * 1000000.0 / 6000000.0,
+              1e-9);
+}
+
+TEST(MeasuresTest, ChiSquareDegenerateMarginsAreZero) {
+  EXPECT_DOUBLE_EQ(ChiSquare(0, 0, 10, 5), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquare(10, 5, 10, 5), 0.0);  // x == n.
+  EXPECT_DOUBLE_EQ(ChiSquare(4, 0, 10, 0), 0.0);   // m == 0.
+  EXPECT_DOUBLE_EQ(ChiSquare(4, 4, 10, 10), 0.0);  // m == n.
+}
+
+TEST(MeasuresTest, ChiSquareIndependenceIsZero) {
+  // When the antecedent is independent of the class the statistic is 0:
+  // x=40, y=20, n=100, m=50 -> y/x == m/n.
+  EXPECT_NEAR(ChiSquare(40, 20, 100, 50), 0.0, 1e-12);
+}
+
+TEST(MeasuresTest, LiftAndConviction) {
+  // conf=0.75, base=0.5 -> lift 1.5, conviction (1-0.5)/(1-0.75)=2.
+  EXPECT_NEAR(Lift(4, 3, 100, 50), 1.5, 1e-12);
+  EXPECT_NEAR(Conviction(4, 3, 100, 50), 2.0, 1e-12);
+  EXPECT_TRUE(std::isinf(Conviction(4, 4, 100, 50)));
+  EXPECT_DOUBLE_EQ(Lift(0, 0, 100, 50), 0.0);
+}
+
+TEST(MeasuresTest, EntropyGainOfPerfectSplit) {
+  // x=m, y=m: the antecedent exactly identifies the class -> gain = H(m/n).
+  const std::size_t n = 20, m = 8;
+  const double p = static_cast<double>(m) / n;
+  const double h = -p * std::log2(p) - (1 - p) * std::log2(1 - p);
+  EXPECT_NEAR(EntropyGain(m, m, n, m), h, 1e-12);
+  EXPECT_NEAR(EntropyGain(10, 4, 20, 8), 0.0, 1e-12);  // Independent.
+}
+
+// Property: the subtree upper bounds dominate the measure at every
+// feasible descendant point of the parallelogram.
+TEST(MeasuresTest, UpperBoundsDominateFeasibleRegion) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 4 + rng.NextBelow(40);
+    const std::size_t m = 1 + rng.NextBelow(n - 1);
+    const std::size_t y = rng.NextBelow(m + 1);
+    const std::size_t x = y + rng.NextBelow(n - m + 1);  // x-y <= n-m.
+    if (x == 0) continue;
+    const double chi_ub = ChiSquareUpperBound(x, y, n, m);
+    const double eg_ub = EntropyGainUpperBound(x, y, n, m);
+    // Descendants: y' in [y, m], x'-y' in [x-y, n-m], y' <= x'.
+    for (std::size_t y2 = y; y2 <= m; ++y2) {
+      for (std::size_t neg = x - y; neg <= n - m; ++neg) {
+        const std::size_t x2 = y2 + neg;
+        EXPECT_LE(ChiSquare(x2, y2, n, m), chi_ub + 1e-9)
+            << "x=" << x << " y=" << y << " x2=" << x2 << " y2=" << y2
+            << " n=" << n << " m=" << m;
+        EXPECT_LE(EntropyGain(x2, y2, n, m), eg_ub + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(MeasuresTest, GiniGainValues) {
+  // Perfect split: gain equals the base impurity 2p(1-p).
+  const std::size_t n = 20, m = 8;
+  const double p = static_cast<double>(m) / n;
+  EXPECT_NEAR(GiniGain(m, m, n, m), 2 * p * (1 - p), 1e-12);
+  EXPECT_NEAR(GiniGain(10, 4, 20, 8), 0.0, 1e-12);  // Independent.
+  EXPECT_DOUBLE_EQ(GiniGain(0, 0, 20, 8), 0.0);
+}
+
+TEST(MeasuresTest, PhiCoefficientValues) {
+  // Perfect positive association: phi = 1.
+  EXPECT_NEAR(PhiCoefficient(8, 8, 20, 8), 1.0, 1e-12);
+  // Independence: phi = 0.
+  EXPECT_NEAR(PhiCoefficient(10, 4, 20, 8), 0.0, 1e-12);
+  // Perfect negative association (A covers exactly the non-C rows).
+  EXPECT_NEAR(PhiCoefficient(12, 0, 20, 8), -1.0, 1e-12);
+  // phi^2 * n == chi-square.
+  EXPECT_NEAR(PhiCoefficient(40, 30, 100, 50) *
+                  PhiCoefficient(40, 30, 100, 50) * 100,
+              ChiSquare(40, 30, 100, 50), 1e-9);
+}
+
+TEST(MeasuresTest, GiniAndPhiBoundsDominateFeasibleRegion) {
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 4 + rng.NextBelow(30);
+    const std::size_t m = 1 + rng.NextBelow(n - 1);
+    const std::size_t y = rng.NextBelow(m + 1);
+    const std::size_t x = y + rng.NextBelow(n - m + 1);
+    if (x == 0) continue;
+    const double gini_ub = GiniGainUpperBound(x, y, n, m);
+    const double phi_ub = PhiUpperBound(x, y, n, m);
+    for (std::size_t y2 = y; y2 <= m; ++y2) {
+      for (std::size_t neg = x - y; neg <= n - m; ++neg) {
+        const std::size_t x2 = y2 + neg;
+        EXPECT_LE(GiniGain(x2, y2, n, m), gini_ub + 1e-9);
+        EXPECT_LE(PhiCoefficient(x2, y2, n, m), phi_ub + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(MeasuresTest, ConfidenceDerivedBounds) {
+  EXPECT_NEAR(LiftUpperBound(0.8, 100, 40), 2.0, 1e-12);
+  EXPECT_TRUE(std::isinf(ConvictionUpperBound(1.0, 100, 40)));
+  EXPECT_NEAR(ConvictionUpperBound(0.5, 100, 40), 0.6 / 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace farmer

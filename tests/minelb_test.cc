@@ -1,0 +1,116 @@
+#include "core/minelb.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "tests/test_util.h"
+
+namespace farmer {
+namespace {
+
+using testing_util::AsSet;
+using testing_util::MakeDataset;
+using testing_util::RandomDataset;
+
+TEST(MineLbTest, PaperExampleSeven) {
+  // Example 7: upper bound antecedent A = abcde; other rows r1 = abcf,
+  // r2 = cdeg. Expected lower bounds: {ad, bd, ae, be}.
+  // Build a dataset where some row set supports abcde: one row abcde
+  // (class 1) plus the two interfering rows.
+  BinaryDataset ds = MakeDataset({
+      {{0, 1, 2, 3, 4}, 1},  // abcde
+      {{0, 1, 2, 5}, 0},     // abcf
+      {{2, 3, 4, 6}, 0},     // cdeg
+  });
+  const ItemVector antecedent = {0, 1, 2, 3, 4};
+  Bitset rows(3);
+  rows.Set(0);
+  LowerBoundResult lb = MineLowerBounds(ds, antecedent, rows);
+  EXPECT_FALSE(lb.truncated);
+  EXPECT_EQ(AsSet(lb.lower_bounds),
+            AsSet({{0, 3}, {1, 3}, {0, 4}, {1, 4}}));
+}
+
+TEST(MineLbTest, SingletonAntecedent) {
+  BinaryDataset ds = MakeDataset({{{0, 1}, 1}, {{1}, 0}});
+  Bitset rows(2);
+  rows.Set(0);
+  LowerBoundResult lb = MineLowerBounds(ds, {0, 1}, rows);
+  // Item 0 alone identifies row 0; item 1 does not.
+  EXPECT_EQ(AsSet(lb.lower_bounds), AsSet({{0}}));
+}
+
+TEST(MineLbTest, NoInterferingRowsYieldSingletons) {
+  // When the antecedent's rows are the whole dataset, every single item of
+  // the antecedent is already a lower bound.
+  BinaryDataset ds = MakeDataset({{{0, 1, 2}, 1}, {{0, 1, 2}, 0}});
+  Bitset rows(2);
+  rows.Set(0);
+  rows.Set(1);
+  LowerBoundResult lb = MineLowerBounds(ds, {0, 1, 2}, rows);
+  EXPECT_EQ(AsSet(lb.lower_bounds), AsSet({{0}, {1}, {2}}));
+}
+
+TEST(MineLbTest, CandidateCapSetsTruncatedFlag) {
+  // Force an update step whose candidate cross-product exceeds the cap.
+  BinaryDataset ds = MakeDataset({
+      {{0, 1, 2, 3, 4, 5, 6, 7}, 1},
+      {{0, 1, 2, 3}, 0},  // A' = {0,1,2,3}: 4 bounds × 4 missing = 16.
+  });
+  Bitset rows(2);
+  rows.Set(0);
+  LowerBoundResult lb =
+      MineLowerBounds(ds, {0, 1, 2, 3, 4, 5, 6, 7}, rows, 8);
+  EXPECT_TRUE(lb.truncated);
+}
+
+// Property: MineLB equals the exhaustive minimal-subset search on random
+// data, for every rule group of the dataset.
+class MineLbSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MineLbSweepTest, MatchesBruteForceOnAllRuleGroups) {
+  BinaryDataset ds = RandomDataset(8, 10, 0.5, GetParam());
+  for (const RuleGroup& g : BruteForceAllRuleGroups(ds, 1)) {
+    if (g.antecedent.size() > 12) continue;  // Keep the oracle tractable.
+    LowerBoundResult lb = MineLowerBounds(ds, g.antecedent, g.rows);
+    ASSERT_FALSE(lb.truncated);
+    EXPECT_EQ(AsSet(lb.lower_bounds),
+              AsSet(BruteForceLowerBounds(ds, g.antecedent, g.rows)))
+        << "seed=" << GetParam()
+        << " antecedent size=" << g.antecedent.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatasets, MineLbSweepTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// Denser sweep: larger antecedents stress the incremental update.
+class MineLbDenseTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MineLbDenseTest, MatchesBruteForceOnDenseRows) {
+  BinaryDataset ds = RandomDataset(7, 14, 0.8, GetParam());
+  for (const RuleGroup& g : BruteForceAllRuleGroups(ds, 1)) {
+    if (g.antecedent.size() > 14) continue;
+    LowerBoundResult lb = MineLowerBounds(ds, g.antecedent, g.rows);
+    ASSERT_FALSE(lb.truncated);
+    EXPECT_EQ(AsSet(lb.lower_bounds),
+              AsSet(BruteForceLowerBounds(ds, g.antecedent, g.rows)))
+        << "seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DenseDatasets, MineLbDenseTest,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+TEST(MineLbTest, LowerBoundsHaveSameSupportAsUpperBound) {
+  BinaryDataset ds = RandomDataset(10, 12, 0.45, 5);
+  for (const RuleGroup& g : BruteForceAllRuleGroups(ds, 1)) {
+    LowerBoundResult lb = MineLowerBounds(ds, g.antecedent, g.rows);
+    for (const ItemVector& bound : lb.lower_bounds) {
+      EXPECT_EQ(RowSupportSet(ds, bound), g.rows);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace farmer

@@ -1,0 +1,107 @@
+#include "core/rule_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/farmer.h"
+#include "tests/test_util.h"
+
+namespace farmer {
+namespace {
+
+TEST(RuleIoTest, RoundTripMinedGroups) {
+  BinaryDataset ds = testing_util::RandomDataset(10, 12, 0.5, 77);
+  MinerOptions opts;
+  opts.min_support = 2;
+  FarmerResult mined = MineFarmer(ds, opts);
+  ASSERT_FALSE(mined.groups.empty());
+
+  const std::string path = ::testing::TempDir() + "/rules_roundtrip.txt";
+  ASSERT_TRUE(SaveRuleGroups(mined.groups, ds.num_rows(), path).ok());
+
+  std::vector<RuleGroup> loaded;
+  std::size_t num_rows = 0;
+  ASSERT_TRUE(LoadRuleGroups(path, &loaded, &num_rows).ok());
+  EXPECT_EQ(num_rows, ds.num_rows());
+  ASSERT_EQ(loaded.size(), mined.groups.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].antecedent, mined.groups[i].antecedent);
+    EXPECT_EQ(loaded[i].rows, mined.groups[i].rows);
+    EXPECT_EQ(loaded[i].support_pos, mined.groups[i].support_pos);
+    EXPECT_EQ(loaded[i].support_neg, mined.groups[i].support_neg);
+    EXPECT_DOUBLE_EQ(loaded[i].confidence, mined.groups[i].confidence);
+    EXPECT_DOUBLE_EQ(loaded[i].chi_square, mined.groups[i].chi_square);
+    EXPECT_EQ(loaded[i].lower_bounds, mined.groups[i].lower_bounds);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RuleIoTest, EmptyGroupListRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/rules_empty.txt";
+  ASSERT_TRUE(SaveRuleGroups({}, 5, path).ok());
+  std::vector<RuleGroup> loaded;
+  std::size_t num_rows = 0;
+  ASSERT_TRUE(LoadRuleGroups(path, &loaded, &num_rows).ok());
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_EQ(num_rows, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(RuleIoTest, RejectsMalformedFiles) {
+  const std::string path = ::testing::TempDir() + "/rules_bad.txt";
+  std::vector<RuleGroup> loaded;
+  std::size_t num_rows = 0;
+
+  const char* cases[] = {
+      "not-a-header\n",
+      "farmer-rules v2 10\n",                          // Wrong version.
+      "farmer-rules v1 4\nrows 0 1\n",                 // rows before group.
+      "farmer-rules v1 4\ngroup 1 0 1 0\nrows 9\nend\n",  // Row range.
+      "farmer-rules v1 4\ngroup 1 0 1 0\nrows 0 1\nend\n",  // Count clash.
+      "farmer-rules v1 4\ngroup 1 0 1 0\nrows 0\nupper 3\n",  // Truncated.
+      "farmer-rules v1 4\ngroup 1 0 1 0\nwat 1\nend\n",   // Unknown tag.
+  };
+  for (const char* contents : cases) {
+    {
+      std::ofstream os(path);
+      os << contents;
+    }
+    Status s = LoadRuleGroups(path, &loaded, &num_rows);
+    EXPECT_FALSE(s.ok()) << "accepted malformed file:\n" << contents;
+  }
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(
+      LoadRuleGroups("/nonexistent/rules.txt", &loaded, &num_rows)
+          .IsIoError());
+}
+
+TEST(RuleIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string path = ::testing::TempDir() + "/rules_comment.txt";
+  {
+    std::ofstream os(path);
+    os << "farmer-rules v1 3\n"
+       << "# a comment\n"
+       << "\n"
+       << "group 1 1 0.5 0\n"
+       << "rows 0 2\n"
+       << "upper 4 7\n"
+       << "lower 4\n"
+       << "end\n";
+  }
+  std::vector<RuleGroup> loaded;
+  std::size_t num_rows = 0;
+  ASSERT_TRUE(LoadRuleGroups(path, &loaded, &num_rows).ok());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].antecedent, (ItemVector{4, 7}));
+  EXPECT_EQ(loaded[0].lower_bounds,
+            (std::vector<ItemVector>{{4}}));
+  EXPECT_EQ(loaded[0].rows.ToVector(),
+            (std::vector<std::size_t>{0, 2}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace farmer

@@ -1,0 +1,57 @@
+#include "core/rule.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace farmer {
+namespace {
+
+TEST(RuleGroupTest, AntecedentSupport) {
+  RuleGroup g;
+  g.support_pos = 3;
+  g.support_neg = 2;
+  EXPECT_EQ(g.antecedent_support(), 5u);
+}
+
+TEST(FormatRuleGroupTest, RendersNamesAndStats) {
+  BinaryDataset ds = testing_util::MakeDataset({{{0, 1}, 1}});
+  ds.set_item_names({"geneA:high", "geneB:low"});
+  RuleGroup g;
+  g.antecedent = {0, 1};
+  g.rows = Bitset(1);
+  g.rows.Set(0);
+  g.support_pos = 1;
+  g.confidence = 1.0;
+  g.chi_square = 0.0;
+  const std::string s = FormatRuleGroup(g, ds, "cancer");
+  EXPECT_NE(s.find("geneA:high,geneB:low"), std::string::npos) << s;
+  EXPECT_NE(s.find("-> cancer"), std::string::npos) << s;
+  EXPECT_NE(s.find("sup=1"), std::string::npos) << s;
+  EXPECT_NE(s.find("conf=1"), std::string::npos) << s;
+}
+
+TEST(FormatRuleGroupTest, UnstoredAntecedent) {
+  BinaryDataset ds = testing_util::MakeDataset({{{0}, 1}, {{0}, 0}});
+  RuleGroup g;
+  g.rows = Bitset(2);
+  g.rows.Set(0);
+  g.rows.Set(1);
+  g.support_pos = 1;
+  g.support_neg = 1;
+  const std::string s = FormatRuleGroup(g, ds, "C");
+  EXPECT_NE(s.find("unstored antecedent of 2 rows"), std::string::npos) << s;
+}
+
+TEST(FormatRuleGroupTest, ReportsLowerBoundCount) {
+  BinaryDataset ds = testing_util::MakeDataset({{{0, 1}, 1}});
+  RuleGroup g;
+  g.antecedent = {0};
+  g.rows = Bitset(1);
+  g.lower_bounds = {{0}};
+  const std::string s = FormatRuleGroup(g, ds, "C");
+  EXPECT_NE(s.find("lower_bounds=1"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace farmer

@@ -1,0 +1,207 @@
+#include "dataset/synthetic.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "dataset/discretize.h"
+#include "dataset/io.h"
+#include "dataset/transpose.h"
+
+namespace farmer {
+namespace {
+
+TEST(SyntheticTest, GeneratesRequestedShape) {
+  SyntheticSpec spec;
+  spec.num_rows = 50;
+  spec.num_genes = 200;
+  spec.num_class1 = 20;
+  spec.seed = 42;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  EXPECT_EQ(m.num_rows(), 50u);
+  EXPECT_EQ(m.num_genes(), 200u);
+  EXPECT_EQ(m.CountLabel(1), 20u);
+  EXPECT_EQ(m.CountLabel(0), 30u);
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  SyntheticSpec spec;
+  spec.num_rows = 20;
+  spec.num_genes = 30;
+  spec.num_class1 = 10;
+  spec.seed = 7;
+  ExpressionMatrix a = GenerateSynthetic(spec);
+  ExpressionMatrix b = GenerateSynthetic(spec);
+  for (std::size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.label(r), b.label(r));
+    for (std::size_t g = 0; g < a.num_genes(); ++g) {
+      EXPECT_DOUBLE_EQ(a.at(r, g), b.at(r, g));
+    }
+  }
+  spec.seed = 8;
+  ExpressionMatrix c = GenerateSynthetic(spec);
+  bool differs = false;
+  for (std::size_t g = 0; g < a.num_genes() && !differs; ++g) {
+    differs = a.at(0, g) != c.at(0, g);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticTest, ClusterStructureIsClassCorrelated) {
+  // After entropy discretization, a dataset with class-biased clusters
+  // must keep a reasonable number of informative genes; pure noise
+  // (p_informative = 0) must not.
+  SyntheticSpec spec;
+  spec.num_rows = 60;
+  spec.num_genes = 300;
+  spec.num_class1 = 30;
+  spec.num_clusters = 4;
+  spec.cluster_purity = 0.9;
+  spec.seed = 5;
+  ExpressionMatrix with_signal = GenerateSynthetic(spec);
+  Discretization d1 = Discretization::FitEntropyMdl(with_signal);
+  EXPECT_GT(d1.num_kept_genes(), 10u);
+
+  SyntheticSpec noise = spec;
+  noise.p_informative = 0.0;
+  ExpressionMatrix pure_noise = GenerateSynthetic(noise);
+  Discretization d2 = Discretization::FitEntropyMdl(pure_noise);
+  EXPECT_LT(d2.num_kept_genes(), d1.num_kept_genes());
+}
+
+TEST(SyntheticTest, SameClusterRowsShareManyDiscretizedItems) {
+  // The property the efficiency benches rely on: strong inter-sample
+  // correlation, i.e. pairs of rows sharing many items after equal-depth
+  // discretization (real microarray samples cluster by subtype).
+  SyntheticSpec spec;
+  spec.num_rows = 50;
+  spec.num_genes = 400;
+  spec.num_class1 = 25;
+  spec.num_clusters = 5;
+  spec.seed = 6;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  BinaryDataset ds = Discretization::FitEqualDepth(m, 10).Apply(m);
+  // Count the largest pairwise row intersection.
+  std::size_t best = 0;
+  for (RowId a = 0; a < ds.num_rows(); ++a) {
+    for (RowId b = a + 1; b < ds.num_rows(); ++b) {
+      ItemVector shared;
+      std::set_intersection(ds.row(a).begin(), ds.row(a).end(),
+                            ds.row(b).begin(), ds.row(b).end(),
+                            std::back_inserter(shared));
+      best = std::max(best, shared.size());
+    }
+  }
+  // Independent rows would share ~40 items (400 genes / 10 buckets);
+  // same-cluster rows must share several times that.
+  EXPECT_GT(best, 120u);
+}
+
+TEST(SyntheticTest, PaperDatasetSpecsMatchTableOne) {
+  struct Expect {
+    const char* name;
+    std::size_t rows, cols, class1;
+  };
+  const Expect expected[] = {{"BC", 97, 24481, 46},
+                             {"LC", 181, 12533, 31},
+                             {"CT", 62, 2000, 40},
+                             {"PC", 136, 12600, 52},
+                             {"ALL", 72, 7129, 47}};
+  for (const Expect& e : expected) {
+    SyntheticSpec spec = PaperDatasetSpec(e.name, 1.0);
+    EXPECT_EQ(spec.num_rows, e.rows) << e.name;
+    EXPECT_EQ(spec.num_genes, e.cols) << e.name;
+    EXPECT_EQ(spec.num_class1, e.class1) << e.name;
+  }
+  // Column scaling shrinks genes but never the rows.
+  SyntheticSpec scaled = PaperDatasetSpec("BC", 0.05);
+  EXPECT_EQ(scaled.num_rows, 97u);
+  EXPECT_EQ(scaled.num_genes, 1224u);
+  EXPECT_THROW(PaperDatasetSpec("nope", 1.0), std::invalid_argument);
+}
+
+TEST(SyntheticTest, PaperSplitSizesMatchTableTwo) {
+  EXPECT_EQ(PaperSplitSizes("BC").train, 78u);
+  EXPECT_EQ(PaperSplitSizes("BC").test, 19u);
+  EXPECT_EQ(PaperSplitSizes("LC").train, 32u);
+  EXPECT_EQ(PaperSplitSizes("LC").test, 149u);
+  EXPECT_EQ(PaperSplitSizes("ALL").train, 38u);
+  EXPECT_EQ(PaperSplitSizes("ALL").test, 34u);
+}
+
+TEST(TransposeTest, BuildMatchesDataset) {
+  SyntheticSpec spec;
+  spec.num_rows = 25;
+  spec.num_genes = 15;
+  spec.num_class1 = 12;
+  spec.seed = 9;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  BinaryDataset ds = Discretization::FitEqualDepth(m, 4).Apply(m);
+  TransposedTable tt = TransposedTable::Build(ds);
+  ASSERT_EQ(tt.num_items(), ds.num_items());
+  EXPECT_EQ(tt.num_rows(), ds.num_rows());
+  for (ItemId i = 0; i < tt.num_items(); ++i) {
+    for (RowId r : tt.tuple(i)) {
+      EXPECT_TRUE(ds.RowContains(r, i));
+    }
+  }
+  std::size_t total = 0;
+  for (ItemId i = 0; i < tt.num_items(); ++i) total += tt.tuple(i).size();
+  std::size_t expected = 0;
+  for (RowId r = 0; r < ds.num_rows(); ++r) expected += ds.row(r).size();
+  EXPECT_EQ(total, expected);
+
+  const std::vector<ItemId> by_len = tt.ItemsByTupleLength();
+  for (std::size_t k = 1; k < by_len.size(); ++k) {
+    EXPECT_LE(tt.tuple(by_len[k - 1]).size(), tt.tuple(by_len[k]).size());
+  }
+}
+
+TEST(ExpressionCsvTest, RoundTrip) {
+  SyntheticSpec spec;
+  spec.num_rows = 10;
+  spec.num_genes = 6;
+  spec.num_class1 = 4;
+  spec.seed = 11;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  const std::string path = ::testing::TempDir() + "/expr_roundtrip.csv";
+  ASSERT_TRUE(SaveExpressionCsv(m, path).ok());
+  ExpressionMatrix loaded;
+  ASSERT_TRUE(LoadExpressionCsv(path, &loaded).ok());
+  ASSERT_EQ(loaded.num_rows(), m.num_rows());
+  ASSERT_EQ(loaded.num_genes(), m.num_genes());
+  for (std::size_t r = 0; r < m.num_rows(); ++r) {
+    EXPECT_EQ(loaded.label(r), m.label(r));
+    for (std::size_t g = 0; g < m.num_genes(); ++g) {
+      EXPECT_NEAR(loaded.at(r, g), m.at(r, g), 1e-6);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ExpressionCsvTest, RejectsMalformedHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/expr_bad.csv";
+  ExpressionMatrix out;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("gene0,gene1\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadExpressionCsv(path, &out).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("class,g0\n1,2.5\n0,notanumber\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadExpressionCsv(path, &out).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("class,g0\n1,1.0,2.0\n", f);  // Too many fields.
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadExpressionCsv(path, &out).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace farmer

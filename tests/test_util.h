@@ -1,0 +1,73 @@
+#ifndef FARMER_TESTS_TEST_UTIL_H_
+#define FARMER_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dataset/types.h"
+#include "util/rng.h"
+
+namespace farmer {
+namespace testing_util {
+
+/// Builds a dataset from explicit rows: each row a (items, label) pair.
+/// Items may be unsorted; the universe is inferred.
+inline BinaryDataset MakeDataset(
+    const std::vector<std::pair<std::vector<int>, int>>& rows) {
+  std::size_t num_items = 0;
+  for (const auto& [items, label] : rows) {
+    for (int i : items) {
+      num_items = std::max<std::size_t>(num_items, i + 1u);
+    }
+  }
+  BinaryDataset ds(num_items);
+  for (const auto& [items, label] : rows) {
+    ItemVector sorted(items.begin(), items.end());
+    std::sort(sorted.begin(), sorted.end());
+    ds.AddRow(std::move(sorted), static_cast<ClassLabel>(label));
+  }
+  return ds;
+}
+
+/// The paper's running example (Figure 1(a)): items a..t mapped to 0..19,
+/// rows 1..5 mapped to 0..4; rows 0..2 labeled C=1, rows 3..4 labeled 0.
+inline BinaryDataset PaperExampleDataset() {
+  auto ch = [](char c) { return c - 'a'; };
+  return MakeDataset({
+      {{ch('a'), ch('b'), ch('c'), ch('l'), ch('o'), ch('s')}, 1},
+      {{ch('a'), ch('d'), ch('e'), ch('h'), ch('p'), ch('l'), ch('r')}, 1},
+      {{ch('a'), ch('c'), ch('e'), ch('h'), ch('o'), ch('q'), ch('t')}, 1},
+      {{ch('a'), ch('e'), ch('f'), ch('h'), ch('p'), ch('r')}, 0},
+      {{ch('b'), ch('d'), ch('f'), ch('g'), ch('l'), ch('q'), ch('s'),
+        ch('t')}, 0},
+  });
+}
+
+/// A random dataset for property tests: `rows` rows over `items` items,
+/// each item present with probability `density`, labels split roughly
+/// half/half. Deterministic in `seed`.
+inline BinaryDataset RandomDataset(std::size_t rows, std::size_t items,
+                                   double density, std::uint64_t seed) {
+  Rng rng(seed);
+  BinaryDataset ds(items);
+  for (std::size_t r = 0; r < rows; ++r) {
+    ItemVector row;
+    for (ItemId i = 0; i < items; ++i) {
+      if (rng.NextBool(density)) row.push_back(i);
+    }
+    ds.AddRow(std::move(row), static_cast<ClassLabel>(rng.NextBool(0.5)));
+  }
+  return ds;
+}
+
+/// Canonical form of a set of itemsets for order-independent comparison.
+inline std::set<ItemVector> AsSet(const std::vector<ItemVector>& itemsets) {
+  return std::set<ItemVector>(itemsets.begin(), itemsets.end());
+}
+
+}  // namespace testing_util
+}  // namespace farmer
+
+#endif  // FARMER_TESTS_TEST_UTIL_H_

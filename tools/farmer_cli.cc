@@ -1,0 +1,368 @@
+// farmer_cli — command-line front end for the FARMER library.
+//
+//   farmer_cli generate --name BC --scale 0.05 --out data.csv
+//   farmer_cli stats    --in data.csv
+//   farmer_cli mine     --in data.csv --minsup 5 --minconf 0.9 --minchi 10
+//   farmer_cli classify --in data.csv --train 60 --method irg
+//
+// Datasets are expression CSVs in the format of LoadExpressionCsv
+// (`class,<gene>,...` header; one sample per line).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <algorithm>
+
+#include "classify/cba.h"
+#include "classify/evaluation.h"
+#include "classify/irg_classifier.h"
+#include "classify/svm.h"
+#include "core/farmer.h"
+#include "core/rule.h"
+#include "core/rule_io.h"
+#include "dataset/discretize.h"
+#include "dataset/io.h"
+#include "dataset/synthetic.h"
+
+namespace {
+
+using namespace farmer;
+
+// Minimal --flag value parser: flags["--in"] == "data.csv".
+struct Args {
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atol(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+Args ParseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      args.flags[key] = argv[++i];
+    } else {
+      args.flags[key] = "1";
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: farmer_cli <command> [flags]\n\n"
+               "commands:\n"
+               "  generate  --out FILE [--name BC|LC|CT|PC|ALL] "
+               "[--scale F] [--rows N --genes N --class1 N] [--seed N]\n"
+               "  stats     --in FILE [--buckets N | --entropy]\n"
+               "  mine      --in FILE [--minsup N] [--minconf F] "
+               "[--minchi F] [--minlift F] [--minconviction F]\n"
+               "            [--minentropy F] [--mingini F] [--mincorr F] "
+               "[--consequent N]\n"
+               "            [--buckets N | --entropy] [--topk K] "
+               "[--all-groups] [--no-lower-bounds]\n"
+               "            [--timeout S] [--max N] [--out FILE] "
+               "[--model-out PREFIX]\n"
+               "  predict   --in FILE --model PREFIX\n"
+               "  classify  --in FILE --train N [--method irg|cba|svm] "
+               "[--seed N] [--minsup-frac F] [--minconf F]\n");
+  return 2;
+}
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string out = args.Get("--out");
+  if (out.empty()) return Usage();
+  SyntheticSpec spec;
+  if (args.Has("--name")) {
+    spec = PaperDatasetSpec(args.Get("--name"),
+                            args.GetDouble("--scale", 0.05));
+  } else {
+    spec.num_rows = static_cast<std::size_t>(args.GetInt("--rows", 100));
+    spec.num_genes = static_cast<std::size_t>(args.GetInt("--genes", 1000));
+    spec.num_class1 =
+        static_cast<std::size_t>(args.GetInt("--class1", spec.num_rows / 2));
+  }
+  if (args.Has("--seed")) {
+    spec.seed = static_cast<std::uint64_t>(args.GetInt("--seed", 1));
+  }
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  Status s = SaveExpressionCsv(m, out);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %zu samples x %zu genes (%zu class-1) to %s\n",
+              m.num_rows(), m.num_genes(), m.CountLabel(1), out.c_str());
+  return 0;
+}
+
+// Loads + discretizes per the shared flags; returns false on failure.
+bool LoadAndDiscretize(const Args& args, ExpressionMatrix* matrix,
+                       Discretization* disc, BinaryDataset* dataset) {
+  Status s = LoadExpressionCsv(args.Get("--in"), matrix);
+  if (!s.ok()) {
+    Fail(s);
+    return false;
+  }
+  if (args.Has("--entropy")) {
+    *disc = Discretization::FitEntropyMdl(*matrix);
+  } else {
+    *disc = Discretization::FitEqualDepth(
+        *matrix, static_cast<int>(args.GetInt("--buckets", 10)));
+  }
+  *dataset = disc->Apply(*matrix);
+  dataset->set_item_names(disc->MakeItemNames(*matrix));
+  return true;
+}
+
+int CmdStats(const Args& args) {
+  if (!args.Has("--in")) return Usage();
+  ExpressionMatrix matrix;
+  Discretization disc;
+  BinaryDataset dataset;
+  if (!LoadAndDiscretize(args, &matrix, &disc, &dataset)) return 1;
+  std::printf("samples:        %zu\n", matrix.num_rows());
+  std::printf("genes:          %zu\n", matrix.num_genes());
+  std::printf("classes:        %zu\n", dataset.num_classes());
+  for (std::size_t c = 0; c < dataset.num_classes(); ++c) {
+    std::printf("  class %zu:      %zu rows\n", c,
+                dataset.CountLabel(static_cast<ClassLabel>(c)));
+  }
+  std::printf("kept genes:     %zu\n", disc.num_kept_genes());
+  std::printf("items:          %zu\n", dataset.num_items());
+  std::printf("avg row length: %.1f\n", dataset.AverageRowLength());
+  return 0;
+}
+
+int CmdMine(const Args& args) {
+  if (!args.Has("--in")) return Usage();
+  ExpressionMatrix matrix;
+  Discretization disc;
+  BinaryDataset dataset;
+  if (!LoadAndDiscretize(args, &matrix, &disc, &dataset)) return 1;
+
+  MinerOptions opts;
+  opts.consequent =
+      static_cast<ClassLabel>(args.GetInt("--consequent", 1));
+  opts.min_support = static_cast<std::size_t>(args.GetInt("--minsup", 1));
+  opts.min_confidence = args.GetDouble("--minconf", 0.0);
+  opts.min_chi_square = args.GetDouble("--minchi", 0.0);
+  opts.min_lift = args.GetDouble("--minlift", 0.0);
+  opts.min_conviction = args.GetDouble("--minconviction", 0.0);
+  opts.min_entropy_gain = args.GetDouble("--minentropy", 0.0);
+  opts.min_gini_gain = args.GetDouble("--mingini", 0.0);
+  opts.min_correlation = args.GetDouble("--mincorr", 0.0);
+  opts.top_k = static_cast<std::size_t>(args.GetInt("--topk", 0));
+  opts.report_all_rule_groups = args.Has("--all-groups");
+  opts.mine_lower_bounds = !args.Has("--no-lower-bounds");
+  const double timeout = args.GetDouble("--timeout", 0.0);
+  if (timeout > 0) opts.deadline = Deadline::After(timeout);
+
+  FarmerResult result = MineFarmer(dataset, opts);
+  std::fprintf(stderr,
+               "%zu rule groups, %zu nodes, %.3fs mining + %.3fs lower "
+               "bounds%s\n",
+               result.groups.size(), result.stats.nodes_visited,
+               result.stats.mine_seconds,
+               result.stats.lower_bound_seconds,
+               result.stats.timed_out ? " (TIMED OUT, partial)" : "");
+
+  std::FILE* out = stdout;
+  const std::string out_path = args.Get("--out");
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      return Fail(Status::IoError("cannot open " + out_path));
+    }
+  }
+  const std::size_t limit =
+      static_cast<std::size_t>(args.GetInt("--max", 100));
+  std::size_t shown = 0;
+  const std::string consequent_name =
+      "class" + std::to_string(opts.consequent);
+  for (const RuleGroup& g : result.groups) {
+    if (limit != 0 && ++shown > limit) {
+      std::fprintf(out, "... (%zu more; raise --max)\n",
+                   result.groups.size() - limit);
+      break;
+    }
+    std::fprintf(out, "%s\n",
+                 FormatRuleGroup(g, dataset, consequent_name).c_str());
+    for (const ItemVector& lb : g.lower_bounds) {
+      std::fprintf(out, "  lower:");
+      for (ItemId i : lb) {
+        std::fprintf(out, " %s", dataset.ItemName(i).c_str());
+      }
+      std::fprintf(out, "\n");
+    }
+  }
+  if (out != stdout) std::fclose(out);
+
+  // Optional model export: cut points + machine-readable rule groups.
+  const std::string model = args.Get("--model-out");
+  if (!model.empty()) {
+    Status s = disc.Save(model + ".cuts");
+    if (!s.ok()) return Fail(s);
+    s = SaveRuleGroups(result.groups, dataset.num_rows(), model + ".rules");
+    if (!s.ok()) return Fail(s);
+    std::fprintf(stderr, "model written to %s.cuts / %s.rules\n",
+                 model.c_str(), model.c_str());
+  }
+  return 0;
+}
+
+int CmdPredict(const Args& args) {
+  if (!args.Has("--in") || !args.Has("--model")) return Usage();
+  const std::string model = args.Get("--model");
+  Discretization disc;
+  Status s = Discretization::Load(model + ".cuts", &disc);
+  if (!s.ok()) return Fail(s);
+  std::vector<RuleGroup> groups;
+  std::size_t train_rows = 0;
+  s = LoadRuleGroups(model + ".rules", &groups, &train_rows);
+  if (!s.ok()) return Fail(s);
+  ExpressionMatrix matrix;
+  s = LoadExpressionCsv(args.Get("--in"), &matrix);
+  if (!s.ok()) return Fail(s);
+
+  // Rank groups by (confidence, support) and predict by first match
+  // against any lower bound (or the upper bound when absent).
+  std::sort(groups.begin(), groups.end(),
+            [](const RuleGroup& a, const RuleGroup& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.support_pos > b.support_pos;
+            });
+  BinaryDataset items = disc.Apply(matrix);
+  std::size_t matched_rows = 0;
+  for (RowId r = 0; r < items.num_rows(); ++r) {
+    const ItemVector& row = items.row(r);
+    const RuleGroup* hit = nullptr;
+    for (const RuleGroup& g : groups) {
+      const auto matches = [&row](const ItemVector& antecedent) {
+        return std::includes(row.begin(), row.end(), antecedent.begin(),
+                             antecedent.end());
+      };
+      bool match = g.lower_bounds.empty() ? matches(g.antecedent) : false;
+      for (const ItemVector& lb : g.lower_bounds) {
+        if (matches(lb)) {
+          match = true;
+          break;
+        }
+      }
+      if (match) {
+        hit = &g;
+        break;
+      }
+    }
+    if (hit != nullptr) {
+      ++matched_rows;
+      std::printf("row %u: MATCH conf=%.3f sup=%zu\n", r, hit->confidence,
+                  hit->support_pos);
+    } else {
+      std::printf("row %u: no-match\n", r);
+    }
+  }
+  std::fprintf(stderr, "%zu of %zu rows matched a rule group\n",
+               matched_rows, items.num_rows());
+  return 0;
+}
+
+int CmdClassify(const Args& args) {
+  if (!args.Has("--in") || !args.Has("--train")) return Usage();
+  ExpressionMatrix matrix;
+  Status s = LoadExpressionCsv(args.Get("--in"), &matrix);
+  if (!s.ok()) return Fail(s);
+  const auto train_size =
+      static_cast<std::size_t>(args.GetInt("--train", 0));
+  if (train_size == 0 || train_size >= matrix.num_rows()) {
+    std::fprintf(stderr, "error: --train must be in (0, #rows)\n");
+    return 2;
+  }
+  Split split = StratifiedSplit(
+      matrix.labels(), train_size,
+      static_cast<std::uint64_t>(args.GetInt("--seed", 1)));
+  ExpressionMatrix train_m = matrix.SelectRows(split.train);
+  ExpressionMatrix test_m = matrix.SelectRows(split.test);
+
+  std::vector<ClassLabel> truth(test_m.labels());
+  std::vector<ClassLabel> predicted;
+  const std::string method = args.Get("--method", "irg");
+
+  if (method == "svm") {
+    LinearSvm svm = LinearSvm::Train(train_m, 1, SvmOptions{});
+    for (std::size_t r = 0; r < test_m.num_rows(); ++r) {
+      predicted.push_back(svm.Predict(test_m.row_data(r)));
+    }
+  } else {
+    Discretization disc = Discretization::FitEntropyMdl(train_m);
+    BinaryDataset train = disc.Apply(train_m);
+    BinaryDataset test = disc.Apply(test_m);
+    if (method == "cba") {
+      CbaClassifier cba = CbaClassifier::Train(
+          train,
+          GenerateRulesWithFarmer(train,
+                                  args.GetDouble("--minsup-frac", 0.7),
+                                  args.GetDouble("--minconf", 0.8)));
+      for (RowId r = 0; r < test.num_rows(); ++r) {
+        predicted.push_back(cba.Predict(test.row(r)));
+      }
+    } else if (method == "irg") {
+      IrgClassifierOptions opts;
+      opts.min_support_fraction = args.GetDouble("--minsup-frac", 0.7);
+      opts.min_confidence = args.GetDouble("--minconf", 0.8);
+      IrgClassifier clf = IrgClassifier::Train(train, opts);
+      for (RowId r = 0; r < test.num_rows(); ++r) {
+        predicted.push_back(clf.Predict(test.row(r)));
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown --method '%s'\n",
+                   method.c_str());
+      return 2;
+    }
+  }
+  std::printf("method=%s train=%zu test=%zu accuracy=%.2f%%\n",
+              method.c_str(), split.train.size(), split.test.size(),
+              100.0 * Accuracy(truth, predicted));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args = ParseArgs(argc, argv, 2);
+  try {
+    if (command == "generate") return CmdGenerate(args);
+    if (command == "stats") return CmdStats(args);
+    if (command == "mine") return CmdMine(args);
+    if (command == "predict") return CmdPredict(args);
+    if (command == "classify") return CmdClassify(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
