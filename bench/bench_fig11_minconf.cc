@@ -14,6 +14,7 @@
 #include "baselines/charm.h"
 #include "baselines/columne.h"
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "core/farmer.h"
 
 int main(int argc, char** argv) {
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   PrintBenchHeader(
       "Figure 11: runtime vs minconf at minsup=1, minchi in {0, 10}",
       config);
+  JsonWriter json("fig11_minconf");
 
   const std::vector<double> minconfs = {0.5, 0.7, 0.8, 0.85, 0.9, 0.99};
   std::printf("%-5s %8s | %12s %9s | %12s %9s\n", "data", "minconf",
@@ -44,11 +46,26 @@ int main(int argc, char** argv) {
         opts.mine_lower_bounds = true;
         opts.deadline = Deadline::After(config.timeout_seconds);
         FarmerResult r = MineFarmer(ds.binary, opts);
-        cells[variant] = FmtSeconds(
-            r.stats.mine_seconds + r.stats.lower_bound_seconds,
-            r.stats.timed_out);
+        const double seconds =
+            r.stats.mine_seconds + r.stats.lower_bound_seconds;
+        cells[variant] = FmtSeconds(seconds, r.stats.timed_out);
         counts[variant] = r.groups.size();
         partial[variant] = r.stats.timed_out;
+        json.Add(JsonRecord()
+                     .Str("bench", "fig11_minconf")
+                     .Str("algorithm", "FARMER")
+                     .Str("dataset", name)
+                     .Num("column_scale", config.column_scale)
+                     .Int("minsup", 1)
+                     .Num("minconf", minconf)
+                     .Num("minchi", minchis[variant])
+                     .Int("threads", 1)
+                     .Num("seconds", seconds)
+                     .Int("nodes_visited",
+                          static_cast<long long>(r.stats.nodes_visited))
+                     .Int("groups", static_cast<long long>(r.groups.size()))
+                     .Bool("timed_out", r.stats.timed_out));
+        json.Flush();
       }
       std::printf("%-5s %8.2f | %12s %8zu%s | %12s %8zu%s\n", name.c_str(),
                   minconf, cells[0].c_str(), counts[0],
@@ -77,6 +94,26 @@ int main(int argc, char** argv) {
     chopts.deadline = Deadline::After(config.timeout_seconds);
     chopts.max_closed = 500000;
     CharmResult charm = MineCharm(ds.binary, chopts);
+    json.Add(JsonRecord()
+                 .Str("bench", "fig11_minconf")
+                 .Str("algorithm", "ColumnE")
+                 .Str("dataset", name)
+                 .Num("column_scale", config.column_scale)
+                 .Int("minsup", 1)
+                 .Num("minconf", 0.9)
+                 .Int("threads", 1)
+                 .Num("seconds", columne.seconds)
+                 .Bool("timed_out", columne.timed_out || columne.overflowed));
+    json.Add(JsonRecord()
+                 .Str("bench", "fig11_minconf")
+                 .Str("algorithm", "CHARM")
+                 .Str("dataset", name)
+                 .Num("column_scale", config.column_scale)
+                 .Int("minsup", 1)
+                 .Int("threads", 1)
+                 .Num("seconds", charm.seconds)
+                 .Bool("timed_out", charm.timed_out || charm.overflowed));
+    json.Flush();
     std::printf("%-5s %12s %12s\n", name.c_str(),
                 FmtSeconds(columne.seconds, columne.timed_out,
                            columne.overflowed)
@@ -89,5 +126,6 @@ int main(int argc, char** argv) {
               "change between 85%% and 99%% (most IRGs have 100%% "
               "confidence); minchi=10 gives up to an order of magnitude "
               "further saving except on LC\n");
+  std::printf("json: %s\n", json.path().c_str());
   return 0;
 }

@@ -1,0 +1,103 @@
+#ifndef FARMER_BENCH_BENCH_JSON_H_
+#define FARMER_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace farmer {
+namespace bench {
+
+/// One benchmark measurement: a flat bag of string/number fields rendered
+/// as a JSON object. Shared by all bench binaries so their outputs have a
+/// uniform machine-readable shape.
+class JsonRecord {
+ public:
+  JsonRecord& Str(const std::string& key, const std::string& value) {
+    fields_.push_back('"' + Escape(key) + "\": \"" + Escape(value) + '"');
+    return *this;
+  }
+
+  JsonRecord& Num(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.push_back('"' + Escape(key) + "\": " + buf);
+    return *this;
+  }
+
+  JsonRecord& Int(const std::string& key, long long value) {
+    fields_.push_back('"' + Escape(key) + "\": " + std::to_string(value));
+    return *this;
+  }
+
+  JsonRecord& Bool(const std::string& key, bool value) {
+    fields_.push_back('"' + Escape(key) + "\": " +
+                      (value ? "true" : "false"));
+    return *this;
+  }
+
+  std::string Render() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += fields_[i];
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<std::string> fields_;
+};
+
+/// Collects JsonRecords and writes them as a JSON array to
+/// `BENCH_<name>.json` in the working directory when the writer goes out
+/// of scope (or on an explicit Flush).
+class JsonWriter {
+ public:
+  /// `name` is the bench name, e.g. "fig10_minsup" -> BENCH_fig10_minsup.json.
+  explicit JsonWriter(const std::string& name)
+      : path_("BENCH_" + name + ".json") {}
+
+  ~JsonWriter() { Flush(); }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void Add(const JsonRecord& record) { records_.push_back(record.Render()); }
+
+  const std::string& path() const { return path_; }
+
+  /// Writes all records collected so far; safe to call repeatedly (each
+  /// call rewrites the whole file, so a crashed run still leaves valid
+  /// JSON from the last flush).
+  void Flush() {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) return;
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> records_;
+};
+
+}  // namespace bench
+}  // namespace farmer
+
+#endif  // FARMER_BENCH_BENCH_JSON_H_

@@ -1,8 +1,18 @@
 // Micro benchmarks of the library's hot kernels: bitset algebra,
 // chi-square bounds, tidset intersection, and a full small FARMER run.
+// The word-parallel miner kernels (AndCount / AndCountPrefix /
+// IntersectsAllOf) are benchmarked against the sorted-vector +
+// binary_search loops they replaced.
+//
+// Results are also written to BENCH_micro_kernels.json.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "core/farmer.h"
 #include "core/measures.h"
 #include "dataset/discretize.h"
@@ -14,6 +24,25 @@
 namespace {
 
 using namespace farmer;
+
+// A random (bitset, sorted vector) pair over the same positions, the two
+// representations the old and new kernels consume.
+struct DualSet {
+  Bitset bits;
+  std::vector<std::size_t> sorted;
+};
+
+DualSet MakeDualSet(std::size_t bits, double density, Rng& rng) {
+  DualSet d;
+  d.bits.Resize(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.NextBool(density)) {
+      d.bits.Set(i);
+      d.sorted.push_back(i);
+    }
+  }
+  return d;
+}
 
 void BM_BitsetIntersectCount(benchmark::State& state) {
   const std::size_t bits = static_cast<std::size_t>(state.range(0));
@@ -92,6 +121,159 @@ void BM_FarmerSmallRun(benchmark::State& state) {
 }
 BENCHMARK(BM_FarmerSmallRun)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
 
+// --- New word-parallel kernels vs the binary_search loops they replaced.
+
+// Old: count |a ∩ b| by walking a's sorted list and binary-searching b's.
+void BM_AndCount_BinarySearch(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  DualSet a = MakeDualSet(bits, 0.4, rng);
+  DualSet b = MakeDualSet(bits, 0.4, rng);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (std::size_t pos : a.sorted) {
+      if (std::binary_search(b.sorted.begin(), b.sorted.end(), pos)) ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_AndCount_BinarySearch)->Arg(128)->Arg(1024)->Arg(8192);
+
+// New: one popcount pass over the words.
+void BM_AndCount_Bitset(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  DualSet a = MakeDualSet(bits, 0.4, rng);
+  DualSet b = MakeDualSet(bits, 0.4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.bits.AndCount(b.bits));
+  }
+}
+BENCHMARK(BM_AndCount_Bitset)->Arg(128)->Arg(1024)->Arg(8192);
+
+// Old: count class-C members of a tuple's candidate list by walking the
+// sorted candidates, binary-searching the tuple, stopping at the class
+// boundary.
+void BM_AndCountPrefix_BinarySearch(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = bits / 2;
+  Rng rng(12);
+  DualSet tuple = MakeDualSet(bits, 0.5, rng);
+  DualSet cand = MakeDualSet(bits, 0.5, rng);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (std::size_t pos : cand.sorted) {
+      if (pos >= m) break;
+      if (std::binary_search(tuple.sorted.begin(), tuple.sorted.end(),
+                             pos)) {
+        ++count;
+      }
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_AndCountPrefix_BinarySearch)->Arg(128)->Arg(1024)->Arg(8192);
+
+// New: masked popcount over the prefix words.
+void BM_AndCountPrefix_Bitset(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = bits / 2;
+  Rng rng(12);
+  DualSet tuple = MakeDualSet(bits, 0.5, rng);
+  DualSet cand = MakeDualSet(bits, 0.5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuple.bits.AndCountPrefix(cand.bits, m));
+  }
+}
+BENCHMARK(BM_AndCountPrefix_Bitset)->Arg(128)->Arg(1024)->Arg(8192);
+
+// Old back scan inner loop: for each probe row, binary-search every
+// tuple's sorted list; report the first row found in all of them.
+void BM_IntersectsAllOf_BinarySearch(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const std::size_t num_tuples = 16;
+  Rng rng(13);
+  DualSet probe = MakeDualSet(bits, 0.3, rng);
+  std::vector<DualSet> tuples;
+  for (std::size_t t = 0; t < num_tuples; ++t) {
+    tuples.push_back(MakeDualSet(bits, 0.8, rng));
+  }
+  for (auto _ : state) {
+    bool found = false;
+    for (std::size_t pos : probe.sorted) {
+      bool in_all = true;
+      for (const DualSet& t : tuples) {
+        if (!std::binary_search(t.sorted.begin(), t.sorted.end(), pos)) {
+          in_all = false;
+          break;
+        }
+      }
+      if (in_all) {
+        found = true;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_IntersectsAllOf_BinarySearch)->Arg(128)->Arg(1024);
+
+// New: running word-parallel intersection with early exit.
+void BM_IntersectsAllOf_Bitset(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const std::size_t num_tuples = 16;
+  Rng rng(13);
+  DualSet probe = MakeDualSet(bits, 0.3, rng);
+  std::vector<DualSet> tuples;
+  for (std::size_t t = 0; t < num_tuples; ++t) {
+    tuples.push_back(MakeDualSet(bits, 0.8, rng));
+  }
+  std::vector<const Bitset*> ptrs;
+  for (const DualSet& t : tuples) ptrs.push_back(&t.bits);
+  Bitset scratch(bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        probe.bits.IntersectsAllOf(ptrs.data(), ptrs.size(), &scratch));
+  }
+}
+BENCHMARK(BM_IntersectsAllOf_Bitset)->Arg(128)->Arg(1024);
+
+// Reporter that mirrors the console output into BENCH_micro_kernels.json.
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonMirrorReporter(farmer::bench::JsonWriter* json)
+      : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      json_->Add(farmer::bench::JsonRecord()
+                     .Str("bench", "micro_kernels")
+                     .Str("name", run.benchmark_name())
+                     .Num("seconds",
+                          run.iterations > 0
+                              ? run.real_accumulated_time / run.iterations
+                              : 0.0)
+                     .Int("iterations",
+                          static_cast<long long>(run.iterations))
+                     .Int("threads", static_cast<long long>(run.threads)));
+    }
+    json_->Flush();
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  farmer::bench::JsonWriter* json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  farmer::bench::JsonWriter json("micro_kernels");
+  JsonMirrorReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  std::printf("json: %s\n", json.path().c_str());
+  return 0;
+}

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
+#include <utility>
 
 #include "core/measures.h"
 #include "core/minelb.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace farmer {
@@ -20,8 +21,13 @@ FarmerMiner::FarmerMiner(const BinaryDataset& dataset,
       n_(dataset.num_rows()),
       m_(order_.num_positive),
       exact_mode_(!options.enable_pruning1 || !options.enable_pruning2) {
-  cnt_.assign(n_, 0);
-  cnt_epoch_.assign(n_, 0);
+  tuple_bits_.resize(tt_.num_items());
+  for (ItemId i = 0; i < tt_.num_items(); ++i) {
+    tuple_bits_[i].Resize(n_);
+    for (RowId r : tt_.tuple(i)) tuple_bits_[i].Set(r);
+  }
+  all_rows_.Resize(n_);
+  all_rows_.SetAll();
 }
 
 bool FarmerMiner::PassesThresholds(std::size_t supp, std::size_t supn) const {
@@ -56,283 +62,430 @@ bool FarmerMiner::PassesThresholds(std::size_t supp, std::size_t supn) const {
   return true;
 }
 
-double FarmerMiner::EffectiveMinConfidence() const {
+double FarmerMiner::EffectiveMinConfidence(const GroupStore& store) const {
   double floor = options_.min_confidence;
-  if (options_.top_k > 0 && topk_confs_.size() == options_.top_k) {
-    // topk_confs_ is sorted descending; back() is the k-th best. Subtrees
+  if (options_.top_k > 0 && store.topk_confs.size() == options_.top_k) {
+    // topk_confs is sorted descending; back() is the k-th best. Subtrees
     // whose confidence bound is strictly below it cannot improve the top-k
     // (ties still enter via the support tie-break, so the prune below uses
-    // a strict comparison).
-    floor = std::max(floor, topk_confs_.back());
+    // a strict comparison). Workers only see their own store's floor in
+    // parallel runs — a weaker prune than the sequential global floor, but
+    // any extra groups they admit sort strictly below the final k-th
+    // confidence and are dropped by the top-k selection, so the reported
+    // groups stay bit-identical.
+    floor = std::max(floor, store.topk_confs.back());
   }
   return floor;
 }
 
-bool FarmerMiner::BackScanFindsForeignRow(const std::vector<NodeTuple>& tuples,
-                                          const RowVector& cands,
-                                          const Bitset& support_rows) const {
-  // A "foreign" row occurs in every tuple of the conditional table but is
-  // neither part of the identified support (X ∪ absorbed) nor a candidate:
-  // by Lemma 3.6 the node's whole subtree was then already enumerated
-  // under an earlier node. Scan the shortest tuple's full row list (the
-  // paper's back scan through the conditional pointer lists).
-  const RowVector* shortest = &tt_.tuple(tuples[0].item);
-  for (const NodeTuple& t : tuples) {
-    const RowVector& full = tt_.tuple(t.item);
-    if (full.size() < shortest->size()) shortest = &full;
-  }
-  for (RowId r : *shortest) {
-    if (support_rows.Test(r)) continue;
-    if (std::binary_search(cands.begin(), cands.end(), r)) continue;
-    bool in_all = true;
-    for (const NodeTuple& t : tuples) {
-      const RowVector& full = tt_.tuple(t.item);
-      if (&full == shortest) continue;
-      if (!std::binary_search(full.begin(), full.end(), r)) {
-        in_all = false;
-        break;
-      }
-    }
-    if (in_all) return true;
-  }
-  return false;
-}
-
-void FarmerMiner::MaybeInsertGroup(const std::vector<NodeTuple>& tuples,
-                                   std::size_t supp, std::size_t supn,
-                                   const Bitset& support_rows) {
-  Bitset rows = support_rows;
-  if (exact_mode_) {
-    // With Pruning 1 or 2 disabled, the incremental counts undercount the
-    // true support: recompute R(I(X)) as the rows occurring in every tuple
-    // and deduplicate (the same group is then reached at several nodes).
-    rows.Resize(n_);
-    rows.ResetAll();
-    for (RowId r : tt_.tuple(tuples[0].item)) rows.Set(r);
-    Bitset tmp(n_);
-    for (std::size_t t = 1; t < tuples.size(); ++t) {
-      tmp.ResetAll();
-      for (RowId r : tt_.tuple(tuples[t].item)) tmp.Set(r);
-      rows &= tmp;
-    }
-    supp = 0;
-    rows.ForEach([&](std::size_t r) {
-      if (r < m_) ++supp;
-    });
-    supn = rows.Count() - supp;
-    for (const Bitset& seen : seen_exact_) {
-      if (seen == rows) return;
-    }
-    seen_exact_.push_back(rows);
-  }
-
-  if (!PassesThresholds(supp, supn)) return;
-  const double conf = Confidence(supp, supp + supn);
-  const std::size_t row_count = supp + supn;
-
+bool FarmerMiner::IsDominated(const GroupStore& store, const Bitset& rows,
+                              double conf) const {
   // The IRG comparison (Definition 2.2): a more general rule group exists
   // with confidence >= ours iff some stored group's row set is a proper
   // superset of ours (antecedent closure reverses inclusion). Lemma 3.4
   // plus the post-order insert guarantees all more general groups passing
-  // the constraints are already stored.
-  if (!options_.report_all_rule_groups) {
-    for (std::size_t c = row_count + 1; c < store_by_count_.size(); ++c) {
-      for (std::size_t idx : store_by_count_[c]) {
-        const RuleGroup& g = store_[idx];
-        if (g.confidence >= conf && rows.IsSubsetOf(g.rows)) return;
+  // the constraints are already stored. A proper superset must be strictly
+  // larger and must cover our first set row, so only buckets with
+  // count > ours and first_row <= ours can hold a witness.
+  const std::size_t row_count = rows.Count();
+  const std::size_t first = rows.FindFirst();
+  for (std::size_t c = row_count + 1; c <= store.max_count; ++c) {
+    if (c >= store.by_count_first.size()) break;
+    const auto& per_first = store.by_count_first[c];
+    if (per_first.empty()) continue;
+    const std::size_t f_limit = std::min(first, per_first.size() - 1);
+    for (std::size_t f = 0; f <= f_limit; ++f) {
+      for (std::uint32_t idx : per_first[f]) {
+        const RuleGroup& g = store.groups[idx];
+        if (g.confidence >= conf && rows.IsSubsetOf(g.rows)) return true;
       }
     }
+  }
+  return false;
+}
+
+void FarmerMiner::InsertGroup(GroupStore& store, RuleGroup g) const {
+  const std::size_t row_count = g.support_pos + g.support_neg;
+  const std::size_t first = g.rows.FindFirst();
+  const double conf = g.confidence;
+  if (store.by_count_first.size() <= row_count) {
+    store.by_count_first.resize(n_ + 1);
+  }
+  auto& per_first = store.by_count_first[row_count];
+  if (per_first.empty()) per_first.resize(n_ > 0 ? n_ : 1);
+  per_first[std::min(first, per_first.size() - 1)].push_back(
+      static_cast<std::uint32_t>(store.groups.size()));
+  store.max_count = std::max(store.max_count, row_count);
+  store.groups.push_back(std::move(g));
+
+  if (options_.top_k > 0) {
+    auto it = std::lower_bound(store.topk_confs.begin(),
+                               store.topk_confs.end(), conf,
+                               [](double a, double b) { return a > b; });
+    store.topk_confs.insert(it, conf);
+    if (store.topk_confs.size() > options_.top_k) store.topk_confs.pop_back();
+  }
+}
+
+void FarmerMiner::MaybeInsertGroup(SearchContext& ctx, std::size_t depth,
+                                   std::size_t supp, std::size_t supn) {
+  DepthScratch& s = ctx.arena[depth];
+  const Bitset* rows = &s.support;
+  if (exact_mode_) {
+    // With Pruning 1 or 2 disabled, the incremental counts undercount the
+    // true support: R(I(X)) is the rows occurring in every tuple, which
+    // the scan already materialized as `common`. The same group is then
+    // reached at several nodes, so deduplicate on the row set (hash set on
+    // the bitset digest, equality verified on collision).
+    rows = &s.common;
+    supp = s.common.CountPrefix(m_);
+    supn = s.common.Count() - supp;
+    if (!ctx.store.seen_exact.insert(s.common).second) return;
+  }
+
+  if (!PassesThresholds(supp, supn)) return;
+  const double conf = Confidence(supp, supp + supn);
+  if (!options_.report_all_rule_groups &&
+      IsDominated(ctx.store, *rows, conf)) {
+    return;
   }
 
   RuleGroup g;
   if (options_.store_antecedents) {
-    g.antecedent.reserve(tuples.size());
-    for (const NodeTuple& t : tuples) g.antecedent.push_back(t.item);
+    g.antecedent.reserve(s.alive.size());
+    for (ItemId it : s.alive) g.antecedent.push_back(it);
   }
-  g.rows = std::move(rows);
+  g.rows = *rows;
   g.support_pos = supp;
   g.support_neg = supn;
   g.confidence = conf;
   g.chi_square = ChiSquare(supp + supn, supp, n_, m_);
-  if (store_by_count_.size() <= row_count) {
-    store_by_count_.resize(n_ + 1);
-  }
-  store_by_count_[row_count].push_back(store_.size());
-  store_.push_back(std::move(g));
-
-  if (options_.top_k > 0) {
-    auto it = std::lower_bound(topk_confs_.begin(), topk_confs_.end(), conf,
-                               [](double a, double b) { return a > b; });
-    topk_confs_.insert(it, conf);
-    if (topk_confs_.size() > options_.top_k) topk_confs_.pop_back();
-  }
+  InsertGroup(ctx.store, std::move(g));
 }
 
-void FarmerMiner::MineIRGs(std::vector<NodeTuple> tuples, RowVector cands,
-                           std::size_t supp, std::size_t supn,
-                           Bitset support_rows) {
-  if (stats_.timed_out) return;
-  if (options_.deadline.Expired()) {
-    stats_.timed_out = true;
+void FarmerMiner::MergeGroup(GroupStore& store, RuleGroup g) const {
+  // Replay of the global tail of MaybeInsertGroup: the worker already
+  // checked the thresholds (state-independent), but exact-mode dedup and
+  // the dominance comparison must rerun against the merged store so that
+  // groups dominated by an earlier subtree are dropped exactly as the
+  // sequential miner drops them.
+  if (exact_mode_ && !store.seen_exact.insert(g.rows).second) return;
+  if (!options_.report_all_rule_groups &&
+      IsDominated(store, g.rows, g.confidence)) {
     return;
   }
-  ++stats_.nodes_visited;
-  if (tuples.empty()) return;  // I(X) = ∅: no rule here or below.
+  InsertGroup(store, std::move(g));
+}
 
-  // Step 1 — Pruning 2 (back scan, Lemma 3.6).
-  if (options_.enable_pruning2 &&
-      BackScanFindsForeignRow(tuples, cands, support_rows)) {
-    ++stats_.pruned_by_backscan;
-    return;
+bool FarmerMiner::VisitNode(SearchContext& ctx, std::size_t depth,
+                            std::size_t* supp, std::size_t* supn) {
+  DepthScratch& s = ctx.arena[depth];
+
+  // Step 1 — Pruning 2 (back scan, Lemma 3.6), word-parallel: a "foreign"
+  // row lies outside both the identified support and the candidate list
+  // yet occurs in every tuple — the node's whole subtree was then already
+  // enumerated under an earlier node. The foreign universe is intersected
+  // through the tuples with early exit instead of the paper's per-row
+  // pointer-list scan.
+  if (options_.enable_pruning2) {
+    s.tuple_ptrs.clear();
+    for (ItemId it : s.alive) s.tuple_ptrs.push_back(&tuple_bits_[it]);
+    Bitset::AndNotInto(all_rows_, s.support, &s.scratch2);
+    s.scratch2 -= s.cand;
+    if (s.scratch2.IntersectsAllOf(s.tuple_ptrs.data(), s.tuple_ptrs.size(),
+                                   &s.scratch)) {
+      ++ctx.stats.pruned_by_backscan;
+      return false;
+    }
   }
 
-  // Step 2 — Pruning 3 with the loose bounds (before scanning).
-  // Candidates are sorted and consequent rows have ids < m_, so the
-  // class-C candidates form a prefix.
-  std::size_t ep = 0;
-  for (RowId r : cands) {
-    if (r >= m_) break;
-    ++ep;
-  }
-  const std::size_t supp_entry = supp;
+  // Step 2 — Pruning 3 with the loose bounds (before scanning). Consequent
+  // rows have ids < m_, so the class-C candidates are a bit prefix.
+  const std::size_t ep = s.cand.CountPrefix(m_);
+  const std::size_t supp_entry = *supp;
   const std::size_t us2 = supp_entry + ep;
   if (options_.enable_pruning3) {
     if (us2 < std::max<std::size_t>(1, options_.min_support)) {
-      ++stats_.pruned_by_support;
-      return;
+      ++ctx.stats.pruned_by_support;
+      return false;
     }
-    const double minconf = EffectiveMinConfidence();
+    const double minconf = EffectiveMinConfidence(ctx.store);
     if (minconf > 0.0) {
-      const double uc2 = Confidence(us2, us2 + supn);
+      const double uc2 = Confidence(us2, us2 + *supn);
       if (uc2 < minconf) {
-        ++stats_.pruned_by_confidence;
-        return;
+        ++ctx.stats.pruned_by_confidence;
+        return false;
       }
     }
   }
 
-  // Step 3 — scan the conditional table: per-candidate occurrence counts,
-  // U (>=1 occurrence), Y (in every tuple), and the per-tuple maximum of
-  // class-C candidates for the tight support bound.
-  ++epoch_;
+  // Step 3 — scan the conditional table, one word-parallel pass per tuple:
+  // `common` (rows in every tuple, the absorption set Y of Lemma 3.5 once
+  // masked to the candidates), `occupied` (candidates in >= 1 tuple, the
+  // set U), and the per-tuple maximum of class-C candidates for the tight
+  // support bound.
+  s.common = tuple_bits_[s.alive[0]];
+  s.occupied.ResetAll();
   std::size_t max_ep_tuple = 0;
-  for (const NodeTuple& t : tuples) {
-    std::size_t ep_in_t = 0;
-    for (RowId r : t.cand) {
-      if (cnt_epoch_[r] != epoch_) {
-        cnt_epoch_[r] = epoch_;
-        cnt_[r] = 0;
-      }
-      ++cnt_[r];
-      if (r < m_) ++ep_in_t;
+  for (ItemId it : s.alive) {
+    const Bitset& t = tuple_bits_[it];
+    s.common &= t;
+    s.occupied.OrAnd(t, s.cand);
+    if (options_.enable_pruning3) {
+      max_ep_tuple = std::max(max_ep_tuple, t.AndCountPrefix(s.cand, m_));
     }
-    max_ep_tuple = std::max(max_ep_tuple, ep_in_t);
   }
-  const std::size_t num_tuples = tuples.size();
-  RowVector new_cands;
-  new_cands.reserve(cands.size());
-  for (RowId r : cands) {
-    const std::size_t c = (cnt_epoch_[r] == epoch_) ? cnt_[r] : 0;
-    if (c == 0) continue;  // Not in U: occurs in no tuple.
-    if (c == num_tuples && options_.enable_pruning1) {
-      // Pruning 1: the row occurs in every tuple — absorb it (Lemma 3.5).
-      ++stats_.rows_absorbed;
-      support_rows.Set(r);
-      if (r < m_) {
-        ++supp;
-      } else {
-        ++supn;
-      }
-    } else {
-      new_cands.push_back(r);
-    }
+  Bitset::AndInto(s.common, s.cand, &s.scratch);  // Y: absorbable rows.
+  if (options_.enable_pruning1 && s.scratch.Any()) {
+    // Pruning 1: rows occurring in every tuple are absorbed into the
+    // support right now (Lemma 3.5) instead of spawning children.
+    s.support |= s.scratch;
+    const std::size_t absorbed = s.scratch.Count();
+    const std::size_t absorbed_pos = s.scratch.CountPrefix(m_);
+    *supp += absorbed_pos;
+    *supn += absorbed - absorbed_pos;
+    ctx.stats.rows_absorbed += absorbed;
+    Bitset::AndNotInto(s.occupied, s.scratch, &s.new_cands);
+  } else {
+    s.new_cands = s.occupied;
   }
 
   // Step 4 — Pruning 3 with the tight bounds (after scanning).
   if (options_.enable_pruning3) {
     const std::size_t us1 = supp_entry + max_ep_tuple;
     if (us1 < std::max<std::size_t>(1, options_.min_support)) {
-      ++stats_.pruned_by_support;
-      return;
+      ++ctx.stats.pruned_by_support;
+      return false;
     }
     if (!exact_mode_) {
       // The tight confidence/chi-square bounds require supp/supn to be the
       // exact counts of R(I(X)); that only holds when Prunings 1 and 2 are
       // active (ablation runs fall back to the loose bounds above).
-      const double uc1 = Confidence(us1, us1 + supn);
-      const double minconf = EffectiveMinConfidence();
+      const double uc1 = Confidence(us1, us1 + *supn);
+      const double minconf = EffectiveMinConfidence(ctx.store);
       if (minconf > 0.0 && uc1 < minconf) {
-        ++stats_.pruned_by_confidence;
-        return;
+        ++ctx.stats.pruned_by_confidence;
+        return false;
       }
       if (options_.min_chi_square > 0.0 &&
-          ChiSquareUpperBound(supp + supn, supp, n_, m_) <
+          ChiSquareUpperBound(*supp + *supn, *supp, n_, m_) <
               options_.min_chi_square) {
-        ++stats_.pruned_by_chi;
-        return;
+        ++ctx.stats.pruned_by_chi;
+        return false;
       }
       if (options_.min_lift > 0.0 &&
           LiftUpperBound(uc1, n_, m_) < options_.min_lift) {
-        ++stats_.pruned_by_extension;
-        return;
+        ++ctx.stats.pruned_by_extension;
+        return false;
       }
       if (options_.min_conviction > 0.0 &&
           ConvictionUpperBound(uc1, n_, m_) < options_.min_conviction) {
-        ++stats_.pruned_by_extension;
-        return;
+        ++ctx.stats.pruned_by_extension;
+        return false;
       }
       if (options_.min_entropy_gain > 0.0 &&
-          EntropyGainUpperBound(supp + supn, supp, n_, m_) <
+          EntropyGainUpperBound(*supp + *supn, *supp, n_, m_) <
               options_.min_entropy_gain) {
-        ++stats_.pruned_by_extension;
-        return;
+        ++ctx.stats.pruned_by_extension;
+        return false;
       }
       if (options_.min_gini_gain > 0.0 &&
-          GiniGainUpperBound(supp + supn, supp, n_, m_) <
+          GiniGainUpperBound(*supp + *supn, *supp, n_, m_) <
               options_.min_gini_gain) {
-        ++stats_.pruned_by_extension;
-        return;
+        ++ctx.stats.pruned_by_extension;
+        return false;
       }
       if (options_.min_correlation > 0.0 &&
-          PhiUpperBound(supp + supn, supp, n_, m_) <
+          PhiUpperBound(*supp + *supn, *supp, n_, m_) <
               options_.min_correlation) {
-        ++stats_.pruned_by_extension;
-        return;
+        ++ctx.stats.pruned_by_extension;
+        return false;
       }
     }
   }
+  return true;
+}
+
+void FarmerMiner::MineIRGs(SearchContext& ctx, std::size_t depth,
+                           std::size_t supp, std::size_t supn) {
+  if (ctx.stats.timed_out) return;
+  if (ctx.cancel != nullptr && ctx.cancel->Cancelled()) {
+    ctx.stats.timed_out = true;
+    return;
+  }
+  if (ctx.deadline.Expired()) {
+    ctx.stats.timed_out = true;
+    if (ctx.cancel != nullptr) ctx.cancel->Cancel();
+    return;
+  }
+  ++ctx.stats.nodes_visited;
+  DepthScratch& s = ctx.arena[depth];
+  if (s.alive.empty()) return;  // I(X) = ∅: no rule here or below.
+
+  // Steps 1-4: prunings, scan, absorption.
+  if (!VisitNode(ctx, depth, &supp, &supn)) return;
 
   // Steps 5/6 — recurse into each remaining candidate, ascending. The ORD
   // order makes the class restriction implicit: after descending into a
-  // ¬C row, every later row is ¬C as well.
-  for (std::size_t idx = 0; idx < new_cands.size(); ++idx) {
-    const RowId ri = new_cands[idx];
-    std::vector<NodeTuple> child_tuples;
-    child_tuples.reserve(tuples.size());
-    for (const NodeTuple& t : tuples) {
-      if (!std::binary_search(t.cand.begin(), t.cand.end(), ri)) continue;
-      NodeTuple ct;
-      ct.item = t.item;
-      for (RowId r : t.cand) {
-        // Keep candidates after ri that were not absorbed by Pruning 1.
-        if (r > ri && !support_rows.Test(r)) ct.cand.push_back(r);
-      }
-      child_tuples.push_back(std::move(ct));
+  // ¬C row, every later row is ¬C as well. The child's candidate mask is
+  // maintained incrementally: clearing each visited row leaves exactly the
+  // rows after it.
+  DepthScratch& child = ctx.arena[depth + 1];
+  child.cand = s.new_cands;
+  for (std::size_t ri = s.new_cands.FindFirst(); ri < n_;
+       ri = s.new_cands.FindNext(ri)) {
+    child.cand.Reset(ri);
+    child.alive.clear();
+    for (ItemId it : s.alive) {
+      if (tuple_bits_[it].Test(ri)) child.alive.push_back(it);
     }
-    RowVector child_cands(new_cands.begin() +
-                              static_cast<std::ptrdiff_t>(idx) + 1,
-                          new_cands.end());
-    Bitset child_support = support_rows;
-    child_support.Set(ri);
-    MineIRGs(std::move(child_tuples), std::move(child_cands),
-             supp + (ri < m_ ? 1 : 0), supn + (ri >= m_ ? 1 : 0),
-             std::move(child_support));
-    if (stats_.timed_out) return;
+    child.support = s.support;
+    child.support.Set(ri);
+    MineIRGs(ctx, depth + 1, supp + (ri < m_ ? 1 : 0),
+             supn + (ri >= m_ ? 1 : 0));
+    if (ctx.stats.timed_out) return;
   }
 
   // Step 7 — after the whole subtree (so every more general group is
   // already stored), decide whether I(X) -> C is an IRG.
-  MaybeInsertGroup(tuples, supp, supn, support_rows);
+  MaybeInsertGroup(ctx, depth, supp, supn);
+}
+
+FarmerMiner::SearchContext FarmerMiner::MakeContext(CancelFlag* cancel) const {
+  SearchContext ctx;
+  ctx.arena.resize(n_ + 2);
+  for (DepthScratch& s : ctx.arena) {
+    s.cand.Resize(n_);
+    s.support.Resize(n_);
+    s.common.Resize(n_);
+    s.occupied.Resize(n_);
+    s.new_cands.Resize(n_);
+    s.scratch.Resize(n_);
+    s.scratch2.Resize(n_);
+  }
+  ctx.store.by_count_first.resize(n_ + 1);
+  ctx.deadline = options_.deadline;
+  ctx.cancel = cancel;
+  return ctx;
+}
+
+FarmerMiner::GroupStore FarmerMiner::RunSearch(MinerStats* stats) {
+  CancelFlag cancel;
+  SearchContext root_ctx = MakeContext(&cancel);
+  DepthScratch& root = root_ctx.arena[0];
+  for (ItemId i = 0; i < tt_.num_items(); ++i) {
+    if (!tt_.tuple(i).empty()) root.alive.push_back(i);
+  }
+  root.cand.SetAll();
+
+  if (options_.num_threads <= 1) {
+    MineIRGs(root_ctx, 0, 0, 0);
+    *stats = root_ctx.stats;
+    return std::move(root_ctx.store);
+  }
+
+  // Parallel search: the root visit runs on this thread, then every
+  // first-level subtree becomes one task. Workers mine into private
+  // stores; the merge below replays them in root-candidate order, which
+  // reproduces the sequential insertion stream exactly.
+  auto finish = [&](GroupStore store) {
+    *stats = root_ctx.stats;
+    return store;
+  };
+  const auto fail_fast = [&]() -> bool {
+    if (root_ctx.deadline.Expired()) {
+      root_ctx.stats.timed_out = true;
+      return true;
+    }
+    return false;
+  };
+  if (fail_fast()) return finish(std::move(root_ctx.store));
+  ++root_ctx.stats.nodes_visited;
+  if (root.alive.empty()) return finish(std::move(root_ctx.store));
+  std::size_t supp = 0, supn = 0;
+  if (!VisitNode(root_ctx, 0, &supp, &supn)) {
+    return finish(std::move(root_ctx.store));
+  }
+
+  std::vector<SubtreeTask> tasks;
+  Bitset remaining = root.new_cands;
+  for (std::size_t ri = root.new_cands.FindFirst(); ri < n_;
+       ri = root.new_cands.FindNext(ri)) {
+    remaining.Reset(ri);
+    SubtreeTask task;
+    for (ItemId it : root.alive) {
+      if (tuple_bits_[it].Test(ri)) task.alive.push_back(it);
+    }
+    task.cand = remaining;
+    task.support = root.support;
+    task.support.Set(ri);
+    task.supp = supp + (ri < m_ ? 1 : 0);
+    task.supn = supn + (ri >= m_ ? 1 : 0);
+    tasks.push_back(std::move(task));
+  }
+
+  const std::size_t num_workers =
+      std::max<std::size_t>(1, std::min(options_.num_threads, tasks.size()));
+  std::vector<SearchContext> worker_ctxs;
+  worker_ctxs.reserve(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    worker_ctxs.push_back(MakeContext(&cancel));
+  }
+  std::vector<GroupStore> task_stores(tasks.size());
+  std::vector<MinerStats> task_stats(tasks.size());
+  {
+    ThreadPool pool(num_workers);
+    for (std::size_t k = 0; k < tasks.size(); ++k) {
+      pool.Submit([this, k, &tasks, &task_stores, &task_stats,
+                   &worker_ctxs](std::size_t worker_id) {
+        SearchContext& ctx = worker_ctxs[worker_id];
+        ctx.store.groups.clear();
+        ctx.store.by_count_first.assign(n_ + 1, {});
+        ctx.store.max_count = 0;
+        ctx.store.topk_confs.clear();
+        ctx.store.seen_exact.clear();
+        ctx.stats = MinerStats{};
+        ctx.deadline = options_.deadline;
+        DepthScratch& top = ctx.arena[1];
+        top.alive = std::move(tasks[k].alive);
+        top.cand = std::move(tasks[k].cand);
+        top.support = std::move(tasks[k].support);
+        MineIRGs(ctx, 1, tasks[k].supp, tasks[k].supn);
+        task_stores[k] = std::move(ctx.store);
+        task_stats[k] = ctx.stats;
+      });
+    }
+    pool.Wait();
+  }
+
+  // Deterministic merge: accumulate stats and replay each subtree's groups
+  // in root-candidate order against the global store.
+  GroupStore merged;
+  merged.by_count_first.resize(n_ + 1);
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    MinerStats& st = root_ctx.stats;
+    const MinerStats& ts = task_stats[k];
+    st.nodes_visited += ts.nodes_visited;
+    st.pruned_by_backscan += ts.pruned_by_backscan;
+    st.pruned_by_support += ts.pruned_by_support;
+    st.pruned_by_confidence += ts.pruned_by_confidence;
+    st.pruned_by_chi += ts.pruned_by_chi;
+    st.pruned_by_extension += ts.pruned_by_extension;
+    st.rows_absorbed += ts.rows_absorbed;
+    st.timed_out = st.timed_out || ts.timed_out;
+    for (RuleGroup& g : task_stores[k].groups) {
+      MergeGroup(merged, std::move(g));
+    }
+  }
+
+  // Step 7 at the root, post-order: only after every subtree is merged
+  // (and only when none was cut short, matching the sequential miner).
+  if (!root_ctx.stats.timed_out) {
+    root_ctx.store = std::move(merged);
+    MaybeInsertGroup(root_ctx, 0, supp, supn);
+    merged = std::move(root_ctx.store);
+  }
+  return finish(std::move(merged));
 }
 
 FarmerResult FarmerMiner::Mine() {
@@ -342,33 +495,26 @@ FarmerResult FarmerMiner::Mine() {
   if (n_ == 0) return result;
 
   Stopwatch sw;
-  std::vector<NodeTuple> root_tuples;
-  for (ItemId i = 0; i < tt_.num_items(); ++i) {
-    if (!tt_.tuple(i).empty()) {
-      root_tuples.push_back(NodeTuple{i, tt_.tuple(i)});
-    }
-  }
-  RowVector root_cands(n_);
-  for (RowId r = 0; r < n_; ++r) root_cands[r] = r;
-  MineIRGs(std::move(root_tuples), std::move(root_cands), 0, 0, Bitset(n_));
+  GroupStore store = RunSearch(&stats_);
+  std::vector<RuleGroup> groups = std::move(store.groups);
   stats_.mine_seconds = sw.ElapsedSeconds();
 
   // Top-k selection: best confidence first, support breaks ties.
-  if (options_.top_k > 0 && store_.size() > options_.top_k) {
-    std::stable_sort(store_.begin(), store_.end(),
+  if (options_.top_k > 0 && groups.size() > options_.top_k) {
+    std::stable_sort(groups.begin(), groups.end(),
                      [](const RuleGroup& a, const RuleGroup& b) {
                        if (a.confidence != b.confidence) {
                          return a.confidence > b.confidence;
                        }
                        return a.support_pos > b.support_pos;
                      });
-    store_.resize(options_.top_k);
+    groups.resize(options_.top_k);
   }
 
   // Optional lower-bound mining (MineLB), still in permuted row ids.
   if (options_.mine_lower_bounds) {
     Stopwatch lb_sw;
-    for (RuleGroup& g : store_) {
+    for (RuleGroup& g : groups) {
       if (options_.deadline.Expired()) {
         stats_.timed_out = true;
         break;
@@ -399,14 +545,14 @@ FarmerResult FarmerMiner::Mine() {
   }
 
   // Remap row sets from permuted to original row ids.
-  for (RuleGroup& g : store_) {
+  for (RuleGroup& g : groups) {
     Bitset original(n_);
     g.rows.ForEach(
         [&](std::size_t pos) { original.Set(order_.order[pos]); });
     g.rows = std::move(original);
   }
 
-  result.groups = std::move(store_);
+  result.groups = std::move(groups);
   result.stats = stats_;
   return result;
 }

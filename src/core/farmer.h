@@ -2,6 +2,8 @@
 #define FARMER_CORE_FARMER_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "core/miner_options.h"
@@ -10,6 +12,7 @@
 #include "dataset/transpose.h"
 #include "dataset/types.h"
 #include "util/bitset.h"
+#include "util/thread_pool.h"
 
 namespace farmer {
 
@@ -39,12 +42,24 @@ struct FarmerResult {
 /// The input dataset may list rows in any order; the miner permutes them
 /// into the consequent-first order internally and reports row sets in the
 /// caller's original row ids.
+///
+/// With `options.num_threads > 1` the first-level subtrees of the
+/// enumeration tree run on a thread pool; the per-subtree results are
+/// merged in root-candidate order, so the groups are bit-identical to a
+/// sequential run.
 FarmerResult MineFarmer(const BinaryDataset& dataset,
                         const MinerOptions& options);
 
 namespace internal {
 
 /// Implementation class exposed for white-box tests.
+///
+/// The conditional transposed table of a node is represented word-parallel:
+/// every item keeps one immutable Bitset over all rows (built once from the
+/// transposed table), and a node is (alive item list, candidate-row mask,
+/// identified-support mask). A tuple's conditional row list is then the
+/// intersection of its full bitset with the candidate mask, computed on the
+/// fly by the bitset kernels — no per-node row vectors exist at all.
 class FarmerMiner {
  public:
   FarmerMiner(const BinaryDataset& dataset, const MinerOptions& options);
@@ -52,44 +67,112 @@ class FarmerMiner {
   FarmerResult Mine();
 
  private:
-  // One tuple of a conditional transposed table: the item plus the
-  // candidate rows (a subset of the node's enumeration candidate list)
-  // occurring in the item's tuple.
-  struct NodeTuple {
-    ItemId item;
-    RowVector cand;
+  // Scratch owned by one depth of the enumeration recursion. All bitsets
+  // are sized to the row count once, so steady-state recursion allocates
+  // nothing: a node reads its inputs (alive/cand/support, written by the
+  // parent) and overwrites only its own depth's derived fields.
+  struct DepthScratch {
+    std::vector<ItemId> alive;            // Tuples of the conditional table.
+    std::vector<const Bitset*> tuple_ptrs;  // Bitset views of `alive`.
+    Bitset cand;      // Enumeration candidate rows of the node.
+    Bitset support;   // Rows identified as R(I(X)) on entry (X + absorbed).
+    Bitset common;    // Rows occurring in every alive tuple (full lists).
+    Bitset occupied;  // Candidates occurring in >= 1 tuple.
+    Bitset new_cands; // Candidates surviving the scan (not absorbed).
+    Bitset scratch;   // Kernel scratch (back scan, absorption set).
+    Bitset scratch2;  // Second kernel scratch (foreign-row universe).
   };
 
-  // Recursive MineIRGs (paper Figure 5). `tuples` is the node's conditional
-  // transposed table, `cands` its enumeration candidate list (sorted row
-  // ids, class-C rows first by construction of ORD), `supp`/`supn` the
-  // identified counts of R(I(X) ∪ C) / R(I(X) ∪ ¬C), and `support_rows`
-  // the rows identified so far as members of R(I(X)) (X plus rows absorbed
-  // by Pruning 1 on the path).
-  void MineIRGs(std::vector<NodeTuple> tuples, RowVector cands,
-                std::size_t supp, std::size_t supn, Bitset support_rows);
+  // Groups discovered so far plus the superset index the IRG comparison
+  // queries: for each row-set size, indices bucketed by the set's first
+  // row. A proper superset of `rows` must be strictly larger and must
+  // contain rows' first set row, so its own first row can only be <= it —
+  // the two keys prune almost all candidates before any bitset test runs.
+  struct GroupStore {
+    std::vector<RuleGroup> groups;
+    // by_count_first[count][first_row] -> indices into `groups`. Outer
+    // entries are allocated lazily on first insert for that count.
+    std::vector<std::vector<std::vector<std::uint32_t>>> by_count_first;
+    std::size_t max_count = 0;  // Largest populated row-set size.
+    // Sorted confidences of the current top-k groups (top-k mode only).
+    std::vector<double> topk_confs;
+    // Row sets already inserted (exact-mode deduplication): a hash set on
+    // the bitset digest, with full equality verified on collision.
+    std::unordered_set<Bitset, BitsetHash> seen_exact;
+  };
 
-  // Pruning 2: true when some row outside `support_rows` and outside the
-  // candidate list occurs in every tuple — the subtree duplicates an
-  // earlier one (Lemma 3.6).
-  bool BackScanFindsForeignRow(const std::vector<NodeTuple>& tuples,
-                               const RowVector& cands,
-                               const Bitset& support_rows) const;
+  // Per-worker search state: recursion arena plus a private group store.
+  // Sequential mining uses a single context for the whole search; with
+  // num_threads > 1 each worker owns one and the stores are merged
+  // afterwards.
+  struct SearchContext {
+    std::vector<DepthScratch> arena;
+    GroupStore store;
+    MinerStats stats;
+    Deadline deadline;           // Private copy: Expired() mutates state.
+    CancelFlag* cancel = nullptr;  // Shared cross-worker stop signal.
+  };
 
-  // Step 7: applies the constraint checks and the IRG comparison, and
-  // stores the group when it qualifies. In exact mode (ablation with
-  // Pruning 1 or 2 disabled) recomputes the true row support first.
-  void MaybeInsertGroup(const std::vector<NodeTuple>& tuples,
-                        std::size_t supp, std::size_t supn,
-                        const Bitset& support_rows);
+  // Inputs of one first-level subtree task, prepared on the main thread in
+  // root-candidate order.
+  struct SubtreeTask {
+    std::vector<ItemId> alive;
+    Bitset cand;
+    Bitset support;
+    std::size_t supp = 0;
+    std::size_t supn = 0;
+  };
+
+  // Recursive MineIRGs (paper Figure 5). The node's conditional table and
+  // row masks live in ctx.arena[depth] (written by the caller); supp/supn
+  // are the identified counts of R(I(X) ∪ C) / R(I(X) ∪ ¬C).
+  void MineIRGs(SearchContext& ctx, std::size_t depth, std::size_t supp,
+                std::size_t supn);
+
+  // Steps 1-4 of a node visit: back scan, loose bounds, conditional-table
+  // scan (absorption), tight bounds. Returns false when the node was
+  // pruned; otherwise arena[depth].new_cands holds the surviving
+  // candidates and *supp/*supn the post-absorption counts.
+  bool VisitNode(SearchContext& ctx, std::size_t depth, std::size_t* supp,
+                 std::size_t* supn);
+
+  // Step 7: applies the constraint checks and the IRG comparison against
+  // ctx's store, and stores the group when it qualifies. In exact mode
+  // (ablation with Pruning 1 or 2 disabled) recomputes the true row
+  // support from arena[depth].common first.
+  void MaybeInsertGroup(SearchContext& ctx, std::size_t depth,
+                        std::size_t supp, std::size_t supn);
+
+  // The dominance half of the IRG comparison (Definition 2.2): true when
+  // `store` holds a group whose row set properly contains `rows` with
+  // confidence >= `conf`.
+  bool IsDominated(const GroupStore& store, const Bitset& rows,
+                   double conf) const;
+
+  // Appends `g` to the store and indexes it. Assumes dominance and
+  // thresholds were already checked.
+  void InsertGroup(GroupStore& store, RuleGroup g) const;
+
+  // Replays one worker-local group against the global store during the
+  // deterministic merge: global exact-mode dedup, dominance re-check,
+  // insert. Mirrors the tail of MaybeInsertGroup.
+  void MergeGroup(GroupStore& store, RuleGroup g) const;
 
   // True when all measure thresholds hold for a rule with the given exact
   // counts (x = supp + supn, y = supp).
   bool PassesThresholds(std::size_t supp, std::size_t supn) const;
 
   // The dynamic confidence floor: min_confidence, raised in top-k mode to
-  // the current k-th best confidence.
-  double EffectiveMinConfidence() const;
+  // the current k-th best confidence of `store`.
+  double EffectiveMinConfidence(const GroupStore& store) const;
+
+  // Builds a ready-to-recurse context (arena sized to the row count).
+  SearchContext MakeContext(CancelFlag* cancel) const;
+
+  // Runs the search from the root: sequential recursion for
+  // num_threads <= 1, first-level fan-out over a thread pool otherwise.
+  // Returns the final (merged) store; stats are accumulated into *stats.
+  GroupStore RunSearch(MinerStats* stats);
 
   MinerOptions options_;  // Copied: the miner may outlive the caller's copy.
   RowOrder order_;
@@ -99,23 +182,13 @@ class FarmerMiner {
   std::size_t m_ = 0;  // rows labeled with the consequent (first m_ ids)
   bool exact_mode_ = false;
 
-  // Discovered groups (row sets in *permuted* ids until the final remap).
-  std::vector<RuleGroup> store_;
-  // store_ indices bucketed by row-set size: the IRG comparison only needs
-  // groups with strictly larger row sets (equal-size sets are never proper
-  // supersets), and most groups sit at the minimum support.
-  std::vector<std::vector<std::size_t>> store_by_count_;
-  // Sorted confidences of the current top-k groups (top-k mode only).
-  std::vector<double> topk_confs_;
-  // Row sets already inserted (exact mode deduplication).
-  std::vector<Bitset> seen_exact_;
+  // One immutable bitset per item: the rows containing it (the transposed
+  // table, word-parallel form).
+  std::vector<Bitset> tuple_bits_;
+  // All n_ bits set; complement base for the back scan's foreign universe.
+  Bitset all_rows_;
 
   MinerStats stats_;
-
-  // Scratch counters for the per-node scan, epoch-cleared.
-  std::vector<std::uint64_t> cnt_;
-  std::vector<std::uint64_t> cnt_epoch_;
-  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace internal

@@ -58,6 +58,13 @@ struct MinerOptions {
   bool enable_pruning2 = true;  // Back-scan duplicate-subtree detection.
   bool enable_pruning3 = true;  // Measure-threshold bounds.
 
+  /// Worker threads for the enumeration search. 1 (the default) runs the
+  /// plain sequential miner; larger values fan the first-level subtrees of
+  /// the row-enumeration tree out over a fixed thread pool. Results are
+  /// merged deterministically in root-candidate order, so every thread
+  /// count produces bit-identical rule groups.
+  std::size_t num_threads = 1;
+
   /// Cooperative time limit; the miner reports `timed_out` when it fires.
   Deadline deadline;
 };

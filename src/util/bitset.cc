@@ -24,6 +24,69 @@ std::size_t Bitset::Count() const {
   return total;
 }
 
+std::size_t Bitset::CountPrefix(std::size_t pos_limit) const {
+  if (pos_limit >= num_bits_) return Count();
+  const std::size_t full_words = pos_limit >> 6;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < full_words; ++i) {
+    total += __builtin_popcountll(words_[i]);
+  }
+  const std::size_t tail = pos_limit & 63;
+  if (tail != 0) {
+    total += __builtin_popcountll(words_[full_words] & ((kOne << tail) - 1));
+  }
+  return total;
+}
+
+std::size_t Bitset::AndCountPrefix(const Bitset& other,
+                                   std::size_t pos_limit) const {
+  const std::size_t limit = std::min(pos_limit, std::min(num_bits_,
+                                                         other.num_bits_));
+  const std::size_t full_words = limit >> 6;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < full_words; ++i) {
+    total += __builtin_popcountll(words_[i] & other.words_[i]);
+  }
+  const std::size_t tail = limit & 63;
+  if (tail != 0) {
+    total += __builtin_popcountll(words_[full_words] & other.words_[full_words] &
+                                  ((kOne << tail) - 1));
+  }
+  return total;
+}
+
+bool Bitset::IntersectsAllOf(const Bitset* const* sets, std::size_t count,
+                             Bitset* scratch) const {
+  *scratch = *this;
+  for (std::size_t i = 0; i < count; ++i) {
+    *scratch &= *sets[i];
+    if (scratch->None()) return false;
+  }
+  return scratch->Any();
+}
+
+void Bitset::AndInto(const Bitset& a, const Bitset& b, Bitset* out) {
+  out->num_bits_ = a.num_bits_;
+  out->words_.resize(a.words_.size());
+  for (std::size_t i = 0; i < a.words_.size(); ++i) {
+    out->words_[i] = a.words_[i] & b.words_[i];
+  }
+}
+
+void Bitset::AndNotInto(const Bitset& a, const Bitset& b, Bitset* out) {
+  out->num_bits_ = a.num_bits_;
+  out->words_.resize(a.words_.size());
+  for (std::size_t i = 0; i < a.words_.size(); ++i) {
+    out->words_[i] = a.words_[i] & ~b.words_[i];
+  }
+}
+
+void Bitset::OrAnd(const Bitset& a, const Bitset& b) {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= a.words_[i] & b.words_[i];
+  }
+}
+
 bool Bitset::None() const {
   for (std::uint64_t w : words_) {
     if (w != 0) return false;

@@ -55,6 +55,9 @@ class Bitset {
   /// Number of set bits.
   std::size_t Count() const;
 
+  /// Number of set bits at positions < `pos_limit` (clamped to size()).
+  std::size_t CountPrefix(std::size_t pos_limit) const;
+
   /// True when no bit is set.
   bool None() const;
 
@@ -75,6 +78,39 @@ class Bitset {
 
   /// Number of bits set in both *this and `other`.
   std::size_t IntersectCount(const Bitset& other) const;
+
+  /// Synonym for IntersectCount, named for the miner's conditional-table
+  /// kernels: |*this ∩ other| in one word-parallel pass.
+  std::size_t AndCount(const Bitset& other) const {
+    return IntersectCount(other);
+  }
+
+  /// |*this ∩ other| restricted to positions < `pos_limit`. The FARMER
+  /// miner uses this to count positive-class rows (a prefix of the row
+  /// order) inside a tuple's candidate set without materializing the
+  /// intersection.
+  std::size_t AndCountPrefix(const Bitset& other,
+                             std::size_t pos_limit) const;
+
+  /// True when some bit of *this is set in every bitset of
+  /// `sets[0..count)` — i.e. *this ∩ sets[0] ∩ … ∩ sets[count-1] is
+  /// non-empty. `scratch` is borrowed for the running intersection (its
+  /// contents are clobbered); the loop exits early once the intersection
+  /// empties. With count == 0 this reduces to Any().
+  bool IntersectsAllOf(const Bitset* const* sets, std::size_t count,
+                       Bitset* scratch) const;
+
+  /// out = a & b without reallocating out's storage when capacities allow
+  /// (the borrowed-buffer variant of operator&). a and b must be the same
+  /// size.
+  static void AndInto(const Bitset& a, const Bitset& b, Bitset* out);
+
+  /// out = a & ~b, same storage-reuse contract as AndInto.
+  static void AndNotInto(const Bitset& a, const Bitset& b, Bitset* out);
+
+  /// *this |= (a & b) in a single word-parallel pass; a and b must be the
+  /// same size as *this.
+  void OrAnd(const Bitset& a, const Bitset& b);
 
   /// In-place union / intersection / difference.
   Bitset& operator|=(const Bitset& other);

@@ -1,0 +1,69 @@
+#ifndef FARMER_UTIL_THREAD_POOL_H_
+#define FARMER_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace farmer {
+
+/// A cooperative cancellation flag shared between the submitter and the
+/// workers of a ThreadPool. Long-running tasks poll `Cancelled()` at their
+/// natural checkpoint granularity (the miners use enumeration nodes) and
+/// return early once it fires — e.g. when one worker's deadline expires,
+/// it cancels its siblings so the whole pool drains promptly instead of
+/// each worker discovering the timeout on its own.
+class CancelFlag {
+ public:
+  bool Cancelled() const { return flag_.load(std::memory_order_relaxed); }
+  void Cancel() { flag_.store(true, std::memory_order_relaxed); }
+  void Reset() { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// A fixed-size pool of worker threads draining a FIFO work queue.
+///
+/// Tasks receive the id of the worker running them (in [0, num_threads())),
+/// so callers can hand each worker private scratch state without locking.
+/// Tasks must not throw and must not Submit() from inside a task.
+/// Wait() blocks the submitting thread until every submitted task has
+/// finished; the destructor waits for pending work and joins the workers.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void(std::size_t worker_id)> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+ private:
+  void WorkerLoop(std::size_t worker_id);
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void(std::size_t)>> queue_;
+  std::size_t in_flight_ = 0;  // Queued + running tasks.
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace farmer
+
+#endif  // FARMER_UTIL_THREAD_POOL_H_

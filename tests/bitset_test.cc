@@ -109,6 +109,131 @@ TEST(BitsetTest, ToStringRendersSetBits) {
   EXPECT_EQ(Bitset(3).ToString(), "{}");
 }
 
+TEST(BitsetTest, CountPrefix) {
+  Bitset b(200);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(130);
+  b.Set(199);
+  EXPECT_EQ(b.CountPrefix(0), 0u);
+  EXPECT_EQ(b.CountPrefix(1), 1u);
+  EXPECT_EQ(b.CountPrefix(63), 1u);
+  EXPECT_EQ(b.CountPrefix(64), 2u);
+  EXPECT_EQ(b.CountPrefix(65), 3u);
+  EXPECT_EQ(b.CountPrefix(131), 4u);
+  EXPECT_EQ(b.CountPrefix(199), 4u);
+  EXPECT_EQ(b.CountPrefix(200), 5u);
+  EXPECT_EQ(b.CountPrefix(10000), 5u);  // Clamped to size().
+}
+
+TEST(BitsetTest, AndCountAndPrefix) {
+  Bitset a(150), b(150);
+  a.Set(0);
+  a.Set(70);
+  a.Set(100);
+  a.Set(149);
+  b.Set(70);
+  b.Set(100);
+  b.Set(120);
+  EXPECT_EQ(a.AndCount(b), 2u);
+  EXPECT_EQ(a.AndCountPrefix(b, 0), 0u);
+  EXPECT_EQ(a.AndCountPrefix(b, 70), 0u);
+  EXPECT_EQ(a.AndCountPrefix(b, 71), 1u);
+  EXPECT_EQ(a.AndCountPrefix(b, 101), 2u);
+  EXPECT_EQ(a.AndCountPrefix(b, 150), 2u);
+  EXPECT_EQ(a.AndCountPrefix(b, 9999), 2u);
+}
+
+TEST(BitsetTest, IntersectsAllOf) {
+  Bitset probe(100), t1(100), t2(100), t3(100), scratch;
+  probe.Set(10);
+  probe.Set(50);
+  t1.Set(10);
+  t1.Set(50);
+  t2.Set(50);
+  t2.Set(60);
+  t3.Set(10);
+  const Bitset* both[] = {&t1, &t2};
+  EXPECT_TRUE(probe.IntersectsAllOf(both, 2, &scratch));  // 50 survives.
+  const Bitset* all3[] = {&t1, &t2, &t3};
+  EXPECT_FALSE(probe.IntersectsAllOf(all3, 3, &scratch));  // Nothing in all.
+  EXPECT_TRUE(probe.IntersectsAllOf(nullptr, 0, &scratch));  // Any().
+  Bitset empty(100);
+  EXPECT_FALSE(empty.IntersectsAllOf(nullptr, 0, &scratch));
+}
+
+TEST(BitsetTest, AndIntoAndNotIntoReuseStorage) {
+  Bitset a(130), b(130), out;
+  a.Set(1);
+  a.Set(65);
+  a.Set(129);
+  b.Set(65);
+  b.Set(100);
+  Bitset::AndInto(a, b, &out);
+  EXPECT_EQ(out.ToVector(), (std::vector<std::size_t>{65}));
+  EXPECT_EQ(out.size(), 130u);
+  Bitset::AndNotInto(a, b, &out);
+  EXPECT_EQ(out.ToVector(), (std::vector<std::size_t>{1, 129}));
+  // Aliasing with an input is allowed.
+  Bitset c = a;
+  Bitset::AndNotInto(c, b, &c);
+  EXPECT_EQ(c.ToVector(), (std::vector<std::size_t>{1, 129}));
+}
+
+TEST(BitsetTest, OrAnd) {
+  Bitset acc(100), a(100), b(100);
+  acc.Set(0);
+  a.Set(10);
+  a.Set(20);
+  b.Set(20);
+  b.Set(30);
+  acc.OrAnd(a, b);
+  EXPECT_EQ(acc.ToVector(), (std::vector<std::size_t>{0, 20}));
+}
+
+TEST(BitsetTest, KernelsMatchNaiveOnRandomSets) {
+  Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t size = 1 + rng.NextBelow(250);
+    Bitset a(size), b(size);
+    std::set<std::size_t> ma, mb;
+    for (std::size_t i = 0; i < size; ++i) {
+      if (rng.NextBool(0.4)) {
+        a.Set(i);
+        ma.insert(i);
+      }
+      if (rng.NextBool(0.4)) {
+        b.Set(i);
+        mb.insert(i);
+      }
+    }
+    const std::size_t limit = rng.NextBelow(size + 10);
+    std::size_t naive_prefix = 0, naive_and_prefix = 0, naive_and = 0;
+    for (std::size_t i : ma) {
+      if (i < limit) ++naive_prefix;
+      if (mb.count(i)) {
+        ++naive_and;
+        if (i < limit) ++naive_and_prefix;
+      }
+    }
+    EXPECT_EQ(a.CountPrefix(limit), naive_prefix);
+    EXPECT_EQ(a.AndCount(b), naive_and);
+    EXPECT_EQ(a.AndCountPrefix(b, limit), naive_and_prefix);
+    Bitset out;
+    Bitset::AndInto(a, b, &out);
+    EXPECT_EQ(out, a & b);
+    Bitset::AndNotInto(a, b, &out);
+    EXPECT_EQ(out, a - b);
+    Bitset acc(size);
+    acc.OrAnd(a, b);
+    EXPECT_EQ(acc, a & b);
+    Bitset scratch;
+    const Bitset* sets[] = {&b};
+    EXPECT_EQ(a.IntersectsAllOf(sets, 1, &scratch), a.Intersects(b));
+  }
+}
+
 TEST(BitsetTest, RandomizedAgainstStdSet) {
   Rng rng(99);
   for (int trial = 0; trial < 20; ++trial) {

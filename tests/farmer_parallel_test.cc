@@ -1,0 +1,182 @@
+// Determinism of the parallel FARMER search: for any thread count the
+// reported rule groups must be bit-identical to the sequential run —
+// same antecedents, row sets, supports, confidences, and ordering.
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/farmer.h"
+#include "core/miner_options.h"
+#include "dataset/dataset.h"
+#include "dataset/discretize.h"
+#include "dataset/synthetic.h"
+#include "test_util.h"
+#include "util/timer.h"
+
+namespace farmer {
+namespace {
+
+using testing_util::PaperExampleDataset;
+using testing_util::RandomDataset;
+
+// Asserts that `got` reports exactly the groups of `want`, in the same
+// order, field by field.
+void ExpectIdenticalResults(const FarmerResult& want,
+                            const FarmerResult& got) {
+  ASSERT_EQ(want.groups.size(), got.groups.size());
+  for (std::size_t i = 0; i < want.groups.size(); ++i) {
+    SCOPED_TRACE("group " + std::to_string(i));
+    const RuleGroup& a = want.groups[i];
+    const RuleGroup& b = got.groups[i];
+    EXPECT_EQ(a.antecedent, b.antecedent);
+    EXPECT_EQ(a.rows, b.rows) << a.rows.ToString() << " vs "
+                              << b.rows.ToString();
+    EXPECT_EQ(a.support_pos, b.support_pos);
+    EXPECT_EQ(a.support_neg, b.support_neg);
+    EXPECT_EQ(a.confidence, b.confidence);  // Bit-identical, not approximate.
+    EXPECT_EQ(a.chi_square, b.chi_square);
+    EXPECT_EQ(a.lower_bounds, b.lower_bounds);
+    EXPECT_EQ(a.lower_bounds_truncated, b.lower_bounds_truncated);
+  }
+  EXPECT_EQ(want.num_rows, got.num_rows);
+  EXPECT_EQ(want.num_consequent_rows, got.num_consequent_rows);
+}
+
+// Runs the miner at 1, 2, 4 and 8 threads and checks all results against
+// the sequential one.
+void ExpectThreadCountInvariant(const BinaryDataset& dataset,
+                                MinerOptions opts) {
+  opts.num_threads = 1;
+  const FarmerResult sequential = MineFarmer(dataset, opts);
+  EXPECT_FALSE(sequential.stats.timed_out);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE("threads = " + std::to_string(threads));
+    opts.num_threads = threads;
+    const FarmerResult parallel = MineFarmer(dataset, opts);
+    EXPECT_FALSE(parallel.stats.timed_out);
+    ExpectIdenticalResults(sequential, parallel);
+    // Tree-shape stats are thread-count-invariant too: the same nodes are
+    // visited, just on different threads.
+    EXPECT_EQ(sequential.stats.nodes_visited, parallel.stats.nodes_visited);
+    EXPECT_EQ(sequential.stats.rows_absorbed, parallel.stats.rows_absorbed);
+  }
+}
+
+// A small synthetic paper dataset, discretized like the benchmarks do.
+BinaryDataset SmallPaperDataset(const std::string& name) {
+  SyntheticSpec spec = PaperDatasetSpec(name, /*column_scale=*/0.01);
+  ExpressionMatrix matrix = GenerateSynthetic(spec);
+  Discretization disc = Discretization::FitEqualDepth(matrix, 10);
+  return disc.Apply(matrix);
+}
+
+TEST(FarmerParallelTest, PaperExampleAllThreadCounts) {
+  MinerOptions opts;
+  opts.min_support = 1;
+  ExpectThreadCountInvariant(PaperExampleDataset(), opts);
+}
+
+TEST(FarmerParallelTest, RandomDatasetsAllThreadCounts) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    MinerOptions opts;
+    opts.min_support = 2;
+    opts.min_confidence = 0.6;
+    ExpectThreadCountInvariant(RandomDataset(14, 24, 0.3, seed), opts);
+  }
+}
+
+TEST(FarmerParallelTest, SyntheticPaperDatasets) {
+  for (const char* name : {"BC", "CT"}) {
+    SCOPED_TRACE(name);
+    MinerOptions opts;
+    opts.min_support = 4;
+    opts.min_confidence = 0.8;
+    opts.mine_lower_bounds = false;
+    ExpectThreadCountInvariant(SmallPaperDataset(name), opts);
+  }
+}
+
+TEST(FarmerParallelTest, TopKIsThreadCountInvariant) {
+  // The dynamic top-k confidence floor is worker-local in parallel runs;
+  // the reported groups must still match the sequential ones exactly.
+  MinerOptions opts;
+  opts.min_support = 2;
+  opts.top_k = 5;
+  opts.mine_lower_bounds = false;
+  for (std::uint64_t seed = 10; seed <= 12; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    const BinaryDataset ds = RandomDataset(16, 20, 0.35, seed);
+    opts.num_threads = 1;
+    const FarmerResult sequential = MineFarmer(ds, opts);
+    for (std::size_t threads : {2u, 4u, 8u}) {
+      SCOPED_TRACE("threads = " + std::to_string(threads));
+      opts.num_threads = threads;
+      ExpectIdenticalResults(sequential, MineFarmer(ds, opts));
+    }
+  }
+}
+
+TEST(FarmerParallelTest, ExactModeIsThreadCountInvariant) {
+  // Ablation configurations take the exact-mode path (hash-set dedup on
+  // the recomputed row sets); the merge must preserve its semantics.
+  for (const bool p1 : {false, true}) {
+    MinerOptions opts;
+    opts.min_support = 2;
+    opts.enable_pruning1 = p1;
+    opts.enable_pruning2 = false;
+    opts.mine_lower_bounds = false;
+    SCOPED_TRACE(p1 ? "pruning2 off" : "pruning1+2 off");
+    ExpectThreadCountInvariant(RandomDataset(12, 18, 0.35, 7), opts);
+  }
+}
+
+TEST(FarmerParallelTest, ReportAllGroupsIsThreadCountInvariant) {
+  MinerOptions opts;
+  opts.min_support = 2;
+  opts.min_confidence = 0.5;
+  opts.report_all_rule_groups = true;
+  opts.mine_lower_bounds = false;
+  ExpectThreadCountInvariant(RandomDataset(13, 20, 0.3, 21), opts);
+}
+
+TEST(FarmerParallelTest, ShortDeadlineTerminatesWithoutDeadlock) {
+  // An already-expired deadline over a search far too large to finish:
+  // every thread count must terminate promptly (one worker noticing the
+  // expiry cancels the siblings), report timed_out, and keep the
+  // partial-result contract (whatever is returned satisfies the
+  // thresholds). Deadline throttles its clock reads, so the tree must be
+  // big enough for some worker to make a few hundred checks.
+  const BinaryDataset ds = SmallPaperDataset("BC");
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("threads = " + std::to_string(threads));
+    MinerOptions opts;
+    opts.min_support = 1;
+    opts.mine_lower_bounds = false;
+    opts.store_antecedents = false;
+    opts.num_threads = threads;
+    opts.deadline = Deadline::After(1e-9);
+    const FarmerResult result = MineFarmer(ds, opts);
+    EXPECT_TRUE(result.stats.timed_out);
+    for (const RuleGroup& g : result.groups) {
+      EXPECT_GE(g.support_pos, opts.min_support);
+    }
+  }
+}
+
+TEST(FarmerParallelTest, MoreThreadsThanSubtrees) {
+  // Thread counts beyond the number of first-level subtrees must clamp,
+  // not hang or crash.
+  MinerOptions opts;
+  opts.min_support = 1;
+  opts.num_threads = 64;
+  const FarmerResult parallel = MineFarmer(PaperExampleDataset(), opts);
+  opts.num_threads = 1;
+  const FarmerResult sequential = MineFarmer(PaperExampleDataset(), opts);
+  ExpectIdenticalResults(sequential, parallel);
+}
+
+}  // namespace
+}  // namespace farmer

@@ -79,8 +79,8 @@ int Usage() {
                "[--consequent N]\n"
                "            [--buckets N | --entropy] [--topk K] "
                "[--all-groups] [--no-lower-bounds]\n"
-               "            [--timeout S] [--max N] [--out FILE] "
-               "[--model-out PREFIX]\n"
+               "            [--timeout S] [--threads N] [--max N] "
+               "[--out FILE] [--model-out PREFIX]\n"
                "  predict   --in FILE --model PREFIX\n"
                "  classify  --in FILE --train N [--method irg|cba|svm] "
                "[--seed N] [--minsup-frac F] [--minconf F]\n");
@@ -177,6 +177,8 @@ int CmdMine(const Args& args) {
   opts.mine_lower_bounds = !args.Has("--no-lower-bounds");
   const double timeout = args.GetDouble("--timeout", 0.0);
   if (timeout > 0) opts.deadline = Deadline::After(timeout);
+  opts.num_threads =
+      static_cast<std::size_t>(std::max(1L, args.GetInt("--threads", 1)));
 
   FarmerResult result = MineFarmer(dataset, opts);
   std::fprintf(stderr,
