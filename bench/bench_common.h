@@ -5,16 +5,20 @@
 //
 // Every bench accepts:
 //   --full                    paper-scale column counts (slow)
+//   --threads <n>             worker threads for parallel sections
 //   FARMER_BENCH_SCALE=<f>    explicit column scale (default 0.05)
 //   FARMER_BENCH_TIMEOUT=<s>  per-run time limit in seconds (default 20)
+//   FARMER_BENCH_THREADS=<n>  same as --threads (flag wins)
 //
 // Runs that exceed the limit print TIMEOUT, mirroring how the paper
 // reports competitors that "did not run to completion".
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "dataset/dataset.h"
 #include "dataset/discretize.h"
@@ -29,6 +33,10 @@ struct BenchConfig {
   double timeout_seconds = 15.0;
   /// When non-empty, only this dataset is benched (--data <name>).
   std::string only_dataset;
+  /// Worker threads for benches with parallel sections (fold fan-out,
+  /// multi-threaded mining). Defaults to the hardware concurrency.
+  std::size_t num_threads =
+      std::max(1u, std::thread::hardware_concurrency());
 
   bool WantsDataset(const std::string& name) const {
     return only_dataset.empty() || only_dataset == name;
@@ -47,12 +55,19 @@ inline BenchConfig ParseBenchConfig(int argc, char** argv) {
   if (const char* timeout = std::getenv("FARMER_BENCH_TIMEOUT")) {
     config.timeout_seconds = std::atof(timeout);
   }
+  if (const char* threads = std::getenv("FARMER_BENCH_THREADS")) {
+    config.num_threads = static_cast<std::size_t>(std::atoll(threads));
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) config.column_scale = 1.0;
     if (std::strcmp(argv[i], "--data") == 0 && i + 1 < argc) {
       config.only_dataset = argv[++i];
     }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      config.num_threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    }
   }
+  if (config.num_threads == 0) config.num_threads = 1;
   if (config.column_scale <= 0.0) config.column_scale = 0.05;
   return config;
 }

@@ -2,7 +2,7 @@
 // the five datasets (panels a–e), plus the number of IRGs per setting
 // (panel f). minconf = minchi = 0, equal-depth 10-bucket discretization,
 // exactly as in §4.1.1. FARMER's time includes lower-bound mining; it is
-// run at 1 and 4 threads to record the first-level task parallelism.
+// run at 1 and 4 threads to record the work-stealing parallel speedup.
 //
 // Expected shape (the paper's result): FARMER finishes in seconds while
 // the column-enumeration competitors blow past the time limit at low

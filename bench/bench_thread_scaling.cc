@@ -1,0 +1,109 @@
+// Thread scaling of the work-stealing FARMER miner: the Figure-10 BC
+// workload (minsup 5, minconf = minchi = 0, lower bounds on) mined at
+// 1, 2, 4 and 8 threads. Reports wall seconds, speedup over the
+// single-thread run, enumeration-tree size, and the scheduler's
+// spawn/steal counters. The mined groups are bit-identical across the
+// sweep (verified here), so the runs differ only in schedule.
+//
+// Expected shape: near-linear speedup while threads <= cores, then flat;
+// steal counts grow with thread count because BC's enumeration tree is
+// skewed and idle workers must poach subtrees from the deep branches.
+//
+// Every measurement is also appended to BENCH_thread_scaling.json.
+//
+// Extra knobs (on top of bench_common's):
+//   --minsup <n>   minimum support (default 5)
+//   --quick        tiny workload for CI smoke runs (scale 0.02, no
+//                  lower bounds) — exercises the sweep, not the speedup
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/bench_json.h"
+#include "core/farmer.h"
+
+int main(int argc, char** argv) {
+  using namespace farmer;
+  using namespace farmer::bench;
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  std::size_t minsup = 5;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--minsup") == 0 && i + 1 < argc) {
+      minsup = static_cast<std::size_t>(std::atoll(argv[++i]));
+    }
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  if (quick) config.column_scale = 0.02;
+  const std::string name =
+      config.only_dataset.empty() ? "BC" : config.only_dataset;
+  PrintBenchHeader("Thread scaling: work-stealing FARMER on the Fig. 10 "
+                   "BC workload", config);
+  JsonWriter json("thread_scaling");
+
+  BenchDataset ds = MakeBenchDataset(name, config.column_scale);
+  std::printf("dataset %s: %zu rows x %zu items, minsup %zu%s\n\n",
+              name.c_str(), static_cast<std::size_t>(ds.binary.num_rows()),
+              static_cast<std::size_t>(ds.binary.num_items()), minsup,
+              quick ? " (quick)" : "");
+  std::printf("%7s | %9s %8s | %10s %8s %8s %8s | %7s\n", "threads",
+              "mine(s)", "speedup", "nodes", "tasks", "steals", "stolen",
+              "#IRGs");
+
+  double base_seconds = 0.0;
+  std::vector<RuleGroup> base_groups;
+  for (std::size_t threads : {1, 2, 4, 8}) {
+    MinerOptions opts;
+    opts.consequent = 1;
+    opts.min_support = minsup;
+    opts.mine_lower_bounds = !quick;
+    opts.num_threads = threads;
+    opts.deadline = Deadline::After(config.timeout_seconds);
+    FarmerResult r = MineFarmer(ds.binary, opts);
+    const double seconds = r.stats.mine_seconds + r.stats.lower_bound_seconds;
+
+    if (threads == 1) {
+      base_seconds = seconds;
+      base_groups = r.groups;
+    } else if (!r.stats.timed_out && r.groups.size() != base_groups.size()) {
+      std::printf("DETERMINISM VIOLATION: %zu groups at %zu threads vs %zu "
+                  "at 1\n", r.groups.size(), threads, base_groups.size());
+      return 1;
+    }
+    const double speedup = seconds > 0.0 ? base_seconds / seconds : 0.0;
+
+    std::printf("%7zu | %9s %7.2fx | %10zu %8zu %8zu %8zu | %7zu%s\n",
+                threads, FmtSeconds(seconds, r.stats.timed_out).c_str(),
+                speedup, r.stats.nodes_visited, r.stats.tasks_spawned,
+                r.stats.task_steals, r.stats.tasks_stolen, r.groups.size(),
+                r.stats.timed_out ? " (partial)" : "");
+    std::fflush(stdout);
+
+    json.Add(JsonRecord()
+                 .Str("bench", "thread_scaling")
+                 .Str("dataset", name)
+                 .Num("column_scale", config.column_scale)
+                 .Int("minsup", static_cast<long long>(minsup))
+                 .Int("threads", static_cast<long long>(threads))
+                 .Num("seconds", seconds)
+                 .Num("speedup", speedup)
+                 .Int("nodes_visited",
+                      static_cast<long long>(r.stats.nodes_visited))
+                 .Int("tasks_spawned",
+                      static_cast<long long>(r.stats.tasks_spawned))
+                 .Int("task_steals",
+                      static_cast<long long>(r.stats.task_steals))
+                 .Int("tasks_stolen",
+                      static_cast<long long>(r.stats.tasks_stolen))
+                 .Int("groups", static_cast<long long>(r.groups.size()))
+                 .Bool("timed_out", r.stats.timed_out));
+    json.Flush();
+  }
+  std::printf("\nspeedup is relative to the 1-thread run on this machine "
+              "(%u hardware threads); groups are bit-identical across the "
+              "sweep\n", std::thread::hardware_concurrency());
+  std::printf("json: %s\n", json.path().c_str());
+  return 0;
+}

@@ -90,6 +90,33 @@ double Accuracy(const std::vector<ClassLabel>& truth,
   return static_cast<double>(correct) / static_cast<double>(truth.size());
 }
 
+CrossValidationResult CrossValidate(const std::vector<ClassLabel>& labels,
+                                    std::size_t k, std::uint64_t seed,
+                                    const FoldEvaluator& evaluate,
+                                    ThreadPool* pool) {
+  const std::vector<Split> splits = StratifiedKFold(labels, k, seed);
+  CrossValidationResult result;
+  result.fold_accuracies.assign(splits.size(), 0.0);
+  if (pool != nullptr) {
+    for (std::size_t f = 0; f < splits.size(); ++f) {
+      // Each task writes only its own slot; Wait() publishes the writes.
+      pool->Submit([&result, &splits, &evaluate, f](std::size_t) {
+        result.fold_accuracies[f] = evaluate(splits[f], f);
+      });
+    }
+    pool->Wait();
+  } else {
+    for (std::size_t f = 0; f < splits.size(); ++f) {
+      result.fold_accuracies[f] = evaluate(splits[f], f);
+    }
+  }
+  double sum = 0.0;
+  for (double a : result.fold_accuracies) sum += a;
+  result.mean_accuracy =
+      splits.empty() ? 0.0 : sum / static_cast<double>(splits.size());
+  return result;
+}
+
 std::vector<Split> StratifiedKFold(const std::vector<ClassLabel>& labels,
                                    std::size_t k, std::uint64_t seed) {
   assert(k >= 2);

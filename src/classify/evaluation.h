@@ -3,10 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "dataset/expression_matrix.h"
 #include "dataset/types.h"
+#include "util/thread_pool.h"
 
 namespace farmer {
 
@@ -30,6 +32,32 @@ double Accuracy(const std::vector<ClassLabel>& truth,
 /// splits whose test folds partition the rows.
 std::vector<Split> StratifiedKFold(const std::vector<ClassLabel>& labels,
                                    std::size_t k, std::uint64_t seed);
+
+/// Evaluates one cross-validation fold: trains on `split.train`, tests on
+/// `split.test`, returns the accuracy. `fold` is the fold index. Called
+/// concurrently from pool workers when CrossValidate runs on a pool, so
+/// the callback must not mutate shared state.
+using FoldEvaluator = std::function<double(const Split& split,
+                                           std::size_t fold)>;
+
+/// Result of a k-fold cross-validation run.
+struct CrossValidationResult {
+  std::vector<double> fold_accuracies;  // In fold order.
+  double mean_accuracy = 0.0;
+};
+
+/// Runs stratified k-fold cross-validation over `labels`: builds the folds
+/// with StratifiedKFold(labels, k, seed) and calls `evaluate` once per
+/// fold. With a non-null `pool` the folds fan out across its workers;
+/// each result lands in its fold's slot and CrossValidate drains the pool
+/// before returning (so the pool must not be running unrelated work).
+/// The returned accuracies are in fold order for every pool size —
+/// including no pool at all — so results are deterministic as long as
+/// `evaluate` itself is.
+CrossValidationResult CrossValidate(const std::vector<ClassLabel>& labels,
+                                    std::size_t k, std::uint64_t seed,
+                                    const FoldEvaluator& evaluate,
+                                    ThreadPool* pool = nullptr);
 
 }  // namespace farmer
 

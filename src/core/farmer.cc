@@ -62,18 +62,25 @@ bool FarmerMiner::PassesThresholds(std::size_t supp, std::size_t supn) const {
   return true;
 }
 
-double FarmerMiner::EffectiveMinConfidence(const GroupStore& store) const {
+double FarmerMiner::EffectiveMinConfidence(const SearchContext& ctx) const {
   double floor = options_.min_confidence;
-  if (options_.top_k > 0 && store.topk_confs.size() == options_.top_k) {
+  if (options_.top_k > 0 && ctx.shared == nullptr &&
+      ctx.store.topk_confs.size() == options_.top_k) {
     // topk_confs is sorted descending; back() is the k-th best. Subtrees
     // whose confidence bound is strictly below it cannot improve the top-k
     // (ties still enter via the support tie-break, so the prune below uses
-    // a strict comparison). Workers only see their own store's floor in
-    // parallel runs — a weaker prune than the sequential global floor, but
-    // any extra groups they admit sort strictly below the final k-th
-    // confidence and are dropped by the top-k selection, so the reported
-    // groups stay bit-identical.
-    floor = std::max(floor, store.topk_confs.back());
+    // a strict comparison).
+    //
+    // Parallel workers deliberately do NOT use their local store's floor:
+    // a local store can hold groups a sequential run would have dropped
+    // as dominated (their witness lives in another task), and those can
+    // raise the local floor above the sequential one — over-pruning
+    // subtrees the sequential miner explores. The static min_confidence
+    // floor is always <= the sequential dynamic floor, so workers mine a
+    // superset; every extra group's confidence is strictly below the
+    // final k-th confidence and the top-k selection discards it, keeping
+    // the reported groups bit-identical.
+    floor = std::max(floor, ctx.store.topk_confs.back());
   }
   return floor;
 }
@@ -149,18 +156,22 @@ void FarmerMiner::MaybeInsertGroup(SearchContext& ctx, std::size_t depth,
       IsDominated(ctx.store, *rows, conf)) {
     return;
   }
+  InsertGroup(ctx.store, MakeGroup(s, *rows, supp, supn));
+}
 
+RuleGroup FarmerMiner::MakeGroup(const DepthScratch& s, const Bitset& rows,
+                                 std::size_t supp, std::size_t supn) const {
   RuleGroup g;
   if (options_.store_antecedents) {
     g.antecedent.reserve(s.alive.size());
     for (ItemId it : s.alive) g.antecedent.push_back(it);
   }
-  g.rows = *rows;
+  g.rows = rows;
   g.support_pos = supp;
   g.support_neg = supn;
-  g.confidence = conf;
+  g.confidence = Confidence(supp, supp + supn);
   g.chi_square = ChiSquare(supp + supn, supp, n_, m_);
-  InsertGroup(ctx.store, std::move(g));
+  return g;
 }
 
 void FarmerMiner::MergeGroup(GroupStore& store, RuleGroup g) const {
@@ -209,7 +220,7 @@ bool FarmerMiner::VisitNode(SearchContext& ctx, std::size_t depth,
       ++ctx.stats.pruned_by_support;
       return false;
     }
-    const double minconf = EffectiveMinConfidence(ctx.store);
+    const double minconf = EffectiveMinConfidence(ctx);
     if (minconf > 0.0) {
       const double uc2 = Confidence(us2, us2 + *supn);
       if (uc2 < minconf) {
@@ -262,7 +273,7 @@ bool FarmerMiner::VisitNode(SearchContext& ctx, std::size_t depth,
       // exact counts of R(I(X)); that only holds when Prunings 1 and 2 are
       // active (ablation runs fall back to the loose bounds above).
       const double uc1 = Confidence(us1, us1 + *supn);
-      const double minconf = EffectiveMinConfidence(ctx.store);
+      const double minconf = EffectiveMinConfidence(ctx);
       if (minconf > 0.0 && uc1 < minconf) {
         ++ctx.stats.pruned_by_confidence;
         return false;
@@ -329,11 +340,18 @@ void FarmerMiner::MineIRGs(SearchContext& ctx, std::size_t depth,
   // order makes the class restriction implicit: after descending into a
   // ¬C row, every later row is ¬C as well. The child's candidate mask is
   // maintained incrementally: clearing each visited row leaves exactly the
-  // rows after it.
+  // rows after it. In parallel runs, a hungry pool converts the remaining
+  // branches into stealable tasks instead (adaptive subtree splitting).
   DepthScratch& child = ctx.arena[depth + 1];
   child.cand = s.new_cands;
+  bool spawned_children = false;
   for (std::size_t ri = s.new_cands.FindFirst(); ri < n_;
        ri = s.new_cands.FindNext(ri)) {
+    if (ctx.shared != nullptr && ShouldSplit(ctx, depth)) {
+      SpawnRemaining(ctx, depth, ri, supp, supn);
+      spawned_children = true;
+      break;
+    }
     child.cand.Reset(ri);
     child.alive.clear();
     for (ItemId it : s.alive) {
@@ -341,14 +359,79 @@ void FarmerMiner::MineIRGs(SearchContext& ctx, std::size_t depth,
     }
     child.support = s.support;
     child.support.Set(ri);
+    if (ctx.shared != nullptr) ctx.path.push_back(static_cast<std::uint32_t>(ri));
     MineIRGs(ctx, depth + 1, supp + (ri < m_ ? 1 : 0),
              supn + (ri >= m_ ? 1 : 0));
+    if (ctx.shared != nullptr) ctx.path.pop_back();
     if (ctx.stats.timed_out) return;
   }
 
   // Step 7 — after the whole subtree (so every more general group is
-  // already stored), decide whether I(X) -> C is an IRG.
-  MaybeInsertGroup(ctx, depth, supp, supn);
+  // already stored), decide whether I(X) -> C is an IRG. When children
+  // were spawned, the decision is deferred past their merge.
+  if (spawned_children) {
+    DeferStep7(ctx, depth, supp, supn);
+  } else {
+    MaybeInsertGroup(ctx, depth, supp, supn);
+  }
+}
+
+bool FarmerMiner::ShouldSplit(const SearchContext& ctx,
+                              std::size_t depth) const {
+  return depth < options_.max_split_depth &&
+         ctx.shared->pool->ApproxPending() < ctx.shared->hungry_below;
+}
+
+void FarmerMiner::SpawnRemaining(SearchContext& ctx, std::size_t depth,
+                                 std::size_t first_row, std::size_t supp,
+                                 std::size_t supn) {
+  DepthScratch& s = ctx.arena[depth];
+  auto snapshot = std::make_shared<SplitSnapshot>();
+  snapshot->alive = s.alive;
+  snapshot->cands = s.new_cands;
+  snapshot->support = s.support;
+  for (std::size_t ri = first_row; ri < n_; ri = s.new_cands.FindNext(ri)) {
+    SubtreeTask task;
+    task.parent = snapshot;
+    task.row = static_cast<std::uint32_t>(ri);
+    task.depth = depth + 1;
+    task.supp = supp + (ri < m_ ? 1 : 0);
+    task.supn = supn + (ri >= m_ ? 1 : 0);
+    task.id = ctx.path;
+    task.id.push_back(task.row);
+    ++ctx.stats.tasks_spawned;
+    SubmitTask(*ctx.shared, std::move(task));
+  }
+}
+
+void FarmerMiner::DeferStep7(SearchContext& ctx, std::size_t depth,
+                             std::size_t supp, std::size_t supn) {
+  DepthScratch& s = ctx.arena[depth];
+  const Bitset* rows = &s.support;
+  if (exact_mode_) {
+    // Same recomputation as MaybeInsertGroup; the local dedup is skipped —
+    // the merge's global seen_exact handles duplicates in id order.
+    rows = &s.common;
+    supp = s.common.CountPrefix(m_);
+    supn = s.common.Count() - supp;
+  }
+  TaskId closer_id = ctx.path;
+  closer_id.push_back(kCloserRank);
+  // Thresholds are state-independent: check now, ship only qualifying
+  // groups. Dominance (and exact-mode dedup) rerun at merge time, where
+  // the spawned children's groups are already in the store.
+  if (PassesThresholds(supp, supn)) {
+    Segment closer;
+    closer.id = closer_id;
+    closer.groups.push_back(MakeGroup(s, *rows, supp, supn));
+    ctx.closers.push_back(std::move(closer));
+  }
+  // Later inline insertions (ancestors' later branches and their step-7
+  // records) resume in a fresh segment ordered after this node's whole
+  // subtree: path + [closer, closer] sorts after every descendant id and
+  // after the closer itself, but before any later sibling's path.
+  closer_id.push_back(kCloserRank);
+  ctx.seg_bounds.emplace_back(std::move(closer_id), ctx.store.groups.size());
 }
 
 FarmerMiner::SearchContext FarmerMiner::MakeContext(CancelFlag* cancel) const {
@@ -369,123 +452,139 @@ FarmerMiner::SearchContext FarmerMiner::MakeContext(CancelFlag* cancel) const {
   return ctx;
 }
 
+void FarmerMiner::SubmitTask(ParallelShared& shared, SubtreeTask task) {
+  shared.pool->Submit(
+      [this, &shared, task = std::move(task)](std::size_t worker_id) {
+        RunTask(shared, task, worker_id);
+      });
+}
+
+void FarmerMiner::RunTask(ParallelShared& shared, const SubtreeTask& task,
+                          std::size_t worker_id) {
+  SearchContext& ctx = (*shared.contexts)[worker_id];
+  // Per-task reset; the arena bitsets and index storage are reused.
+  ctx.store.groups.clear();
+  ctx.store.by_count_first.assign(n_ + 1, {});
+  ctx.store.max_count = 0;
+  ctx.store.topk_confs.clear();
+  ctx.store.seen_exact.clear();
+  ctx.stats = MinerStats{};
+  ctx.deadline = options_.deadline;
+  ctx.path = task.id;
+  ctx.seg_bounds.clear();
+  ctx.seg_bounds.emplace_back(task.id, 0);
+  ctx.closers.clear();
+
+  DepthScratch& top = ctx.arena[task.depth];
+  if (task.parent == nullptr) {
+    // The root task mines from the tree root.
+    top.alive.clear();
+    for (ItemId i = 0; i < tt_.num_items(); ++i) {
+      if (!tt_.tuple(i).empty()) top.alive.push_back(i);
+    }
+    top.cand.SetAll();
+    top.support.ResetAll();
+  } else {
+    // Derive the node inputs from the shared split snapshot, inside the
+    // worker and into preallocated storage: the spawner copied nothing.
+    const SplitSnapshot& p = *task.parent;
+    top.alive.clear();
+    for (ItemId it : p.alive) {
+      if (tuple_bits_[it].Test(task.row)) top.alive.push_back(it);
+    }
+    top.cand = p.cands;
+    top.cand.ResetPrefix(task.row + 1);  // Candidates strictly after row.
+    top.support = p.support;
+    top.support.Set(task.row);
+  }
+  MineIRGs(ctx, task.depth, task.supp, task.supn);
+
+  // Slice the task's inline insertions into their segments and publish
+  // them together with the deferred closers and the task statistics.
+  std::vector<Segment> out;
+  out.reserve(ctx.seg_bounds.size() + ctx.closers.size());
+  for (std::size_t b = 0; b < ctx.seg_bounds.size(); ++b) {
+    const std::size_t begin = ctx.seg_bounds[b].second;
+    const std::size_t end = b + 1 < ctx.seg_bounds.size()
+                                ? ctx.seg_bounds[b + 1].second
+                                : ctx.store.groups.size();
+    if (begin == end) continue;
+    Segment seg;
+    seg.id = std::move(ctx.seg_bounds[b].first);
+    seg.groups.assign(
+        std::make_move_iterator(ctx.store.groups.begin() + begin),
+        std::make_move_iterator(ctx.store.groups.begin() + end));
+    out.push_back(std::move(seg));
+  }
+  for (Segment& closer : ctx.closers) out.push_back(std::move(closer));
+
+  std::lock_guard<std::mutex> lock(shared.mutex);
+  MinerStats& st = shared.stats;
+  const MinerStats& ts = ctx.stats;
+  st.nodes_visited += ts.nodes_visited;
+  st.pruned_by_backscan += ts.pruned_by_backscan;
+  st.pruned_by_support += ts.pruned_by_support;
+  st.pruned_by_confidence += ts.pruned_by_confidence;
+  st.pruned_by_chi += ts.pruned_by_chi;
+  st.pruned_by_extension += ts.pruned_by_extension;
+  st.rows_absorbed += ts.rows_absorbed;
+  st.tasks_spawned += ts.tasks_spawned;
+  st.timed_out = st.timed_out || ts.timed_out;
+  for (Segment& seg : out) shared.segments.push_back(std::move(seg));
+}
+
 FarmerMiner::GroupStore FarmerMiner::RunSearch(MinerStats* stats) {
   CancelFlag cancel;
-  SearchContext root_ctx = MakeContext(&cancel);
-  DepthScratch& root = root_ctx.arena[0];
-  for (ItemId i = 0; i < tt_.num_items(); ++i) {
-    if (!tt_.tuple(i).empty()) root.alive.push_back(i);
-  }
-  root.cand.SetAll();
-
   if (options_.num_threads <= 1) {
-    MineIRGs(root_ctx, 0, 0, 0);
-    *stats = root_ctx.stats;
-    return std::move(root_ctx.store);
-  }
-
-  // Parallel search: the root visit runs on this thread, then every
-  // first-level subtree becomes one task. Workers mine into private
-  // stores; the merge below replays them in root-candidate order, which
-  // reproduces the sequential insertion stream exactly.
-  auto finish = [&](GroupStore store) {
-    *stats = root_ctx.stats;
-    return store;
-  };
-  const auto fail_fast = [&]() -> bool {
-    if (root_ctx.deadline.Expired()) {
-      root_ctx.stats.timed_out = true;
-      return true;
+    SearchContext ctx = MakeContext(&cancel);
+    DepthScratch& root = ctx.arena[0];
+    for (ItemId i = 0; i < tt_.num_items(); ++i) {
+      if (!tt_.tuple(i).empty()) root.alive.push_back(i);
     }
-    return false;
-  };
-  if (fail_fast()) return finish(std::move(root_ctx.store));
-  ++root_ctx.stats.nodes_visited;
-  if (root.alive.empty()) return finish(std::move(root_ctx.store));
-  std::size_t supp = 0, supn = 0;
-  if (!VisitNode(root_ctx, 0, &supp, &supn)) {
-    return finish(std::move(root_ctx.store));
+    root.cand.SetAll();
+    MineIRGs(ctx, 0, 0, 0);
+    *stats = ctx.stats;
+    return std::move(ctx.store);
   }
 
-  std::vector<SubtreeTask> tasks;
-  Bitset remaining = root.new_cands;
-  for (std::size_t ri = root.new_cands.FindFirst(); ri < n_;
-       ri = root.new_cands.FindNext(ri)) {
-    remaining.Reset(ri);
-    SubtreeTask task;
-    for (ItemId it : root.alive) {
-      if (tuple_bits_[it].Test(ri)) task.alive.push_back(it);
-    }
-    task.cand = remaining;
-    task.support = root.support;
-    task.support.Set(ri);
-    task.supp = supp + (ri < m_ ? 1 : 0);
-    task.supn = supn + (ri >= m_ ? 1 : 0);
-    tasks.push_back(std::move(task));
-  }
-
-  const std::size_t num_workers =
-      std::max<std::size_t>(1, std::min(options_.num_threads, tasks.size()));
-  std::vector<SearchContext> worker_ctxs;
-  worker_ctxs.reserve(num_workers);
+  // Parallel search: a single root task seeds the work-stealing pool;
+  // workers split their subtrees adaptively whenever the pool runs low
+  // on queued work (ShouldSplit), so one skewed subtree cannot serialize
+  // the run. Every emitted segment carries the lexicographic id of its
+  // position in the sequential insertion stream.
+  const std::size_t num_workers = options_.num_threads;
+  ThreadPool pool(num_workers);
+  ParallelShared shared;
+  shared.pool = &pool;
+  shared.hungry_below = num_workers;
+  std::vector<SearchContext> contexts;
+  contexts.reserve(num_workers);
   for (std::size_t w = 0; w < num_workers; ++w) {
-    worker_ctxs.push_back(MakeContext(&cancel));
+    contexts.push_back(MakeContext(&cancel));
+    contexts.back().shared = &shared;
   }
-  std::vector<GroupStore> task_stores(tasks.size());
-  std::vector<MinerStats> task_stats(tasks.size());
-  {
-    ThreadPool pool(num_workers);
-    for (std::size_t k = 0; k < tasks.size(); ++k) {
-      pool.Submit([this, k, &tasks, &task_stores, &task_stats,
-                   &worker_ctxs](std::size_t worker_id) {
-        SearchContext& ctx = worker_ctxs[worker_id];
-        ctx.store.groups.clear();
-        ctx.store.by_count_first.assign(n_ + 1, {});
-        ctx.store.max_count = 0;
-        ctx.store.topk_confs.clear();
-        ctx.store.seen_exact.clear();
-        ctx.stats = MinerStats{};
-        ctx.deadline = options_.deadline;
-        DepthScratch& top = ctx.arena[1];
-        top.alive = std::move(tasks[k].alive);
-        top.cand = std::move(tasks[k].cand);
-        top.support = std::move(tasks[k].support);
-        MineIRGs(ctx, 1, tasks[k].supp, tasks[k].supn);
-        task_stores[k] = std::move(ctx.store);
-        task_stats[k] = ctx.stats;
-      });
-    }
-    pool.Wait();
-  }
+  shared.contexts = &contexts;
 
-  // Deterministic merge: accumulate stats and replay each subtree's groups
-  // in root-candidate order against the global store.
+  SubtreeTask root_task;  // parent == nullptr, id == {}: the tree root.
+  SubmitTask(shared, std::move(root_task));
+  pool.Wait();
+
+  *stats = shared.stats;
+  stats->task_steals = pool.steal_count();
+  stats->tasks_stolen = pool.stolen_task_count();
+
+  // Deterministic merge: replay every segment's groups in id order
+  // through the same dedup -> dominance -> insert path the sequential
+  // miner uses, which reproduces its insertion stream exactly.
+  std::stable_sort(
+      shared.segments.begin(), shared.segments.end(),
+      [](const Segment& a, const Segment& b) { return a.id < b.id; });
   GroupStore merged;
   merged.by_count_first.resize(n_ + 1);
-  for (std::size_t k = 0; k < tasks.size(); ++k) {
-    MinerStats& st = root_ctx.stats;
-    const MinerStats& ts = task_stats[k];
-    st.nodes_visited += ts.nodes_visited;
-    st.pruned_by_backscan += ts.pruned_by_backscan;
-    st.pruned_by_support += ts.pruned_by_support;
-    st.pruned_by_confidence += ts.pruned_by_confidence;
-    st.pruned_by_chi += ts.pruned_by_chi;
-    st.pruned_by_extension += ts.pruned_by_extension;
-    st.rows_absorbed += ts.rows_absorbed;
-    st.timed_out = st.timed_out || ts.timed_out;
-    for (RuleGroup& g : task_stores[k].groups) {
-      MergeGroup(merged, std::move(g));
-    }
+  for (Segment& seg : shared.segments) {
+    for (RuleGroup& g : seg.groups) MergeGroup(merged, std::move(g));
   }
-
-  // Step 7 at the root, post-order: only after every subtree is merged
-  // (and only when none was cut short, matching the sequential miner).
-  if (!root_ctx.stats.timed_out) {
-    root_ctx.store = std::move(merged);
-    MaybeInsertGroup(root_ctx, 0, supp, supn);
-    merged = std::move(root_ctx.store);
-  }
-  return finish(std::move(merged));
+  return merged;
 }
 
 FarmerResult FarmerMiner::Mine() {

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -43,10 +45,13 @@ struct FarmerResult {
 /// into the consequent-first order internally and reports row sets in the
 /// caller's original row ids.
 ///
-/// With `options.num_threads > 1` the first-level subtrees of the
-/// enumeration tree run on a thread pool; the per-subtree results are
-/// merged in root-candidate order, so the groups are bit-identical to a
-/// sequential run.
+/// With `options.num_threads > 1` the enumeration tree runs on a
+/// work-stealing thread pool with adaptive subtree splitting: whenever
+/// the pool runs low on queued work, a mining worker re-enqueues the
+/// remaining sibling branches of its current node as new tasks instead
+/// of recursing into them. Every task carries a lexicographic id (its
+/// row path) and per-task results are merged in id order, so the groups
+/// are bit-identical to a sequential run for every thread count.
 FarmerResult MineFarmer(const BinaryDataset& dataset,
                         const MinerOptions& options);
 
@@ -101,26 +106,75 @@ class FarmerMiner {
     std::unordered_set<Bitset, BitsetHash> seen_exact;
   };
 
+  // Lexicographic id of a merge event in the parallel search: the row
+  // path of the node it belongs to. A task's id is the path of its root
+  // node; a node's own step-7 record is ordered after its whole subtree
+  // by appending kCloserRank (larger than any row index). Paths ascend
+  // along every branch, so id order == sequential (DFS post-order
+  // insertion) order.
+  using TaskId = std::vector<std::uint32_t>;
+  static constexpr std::uint32_t kCloserRank = 0xFFFFFFFFu;
+
+  // Immutable inputs shared by all sibling tasks spawned at one split
+  // node: one snapshot allocation per split instead of one full bitset
+  // copy per spawned task. Each task derives its own masks from it
+  // inside the worker (into preallocated arena storage).
+  struct SplitSnapshot {
+    std::vector<ItemId> alive;  // Alive tuples of the split node.
+    Bitset cands;               // The split node's surviving candidates.
+    Bitset support;             // Identified support of the split node.
+  };
+
+  // One spawned subtree task: descend from the snapshot's node into
+  // `row`. parent == nullptr marks the root task (mine from the tree
+  // root; all other fields but `id` are ignored).
+  struct SubtreeTask {
+    std::shared_ptr<const SplitSnapshot> parent;
+    std::uint32_t row = 0;
+    std::size_t depth = 0;  // Tree depth of the task's root node.
+    std::size_t supp = 0;   // Identified counts after descending into row.
+    std::size_t supn = 0;
+    TaskId id;
+  };
+
+  // A contiguous run of the sequential insertion stream, tagged with the
+  // id it merges at. Tasks emit one segment per uninterrupted inline
+  // stretch plus one single-group segment per deferred step-7 record.
+  struct Segment {
+    TaskId id;
+    std::vector<RuleGroup> groups;
+  };
+
+  struct SearchContext;
+
+  // State shared by all workers of one parallel run.
+  struct ParallelShared {
+    ThreadPool* pool = nullptr;
+    std::vector<SearchContext>* contexts = nullptr;
+    // Split when fewer tasks than this are queued (the pool is hungry).
+    std::size_t hungry_below = 1;
+    std::mutex mutex;                 // Guards the two fields below.
+    std::vector<Segment> segments;    // All tasks' output, unordered.
+    MinerStats stats;                 // Aggregated task statistics.
+  };
+
   // Per-worker search state: recursion arena plus a private group store.
   // Sequential mining uses a single context for the whole search; with
-  // num_threads > 1 each worker owns one and the stores are merged
-  // afterwards.
+  // num_threads > 1 each worker owns one, reuses it across tasks, and
+  // publishes segments into the shared state after each task.
   struct SearchContext {
     std::vector<DepthScratch> arena;
     GroupStore store;
     MinerStats stats;
     Deadline deadline;           // Private copy: Expired() mutates state.
     CancelFlag* cancel = nullptr;  // Shared cross-worker stop signal.
-  };
-
-  // Inputs of one first-level subtree task, prepared on the main thread in
-  // root-candidate order.
-  struct SubtreeTask {
-    std::vector<ItemId> alive;
-    Bitset cand;
-    Bitset support;
-    std::size_t supp = 0;
-    std::size_t supn = 0;
+    ParallelShared* shared = nullptr;  // Null in sequential runs.
+    TaskId path;  // Row path of the current node (parallel runs only).
+    // Segment boundaries of the running task: (segment id, index into
+    // store.groups where the segment starts).
+    std::vector<std::pair<TaskId, std::size_t>> seg_bounds;
+    // Deferred step-7 records of nodes that spawned their children.
+    std::vector<Segment> closers;
   };
 
   // Recursive MineIRGs (paper Figure 5). The node's conditional table and
@@ -163,15 +217,48 @@ class FarmerMiner {
   bool PassesThresholds(std::size_t supp, std::size_t supn) const;
 
   // The dynamic confidence floor: min_confidence, raised in top-k mode to
-  // the current k-th best confidence of `store`.
-  double EffectiveMinConfidence(const GroupStore& store) const;
+  // the current k-th best confidence of the store — sequential runs only.
+  // Parallel workers keep the static floor (a worker-local dynamic floor
+  // can overshoot the sequential one and over-prune; see the .cc comment).
+  double EffectiveMinConfidence(const SearchContext& ctx) const;
 
   // Builds a ready-to-recurse context (arena sized to the row count).
   SearchContext MakeContext(CancelFlag* cancel) const;
 
+  // Builds the RuleGroup for `rows` with the given exact counts (shared
+  // by the inline step 7 and the deferred closer path).
+  RuleGroup MakeGroup(const DepthScratch& s, const Bitset& rows,
+                      std::size_t supp, std::size_t supn) const;
+
+  // True when a parallel worker at `depth` should convert its remaining
+  // sibling branches into tasks (shallow enough, pool hungry).
+  bool ShouldSplit(const SearchContext& ctx, std::size_t depth) const;
+
+  // Spawns one task per remaining candidate (from `first_row` on) of the
+  // node at `depth`, sharing one immutable snapshot between them.
+  void SpawnRemaining(SearchContext& ctx, std::size_t depth,
+                      std::size_t first_row, std::size_t supp,
+                      std::size_t supn);
+
+  // Step 7 of a node whose children were spawned: thresholds are checked
+  // now (state-independent); the group is shipped as a closer segment at
+  // id path+[kCloserRank] so dedup/dominance rerun after the children
+  // merge. Opens a fresh inline segment at path+[kCloserRank,kCloserRank].
+  void DeferStep7(SearchContext& ctx, std::size_t depth, std::size_t supp,
+                  std::size_t supn);
+
+  // Wraps `task` into a pool submission.
+  void SubmitTask(ParallelShared& shared, SubtreeTask task);
+
+  // Executes one subtree task on worker `worker_id`: rebuilds the node
+  // inputs from the snapshot, mines, then publishes segments + stats.
+  void RunTask(ParallelShared& shared, const SubtreeTask& task,
+               std::size_t worker_id);
+
   // Runs the search from the root: sequential recursion for
-  // num_threads <= 1, first-level fan-out over a thread pool otherwise.
-  // Returns the final (merged) store; stats are accumulated into *stats.
+  // num_threads <= 1; otherwise a root task on the work-stealing pool
+  // with adaptive subtree splitting, followed by the deterministic
+  // id-ordered merge. Stats are accumulated into *stats.
   GroupStore RunSearch(MinerStats* stats);
 
   MinerOptions options_;  // Copied: the miner may outlive the caller's copy.

@@ -59,11 +59,20 @@ struct MinerOptions {
   bool enable_pruning3 = true;  // Measure-threshold bounds.
 
   /// Worker threads for the enumeration search. 1 (the default) runs the
-  /// plain sequential miner; larger values fan the first-level subtrees of
-  /// the row-enumeration tree out over a fixed thread pool. Results are
-  /// merged deterministically in root-candidate order, so every thread
-  /// count produces bit-identical rule groups.
+  /// plain sequential miner; larger values mine subtrees of the
+  /// row-enumeration tree on a work-stealing thread pool with adaptive
+  /// subtree splitting: whenever the pool runs low on queued work, a
+  /// worker converts the remaining sibling branches of its current node
+  /// into new tasks instead of recursing into them. Each task carries a
+  /// lexicographic id (the row path at its split points) and the
+  /// per-task results are merged in id order, so every thread count
+  /// produces bit-identical rule groups.
   std::size_t num_threads = 1;
+
+  /// Maximum enumeration depth at which a parallel worker may split its
+  /// remaining sibling branches into new tasks. Nodes deeper than this
+  /// always recurse sequentially (small subtrees stay allocation-free).
+  std::size_t max_split_depth = 12;
 
   /// Cooperative time limit; the miner reports `timed_out` when it fires.
   Deadline deadline;
@@ -78,6 +87,11 @@ struct MinerStats {
   std::size_t pruned_by_chi = 0;        // Pruning 3, chi-square bound.
   std::size_t pruned_by_extension = 0;  // Extension-measure bounds.
   std::size_t rows_absorbed = 0;        // Pruning 1 removals.
+  // Parallel-scheduler counters (0 in sequential runs). Unlike the tree
+  // statistics above they depend on runtime timing, not on the input.
+  std::size_t tasks_spawned = 0;        // Subtree tasks created.
+  std::size_t task_steals = 0;          // Successful deque steals.
+  std::size_t tasks_stolen = 0;         // Tasks transferred by steals.
   double mine_seconds = 0.0;            // Upper-bound search time.
   double lower_bound_seconds = 0.0;     // MineLB time.
   bool timed_out = false;

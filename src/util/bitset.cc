@@ -13,6 +13,14 @@ void Bitset::Resize(std::size_t num_bits) {
 
 void Bitset::ResetAll() { std::fill(words_.begin(), words_.end(), 0); }
 
+void Bitset::ResetPrefix(std::size_t pos_limit) {
+  const std::size_t limit = std::min(pos_limit, num_bits_);
+  const std::size_t full_words = limit >> 6;
+  std::fill(words_.begin(), words_.begin() + full_words, 0);
+  const std::size_t tail = limit & 63;
+  if (tail != 0) words_[full_words] &= ~((kOne << tail) - 1);
+}
+
 void Bitset::SetAll() {
   std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
   TrimTail();

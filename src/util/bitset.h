@@ -44,6 +44,12 @@ class Bitset {
   /// Clears every bit.
   void ResetAll();
 
+  /// Clears every bit at positions < `pos_limit` (clamped to size()).
+  /// The miner uses this to derive a spawned subtree's candidate mask
+  /// ("rows strictly after r") from a shared parent snapshot without an
+  /// extra scratch bitset.
+  void ResetPrefix(std::size_t pos_limit);
+
   /// Sets every bit in [0, size()).
   void SetAll();
 

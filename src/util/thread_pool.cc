@@ -1,11 +1,26 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace farmer {
 
+namespace {
+
+// Identity of the worker the current thread belongs to, so Submit() from
+// inside a task lands on that worker's own deque. Plain thread_locals:
+// worker threads belong to exactly one pool for their whole lifetime.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_worker_id = 0;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -13,43 +28,117 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  stopping_.store(true, std::memory_order_relaxed);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    work_available_.notify_all();
   }
-  work_available_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
+void ThreadPool::PushTask(std::size_t queue_index, Task task) {
+  WorkerQueue& q = *queues_[queue_index];
+  std::lock_guard<std::mutex> lock(q.mutex);
+  q.tasks.push_back(std::move(task));
+}
+
 void ThreadPool::Submit(std::function<void(std::size_t)> task) {
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
-    ++in_flight_;
+  // Count before publishing: a worker may pop and finish the task the
+  // moment it is visible, and in_flight_ must never dip to 0 in between.
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t qi;
+  if (tls_pool == this) {
+    qi = tls_worker_id;
+  } else {
+    qi = next_external_.fetch_add(1, std::memory_order_relaxed) %
+         queues_.size();
   }
+  PushTask(qi, std::move(task));
+  // The empty critical section orders this notify after any worker that
+  // observed pending_ == 0 has actually gone to sleep (no lost wakeup).
+  std::lock_guard<std::mutex> lock(sleep_mutex_);
   work_available_.notify_one();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::unique_lock<std::mutex> lock(sleep_mutex_);
+  all_done_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+bool ThreadPool::PopLocal(std::size_t id, Task* out) {
+  WorkerQueue& q = *queues_[id];
+  std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.tasks.empty()) return false;
+  *out = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::StealInto(std::size_t id, Task* out) {
+  const std::size_t n = queues_.size();
+  for (std::size_t probe = 1; probe < n; ++probe) {
+    const std::size_t victim = (id + probe) % n;
+    // Take the front half into a local buffer first, then deposit into
+    // our own deque. Never holding two deque locks at once rules out the
+    // steal-from-each-other deadlock by construction.
+    std::vector<Task> loot;
+    {
+      WorkerQueue& q = *queues_[victim];
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (q.tasks.empty()) continue;
+      const std::size_t take = (q.tasks.size() + 1) / 2;
+      loot.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        loot.push_back(std::move(q.tasks.front()));
+        q.tasks.pop_front();
+      }
+    }
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    stolen_tasks_.fetch_add(loot.size(), std::memory_order_relaxed);
+    // Run the oldest stolen task now; queue the rest back-to-front so the
+    // local LIFO pop preserves their age order.
+    *out = std::move(loot.front());
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    if (loot.size() > 1) {
+      WorkerQueue& mine = *queues_[id];
+      std::lock_guard<std::mutex> lock(mine.mutex);
+      for (std::size_t i = loot.size(); i > 1; --i) {
+        mine.tasks.push_back(std::move(loot[i - 1]));
+      }
+    }
+    return true;
+  }
+  return false;
 }
 
 void ThreadPool::WorkerLoop(std::size_t worker_id) {
+  tls_pool = this;
+  tls_worker_id = worker_id;
   for (;;) {
-    std::function<void(std::size_t)> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ with a drained queue.
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    Task task;
+    if (PopLocal(worker_id, &task) || StealInto(worker_id, &task)) {
+      task(worker_id);
+      task = nullptr;  // Release captures before the done check.
+      if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        all_done_.notify_all();
+        work_available_.notify_all();  // Stopping workers re-check exit.
+      }
+      continue;
     }
-    task(worker_id);
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    work_available_.wait(lock, [this] {
+      return pending_.load(std::memory_order_relaxed) > 0 ||
+             (stopping_.load(std::memory_order_relaxed) &&
+              in_flight_.load(std::memory_order_relaxed) == 0);
+    });
+    if (stopping_.load(std::memory_order_relaxed) &&
+        in_flight_.load(std::memory_order_relaxed) == 0) {
+      return;
     }
   }
 }

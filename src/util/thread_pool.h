@@ -4,8 +4,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -28,13 +30,27 @@ class CancelFlag {
   std::atomic<bool> flag_{false};
 };
 
-/// A fixed-size pool of worker threads draining a FIFO work queue.
+/// A fixed-size pool of worker threads with per-worker work-stealing
+/// deques.
+///
+/// Each worker owns a deque: it pushes and pops at the back (LIFO, so a
+/// task tree is mined depth-first and stays cache-warm), while idle
+/// workers steal from the front (FIFO — the oldest tasks, which in a
+/// recursive decomposition are the largest subtrees). A thief takes half
+/// of the victim's queue in one lock acquisition, which rebalances skewed
+/// workloads in O(log n) steal operations instead of one steal per task.
 ///
 /// Tasks receive the id of the worker running them (in [0, num_threads())),
 /// so callers can hand each worker private scratch state without locking.
-/// Tasks must not throw and must not Submit() from inside a task.
-/// Wait() blocks the submitting thread until every submitted task has
-/// finished; the destructor waits for pending work and joins the workers.
+/// Submit() is legal from anywhere, *including from inside a running
+/// task*: a worker submits to its own deque without waking anyone unless
+/// siblings are idle, which is what makes recursive subtree splitting
+/// cheap. Tasks must not throw.
+///
+/// Wait() blocks the calling (non-worker) thread until every submitted
+/// task — including tasks submitted by other tasks — has finished; the
+/// destructor waits for pending work and joins the workers. The pool is
+/// reusable: Submit/Wait cycles can repeat.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -46,21 +62,65 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task for execution on some worker.
+  /// Enqueues a task. From a worker thread of this pool the task lands on
+  /// that worker's own deque; from any other thread it is distributed
+  /// round-robin.
   void Submit(std::function<void(std::size_t worker_id)> task);
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Blocks until no task is queued or running. Must not be called from
+  /// inside a task (a worker waiting for the pool would deadlock).
   void Wait();
 
- private:
-  void WorkerLoop(std::size_t worker_id);
+  /// Tasks currently queued (not yet running). Approximate by nature —
+  /// used by adaptive splitters to decide whether the pool is hungry.
+  std::size_t ApproxPending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
 
-  std::mutex mutex_;
+  /// Number of successful steal operations since construction (each may
+  /// transfer several tasks).
+  std::uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  /// Total tasks transferred by steals since construction.
+  std::uint64_t stolen_task_count() const {
+    return stolen_tasks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Task = std::function<void(std::size_t)>;
+
+  // One worker's deque. Guarded by its own mutex: the owner touches the
+  // back, thieves the front; either way the critical sections are a few
+  // pointer moves, so a spinless mutex per deque is cheap and TSan-clean.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void WorkerLoop(std::size_t worker_id);
+  // Pops the newest task of worker `id`'s own deque.
+  bool PopLocal(std::size_t id, Task* out);
+  // Steals half of some other worker's queue (front half); the first
+  // stolen task is returned, the rest move to worker `id`'s deque.
+  bool StealInto(std::size_t id, Task* out);
+  void PushTask(std::size_t queue_index, Task task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::atomic<std::size_t> pending_{0};    // Queued, not yet running.
+  std::atomic<std::size_t> in_flight_{0};  // Queued + running.
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> stolen_tasks_{0};
+  std::atomic<std::size_t> next_external_{0};  // Round-robin for outsiders.
+
+  // Sleep/wake plumbing. `sleep_mutex_` only serializes the transitions
+  // into and out of idle sleep; the deques have their own locks.
+  std::mutex sleep_mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::deque<std::function<void(std::size_t)>> queue_;
-  std::size_t in_flight_ = 0;  // Queued + running tasks.
-  bool stopping_ = false;
+
   std::vector<std::thread> workers_;
 };
 

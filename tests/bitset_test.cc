@@ -127,6 +127,34 @@ TEST(BitsetTest, CountPrefix) {
   EXPECT_EQ(b.CountPrefix(10000), 5u);  // Clamped to size().
 }
 
+TEST(BitsetTest, ResetPrefix) {
+  Bitset b(130);
+  b.SetAll();
+  b.ResetPrefix(70);  // Clears a full word plus 6 bits of the next.
+  for (std::size_t i = 0; i < 130; ++i) {
+    EXPECT_EQ(b.Test(i), i >= 70) << "bit " << i;
+  }
+  EXPECT_EQ(b.Count(), 60u);
+
+  b.SetAll();
+  b.ResetPrefix(0);  // No-op.
+  EXPECT_EQ(b.Count(), 130u);
+  b.ResetPrefix(64);  // Exactly one word: no tail masking.
+  EXPECT_EQ(b.FindFirst(), 64u);
+  b.ResetPrefix(1000);  // Clamped to size.
+  EXPECT_TRUE(b.None());
+
+  // Mirrors the miner's use: derive "candidates strictly after row r"
+  // from a parent mask.
+  Bitset cand(100);
+  for (std::size_t i = 0; i < 100; i += 3) cand.Set(i);
+  Bitset derived = cand;
+  derived.ResetPrefix(31);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(derived.Test(i), cand.Test(i) && i >= 31) << "bit " << i;
+  }
+}
+
 TEST(BitsetTest, AndCountAndPrefix) {
   Bitset a(150), b(150);
   a.Set(0);

@@ -293,5 +293,74 @@ TEST(EvaluationTest, AccuracyAndKFold) {
   for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
 }
 
+TEST(EvaluationTest, CrossValidateVisitsEveryFoldOnce) {
+  std::vector<ClassLabel> labels;
+  for (int i = 0; i < 40; ++i) labels.push_back(i % 2);
+  std::vector<int> visits(5, 0);
+  CrossValidationResult result = CrossValidate(
+      labels, 5, /*seed=*/3,
+      [&](const Split& split, std::size_t fold) {
+        ++visits[fold];
+        EXPECT_EQ(split.train.size() + split.test.size(), labels.size());
+        // Accuracy stand-in that identifies the fold.
+        return static_cast<double>(fold) / 10.0;
+      },
+      /*pool=*/nullptr);
+  ASSERT_EQ(result.fold_accuracies.size(), 5u);
+  for (std::size_t f = 0; f < 5; ++f) {
+    EXPECT_EQ(visits[f], 1);
+    EXPECT_DOUBLE_EQ(result.fold_accuracies[f], f / 10.0);
+  }
+  EXPECT_DOUBLE_EQ(result.mean_accuracy, (0.0 + 0.1 + 0.2 + 0.3 + 0.4) / 5);
+}
+
+TEST(EvaluationTest, CrossValidateIsPoolSizeInvariant) {
+  // The fold fan-out must not change what is evaluated or the order
+  // results are reported in: inline, 1-worker and 8-worker pools all
+  // produce the same per-fold accuracies for a deterministic evaluator.
+  std::vector<ClassLabel> labels;
+  Rng rng(99);
+  for (int i = 0; i < 60; ++i) labels.push_back(rng.NextBool(0.4));
+  // A deterministic pure function of the split contents.
+  FoldEvaluator evaluate = [](const Split& split, std::size_t fold) {
+    double h = static_cast<double>(fold) + 1.0;
+    for (std::size_t r : split.test) h = h * 0.9 + static_cast<double>(r);
+    return h;
+  };
+  const CrossValidationResult inline_run =
+      CrossValidate(labels, 6, 7, evaluate, nullptr);
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    SCOPED_TRACE("workers = " + std::to_string(workers));
+    ThreadPool pool(workers);
+    const CrossValidationResult pooled =
+        CrossValidate(labels, 6, 7, evaluate, &pool);
+    ASSERT_EQ(pooled.fold_accuracies.size(),
+              inline_run.fold_accuracies.size());
+    for (std::size_t f = 0; f < pooled.fold_accuracies.size(); ++f) {
+      EXPECT_EQ(pooled.fold_accuracies[f], inline_run.fold_accuracies[f]);
+    }
+    EXPECT_EQ(pooled.mean_accuracy, inline_run.mean_accuracy);
+  }
+}
+
+TEST(EvaluationTest, CrossValidateFoldsPartitionRows) {
+  std::vector<ClassLabel> labels;
+  for (int i = 0; i < 33; ++i) labels.push_back(i % 3 == 0);
+  std::vector<int> tested(labels.size(), 0);
+  std::mutex mu;
+  ThreadPool pool(4);
+  CrossValidate(
+      labels, 4, /*seed=*/11,
+      [&](const Split& split, std::size_t) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (std::size_t r : split.test) ++tested[r];
+        return 0.0;
+      },
+      &pool);
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    EXPECT_EQ(tested[r], 1) << "row " << r;
+  }
+}
+
 }  // namespace
 }  // namespace farmer

@@ -21,6 +21,36 @@ namespace {
 using testing_util::PaperExampleDataset;
 using testing_util::RandomDataset;
 
+// A deliberately skewed dataset: a dense cluster of heavily overlapping
+// rows (one deep, narrow region of the row-enumeration tree) plus sparse
+// low-overlap filler rows whose subtrees are shallow. A static
+// first-level fan-out leaves almost all the work in the cluster's tasks;
+// the adaptive splitter must re-split inside the cluster. Deterministic
+// in `seed`.
+BinaryDataset SkewedDataset(std::size_t dense_rows, std::size_t sparse_rows,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t items = 24;
+  BinaryDataset ds(items);
+  for (std::size_t r = 0; r < dense_rows; ++r) {
+    // Cluster rows share items 0..11 almost entirely.
+    ItemVector row;
+    for (ItemId i = 0; i < 12; ++i) {
+      if (rng.NextBool(0.9)) row.push_back(i);
+    }
+    ds.AddRow(std::move(row), static_cast<ClassLabel>(r % 2 == 0));
+  }
+  for (std::size_t r = 0; r < sparse_rows; ++r) {
+    // Filler rows draw thinly from the disjoint upper item range.
+    ItemVector row;
+    for (ItemId i = 12; i < items; ++i) {
+      if (rng.NextBool(0.15)) row.push_back(i);
+    }
+    ds.AddRow(std::move(row), static_cast<ClassLabel>(rng.NextBool(0.5)));
+  }
+  return ds;
+}
+
 // Asserts that `got` reports exactly the groups of `want`, in the same
 // order, field by field.
 void ExpectIdenticalResults(const FarmerResult& want,
@@ -166,8 +196,91 @@ TEST(FarmerParallelTest, ShortDeadlineTerminatesWithoutDeadlock) {
   }
 }
 
+TEST(FarmerParallelTest, SkewedTreesAllThreadCounts) {
+  // The workload the work-stealing scheduler exists for: nearly all of
+  // the enumeration tree hangs under a handful of heavily overlapping
+  // rows. Results must stay bit-identical while idle workers steal and
+  // re-split the deep subtrees.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    MinerOptions opts;
+    opts.min_support = 2;
+    ExpectThreadCountInvariant(SkewedDataset(12, 8, seed), opts);
+  }
+}
+
+TEST(FarmerParallelTest, SkewedTreesTopKAndExactMode) {
+  const BinaryDataset ds = SkewedDataset(11, 6, 42);
+  {
+    MinerOptions opts;
+    opts.min_support = 2;
+    opts.top_k = 4;
+    opts.mine_lower_bounds = false;
+    opts.num_threads = 1;
+    const FarmerResult sequential = MineFarmer(ds, opts);
+    for (std::size_t threads : {2u, 4u, 8u}) {
+      SCOPED_TRACE("top-k, threads = " + std::to_string(threads));
+      opts.num_threads = threads;
+      ExpectIdenticalResults(sequential, MineFarmer(ds, opts));
+    }
+  }
+  {
+    MinerOptions opts;
+    opts.min_support = 2;
+    opts.enable_pruning1 = false;
+    opts.enable_pruning2 = false;
+    opts.mine_lower_bounds = false;
+    SCOPED_TRACE("exact mode");
+    ExpectThreadCountInvariant(ds, opts);
+  }
+}
+
+TEST(FarmerParallelTest, SplitDepthDoesNotChangeResults) {
+  // max_split_depth only shifts where tasks are cut, never what they
+  // mine. 0 disables splitting entirely (the root task mines the whole
+  // tree sequentially on one worker); large values split eagerly.
+  const BinaryDataset ds = SkewedDataset(10, 6, 5);
+  MinerOptions opts;
+  opts.min_support = 2;
+  opts.num_threads = 1;
+  const FarmerResult sequential = MineFarmer(ds, opts);
+  for (std::size_t depth : {0u, 1u, 3u, 64u}) {
+    SCOPED_TRACE("max_split_depth = " + std::to_string(depth));
+    opts.max_split_depth = depth;
+    opts.num_threads = 4;
+    ExpectIdenticalResults(sequential, MineFarmer(ds, opts));
+  }
+}
+
+TEST(FarmerParallelTest, MidRunDeadlinePropagatesThroughStolenTasks) {
+  // A deadline that expires *during* the search (not before it): the
+  // worker that notices cancels its siblings; tasks already stolen or
+  // queued must all observe the flag, the pool must drain, and every
+  // thread count must report timed_out with the partial-result contract
+  // intact. The workload is far too large to finish in 30ms.
+  SyntheticSpec spec = PaperDatasetSpec("BC", /*column_scale=*/0.02);
+  ExpressionMatrix matrix = GenerateSynthetic(spec);
+  Discretization disc = Discretization::FitEqualDepth(matrix, 10);
+  const BinaryDataset ds = disc.Apply(matrix);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE("threads = " + std::to_string(threads));
+    MinerOptions opts;
+    opts.min_support = 1;
+    opts.mine_lower_bounds = false;
+    opts.store_antecedents = false;
+    opts.num_threads = threads;
+    opts.max_split_depth = 64;  // Split aggressively: many stealable tasks.
+    opts.deadline = Deadline::After(0.03);
+    const FarmerResult result = MineFarmer(ds, opts);
+    EXPECT_TRUE(result.stats.timed_out);
+    for (const RuleGroup& g : result.groups) {
+      EXPECT_GE(g.support_pos, opts.min_support);
+    }
+  }
+}
+
 TEST(FarmerParallelTest, MoreThreadsThanSubtrees) {
-  // Thread counts beyond the number of first-level subtrees must clamp,
+  // Thread counts far beyond the available subtree tasks must clamp,
   // not hang or crash.
   MinerOptions opts;
   opts.min_support = 1;

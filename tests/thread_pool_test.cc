@@ -1,0 +1,211 @@
+// Unit and stress tests for the work-stealing ThreadPool: nested
+// submission (Submit from inside a task), steal accounting, reuse across
+// Wait cycles, worker-id plumbing, and cooperative cancellation. The
+// recursive-spawn stress tests double as the TSan workload in CI.
+
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace farmer {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter](std::size_t) { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPoolStillRunsEverything) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter](std::size_t) { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreInRange) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&](std::size_t worker_id) {
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(worker_id);
+    });
+  }
+  pool.Wait();
+  ASSERT_FALSE(seen.empty());
+  EXPECT_LT(*seen.rbegin(), pool.num_threads());
+}
+
+// The restriction this PR removes: Submit() from inside a running task
+// must enqueue (on the submitting worker's own deque) and be executed
+// before Wait() returns.
+TEST(ThreadPoolTest, SubmitFromInsideATaskIsLegal) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&](std::size_t) {
+    ++counter;
+    pool.Submit([&](std::size_t) {
+      ++counter;
+      pool.Submit([&](std::size_t) { ++counter; });
+    });
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+// Recursive binary fan-out: every task spawns two children down to a
+// fixed depth. Wait() must cover transitively submitted work, and the
+// leaf count proves no task was lost or run twice.
+TEST(ThreadPoolTest, RecursiveSpawnStress) {
+  ThreadPool pool(4);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    if (depth == 0) {
+      ++leaves;
+      return;
+    }
+    pool.Submit([&spawn, depth](std::size_t) { spawn(depth - 1); });
+    pool.Submit([&spawn, depth](std::size_t) { spawn(depth - 1); });
+  };
+  spawn(10);
+  pool.Wait();
+  EXPECT_EQ(leaves.load(), 1 << 10);
+}
+
+// A deliberately skewed workload: one long chain of tasks each spawning a
+// burst of siblings. Idle workers can only make progress by stealing, so
+// with more than one worker the steal counters must move.
+TEST(ThreadPoolTest, SkewedWorkloadTriggersSteals) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::function<void(int)> chain = [&](int depth) {
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&done](std::size_t) {
+        // Enough work that the chain's owner cannot drain its own deque
+        // before the next burst arrives.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ++done;
+      });
+    }
+    if (depth > 0) {
+      pool.Submit([&chain, depth](std::size_t) { chain(depth - 1); });
+    }
+  };
+  pool.Submit([&chain](std::size_t) { chain(40); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 41 * 8);
+  EXPECT_GT(pool.steal_count(), 0u);
+  EXPECT_GE(pool.stolen_task_count(), pool.steal_count());
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaitCycles) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 30; ++i) {
+      pool.Submit([&counter](std::size_t) { ++counter; });
+    }
+    pool.Wait();
+    ASSERT_EQ(counter.load(), 30) << "round " << round;
+    ASSERT_EQ(pool.ApproxPending(), 0u);
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Nothing submitted.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter](std::size_t) { ++counter; });
+  pool.Wait();
+  pool.Wait();  // Idempotent.
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&counter](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++counter;
+      });
+    }
+    // No Wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+// Cancellation is cooperative: tasks poll the flag and bail. All tasks
+// still *run* (the pool does not drop work), but cancelled ones return
+// immediately, so the pool drains quickly.
+TEST(ThreadPoolTest, CancelFlagShortCircuitsTasks) {
+  ThreadPool pool(4);
+  CancelFlag cancel;
+  std::atomic<int> started{0};
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&](std::size_t) {
+      ++started;
+      if (cancel.Cancelled()) return;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ++completed;
+      if (completed.load() >= 10) cancel.Cancel();
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(started.load(), 200);
+  EXPECT_GE(completed.load(), 10);
+  EXPECT_TRUE(cancel.Cancelled());
+}
+
+TEST(ThreadPoolTest, CancelFlagResets) {
+  CancelFlag flag;
+  EXPECT_FALSE(flag.Cancelled());
+  flag.Cancel();
+  EXPECT_TRUE(flag.Cancelled());
+  flag.Reset();
+  EXPECT_FALSE(flag.Cancelled());
+}
+
+// High-contention stress: many externally submitted roots, each spawning
+// a small subtree from inside the pool, across repeated cycles. Run under
+// TSan in CI to vet the deque locking and the sleep/wake transitions.
+TEST(ThreadPoolTest, MixedInternalExternalStress) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> sum{0};
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&pool, &sum](std::size_t) {
+        for (int j = 0; j < 4; ++j) {
+          pool.Submit([&pool, &sum](std::size_t) {
+            pool.Submit([&sum](std::size_t) { sum += 1; });
+            sum += 1;
+          });
+        }
+        sum += 1;
+      });
+    }
+    pool.Wait();
+    ASSERT_EQ(sum.load(), 50 * (1 + 4 * 2)) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace farmer
