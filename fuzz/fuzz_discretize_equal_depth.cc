@@ -1,0 +1,38 @@
+// Fuzz harness for equal-depth discretization. The first input byte picks
+// the bucket count (1..32); the rest is parsed as an expression CSV. Every
+// successfully parsed matrix must fit and apply without crashing, and the
+// resulting dataset must pass Validate(). NaNs, infinities, duplicated
+// quantiles, and constant genes all flow through this path.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "dataset/dataset.h"
+#include "dataset/discretize.h"
+#include "dataset/expression_matrix.h"
+#include "dataset/io.h"
+#include "util/status.h"
+
+namespace {
+// Keeps fit+apply time proportional to the input, not quadratic blow-ups
+// from pathological row x gene shapes.
+constexpr std::size_t kMaxCells = 1 << 16;
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const int buckets = 1 + data[0] % 32;
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data + 1), size - 1));
+  farmer::ExpressionMatrix matrix;
+  if (!farmer::LoadExpressionCsv(in, "fuzz", &matrix).ok()) return 0;
+  if (matrix.num_rows() * matrix.num_genes() > kMaxCells) return 0;
+
+  farmer::Discretization disc =
+      farmer::Discretization::FitEqualDepth(matrix, buckets);
+  farmer::BinaryDataset dataset = disc.Apply(matrix);
+  if (!dataset.Validate().ok()) __builtin_trap();
+  if (dataset.num_rows() != matrix.num_rows()) __builtin_trap();
+  return 0;
+}

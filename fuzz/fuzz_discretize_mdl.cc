@@ -1,0 +1,35 @@
+// Fuzz harness for Fayyad-Irani entropy-MDL discretization, the recursive
+// partitioner with the trickiest arithmetic in the dataset layer (log2 of
+// class histograms, boundary-point detection, MDL acceptance). Input is an
+// expression CSV; labels come from the parsed matrix. Fit + apply must not
+// crash and the result must validate.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "dataset/dataset.h"
+#include "dataset/discretize.h"
+#include "dataset/expression_matrix.h"
+#include "dataset/io.h"
+#include "util/status.h"
+
+namespace {
+// MDL fitting sorts each gene column; bound total work per input.
+constexpr std::size_t kMaxCells = 1 << 14;
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  farmer::ExpressionMatrix matrix;
+  if (!farmer::LoadExpressionCsv(in, "fuzz", &matrix).ok()) return 0;
+  if (matrix.num_rows() * matrix.num_genes() > kMaxCells) return 0;
+
+  farmer::Discretization disc =
+      farmer::Discretization::FitEntropyMdl(matrix);
+  farmer::BinaryDataset dataset = disc.Apply(matrix);
+  if (!dataset.Validate().ok()) __builtin_trap();
+  if (dataset.num_rows() != matrix.num_rows()) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fuzz harness for the transaction-file parser. Exercises the #items
+// directive, the kMaxTransactionItems allocation cap, duplicate-item
+// rejection, and label parsing. Arbitrary bytes must produce Ok or
+// InvalidArgument/IoError — never a crash or unbounded allocation.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "dataset/dataset.h"
+#include "dataset/io.h"
+#include "util/status.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  farmer::BinaryDataset dataset;
+  farmer::Status status =
+      farmer::LoadTransactions(in, "fuzz", &dataset);
+  if (status.ok()) {
+    // A dataset the parser accepted must also satisfy its own validator.
+    farmer::Status valid = dataset.Validate();
+    if (!valid.ok()) __builtin_trap();
+  }
+  return 0;
+}

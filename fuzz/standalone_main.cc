@@ -1,0 +1,62 @@
+// Standalone driver used when the toolchain lacks libFuzzer (e.g. GCC).
+// Runs LLVMFuzzerTestOneInput once per file argument, or over stdin when no
+// arguments are given, so corpora can be replayed under any sanitizer:
+//
+//   ./fuzz_load_transactions fuzz/corpus/fuzz_load_transactions/*
+//
+// With Clang the same harness links against -fsanitize=fuzzer instead and
+// this file is not compiled.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+void RunOne(const std::string& label, const std::string& payload) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(payload.data()),
+                         payload.size());
+  std::fprintf(stderr, "ok     %s (%zu bytes)\n", label.c_str(),
+               payload.size());
+}
+
+int RunPath(const std::filesystem::path& path) {
+  if (std::filesystem::is_directory(path)) {
+    int rc = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(path)) {
+      if (entry.is_regular_file()) rc |= RunPath(entry.path());
+    }
+    return rc;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.string().c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  RunOne(path.string(), buf.str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    RunOne("<stdin>", buf.str());
+    return 0;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    rc |= RunPath(argv[i]);
+  }
+  return rc;
+}

@@ -1,8 +1,8 @@
 #include "classify/evaluation.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace farmer {
@@ -33,7 +33,8 @@ std::vector<std::vector<std::size_t>> ShuffledClassGroups(
 
 Split StratifiedSplit(const std::vector<ClassLabel>& labels,
                       std::size_t train_size, std::uint64_t seed) {
-  assert(train_size <= labels.size());
+  FARMER_CHECK(train_size <= labels.size())
+      << train_size << " > " << labels.size() << " rows";
   auto groups = ShuffledClassGroups(labels, seed);
   const double frac = labels.empty()
                           ? 0.0
@@ -81,7 +82,8 @@ Split StratifiedSplit(const std::vector<ClassLabel>& labels,
 
 double Accuracy(const std::vector<ClassLabel>& truth,
                 const std::vector<ClassLabel>& predicted) {
-  assert(truth.size() == predicted.size());
+  FARMER_CHECK(truth.size() == predicted.size())
+      << truth.size() << " labels vs " << predicted.size() << " predictions";
   if (truth.empty()) return 0.0;
   std::size_t correct = 0;
   for (std::size_t i = 0; i < truth.size(); ++i) {
@@ -119,7 +121,7 @@ CrossValidationResult CrossValidate(const std::vector<ClassLabel>& labels,
 
 std::vector<Split> StratifiedKFold(const std::vector<ClassLabel>& labels,
                                    std::size_t k, std::uint64_t seed) {
-  assert(k >= 2);
+  FARMER_CHECK(k >= 2) << "k=" << k;
   auto groups = ShuffledClassGroups(labels, seed);
   std::vector<std::vector<std::size_t>> folds(k);
   std::size_t next_fold = 0;

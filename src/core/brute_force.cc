@@ -1,10 +1,10 @@
 #include "core/brute_force.h"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 
 #include "core/measures.h"
+#include "util/check.h"
 
 namespace farmer {
 
@@ -20,7 +20,7 @@ struct BitsetLess {
 // I(X): items common to every row of `X` (as positions in `dataset`).
 ItemVector CommonItems(const BinaryDataset& dataset,
                        const std::vector<RowId>& rows) {
-  assert(!rows.empty());
+  FARMER_DCHECK(!rows.empty());
   ItemVector common = dataset.row(rows[0]);
   for (std::size_t k = 1; k < rows.size() && !common.empty(); ++k) {
     const ItemVector& row = dataset.row(rows[k]);
@@ -37,7 +37,7 @@ ItemVector CommonItems(const BinaryDataset& dataset,
 std::map<Bitset, ItemVector, BitsetLess> AllClosedSets(
     const BinaryDataset& dataset) {
   const std::size_t n = dataset.num_rows();
-  assert(n <= 20 && "brute force is exponential in the row count");
+  FARMER_CHECK(n <= 20) << "brute force is exponential in the row count";
   std::map<Bitset, ItemVector, BitsetLess> closed;  // R(I(X)) -> I(X)
   for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
     std::vector<RowId> subset;
@@ -166,7 +166,7 @@ std::vector<ItemVector> BruteForceLowerBounds(const BinaryDataset& dataset,
                                               const ItemVector& antecedent,
                                               const Bitset& rows) {
   const std::size_t a = antecedent.size();
-  assert(a <= 20 && "brute force is exponential in the antecedent size");
+  FARMER_CHECK(a <= 20) << "brute force is exponential in the antecedent size";
   std::vector<ItemVector> matching;  // subsets with R(L) == rows
   for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << a); ++mask) {
     ItemVector subset;

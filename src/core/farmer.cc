@@ -1,11 +1,12 @@
 #include "core/farmer.h"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
 #include "core/measures.h"
 #include "core/minelb.h"
+#include "util/bitset_ref.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -188,6 +189,78 @@ void FarmerMiner::MergeGroup(GroupStore& store, RuleGroup g) const {
   InsertGroup(store, std::move(g));
 }
 
+void FarmerMiner::ValidateStore(const GroupStore& store) const {
+  const std::vector<RuleGroup>& gs = store.groups;
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    const RuleGroup& g = gs[i];
+    g.rows.CheckInvariants();
+    const std::size_t count = g.rows.Count();
+    FARMER_CHECK(g.support_pos + g.support_neg == count)
+        << "group " << i << ": support counts disagree with its row set";
+    FARMER_CHECK(g.support_pos == ref::CountPrefix(g.rows, m_))
+        << "group " << i << ": positive support disagrees with its row set";
+    FARMER_CHECK(g.confidence ==
+                 Confidence(g.support_pos, g.support_pos + g.support_neg))
+        << "group " << i << ": stale confidence";
+    FARMER_CHECK(count <= store.max_count)
+        << "group " << i << ": row count above the indexed maximum";
+    // The (count, first-row) index must reach the group, else the
+    // dominance comparison would silently skip it.
+    FARMER_CHECK(count < store.by_count_first.size())
+        << "group " << i << ": row count not indexed";
+    const auto& per_first = store.by_count_first[count];
+    FARMER_CHECK(!per_first.empty())
+        << "group " << i << ": empty first-row index for its count";
+    const std::size_t f = std::min(g.rows.FindFirst(), per_first.size() - 1);
+    const auto& bucket = per_first[f];
+    FARMER_CHECK(std::find(bucket.begin(), bucket.end(),
+                           static_cast<std::uint32_t>(i)) != bucket.end())
+        << "group " << i << ": missing from its index bucket";
+  }
+  // Closed-pattern uniqueness: every stored row set identifies exactly one
+  // group.
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    for (std::size_t j = i + 1; j < gs.size(); ++j) {
+      FARMER_CHECK(gs[i].rows != gs[j].rows)
+          << "groups " << i << " and " << j
+          << " store the same closed row set";
+    }
+  }
+  // Dominance soundness (Definition 2.2): no stored group may be
+  // dominated by another stored group — a proper row superset with
+  // confidence at least as high.
+  if (!options_.report_all_rule_groups) {
+    for (std::size_t i = 0; i < gs.size(); ++i) {
+      for (std::size_t j = 0; j < gs.size(); ++j) {
+        if (i == j || !gs[i].rows.IsProperSubsetOf(gs[j].rows)) continue;
+        FARMER_CHECK(gs[j].confidence < gs[i].confidence)
+            << "group " << i << " is dominated by stored group " << j;
+      }
+    }
+  }
+}
+
+void FarmerMiner::ValidateClosedAntecedents(
+    const std::vector<RuleGroup>& groups) const {
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const RuleGroup& g = groups[i];
+    const std::size_t first = g.rows.FindFirst();
+    FARMER_CHECK(first < g.rows.size()) << "group " << i << ": no rows";
+    ItemVector closure = permuted_.row(static_cast<RowId>(first));
+    for (std::size_t r = g.rows.FindNext(first); r < g.rows.size();
+         r = g.rows.FindNext(r)) {
+      const ItemVector& row = permuted_.row(static_cast<RowId>(r));
+      ItemVector merged;
+      std::set_intersection(closure.begin(), closure.end(), row.begin(),
+                            row.end(), std::back_inserter(merged));
+      closure = std::move(merged);
+    }
+    FARMER_CHECK(closure == g.antecedent)
+        << "group " << i
+        << ": stored antecedent is not the closed upper bound I(rows)";
+  }
+}
+
 bool FarmerMiner::VisitNode(SearchContext& ctx, std::size_t depth,
                             std::size_t* supp, std::size_t* supn) {
   DepthScratch& s = ctx.arena[depth];
@@ -203,8 +276,20 @@ bool FarmerMiner::VisitNode(SearchContext& ctx, std::size_t depth,
     for (ItemId it : s.alive) s.tuple_ptrs.push_back(&tuple_bits_[it]);
     Bitset::AndNotInto(all_rows_, s.support, &s.scratch2);
     s.scratch2 -= s.cand;
-    if (s.scratch2.IntersectsAllOf(s.tuple_ptrs.data(), s.tuple_ptrs.size(),
-                                   &s.scratch)) {
+    const bool duplicate_subtree = s.scratch2.IntersectsAllOf(
+        s.tuple_ptrs.data(), s.tuple_ptrs.size(), &s.scratch);
+    if (FARMER_PREDICT_FALSE(options_.verify_invariants)) {
+      s.scratch2.CheckInvariants();
+      FARMER_CHECK(s.scratch2 ==
+                   ref::AndNotInto(ref::AndNotInto(all_rows_, s.support),
+                                   s.cand))
+          << "foreign-row universe diverged from the scalar reference";
+      FARMER_CHECK(duplicate_subtree ==
+                   ref::IntersectsAllOf(s.scratch2, s.tuple_ptrs.data(),
+                                        s.tuple_ptrs.size()))
+          << "IntersectsAllOf diverged from the scalar reference";
+    }
+    if (duplicate_subtree) {
       ++ctx.stats.pruned_by_backscan;
       return false;
     }
@@ -213,6 +298,10 @@ bool FarmerMiner::VisitNode(SearchContext& ctx, std::size_t depth,
   // Step 2 — Pruning 3 with the loose bounds (before scanning). Consequent
   // rows have ids < m_, so the class-C candidates are a bit prefix.
   const std::size_t ep = s.cand.CountPrefix(m_);
+  if (FARMER_PREDICT_FALSE(options_.verify_invariants)) {
+    FARMER_CHECK(ep == ref::CountPrefix(s.cand, m_))
+        << "CountPrefix diverged from the scalar reference";
+  }
   const std::size_t supp_entry = *supp;
   const std::size_t us2 = supp_entry + ep;
   if (options_.enable_pruning3) {
@@ -243,20 +332,55 @@ bool FarmerMiner::VisitNode(SearchContext& ctx, std::size_t depth,
     s.common &= t;
     s.occupied.OrAnd(t, s.cand);
     if (options_.enable_pruning3) {
-      max_ep_tuple = std::max(max_ep_tuple, t.AndCountPrefix(s.cand, m_));
+      const std::size_t ep_tuple = t.AndCountPrefix(s.cand, m_);
+      if (FARMER_PREDICT_FALSE(options_.verify_invariants)) {
+        FARMER_CHECK(ep_tuple == ref::AndCountPrefix(t, s.cand, m_))
+            << "AndCountPrefix diverged from the scalar reference";
+      }
+      max_ep_tuple = std::max(max_ep_tuple, ep_tuple);
     }
   }
+  if (FARMER_PREDICT_FALSE(options_.verify_invariants)) {
+    // Replay the whole scan through the bit-by-bit reference kernels.
+    Bitset expect_common = tuple_bits_[s.alive[0]];
+    Bitset expect_occupied(n_);
+    for (ItemId it : s.alive) {
+      const Bitset& t = tuple_bits_[it];
+      expect_common = ref::AndInto(expect_common, t);
+      expect_occupied = ref::OrAnd(expect_occupied, t, s.cand);
+    }
+    s.common.CheckInvariants();
+    s.occupied.CheckInvariants();
+    FARMER_CHECK(s.common == expect_common)
+        << "operator&= diverged from the scalar reference";
+    FARMER_CHECK(s.occupied == expect_occupied)
+        << "OrAnd diverged from the scalar reference";
+  }
   Bitset::AndInto(s.common, s.cand, &s.scratch);  // Y: absorbable rows.
+  if (FARMER_PREDICT_FALSE(options_.verify_invariants)) {
+    FARMER_CHECK(s.scratch == ref::AndInto(s.common, s.cand))
+        << "AndInto diverged from the scalar reference";
+  }
   if (options_.enable_pruning1 && s.scratch.Any()) {
     // Pruning 1: rows occurring in every tuple are absorbed into the
     // support right now (Lemma 3.5) instead of spawning children.
     s.support |= s.scratch;
     const std::size_t absorbed = s.scratch.Count();
     const std::size_t absorbed_pos = s.scratch.CountPrefix(m_);
+    if (FARMER_PREDICT_FALSE(options_.verify_invariants)) {
+      FARMER_CHECK(absorbed == ref::AndCount(s.scratch, s.scratch))
+          << "Count diverged from the scalar reference";
+      FARMER_CHECK(absorbed_pos == ref::CountPrefix(s.scratch, m_))
+          << "CountPrefix diverged from the scalar reference";
+    }
     *supp += absorbed_pos;
     *supn += absorbed - absorbed_pos;
     ctx.stats.rows_absorbed += absorbed;
     Bitset::AndNotInto(s.occupied, s.scratch, &s.new_cands);
+    if (FARMER_PREDICT_FALSE(options_.verify_invariants)) {
+      FARMER_CHECK(s.new_cands == ref::AndNotInto(s.occupied, s.scratch))
+          << "AndNotInto diverged from the scalar reference";
+    }
   } else {
     s.new_cands = s.occupied;
   }
@@ -359,7 +483,9 @@ void FarmerMiner::MineIRGs(SearchContext& ctx, std::size_t depth,
     }
     child.support = s.support;
     child.support.Set(ri);
-    if (ctx.shared != nullptr) ctx.path.push_back(static_cast<std::uint32_t>(ri));
+    if (ctx.shared != nullptr) {
+      ctx.path.push_back(static_cast<std::uint32_t>(ri));
+    }
     MineIRGs(ctx, depth + 1, supp + (ri < m_ ? 1 : 0),
              supn + (ri >= m_ ? 1 : 0));
     if (ctx.shared != nullptr) ctx.path.pop_back();
@@ -544,6 +670,9 @@ FarmerMiner::GroupStore FarmerMiner::RunSearch(MinerStats* stats) {
     root.cand.SetAll();
     MineIRGs(ctx, 0, 0, 0);
     *stats = ctx.stats;
+    if (FARMER_PREDICT_FALSE(options_.verify_invariants)) {
+      ValidateStore(ctx.store);
+    }
     return std::move(ctx.store);
   }
 
@@ -568,6 +697,9 @@ FarmerMiner::GroupStore FarmerMiner::RunSearch(MinerStats* stats) {
   SubtreeTask root_task;  // parent == nullptr, id == {}: the tree root.
   SubmitTask(shared, std::move(root_task));
   pool.Wait();
+  if (FARMER_PREDICT_FALSE(options_.verify_invariants)) {
+    pool.CheckQuiescent();
+  }
 
   *stats = shared.stats;
   stats->task_steals = pool.steal_count();
@@ -583,6 +715,13 @@ FarmerMiner::GroupStore FarmerMiner::RunSearch(MinerStats* stats) {
   merged.by_count_first.resize(n_ + 1);
   for (Segment& seg : shared.segments) {
     for (RuleGroup& g : seg.groups) MergeGroup(merged, std::move(g));
+    // Debug mode: the store must satisfy its invariants after *every*
+    // segment merge, not only at the end — this is the executable form of
+    // the deterministic-merge argument (each merged segment leaves the
+    // store exactly as some prefix of the sequential run would).
+    if (FARMER_PREDICT_FALSE(options_.verify_invariants)) {
+      ValidateStore(merged);
+    }
   }
   return merged;
 }
@@ -597,6 +736,14 @@ FarmerResult FarmerMiner::Mine() {
   GroupStore store = RunSearch(&stats_);
   std::vector<RuleGroup> groups = std::move(store.groups);
   stats_.mine_seconds = sw.ElapsedSeconds();
+
+  // Debug mode: every reported upper bound must be the closed antecedent
+  // of its row set (closed-pattern uniqueness — the property that makes a
+  // rule-group representation lossless).
+  if (FARMER_PREDICT_FALSE(options_.verify_invariants) &&
+      options_.store_antecedents) {
+    ValidateClosedAntecedents(groups);
+  }
 
   // Top-k selection: best confidence first, support breaks ties.
   if (options_.top_k > 0 && groups.size() > options_.top_k) {
@@ -637,6 +784,12 @@ FarmerResult FarmerMiner::Mine() {
       LowerBoundResult lb = MineLowerBounds(
           permuted_, antecedent, g.rows,
           options_.max_lower_bound_candidates);
+      if (FARMER_PREDICT_FALSE(options_.verify_invariants) &&
+          !lb.truncated) {
+        FARMER_CHECK_OK(ValidateLowerBounds(permuted_, antecedent, g.rows,
+                                            lb.lower_bounds))
+            << "MineLB produced a non-minimal or non-generating bound";
+      }
       g.lower_bounds = std::move(lb.lower_bounds);
       g.lower_bounds_truncated = lb.truncated;
     }

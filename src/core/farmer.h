@@ -216,6 +216,20 @@ class FarmerMiner {
   // counts (x = supp + supn, y = supp).
   bool PassesThresholds(std::size_t supp, std::size_t supn) const;
 
+  // verify_invariants: fatal-checks the store's structural invariants —
+  // every group's counts/confidence agree with its row set, the
+  // (count, first-row) index reaches every group, all row sets are
+  // distinct closed patterns, and (unless report_all_rule_groups) no
+  // stored group is dominated by another (Definition 2.2 soundness).
+  // Runs after the sequential search and after every parallel segment
+  // merge. O(groups²) bitset work.
+  void ValidateStore(const GroupStore& store) const;
+
+  // verify_invariants: fatal-checks that each group's stored antecedent
+  // is the closed upper bound of its row set, I(rows) over the permuted
+  // dataset. Groups must still be in permuted row ids.
+  void ValidateClosedAntecedents(const std::vector<RuleGroup>& groups) const;
+
   // The dynamic confidence floor: min_confidence, raised in top-k mode to
   // the current k-th best confidence of the store — sequential runs only.
   // Parallel workers keep the static floor (a worker-local dynamic floor

@@ -1,7 +1,8 @@
 #include "core/minelb.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace farmer {
 
@@ -25,6 +26,22 @@ std::vector<Bitset> KeepMaximal(std::vector<Bitset> sets) {
     if (!subsumed) maximal.push_back(std::move(s));
   }
   return maximal;
+}
+
+// R(L): the rows of `dataset` containing every item of `itemset`.
+Bitset SupportRows(const BinaryDataset& dataset, const ItemVector& itemset) {
+  Bitset rows(dataset.num_rows());
+  for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    bool all = true;
+    for (ItemId i : itemset) {
+      if (!dataset.RowContains(r, i)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) rows.Set(r);
+  }
+  return rows;
 }
 
 }  // namespace
@@ -69,7 +86,7 @@ LowerBoundResult MineLowerBounds(const BinaryDataset& dataset,
       }
     }
     // I(r) ∩ A ⊂ A is guaranteed: if it equaled A, r would be in R(A).
-    assert(inter.Count() < a_size);
+    FARMER_DCHECK(inter.Count() < a_size);
     sigma.push_back(std::move(inter));
   }
   sigma = KeepMaximal(std::move(sigma));
@@ -155,6 +172,38 @@ LowerBoundResult MineLowerBounds(const BinaryDataset& dataset,
   }
   std::sort(result.lower_bounds.begin(), result.lower_bounds.end());
   return result;
+}
+
+Status ValidateLowerBounds(const BinaryDataset& dataset,
+                           const ItemVector& antecedent, const Bitset& rows,
+                           const std::vector<ItemVector>& lower_bounds) {
+  for (const ItemVector& lb : lower_bounds) {
+    if (lb.empty()) return Status::InvalidArgument("empty lower bound");
+    if (!std::includes(antecedent.begin(), antecedent.end(), lb.begin(),
+                       lb.end())) {
+      return Status::InvalidArgument(
+          "lower bound is not a subset of the antecedent");
+    }
+    // Generator: L must select exactly the group's rows.
+    if (SupportRows(dataset, lb) != rows) {
+      return Status::InvalidArgument(
+          "lower bound does not generate the group's row set");
+    }
+    // Minimal: dropping any one item must strictly enlarge the row set.
+    for (std::size_t drop = 0; drop < lb.size(); ++drop) {
+      ItemVector smaller;
+      smaller.reserve(lb.size() - 1);
+      for (std::size_t i = 0; i < lb.size(); ++i) {
+        if (i != drop) smaller.push_back(lb[i]);
+      }
+      if (SupportRows(dataset, smaller) == rows) {
+        return Status::InvalidArgument(
+            "lower bound is not minimal: item " + std::to_string(lb[drop]) +
+            " is redundant");
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace farmer

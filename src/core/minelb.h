@@ -7,6 +7,7 @@
 #include "dataset/dataset.h"
 #include "dataset/types.h"
 #include "util/bitset.h"
+#include "util/status.h"
 
 namespace farmer {
 
@@ -32,6 +33,16 @@ LowerBoundResult MineLowerBounds(const BinaryDataset& dataset,
                                  const ItemVector& antecedent,
                                  const Bitset& rows,
                                  std::size_t max_candidates = 0);
+
+/// Invariant validator for a (non-truncated) MineLB result: every lower
+/// bound must be a *minimal generator* of its rule group — a subset of
+/// `antecedent` with R(L) = `rows` such that dropping any single item
+/// strictly enlarges the row set. Returns the first violation found, or
+/// Ok. Brute-force (O(bounds · |L| · rows · log)), intended for
+/// MinerOptions::verify_invariants and tests, not production runs.
+Status ValidateLowerBounds(const BinaryDataset& dataset,
+                           const ItemVector& antecedent, const Bitset& rows,
+                           const std::vector<ItemVector>& lower_bounds);
 
 }  // namespace farmer
 

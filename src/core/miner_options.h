@@ -74,6 +74,18 @@ struct MinerOptions {
   /// always recurse sequentially (small subtrees stay allocation-free).
   std::size_t max_split_depth = 12;
 
+  /// Self-verification mode: cross-checks every word-parallel bitset
+  /// kernel call in the enumeration hot path (AndCount/AndCountPrefix/
+  /// IntersectsAllOf/AndInto/AndNotInto/OrAnd/CountPrefix) against scalar
+  /// reference implementations, re-validates the rule-group store after
+  /// every parallel segment merge (dominance soundness, distinct closed
+  /// row sets, index consistency), verifies each reported antecedent is
+  /// closed (I(R(A)) = A), checks every MineLB lower bound is a minimal
+  /// generator of its group, and asserts the thread pool drained cleanly.
+  /// Failures fire FARMER_CHECK (fatal). Orders of magnitude slower than
+  /// a plain run — for tests and debugging only, never production.
+  bool verify_invariants = false;
+
   /// Cooperative time limit; the miner reports `timed_out` when it fires.
   Deadline deadline;
 };

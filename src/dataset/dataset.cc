@@ -1,14 +1,18 @@
 #include "dataset/dataset.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace farmer {
 
 void BinaryDataset::AddRow(ItemVector items, ClassLabel label) {
-  assert(std::is_sorted(items.begin(), items.end()));
-  assert(std::adjacent_find(items.begin(), items.end()) == items.end());
-  assert(items.empty() || items.back() < num_items_);
+  FARMER_DCHECK(std::is_sorted(items.begin(), items.end()));
+  FARMER_DCHECK(std::adjacent_find(items.begin(), items.end()) ==
+                items.end());
+  FARMER_CHECK(items.empty() || items.back() < num_items_)
+      << "item id " << (items.empty() ? 0 : items.back())
+      << " out of range for universe of " << num_items_;
   rows_.push_back(std::move(items));
   labels_.push_back(label);
 }
@@ -93,7 +97,7 @@ BinaryDataset PermuteRows(const BinaryDataset& dataset, const RowOrder& order) {
 }
 
 BinaryDataset ReplicateRows(const BinaryDataset& dataset, std::size_t factor) {
-  assert(factor >= 1);
+  FARMER_CHECK(factor >= 1);
   BinaryDataset out(dataset.num_items());
   for (std::size_t k = 0; k < factor; ++k) {
     for (RowId r = 0; r < dataset.num_rows(); ++r) {

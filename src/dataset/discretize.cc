@@ -1,10 +1,11 @@
 #include "dataset/discretize.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <fstream>
 #include <sstream>
+
+#include "util/check.h"
 
 namespace farmer {
 
@@ -76,9 +77,8 @@ void MdlPartition(const std::vector<Obs>& obs, std::size_t begin,
   }
   if (best_score <= 0.0) return;  // No boundary found (constant values).
 
-  // MDL acceptance test.
-  const std::size_t n1 = best_pos - begin;
-  const std::size_t n2 = end - best_pos;
+  // MDL acceptance test. Only the entropies of the two sides enter the
+  // criterion; their sizes already went into best_score's weighting.
   std::vector<std::size_t> right(num_classes);
   for (std::size_t c = 0; c < num_classes; ++c) {
     right[c] = total[c] - best_left[c];
@@ -101,8 +101,6 @@ void MdlPartition(const std::vector<Obs>& obs, std::size_t begin,
   MdlPartition(obs, begin, best_pos, num_classes, cuts);
   cuts->push_back(cut);
   MdlPartition(obs, best_pos, end, num_classes, cuts);
-  (void)n1;
-  (void)n2;
 }
 
 }  // namespace
@@ -122,7 +120,7 @@ double ClassEntropy(const std::vector<std::size_t>& counts) {
 
 Discretization Discretization::FitEqualDepth(const ExpressionMatrix& matrix,
                                              int buckets) {
-  assert(buckets >= 1);
+  FARMER_CHECK(buckets >= 1) << "buckets=" << buckets;
   Discretization d;
   const std::size_t n = matrix.num_rows();
   d.cuts_.resize(matrix.num_genes());
@@ -206,7 +204,9 @@ ItemId Discretization::ItemFor(std::size_t g, double value) const {
 }
 
 BinaryDataset Discretization::Apply(const ExpressionMatrix& matrix) const {
-  assert(matrix.num_genes() == cuts_.size());
+  FARMER_CHECK(matrix.num_genes() == cuts_.size())
+      << "matrix has " << matrix.num_genes()
+      << " genes but the discretization was fitted on " << cuts_.size();
   BinaryDataset out(num_items_);
   for (std::size_t r = 0; r < matrix.num_rows(); ++r) {
     ItemVector items;

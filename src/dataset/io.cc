@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <istream>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -41,14 +42,18 @@ bool ParseUnsigned(const std::string& s, unsigned long* out) {
 Status LoadExpressionCsv(const std::string& path, ExpressionMatrix* out) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
+  return LoadExpressionCsv(in, path, out);
+}
 
+Status LoadExpressionCsv(std::istream& in, const std::string& name,
+                         ExpressionMatrix* out) {
   std::string line;
   if (!std::getline(in, line)) {
-    return Status::InvalidArgument(path + ": empty file");
+    return Status::InvalidArgument(name + ": empty file");
   }
   std::vector<std::string> header = SplitCsv(line);
   if (header.empty() || header[0] != "class") {
-    return Status::InvalidArgument(path + ": header must start with 'class'");
+    return Status::InvalidArgument(name + ": header must start with 'class'");
   }
   const std::size_t num_genes = header.size() - 1;
   std::vector<std::string> gene_names(header.begin() + 1, header.end());
@@ -61,7 +66,7 @@ Status LoadExpressionCsv(const std::string& path, ExpressionMatrix* out) {
     if (line.empty()) continue;
     std::vector<std::string> fields = SplitCsv(line);
     if (fields.size() != num_genes + 1) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+      return Status::InvalidArgument(name + ":" + std::to_string(line_no) +
                                      ": expected " +
                                      std::to_string(num_genes + 1) +
                                      " fields, got " +
@@ -69,14 +74,14 @@ Status LoadExpressionCsv(const std::string& path, ExpressionMatrix* out) {
     }
     unsigned long label = 0;
     if (!ParseUnsigned(fields[0], &label) || label > 255) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+      return Status::InvalidArgument(name + ":" + std::to_string(line_no) +
                                      ": bad class label '" + fields[0] + "'");
     }
     labels.push_back(static_cast<ClassLabel>(label));
     for (std::size_t g = 0; g < num_genes; ++g) {
       double v = 0.0;
       if (!ParseDouble(fields[g + 1], &v)) {
-        return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+        return Status::InvalidArgument(name + ":" + std::to_string(line_no) +
                                        ": bad value '" + fields[g + 1] + "'");
       }
       values.push_back(v);
@@ -119,7 +124,11 @@ Status SaveExpressionCsv(const ExpressionMatrix& matrix,
 Status LoadTransactions(const std::string& path, BinaryDataset* out) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
+  return LoadTransactions(in, path, out);
+}
 
+Status LoadTransactions(std::istream& in, const std::string& name,
+                        BinaryDataset* out) {
   BinaryDataset ds;
   std::string line;
   std::size_t line_no = 0;
@@ -130,20 +139,26 @@ Status LoadTransactions(const std::string& path, BinaryDataset* out) {
     if (line.rfind("#items ", 0) == 0) {
       unsigned long n = 0;
       if (!ParseUnsigned(line.substr(7), &n)) {
-        return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+        return Status::InvalidArgument(name + ":" + std::to_string(line_no) +
                                        ": bad #items directive");
+      }
+      if (n > kMaxTransactionItems) {
+        return Status::InvalidArgument(
+            name + ":" + std::to_string(line_no) + ": #items " +
+            std::to_string(n) + " exceeds the cap of " +
+            std::to_string(kMaxTransactionItems));
       }
       declared_items = n;
       continue;
     }
     const std::size_t colon = line.find(':');
     if (colon == std::string::npos) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+      return Status::InvalidArgument(name + ":" + std::to_string(line_no) +
                                      ": missing ':' separator");
     }
     unsigned long label = 0;
     if (!ParseUnsigned(line.substr(0, colon), &label) || label > 255) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+      return Status::InvalidArgument(name + ":" + std::to_string(line_no) +
                                      ": bad class label");
     }
     ItemVector items;
@@ -152,14 +167,20 @@ Status LoadTransactions(const std::string& path, BinaryDataset* out) {
     while (is >> tok) {
       unsigned long item = 0;
       if (!ParseUnsigned(tok, &item)) {
-        return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+        return Status::InvalidArgument(name + ":" + std::to_string(line_no) +
                                        ": bad item '" + tok + "'");
+      }
+      if (item >= kMaxTransactionItems) {
+        return Status::InvalidArgument(name + ":" + std::to_string(line_no) +
+                                       ": item id " + tok +
+                                       " exceeds the cap of " +
+                                       std::to_string(kMaxTransactionItems));
       }
       items.push_back(static_cast<ItemId>(item));
     }
     std::sort(items.begin(), items.end());
     if (std::adjacent_find(items.begin(), items.end()) != items.end()) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+      return Status::InvalidArgument(name + ":" + std::to_string(line_no) +
                                      ": duplicate item in row");
     }
     if (!items.empty()) {

@@ -1,6 +1,8 @@
 #ifndef FARMER_DATASET_IO_H_
 #define FARMER_DATASET_IO_H_
 
+#include <cstddef>
+#include <iosfwd>
 #include <string>
 
 #include "dataset/dataset.h"
@@ -9,12 +11,26 @@
 
 namespace farmer {
 
+/// Hard cap on the item universe a transaction file may declare (via
+/// `#items` or its largest item id). Parsers reject anything larger with
+/// InvalidArgument before any proportional allocation happens, so a
+/// hostile 20-byte file cannot demand gigabytes. Microarray datasets top
+/// out around 10^5 discretized intervals; 2^26 leaves two orders of
+/// magnitude of headroom.
+inline constexpr std::size_t kMaxTransactionItems = std::size_t{1} << 26;
+
 /// Loads an expression matrix from CSV.
 ///
 /// Expected layout: a header line `class,<gene>,<gene>,...` followed by one
 /// line per sample: `<label>,<value>,...`. Labels are small non-negative
 /// integers. Returns InvalidArgument/IoError on malformed input.
 Status LoadExpressionCsv(const std::string& path, ExpressionMatrix* out);
+
+/// Stream variant of LoadExpressionCsv; `name` labels error messages.
+/// Never crashes on malformed input — every parse failure is a Status
+/// (the fuzz harnesses drive this entry point directly).
+Status LoadExpressionCsv(std::istream& in, const std::string& name,
+                         ExpressionMatrix* out);
 
 /// Writes `matrix` in the format LoadExpressionCsv reads.
 Status SaveExpressionCsv(const ExpressionMatrix& matrix,
@@ -25,8 +41,12 @@ Status SaveExpressionCsv(const ExpressionMatrix& matrix,
 /// One line per row: `<label>: <item> <item> ...` with integer item ids
 /// (any order; duplicates rejected). The item universe is
 /// `max item id + 1` unless a larger universe is implied by a leading
-/// `#items <n>` directive line.
+/// `#items <n>` directive line; both are capped at kMaxTransactionItems.
 Status LoadTransactions(const std::string& path, BinaryDataset* out);
+
+/// Stream variant of LoadTransactions; `name` labels error messages.
+Status LoadTransactions(std::istream& in, const std::string& name,
+                        BinaryDataset* out);
 
 /// Writes `dataset` in the format LoadTransactions reads.
 Status SaveTransactions(const BinaryDataset& dataset, const std::string& path);

@@ -1,17 +1,18 @@
 #include "dataset/synthetic.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace farmer {
 
 ExpressionMatrix GenerateSynthetic(const SyntheticSpec& spec) {
-  assert(spec.num_class1 <= spec.num_rows);
-  assert(spec.num_clusters >= 1);
+  FARMER_CHECK(spec.num_class1 <= spec.num_rows)
+      << spec.num_class1 << " class-1 rows in " << spec.num_rows;
+  FARMER_CHECK(spec.num_clusters >= 1);
   ExpressionMatrix m(spec.num_rows, spec.num_genes);
   Rng rng(spec.seed);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/check.h"
+
 namespace farmer {
 
 void Bitset::Resize(std::size_t num_bits) {
@@ -57,7 +59,8 @@ std::size_t Bitset::AndCountPrefix(const Bitset& other,
   }
   const std::size_t tail = limit & 63;
   if (tail != 0) {
-    total += __builtin_popcountll(words_[full_words] & other.words_[full_words] &
+    total += __builtin_popcountll(words_[full_words] &
+                                  other.words_[full_words] &
                                   ((kOne << tail) - 1));
   }
   return total;
@@ -197,6 +200,16 @@ std::size_t Bitset::Hash() const {
     h *= 1099511628211ull;  // FNV prime.
   }
   return static_cast<std::size_t>(h);
+}
+
+void Bitset::CheckInvariants() const {
+  FARMER_CHECK(words_.size() == (num_bits_ + 63) / 64)
+      << "size=" << num_bits_ << " words=" << words_.size();
+  const std::size_t tail = num_bits_ & 63;
+  if (tail != 0) {
+    FARMER_CHECK((words_.back() & ~((kOne << tail) - 1)) == 0)
+        << "bits set beyond size()=" << num_bits_;
+  }
 }
 
 void Bitset::TrimTail() {

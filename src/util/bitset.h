@@ -160,6 +160,12 @@ class Bitset {
   /// Stable hash of the contents (FNV-1a over the words).
   std::size_t Hash() const;
 
+  /// Contract check of the representation invariants: the word vector is
+  /// exactly ⌈size()/64⌉ long and every bit at positions >= size() is
+  /// clear (the kernels' popcounts and subset tests silently assume a
+  /// zero tail). Fails a FARMER_CHECK on violation. O(words).
+  void CheckInvariants() const;
+
  private:
   static constexpr std::uint64_t kOne = 1;
 

@@ -1,0 +1,101 @@
+#ifndef FARMER_UTIL_BITSET_REF_H_
+#define FARMER_UTIL_BITSET_REF_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/bitset.h"
+
+namespace farmer {
+namespace ref {
+
+/// Scalar reference implementations of the word-parallel Bitset kernels.
+///
+/// Each function recomputes one kernel bit by bit through the public
+/// Test()/size() interface only — no word-level shortcuts — so it serves
+/// as an independent oracle. MinerOptions::verify_invariants cross-checks
+/// every kernel call in the mining hot path against these during real
+/// runs, and bitset_test fuzzes the pair on random inputs. Keep these
+/// boring and obviously correct; never optimize them.
+
+/// |a ∩ b| over the common prefix of the two sizes.
+inline std::size_t AndCount(const Bitset& a, const Bitset& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.Test(i) && b.Test(i)) ++count;
+  }
+  return count;
+}
+
+/// |a ∩ b| restricted to positions < pos_limit.
+inline std::size_t AndCountPrefix(const Bitset& a, const Bitset& b,
+                                  std::size_t pos_limit) {
+  const std::size_t n =
+      std::min(pos_limit, std::min(a.size(), b.size()));
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.Test(i) && b.Test(i)) ++count;
+  }
+  return count;
+}
+
+/// Number of set bits at positions < pos_limit.
+inline std::size_t CountPrefix(const Bitset& a, std::size_t pos_limit) {
+  const std::size_t n = std::min(pos_limit, a.size());
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.Test(i)) ++count;
+  }
+  return count;
+}
+
+/// True when a ∩ sets[0] ∩ … ∩ sets[count-1] is non-empty.
+inline bool IntersectsAllOf(const Bitset& a, const Bitset* const* sets,
+                            std::size_t count) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a.Test(i)) continue;
+    bool in_all = true;
+    for (std::size_t s = 0; s < count; ++s) {
+      if (i >= sets[s]->size() || !sets[s]->Test(i)) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) return true;
+  }
+  return false;
+}
+
+/// a & b, rebuilt bit by bit.
+inline Bitset AndInto(const Bitset& a, const Bitset& b) {
+  Bitset out(a.size());
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.Test(i) && b.Test(i)) out.Set(i);
+  }
+  return out;
+}
+
+/// a & ~b, rebuilt bit by bit.
+inline Bitset AndNotInto(const Bitset& a, const Bitset& b) {
+  Bitset out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.Test(i) && (i >= b.size() || !b.Test(i))) out.Set(i);
+  }
+  return out;
+}
+
+/// base | (a & b), rebuilt bit by bit.
+inline Bitset OrAnd(const Bitset& base, const Bitset& a, const Bitset& b) {
+  Bitset out(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base.Test(i) || (a.Test(i) && b.Test(i))) out.Set(i);
+  }
+  return out;
+}
+
+}  // namespace ref
+}  // namespace farmer
+
+#endif  // FARMER_UTIL_BITSET_REF_H_

@@ -1,0 +1,43 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace farmer {
+
+namespace {
+
+void DefaultCheckFailureHandler(const char* file, int line,
+                                const std::string& message) {
+  std::fprintf(stderr, "%s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<CheckFailureHandler> g_handler{&DefaultCheckFailureHandler};
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  if (handler == nullptr) handler = &DefaultCheckFailureHandler;
+  return g_handler.exchange(handler);
+}
+
+namespace check_internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* description)
+    : file_(file), line_(line) {
+  stream_ << description << ' ';
+}
+
+CheckFailure::~CheckFailure() noexcept(false) {
+  CheckFailureHandler handler = g_handler.load();
+  handler(file_, line_, stream_.str());
+  // A contract violation must not resume the violating function: if the
+  // handler neither threw nor terminated, terminate here.
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace farmer

@@ -1,0 +1,123 @@
+#ifndef FARMER_UTIL_CHECK_H_
+#define FARMER_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+/// Contract-checking macros for the FARMER library.
+///
+/// These replace the bare asserts previously scattered through `src/`:
+/// unlike the standard macro, the
+/// always-on variants survive NDEBUG builds (the default RelWithDebInfo
+/// configuration), carry streamed context messages, and route through a
+/// process-wide failure handler that tests can hook.
+///
+///   FARMER_CHECK(n > 0) << "rows=" << rows;   // always on; keep it cheap
+///   FARMER_DCHECK(std::is_sorted(b, e));      // debug builds only
+///   FARMER_CHECK_OK(LoadTransactions(p, &d)); // Status must be ok()
+///
+/// A failed check formats "file:line: CHECK failed: <cond> <message>" and
+/// invokes the installed CheckFailureHandler. The default handler writes
+/// the message to stderr and aborts. Tests install a throwing handler via
+/// ScopedCheckFailureHandler to assert that contracts fire; if a custom
+/// handler returns instead of throwing, the process still aborts — a
+/// violated contract never resumes the violating function.
+
+namespace farmer {
+
+/// Handler invoked with the fully formatted message of a failed check.
+/// Must either throw or not return (the caller aborts if it does return).
+using CheckFailureHandler = void (*)(const char* file, int line,
+                                     const std::string& message);
+
+/// Installs `handler` process-wide and returns the previous handler.
+/// Passing nullptr restores the default abort handler.
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
+
+/// RAII helper for tests: installs a handler on construction and restores
+/// the previous one on destruction.
+class ScopedCheckFailureHandler {
+ public:
+  explicit ScopedCheckFailureHandler(CheckFailureHandler handler)
+      : previous_(SetCheckFailureHandler(handler)) {}
+  ~ScopedCheckFailureHandler() { SetCheckFailureHandler(previous_); }
+
+  ScopedCheckFailureHandler(const ScopedCheckFailureHandler&) = delete;
+  ScopedCheckFailureHandler& operator=(const ScopedCheckFailureHandler&) =
+      delete;
+
+ private:
+  CheckFailureHandler previous_;
+};
+
+namespace check_internal {
+
+/// Accumulates the streamed message of one failing check and fires the
+/// failure handler when the full expression ends. Destruction only happens
+/// on the failure path, so the destructor is allowed to throw (test
+/// handlers do) — hence noexcept(false).
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* description);
+  ~CheckFailure() noexcept(false);
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the CheckFailure stream so the macro expands to a void
+/// expression. `&` binds looser than `<<`, so every streamed operand is
+/// evaluated before the voidifier — the glog trick.
+struct Voidifier {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace check_internal
+}  // namespace farmer
+
+#define FARMER_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define FARMER_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+
+/// Always-on contract check. Keep the condition cheap (O(1) or amortized
+/// into work the caller does anyway); use FARMER_DCHECK for O(n) scans.
+#define FARMER_CHECK(condition)                                      \
+  FARMER_PREDICT_TRUE(condition)                                     \
+  ? (void)0                                                          \
+  : ::farmer::check_internal::Voidifier() &                          \
+        ::farmer::check_internal::CheckFailure(__FILE__, __LINE__,   \
+                                               "CHECK failed: " #condition) \
+            .stream()
+
+/// Debug-only contract check: compiled to nothing under NDEBUG (the
+/// condition is not evaluated; operands stay odr-used so no -Wunused).
+/// Define FARMER_FORCE_DCHECKS to keep them in optimized builds.
+#if defined(NDEBUG) && !defined(FARMER_FORCE_DCHECKS)
+#define FARMER_DCHECK(condition) FARMER_CHECK(true || (condition))
+#else
+#define FARMER_DCHECK(condition) FARMER_CHECK(condition)
+#endif
+
+/// Checks that a farmer::Status expression is ok(); the failure message
+/// includes Status::ToString(). Additional context can be streamed:
+///   FARMER_CHECK_OK(st) << "while loading " << path;
+/// The loop body runs at most once — CheckFailure's destructor never
+/// returns control to it.
+#define FARMER_CHECK_OK(expression)                                        \
+  for (const ::farmer::Status farmer_internal_check_status = (expression); \
+       FARMER_PREDICT_FALSE(!farmer_internal_check_status.ok());)          \
+  ::farmer::check_internal::CheckFailure(__FILE__, __LINE__,               \
+                                         "CHECK failed: (" #expression     \
+                                         ") is OK")                        \
+      .stream()                                                            \
+      << farmer_internal_check_status.ToString() << ' '
+
+#endif  // FARMER_UTIL_CHECK_H_

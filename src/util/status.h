@@ -10,7 +10,12 @@ namespace farmer {
 ///
 /// The library does not use exceptions; functions that can fail return a
 /// Status (or a value + Status pair) in the style of Arrow / RocksDB.
-class Status {
+///
+/// The class itself is [[nodiscard]]: any function returning a Status by
+/// value makes callers handle it — silently dropping an error is a
+/// compile warning (an error under -Werror / CI). Deliberately ignoring a
+/// Status requires a visible `(void)` cast at the call site.
+class [[nodiscard]] Status {
  public:
   /// Success.
   Status() = default;
@@ -26,10 +31,12 @@ class Status {
     return Status(Code::kNotFound, std::move(msg));
   }
 
-  bool ok() const { return code_ == Code::kOk; }
-  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
-  bool IsIoError() const { return code_ == Code::kIoError; }
-  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  [[nodiscard]] bool ok() const { return code_ == Code::kOk; }
+  [[nodiscard]] bool IsInvalidArgument() const {
+    return code_ == Code::kInvalidArgument;
+  }
+  [[nodiscard]] bool IsIoError() const { return code_ == Code::kIoError; }
+  [[nodiscard]] bool IsNotFound() const { return code_ == Code::kNotFound; }
 
   /// Human-readable message; empty on success.
   const std::string& message() const { return message_; }

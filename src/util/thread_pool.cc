@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/check.h"
+
 namespace farmer {
 
 namespace {
@@ -74,7 +76,8 @@ bool ThreadPool::PopLocal(std::size_t id, Task* out) {
   if (q.tasks.empty()) return false;
   *out = std::move(q.tasks.back());
   q.tasks.pop_back();
-  pending_.fetch_sub(1, std::memory_order_relaxed);
+  const std::size_t was = pending_.fetch_sub(1, std::memory_order_relaxed);
+  FARMER_DCHECK(was > 0);
   return true;
 }
 
@@ -102,7 +105,8 @@ bool ThreadPool::StealInto(std::size_t id, Task* out) {
     // Run the oldest stolen task now; queue the rest back-to-front so the
     // local LIFO pop preserves their age order.
     *out = std::move(loot.front());
-    pending_.fetch_sub(1, std::memory_order_relaxed);
+    const std::size_t was = pending_.fetch_sub(1, std::memory_order_relaxed);
+    FARMER_DCHECK(was > 0);
     if (loot.size() > 1) {
       WorkerQueue& mine = *queues_[id];
       std::lock_guard<std::mutex> lock(mine.mutex);
@@ -113,6 +117,22 @@ bool ThreadPool::StealInto(std::size_t id, Task* out) {
     return true;
   }
   return false;
+}
+
+void ThreadPool::CheckQuiescent() {
+  // Ordered counter reads first: once in_flight_ is 0 and no Submit is
+  // racing (the caller's contract), workers only sleep.
+  FARMER_CHECK(in_flight_.load(std::memory_order_acquire) == 0)
+      << "tasks still running";
+  FARMER_CHECK(pending_.load(std::memory_order_acquire) == 0)
+      << "tasks still queued";
+  std::size_t queued = 0;
+  for (const std::unique_ptr<WorkerQueue>& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mutex);
+    queued += q->tasks.size();
+  }
+  FARMER_CHECK(queued == 0)
+      << queued << " tasks in deques while pending_ == 0";
 }
 
 void ThreadPool::WorkerLoop(std::size_t worker_id) {

@@ -88,6 +88,14 @@ class ThreadPool {
     return stolen_tasks_.load(std::memory_order_relaxed);
   }
 
+  /// Contract check that the pool is quiescent: no task queued or
+  /// running, every deque empty, and the pending counter agrees with the
+  /// deques. Only meaningful after Wait() returned (concurrent Submits
+  /// would race the inspection); fails a FARMER_CHECK on violation. The
+  /// parallel miner calls this after every drained search when
+  /// MinerOptions::verify_invariants is on.
+  void CheckQuiescent();
+
  private:
   using Task = std::function<void(std::size_t)>;
 

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/bitset_ref.h"
 #include "util/rng.h"
 
 namespace farmer {
@@ -287,6 +288,79 @@ TEST(BitsetTest, RandomizedAgainstStdSet) {
       ++iterated;
     });
     EXPECT_EQ(iterated, model.size());
+  }
+}
+
+TEST(BitsetTest, CheckInvariantsHoldsAcrossOperations) {
+  for (std::size_t size : {0u, 1u, 63u, 64u, 65u, 130u, 1000u}) {
+    Bitset b(size);
+    b.CheckInvariants();
+    b.SetAll();
+    b.CheckInvariants();  // SetAll must leave tail bits clear.
+    if (size > 0) {
+      b.Reset(size - 1);
+      b.CheckInvariants();
+    }
+    Bitset c(size);
+    c.SetAll();
+    b |= c;
+    b.CheckInvariants();
+    b -= c;
+    b.CheckInvariants();
+    b.Resize(size + 77);
+    b.CheckInvariants();
+  }
+}
+
+// Randomized cross-check of every word-parallel kernel against the scalar
+// references in util/bitset_ref.h — the same oracles the miner's
+// verify_invariants mode uses, exercised here on adversarial sizes
+// (word-boundary straddling, empty sets, mismatched prefixes).
+TEST(BitsetTest, KernelsMatchScalarReferences) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t size = 1 + rng.NextBelow(200);
+    Bitset a(size);
+    Bitset b(size);
+    Bitset base(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      if (rng.NextBool(0.35)) a.Set(i);
+      if (rng.NextBool(0.35)) b.Set(i);
+      if (rng.NextBool(0.35)) base.Set(i);
+    }
+    const std::size_t limit = rng.NextBelow(size + 8);
+
+    EXPECT_EQ(a.AndCount(b), ref::AndCount(a, b));
+    EXPECT_EQ(a.AndCountPrefix(b, limit), ref::AndCountPrefix(a, b, limit));
+    EXPECT_EQ(a.CountPrefix(limit), ref::CountPrefix(a, limit));
+
+    Bitset out;
+    Bitset::AndInto(a, b, &out);
+    out.CheckInvariants();
+    EXPECT_EQ(out, ref::AndInto(a, b));
+    Bitset::AndNotInto(a, b, &out);
+    out.CheckInvariants();
+    EXPECT_EQ(out, ref::AndNotInto(a, b));
+
+    Bitset acc = base;
+    acc.OrAnd(a, b);
+    acc.CheckInvariants();
+    EXPECT_EQ(acc, ref::OrAnd(base, a, b));
+
+    // IntersectsAllOf against 0..3 random sets.
+    const std::size_t num_sets = rng.NextBelow(4);
+    std::vector<Bitset> sets(num_sets, Bitset(size));
+    std::vector<const Bitset*> ptrs;
+    for (auto& s : sets) {
+      for (std::size_t i = 0; i < size; ++i) {
+        if (rng.NextBool(0.5)) s.Set(i);
+      }
+      ptrs.push_back(&s);
+    }
+    Bitset scratch;
+    EXPECT_EQ(a.IntersectsAllOf(ptrs.data(), ptrs.size(), &scratch),
+              ref::IntersectsAllOf(a, ptrs.data(), ptrs.size()))
+        << "trial=" << trial;
   }
 }
 

@@ -1,0 +1,107 @@
+// Tests for the FARMER_CHECK contract library: handler hooking, streamed
+// context, CHECK_OK formatting, and the NDEBUG behaviour of DCHECK.
+#include "util/check.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/status.h"
+
+namespace farmer {
+namespace {
+
+// CheckFailureHandler is a plain function pointer, so the captured message
+// travels through a global. Each test clears it first.
+std::string* g_last_message = nullptr;
+
+struct CheckFired : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void ThrowingHandler(const char* file, int line, const std::string& message) {
+  if (g_last_message != nullptr) {
+    *g_last_message = std::string(file) + ":" + std::to_string(line) + ": " +
+                      message;
+  }
+  throw CheckFired(message);
+}
+
+class CheckTest : public ::testing::Test {
+ protected:
+  CheckTest() : scoped_(&ThrowingHandler) { g_last_message = &last_message_; }
+  ~CheckTest() override { g_last_message = nullptr; }
+
+  std::string last_message_;
+  ScopedCheckFailureHandler scoped_;
+};
+
+TEST_F(CheckTest, PassingCheckIsSilent) {
+  FARMER_CHECK(1 + 1 == 2) << "never evaluated";
+  EXPECT_TRUE(last_message_.empty());
+}
+
+TEST_F(CheckTest, FailingCheckReportsConditionText) {
+  EXPECT_THROW(FARMER_CHECK(2 + 2 == 5), CheckFired);
+  EXPECT_NE(last_message_.find("CHECK failed: 2 + 2 == 5"), std::string::npos)
+      << last_message_;
+  EXPECT_NE(last_message_.find("check_test.cc"), std::string::npos)
+      << last_message_;
+}
+
+TEST_F(CheckTest, StreamedOperandsAppearInMessage) {
+  const int rows = 17;
+  EXPECT_THROW(FARMER_CHECK(rows < 10) << "rows=" << rows, CheckFired);
+  EXPECT_NE(last_message_.find("rows=17"), std::string::npos) << last_message_;
+}
+
+TEST_F(CheckTest, StreamedOperandsNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "side effect";
+  };
+  FARMER_CHECK(true) << count();
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(FARMER_CHECK(false) << count(), CheckFired);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(CheckTest, CheckOkPassesOnOkStatus) {
+  FARMER_CHECK_OK(Status::Ok()) << "never evaluated";
+  EXPECT_TRUE(last_message_.empty());
+}
+
+TEST_F(CheckTest, CheckOkIncludesStatusText) {
+  EXPECT_THROW(
+      FARMER_CHECK_OK(Status::InvalidArgument("bad gene count")) << "ctx",
+      CheckFired);
+  EXPECT_NE(last_message_.find("bad gene count"), std::string::npos)
+      << last_message_;
+  EXPECT_NE(last_message_.find("ctx"), std::string::npos) << last_message_;
+}
+
+TEST_F(CheckTest, DcheckMatchesBuildMode) {
+#if defined(NDEBUG) && !defined(FARMER_FORCE_DCHECKS)
+  // Release builds: the condition must not even be evaluated.
+  int evaluations = 0;
+  FARMER_DCHECK([&evaluations]() {
+    ++evaluations;
+    return false;
+  }());
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_THROW(FARMER_DCHECK(false), CheckFired);
+  EXPECT_NE(last_message_.find("CHECK failed"), std::string::npos);
+#endif
+}
+
+TEST_F(CheckTest, SetHandlerReturnsPrevious) {
+  // scoped_ installed ThrowingHandler; verify the chain restores.
+  CheckFailureHandler prev = SetCheckFailureHandler(nullptr);
+  EXPECT_EQ(prev, &ThrowingHandler);
+  SetCheckFailureHandler(prev);
+}
+
+}  // namespace
+}  // namespace farmer

@@ -90,7 +90,8 @@ TEST(ColumnETest, HandComputedExample) {
   ColumnEOptions opts;
   ColumnEResult r = MineColumnE(ds, opts);
   EXPECT_EQ(Canon(r.rules),
-            Canon({ColumnERule{{0}, 2, 1, 0, 0}, ColumnERule{{1}, 1, 1, 0, 0}}));
+            Canon({ColumnERule{{0}, 2, 1, 0, 0},
+                   ColumnERule{{1}, 1, 1, 0, 0}}));
 }
 
 TEST(ColumnETest, DeadlineAndOverflow) {

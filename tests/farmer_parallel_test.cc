@@ -108,6 +108,20 @@ TEST(FarmerParallelTest, PaperExampleAllThreadCounts) {
   ExpectThreadCountInvariant(PaperExampleDataset(), opts);
 }
 
+TEST(FarmerParallelTest, VerifyInvariantsModeAllThreadCounts) {
+  // Runs the full self-verification mode (kernel cross-checks, store
+  // re-validation after every segment merge, pool quiescence, closure and
+  // MineLB minimality proofs) across thread counts. Any divergence between
+  // the word-parallel kernels and the scalar references, or any unsound
+  // merge, aborts the binary.
+  MinerOptions opts;
+  opts.min_support = 2;
+  opts.min_confidence = 0.5;
+  opts.verify_invariants = true;
+  ExpectThreadCountInvariant(RandomDataset(13, 22, 0.35, 77), opts);
+  ExpectThreadCountInvariant(SkewedDataset(10, 14, 77), opts);
+}
+
 TEST(FarmerParallelTest, RandomDatasetsAllThreadCounts) {
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     SCOPED_TRACE("seed = " + std::to_string(seed));

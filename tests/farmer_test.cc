@@ -1,6 +1,7 @@
 #include "core/farmer.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <set>
 
@@ -89,6 +90,59 @@ TEST(FarmerTest, PaperRunningExampleUpperBounds) {
   }
   EXPECT_FALSE(has_aeh);
   EXPECT_TRUE(has_a);
+}
+
+// Self-verification mode: every word-parallel kernel call is cross-checked
+// against the scalar references, the store is re-validated, antecedent
+// closure and MineLB minimality are proven per group. A contract violation
+// aborts the test binary, so a green run *is* the assertion; we also check
+// the verified run reports exactly the same groups as the plain run.
+TEST(FarmerTest, VerifyInvariantsModeMatchesPlainRun) {
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    BinaryDataset ds = RandomDataset(12, 20, 0.35, seed);
+    MinerOptions opts;
+    opts.min_support = 2;
+    opts.min_confidence = 0.5;
+    FarmerResult plain = MineFarmer(ds, opts);
+    opts.verify_invariants = true;
+    FarmerResult verified = MineFarmer(ds, opts);
+    EXPECT_EQ(Canon(plain.groups), Canon(verified.groups))
+        << "seed=" << seed;
+    EXPECT_EQ(plain.stats.nodes_visited, verified.stats.nodes_visited);
+  }
+}
+
+TEST(FarmerTest, VerifyInvariantsCoversOptionVariants) {
+  BinaryDataset ds = RandomDataset(12, 18, 0.4, 21);
+  MinerOptions base;
+  base.min_support = 2;
+  base.verify_invariants = true;
+
+  {
+    MinerOptions opts = base;
+    opts.report_all_rule_groups = true;
+    MineFarmer(ds, opts);
+  }
+  {
+    MinerOptions opts = base;
+    opts.top_k = 5;
+    MineFarmer(ds, opts);
+  }
+  {
+    MinerOptions opts = base;
+    opts.min_chi_square = 3.84;
+    MineFarmer(ds, opts);
+  }
+  {
+    MinerOptions opts = base;
+    opts.mine_lower_bounds = false;
+    MineFarmer(ds, opts);
+  }
+  {
+    MinerOptions opts = base;
+    opts.store_antecedents = false;
+    MineFarmer(ds, opts);
+  }
 }
 
 TEST(FarmerTest, PaperExampleMatchesBruteForce) {

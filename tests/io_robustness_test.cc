@@ -1,0 +1,176 @@
+// Robustness regression tests for the dataset parsers: every hostile input
+// class found by (or seeded into) the fuzz harnesses must come back as a
+// clean InvalidArgument/IoError Status — never a crash, never an
+// allocation proportional to a hostile directive. The final tests sweep
+// the checked-in fuzz corpora so fuzzer discoveries stay fixed.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dataset/dataset.h"
+#include "dataset/discretize.h"
+#include "dataset/expression_matrix.h"
+#include "dataset/io.h"
+#include "gtest/gtest.h"
+#include "util/status.h"
+
+namespace farmer {
+namespace {
+
+Status ParseCsv(const std::string& text) {
+  std::istringstream in(text);
+  ExpressionMatrix matrix;
+  return LoadExpressionCsv(in, "test", &matrix);
+}
+
+Status ParseTransactions(const std::string& text) {
+  std::istringstream in(text);
+  BinaryDataset dataset;
+  return LoadTransactions(in, "test", &dataset);
+}
+
+TEST(CsvRobustnessTest, EmptyInput) {
+  EXPECT_TRUE(ParseCsv("").IsInvalidArgument());
+}
+
+TEST(CsvRobustnessTest, TruncatedHeader) {
+  EXPECT_TRUE(ParseCsv("cla").IsInvalidArgument());
+  EXPECT_TRUE(ParseCsv("gene,g1\n0,1\n").IsInvalidArgument());
+}
+
+TEST(CsvRobustnessTest, HeaderOnlyIsValidEmptyMatrix) {
+  std::istringstream in("class,g1,g2\n");
+  ExpressionMatrix matrix;
+  ASSERT_TRUE(LoadExpressionCsv(in, "test", &matrix).ok());
+  EXPECT_EQ(matrix.num_rows(), 0u);
+  EXPECT_EQ(matrix.num_genes(), 2u);
+}
+
+TEST(CsvRobustnessTest, NonNumericCell) {
+  Status s = ParseCsv("class,g1\n0,abc\n");
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.ToString().find("bad value"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(CsvRobustnessTest, RaggedRow) {
+  EXPECT_TRUE(ParseCsv("class,g1,g2\n0,1.5\n").IsInvalidArgument());
+  EXPECT_TRUE(ParseCsv("class,g1\n0,1.5,2.5\n").IsInvalidArgument());
+}
+
+TEST(CsvRobustnessTest, LabelOutOfRange) {
+  EXPECT_TRUE(ParseCsv("class,g1\n256,1.0\n").IsInvalidArgument());
+  EXPECT_TRUE(ParseCsv("class,g1\n-1,1.0\n").IsInvalidArgument());
+}
+
+TEST(CsvRobustnessTest, ErrorMessagesUseStreamName) {
+  Status s = ParseCsv("class,g1\n0,abc\n");
+  EXPECT_NE(s.ToString().find("test:"), std::string::npos) << s.ToString();
+}
+
+TEST(TransactionRobustnessTest, MissingColon) {
+  EXPECT_TRUE(ParseTransactions("1 2 3\n").IsInvalidArgument());
+}
+
+TEST(TransactionRobustnessTest, DuplicateItems) {
+  Status s = ParseTransactions("1: 1 1 2\n");
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.ToString().find("duplicate item"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(TransactionRobustnessTest, OversizedItemsDirective) {
+  // A 30-byte file must not be able to demand a multi-gigabyte universe.
+  Status s = ParseTransactions("#items 99999999999999\n1: 0\n");
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.ToString().find("cap"), std::string::npos) << s.ToString();
+}
+
+TEST(TransactionRobustnessTest, OversizedItemId) {
+  Status s = ParseTransactions("1: 4294967295\n");
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.ToString().find("cap"), std::string::npos) << s.ToString();
+}
+
+TEST(TransactionRobustnessTest, ItemsAtTheCapBoundary) {
+  const std::string max_ok = std::to_string(kMaxTransactionItems);
+  EXPECT_TRUE(ParseTransactions("#items " + max_ok + "\n").ok());
+  EXPECT_TRUE(
+      ParseTransactions("#items " + max_ok + "1\n").IsInvalidArgument());
+}
+
+TEST(TransactionRobustnessTest, BadLabelAndDirective) {
+  EXPECT_TRUE(ParseTransactions("x: 1\n").IsInvalidArgument());
+  EXPECT_TRUE(ParseTransactions("999: 1\n").IsInvalidArgument());
+  EXPECT_TRUE(ParseTransactions("#items x\n").IsInvalidArgument());
+}
+
+TEST(TransactionRobustnessTest, MissingFileIsIoError) {
+  BinaryDataset dataset;
+  EXPECT_TRUE(
+      LoadTransactions("/nonexistent/farmer.txt", &dataset).IsIoError());
+}
+
+// Sweeps a checked-in fuzz corpus directory: every file must parse to
+// either Ok or a clean error Status. Crashes/aborts fail the whole test
+// binary, which is the point.
+class CorpusSweep {
+ public:
+  template <typename Parser>
+  static void Run(const std::string& corpus, Parser parse) {
+    const std::filesystem::path dir =
+        std::filesystem::path(FARMER_FUZZ_CORPUS_DIR) / corpus;
+    ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+    std::size_t files = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      ++files;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      parse(buf.str());  // Must return, not crash.
+    }
+    EXPECT_GE(files, 4u) << "corpus " << dir << " looks empty";
+  }
+};
+
+TEST(CorpusSweepTest, ExpressionCsvCorpusNeverCrashes) {
+  CorpusSweep::Run("fuzz_load_expression_csv",
+                   [](const std::string& text) { (void)ParseCsv(text); });
+}
+
+TEST(CorpusSweepTest, TransactionCorpusNeverCrashes) {
+  CorpusSweep::Run("fuzz_load_transactions", [](const std::string& text) {
+    (void)ParseTransactions(text);
+  });
+}
+
+TEST(CorpusSweepTest, DiscretizerCorporaNeverCrash) {
+  // Mirrors the fuzz harness contract: parsed matrices must discretize
+  // and the result must validate.
+  CorpusSweep::Run("fuzz_discretize_mdl", [](const std::string& text) {
+    std::istringstream in(text);
+    ExpressionMatrix matrix;
+    if (!LoadExpressionCsv(in, "corpus", &matrix).ok()) return;
+    Discretization disc = Discretization::FitEntropyMdl(matrix);
+    EXPECT_TRUE(disc.Apply(matrix).Validate().ok());
+  });
+  CorpusSweep::Run("fuzz_discretize_equal_depth",
+                   [](const std::string& text) {
+                     if (text.empty()) return;
+                     const int buckets =
+                         1 + static_cast<unsigned char>(text[0]) % 32;
+                     std::istringstream in(text.substr(1));
+                     ExpressionMatrix matrix;
+                     if (!LoadExpressionCsv(in, "corpus", &matrix).ok()) {
+                       return;
+                     }
+                     Discretization disc =
+                         Discretization::FitEqualDepth(matrix, buckets);
+                     EXPECT_TRUE(disc.Apply(matrix).Validate().ok());
+                   });
+}
+
+}  // namespace
+}  // namespace farmer

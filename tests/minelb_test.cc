@@ -112,5 +112,63 @@ TEST(MineLbTest, LowerBoundsHaveSameSupportAsUpperBound) {
   }
 }
 
+TEST(MineLbTest, ValidatorAcceptsRealOutput) {
+  for (std::uint64_t seed = 40; seed < 45; ++seed) {
+    BinaryDataset ds = RandomDataset(10, 12, 0.45, seed);
+    for (const RuleGroup& g : BruteForceAllRuleGroups(ds, 1)) {
+      LowerBoundResult lb = MineLowerBounds(ds, g.antecedent, g.rows);
+      ASSERT_FALSE(lb.truncated);
+      Status s = ValidateLowerBounds(ds, g.antecedent, g.rows,
+                                     lb.lower_bounds);
+      EXPECT_TRUE(s.ok()) << s.ToString() << " seed=" << seed;
+    }
+  }
+}
+
+TEST(MineLbTest, ValidatorRejectsCorruptedBounds) {
+  // Paper Example 7 setup (see PaperExampleSeven above).
+  BinaryDataset ds = MakeDataset({
+      {{0, 1, 2, 3, 4}, 1},
+      {{0, 1, 2, 5}, 0},
+      {{2, 3, 4, 6}, 0},
+  });
+  const ItemVector antecedent = {0, 1, 2, 3, 4};
+  Bitset rows(3);
+  rows.Set(0);
+  LowerBoundResult lb = MineLowerBounds(ds, antecedent, rows);
+  ASSERT_FALSE(lb.lower_bounds.empty());
+
+  // Non-minimal: the full antecedent generates the rows but every proper
+  // superset of a true bound is non-minimal.
+  {
+    auto corrupted = lb.lower_bounds;
+    corrupted[0] = antecedent;
+    EXPECT_FALSE(
+        ValidateLowerBounds(ds, antecedent, rows, corrupted).ok());
+  }
+  // Non-generating: item 2 (c) appears in every row, so {c} supports all
+  // three rows, not just row 0.
+  {
+    auto corrupted = lb.lower_bounds;
+    corrupted[0] = ItemVector{2};
+    EXPECT_FALSE(
+        ValidateLowerBounds(ds, antecedent, rows, corrupted).ok());
+  }
+  // Not a subset of the antecedent.
+  {
+    auto corrupted = lb.lower_bounds;
+    corrupted[0] = ItemVector{5};
+    EXPECT_FALSE(
+        ValidateLowerBounds(ds, antecedent, rows, corrupted).ok());
+  }
+  // Empty bound.
+  {
+    auto corrupted = lb.lower_bounds;
+    corrupted[0] = ItemVector{};
+    EXPECT_FALSE(
+        ValidateLowerBounds(ds, antecedent, rows, corrupted).ok());
+  }
+}
+
 }  // namespace
 }  // namespace farmer

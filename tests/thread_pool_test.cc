@@ -207,5 +207,26 @@ TEST(ThreadPoolTest, MixedInternalExternalStress) {
   }
 }
 
+TEST(ThreadPoolTest, QuiescentAfterWaitEveryRound) {
+  // CheckQuiescent asserts the pool's internal accounting (in-flight and
+  // pending counters, per-worker deques) returns to zero after Wait —
+  // the invariant the miner relies on before merging parallel segments.
+  ThreadPool pool(4);
+  pool.CheckQuiescent();  // Idle pool is trivially quiescent.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sum{0};
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&pool, &sum](std::size_t) {
+        sum += 1;
+        if (sum.load() % 8 == 0) {
+          pool.Submit([&sum](std::size_t) { sum += 1; });
+        }
+      });
+    }
+    pool.Wait();
+    pool.CheckQuiescent();
+  }
+}
+
 }  // namespace
 }  // namespace farmer

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Dependency-free formatting lint for the FARMER tree.
+
+CI's format-check job runs the real clang-format against .clang-format;
+this script enforces the subset of that style that can be checked without
+a clang binary, so contributors (and the local build) get fast feedback:
+
+  * no tab characters in C++ sources
+  * no trailing whitespace
+  * lines within the 80-column limit (URLs in comments exempt)
+  * files end with exactly one newline
+  * no CRLF line endings
+
+Exit status 0 means clean; 1 prints one `path:line: problem` per finding.
+"""
+
+import sys
+from pathlib import Path
+
+COLUMN_LIMIT = 80
+CXX_SUFFIXES = {".cc", ".h"}
+ROOTS = ["src", "tests", "bench", "examples", "tools", "fuzz"]
+
+
+def check_file(path: Path) -> list:
+    problems = []
+    raw = path.read_bytes()
+    if b"\r" in raw:
+        problems.append((0, "CRLF line ending"))
+    if raw and not raw.endswith(b"\n"):
+        problems.append((0, "missing trailing newline"))
+    if raw.endswith(b"\n\n"):
+        problems.append((0, "multiple trailing newlines"))
+    for lineno, line in enumerate(raw.decode("utf-8").splitlines(), start=1):
+        if "\t" in line:
+            problems.append((lineno, "tab character"))
+        if line != line.rstrip():
+            problems.append((lineno, "trailing whitespace"))
+        if len(line) > COLUMN_LIMIT and "http" not in line:
+            problems.append(
+                (lineno, f"line is {len(line)} columns (limit {COLUMN_LIMIT})")
+            )
+    return problems
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    targets = sys.argv[1:]
+    if targets:
+        files = [Path(t) for t in targets]
+    else:
+        files = sorted(
+            f
+            for root in ROOTS
+            for f in (repo / root).rglob("*")
+            if f.suffix in CXX_SUFFIXES and f.is_file()
+        )
+    failed = False
+    for f in files:
+        for lineno, problem in check_file(f):
+            failed = True
+            print(f"{f.relative_to(repo) if f.is_absolute() else f}:"
+                  f"{lineno}: {problem}")
+    if failed:
+        print("format check failed; see .clang-format for the full style",
+              file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
