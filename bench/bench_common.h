@@ -24,6 +24,7 @@
 #include "dataset/discretize.h"
 #include "dataset/expression_matrix.h"
 #include "dataset/synthetic.h"
+#include "util/timer.h"
 
 namespace farmer {
 namespace bench {
@@ -73,11 +74,14 @@ inline BenchConfig ParseBenchConfig(int argc, char** argv) {
 }
 
 /// One benchmark dataset: the synthetic microarray matrix plus its
-/// equal-depth discretization (10 buckets, the paper's setting).
+/// equal-depth discretization (10 buckets, the paper's setting), with
+/// the build-phase breakdown so benches can report setup cost.
 struct BenchDataset {
   std::string name;
   ExpressionMatrix matrix;
   BinaryDataset binary;
+  double generate_seconds = 0.0;    // Synthetic-matrix generation.
+  double discretize_seconds = 0.0;  // Fit + apply of the bucketing.
 };
 
 inline BenchDataset MakeBenchDataset(const std::string& name, double scale,
@@ -85,9 +89,13 @@ inline BenchDataset MakeBenchDataset(const std::string& name, double scale,
   BenchDataset out;
   out.name = name;
   SyntheticSpec spec = PaperDatasetSpec(name, scale);
+  Stopwatch sw;
   out.matrix = GenerateSynthetic(spec);
+  out.generate_seconds = sw.ElapsedSeconds();
+  sw.Restart();
   Discretization disc = Discretization::FitEqualDepth(out.matrix, buckets);
   out.binary = disc.Apply(out.matrix);
+  out.discretize_seconds = sw.ElapsedSeconds();
   return out;
 }
 

@@ -73,14 +73,14 @@ int main(int argc, char** argv) {
                      .Str("algorithm", "FARMER")
                      .Str("dataset", name)
                      .Num("column_scale", config.column_scale)
+                     .Num("dataset_build_s",
+                          ds.generate_seconds + ds.discretize_seconds)
                      .Int("minsup", static_cast<long long>(minsup))
                      .Int("threads",
                           static_cast<long long>(thread_counts[t]))
                      .Num("seconds", farmer_s[t])
-                     .Int("nodes_visited",
-                          static_cast<long long>(r.stats.nodes_visited))
                      .Int("groups", static_cast<long long>(r.groups.size()))
-                     .Bool("timed_out", r.stats.timed_out));
+                     .Raw("stats", r.stats.ToJson()));
         json.Flush();
       }
 

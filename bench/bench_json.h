@@ -5,6 +5,11 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define FARMER_BENCH_HAS_RUSAGE 1
+#endif
+
 namespace farmer {
 namespace bench {
 
@@ -33,6 +38,14 @@ class JsonRecord {
   JsonRecord& Bool(const std::string& key, bool value) {
     fields_.push_back('"' + Escape(key) + "\": " +
                       (value ? "true" : "false"));
+    return *this;
+  }
+
+  /// Embeds `json` verbatim as the value of `key` — for pre-rendered
+  /// sub-objects such as MinerStats::ToJson(). The caller guarantees
+  /// `json` is well-formed.
+  JsonRecord& Raw(const std::string& key, const std::string& json) {
+    fields_.push_back('"' + Escape(key) + "\": " + json);
     return *this;
   }
 
@@ -73,7 +86,14 @@ class JsonWriter {
   JsonWriter(const JsonWriter&) = delete;
   JsonWriter& operator=(const JsonWriter&) = delete;
 
-  void Add(const JsonRecord& record) { records_.push_back(record.Render()); }
+  /// Appends the record plus process resource telemetry (peak RSS and
+  /// cumulative user/system CPU time from getrusage), so every entry of
+  /// a BENCH_*.json file carries memory context for free.
+  void Add(const JsonRecord& record) {
+    JsonRecord r = record;
+    AppendResourceTelemetry(&r);
+    records_.push_back(r.Render());
+  }
 
   const std::string& path() const { return path_; }
 
@@ -93,6 +113,26 @@ class JsonWriter {
   }
 
  private:
+  static void AppendResourceTelemetry(JsonRecord* r) {
+#ifdef FARMER_BENCH_HAS_RUSAGE
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0) return;
+#if defined(__APPLE__)
+    const long long peak_kb = ru.ru_maxrss / 1024;  // Reported in bytes.
+#else
+    const long long peak_kb = ru.ru_maxrss;  // Reported in KiB.
+#endif
+    const auto tv_seconds = [](const timeval& tv) {
+      return static_cast<double>(tv.tv_sec) + 1e-6 * tv.tv_usec;
+    };
+    r->Int("peak_rss_kb", peak_kb);
+    r->Num("cpu_user_s", tv_seconds(ru.ru_utime));
+    r->Num("cpu_sys_s", tv_seconds(ru.ru_stime));
+#else
+    (void)r;
+#endif
+  }
+
   std::string path_;
   std::vector<std::string> records_;
 };

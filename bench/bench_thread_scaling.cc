@@ -85,20 +85,14 @@ int main(int argc, char** argv) {
                  .Str("bench", "thread_scaling")
                  .Str("dataset", name)
                  .Num("column_scale", config.column_scale)
+                 .Num("dataset_build_s",
+                      ds.generate_seconds + ds.discretize_seconds)
                  .Int("minsup", static_cast<long long>(minsup))
                  .Int("threads", static_cast<long long>(threads))
                  .Num("seconds", seconds)
                  .Num("speedup", speedup)
-                 .Int("nodes_visited",
-                      static_cast<long long>(r.stats.nodes_visited))
-                 .Int("tasks_spawned",
-                      static_cast<long long>(r.stats.tasks_spawned))
-                 .Int("task_steals",
-                      static_cast<long long>(r.stats.task_steals))
-                 .Int("tasks_stolen",
-                      static_cast<long long>(r.stats.tasks_stolen))
                  .Int("groups", static_cast<long long>(r.groups.size()))
-                 .Bool("timed_out", r.stats.timed_out));
+                 .Raw("stats", r.stats.ToJson()));
     json.Flush();
   }
   std::printf("\nspeedup is relative to the 1-thread run on this machine "

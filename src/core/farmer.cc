@@ -5,6 +5,9 @@
 
 #include "core/measures.h"
 #include "core/minelb.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/bitset_ref.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -454,6 +457,12 @@ void FarmerMiner::MineIRGs(SearchContext& ctx, std::size_t depth,
     return;
   }
   ++ctx.stats.nodes_visited;
+  if (FARMER_PREDICT_FALSE(options_.progress != nullptr)) {
+    options_.progress->RaiseMaxDepth(depth);
+    // Flush counter deltas in batches so the live counters stay fresh
+    // without putting an atomic RMW on every enumeration node.
+    if ((ctx.stats.nodes_visited & 0x3F) == 0) PublishProgress(ctx);
+  }
   DepthScratch& s = ctx.arena[depth];
   if (s.alive.empty()) return;  // I(X) = ∅: no rule here or below.
 
@@ -469,6 +478,14 @@ void FarmerMiner::MineIRGs(SearchContext& ctx, std::size_t depth,
   DepthScratch& child = ctx.arena[depth + 1];
   child.cand = s.new_cands;
   bool spawned_children = false;
+  // The root node publishes its branch count so the progress reporter
+  // can estimate completion from first-level branches finished.
+  const bool track_root =
+      FARMER_PREDICT_FALSE(options_.progress != nullptr) && depth == 0;
+  if (track_root) {
+    options_.progress->root_total.store(s.new_cands.Count(),
+                                        std::memory_order_relaxed);
+  }
   for (std::size_t ri = s.new_cands.FindFirst(); ri < n_;
        ri = s.new_cands.FindNext(ri)) {
     if (ctx.shared != nullptr && ShouldSplit(ctx, depth)) {
@@ -490,6 +507,9 @@ void FarmerMiner::MineIRGs(SearchContext& ctx, std::size_t depth,
              supn + (ri >= m_ ? 1 : 0));
     if (ctx.shared != nullptr) ctx.path.pop_back();
     if (ctx.stats.timed_out) return;
+    if (track_root) {
+      options_.progress->root_done.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   // Step 7 — after the whole subtree (so every more general group is
@@ -516,6 +536,7 @@ void FarmerMiner::SpawnRemaining(SearchContext& ctx, std::size_t depth,
   snapshot->alive = s.alive;
   snapshot->cands = s.new_cands;
   snapshot->support = s.support;
+  const std::size_t before = ctx.stats.tasks_spawned;
   for (std::size_t ri = first_row; ri < n_; ri = s.new_cands.FindNext(ri)) {
     SubtreeTask task;
     task.parent = snapshot;
@@ -525,8 +546,17 @@ void FarmerMiner::SpawnRemaining(SearchContext& ctx, std::size_t depth,
     task.supn = supn + (ri >= m_ ? 1 : 0);
     task.id = ctx.path;
     task.id.push_back(task.row);
+    task.home_worker = ctx.lane == 0
+                           ? kExternalWorker
+                           : static_cast<std::uint32_t>(ctx.lane - 1);
     ++ctx.stats.tasks_spawned;
-    SubmitTask(*ctx.shared, std::move(task));
+    SubmitTask(*ctx.shared, std::move(task), ctx.lane);
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->Instant(
+        ctx.lane, "spawn", "tasks",
+        static_cast<std::int64_t>(ctx.stats.tasks_spawned - before),
+        "depth", static_cast<std::int64_t>(depth));
   }
 }
 
@@ -578,7 +608,13 @@ FarmerMiner::SearchContext FarmerMiner::MakeContext(CancelFlag* cancel) const {
   return ctx;
 }
 
-void FarmerMiner::SubmitTask(ParallelShared& shared, SubtreeTask task) {
+void FarmerMiner::SubmitTask(ParallelShared& shared, SubtreeTask task,
+                             std::size_t lane) {
+  if (options_.trace != nullptr) {
+    options_.trace->Instant(lane, "enqueue", "row",
+                            static_cast<std::int64_t>(task.row), "depth",
+                            static_cast<std::int64_t>(task.depth));
+  }
   shared.pool->Submit(
       [this, &shared, task = std::move(task)](std::size_t worker_id) {
         RunTask(shared, task, worker_id);
@@ -600,6 +636,12 @@ void FarmerMiner::RunTask(ParallelShared& shared, const SubtreeTask& task,
   ctx.seg_bounds.clear();
   ctx.seg_bounds.emplace_back(task.id, 0);
   ctx.closers.clear();
+  ctx.lane = worker_id + 1;
+  ctx.published = MinerStats{};
+  ctx.published_groups = 0;
+  const std::uint64_t span_start =
+      options_.trace != nullptr ? options_.trace->NowNs() : 0;
+  Stopwatch task_sw;
 
   DepthScratch& top = ctx.arena[task.depth];
   if (task.parent == nullptr) {
@@ -644,18 +686,24 @@ void FarmerMiner::RunTask(ParallelShared& shared, const SubtreeTask& task,
   }
   for (Segment& closer : ctx.closers) out.push_back(std::move(closer));
 
+  if (FARMER_PREDICT_FALSE(options_.progress != nullptr)) {
+    PublishProgress(ctx);
+    options_.progress->tasks_completed.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  if (options_.trace != nullptr) {
+    const bool stolen = task.home_worker != kExternalWorker &&
+                        task.home_worker != worker_id;
+    options_.trace->EndSpan(worker_id + 1, "task", span_start, "depth",
+                            static_cast<std::int64_t>(task.depth),
+                            "stolen", stolen ? 1 : 0);
+  }
+  if (shared.task_seconds != nullptr) {
+    shared.task_seconds->Observe(task_sw.ElapsedSeconds());
+  }
+
   std::lock_guard<std::mutex> lock(shared.mutex);
-  MinerStats& st = shared.stats;
-  const MinerStats& ts = ctx.stats;
-  st.nodes_visited += ts.nodes_visited;
-  st.pruned_by_backscan += ts.pruned_by_backscan;
-  st.pruned_by_support += ts.pruned_by_support;
-  st.pruned_by_confidence += ts.pruned_by_confidence;
-  st.pruned_by_chi += ts.pruned_by_chi;
-  st.pruned_by_extension += ts.pruned_by_extension;
-  st.rows_absorbed += ts.rows_absorbed;
-  st.tasks_spawned += ts.tasks_spawned;
-  st.timed_out = st.timed_out || ts.timed_out;
+  shared.stats.MergeFrom(ctx.stats);
   for (Segment& seg : out) shared.segments.push_back(std::move(seg));
 }
 
@@ -669,6 +717,9 @@ FarmerMiner::GroupStore FarmerMiner::RunSearch(MinerStats* stats) {
     }
     root.cand.SetAll();
     MineIRGs(ctx, 0, 0, 0);
+    if (FARMER_PREDICT_FALSE(options_.progress != nullptr)) {
+      PublishProgress(ctx);
+    }
     *stats = ctx.stats;
     if (FARMER_PREDICT_FALSE(options_.verify_invariants)) {
       ValidateStore(ctx.store);
@@ -682,10 +733,18 @@ FarmerMiner::GroupStore FarmerMiner::RunSearch(MinerStats* stats) {
   // the run. Every emitted segment carries the lexicographic id of its
   // position in the sequential insertion stream.
   const std::size_t num_workers = options_.num_threads;
+  // Declared before the pool so it outlives the worker threads.
+  obs::TracingPoolObserver steal_observer(options_.trace);
   ThreadPool pool(num_workers);
+  if (options_.trace != nullptr) pool.SetObserver(&steal_observer);
   ParallelShared shared;
   shared.pool = &pool;
   shared.hungry_below = num_workers;
+  if (options_.metrics != nullptr) {
+    shared.task_seconds = options_.metrics->GetHistogram(
+        "farmer.task.seconds",
+        {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0});
+  }
   std::vector<SearchContext> contexts;
   contexts.reserve(num_workers);
   for (std::size_t w = 0; w < num_workers; ++w) {
@@ -695,7 +754,12 @@ FarmerMiner::GroupStore FarmerMiner::RunSearch(MinerStats* stats) {
   shared.contexts = &contexts;
 
   SubtreeTask root_task;  // parent == nullptr, id == {}: the tree root.
-  SubmitTask(shared, std::move(root_task));
+  if (FARMER_PREDICT_FALSE(options_.progress != nullptr)) {
+    // Count the root task too, so completed/spawned can reach 1.0.
+    options_.progress->tasks_spawned.fetch_add(1,
+                                               std::memory_order_relaxed);
+  }
+  SubmitTask(shared, std::move(root_task), obs::TraceSession::kMainLane);
   pool.Wait();
   if (FARMER_PREDICT_FALSE(options_.verify_invariants)) {
     pool.CheckQuiescent();
@@ -711,9 +775,19 @@ FarmerMiner::GroupStore FarmerMiner::RunSearch(MinerStats* stats) {
   std::stable_sort(
       shared.segments.begin(), shared.segments.end(),
       [](const Segment& a, const Segment& b) { return a.id < b.id; });
+  obs::Counter* merge_segments =
+      options_.metrics != nullptr
+          ? options_.metrics->GetCounter("farmer.merge.segments")
+          : nullptr;
   GroupStore merged;
   merged.by_count_first.resize(n_ + 1);
   for (Segment& seg : shared.segments) {
+    // One "merge" span per replayed segment on the control lane: the
+    // pool has drained, so lane 0 has a single producer again.
+    obs::ScopedSpan span(options_.trace, obs::TraceSession::kMainLane,
+                         "merge");
+    span.Arg("groups", static_cast<std::int64_t>(seg.groups.size()));
+    if (merge_segments != nullptr) merge_segments->Increment();
     for (RuleGroup& g : seg.groups) MergeGroup(merged, std::move(g));
     // Debug mode: the store must satisfy its invariants after *every*
     // segment merge, not only at the end — this is the executable form of
@@ -726,6 +800,60 @@ FarmerMiner::GroupStore FarmerMiner::RunSearch(MinerStats* stats) {
   return merged;
 }
 
+void FarmerMiner::PublishProgress(SearchContext& ctx) const {
+  obs::ProgressCounters& p = *options_.progress;
+  const MinerStats& s = ctx.stats;
+  MinerStats& q = ctx.published;
+  const auto relaxed = std::memory_order_relaxed;
+  p.nodes.fetch_add(s.nodes_visited - q.nodes_visited, relaxed);
+  p.pruned_backscan.fetch_add(
+      s.pruned_by_backscan - q.pruned_by_backscan, relaxed);
+  p.pruned_support.fetch_add(
+      s.pruned_by_support - q.pruned_by_support, relaxed);
+  p.pruned_confidence.fetch_add(
+      s.pruned_by_confidence - q.pruned_by_confidence, relaxed);
+  p.pruned_chi.fetch_add(s.pruned_by_chi - q.pruned_by_chi, relaxed);
+  p.pruned_extension.fetch_add(
+      s.pruned_by_extension - q.pruned_by_extension, relaxed);
+  p.rows_absorbed.fetch_add(s.rows_absorbed - q.rows_absorbed, relaxed);
+  p.tasks_spawned.fetch_add(s.tasks_spawned - q.tasks_spawned, relaxed);
+  q = s;
+  const std::size_t g = ctx.store.groups.size();
+  if (g > ctx.published_groups) {
+    p.groups.fetch_add(g - ctx.published_groups, relaxed);
+    ctx.published_groups = g;
+  }
+}
+
+void FarmerMiner::ExportMetrics(const FarmerResult& result) const {
+  obs::MetricsRegistry& m = *options_.metrics;
+  m.GetCounter("farmer.nodes_visited")->Add(stats_.nodes_visited);
+  m.GetCounter("farmer.pruned.backscan")->Add(stats_.pruned_by_backscan);
+  m.GetCounter("farmer.pruned.support")->Add(stats_.pruned_by_support);
+  m.GetCounter("farmer.pruned.confidence")
+      ->Add(stats_.pruned_by_confidence);
+  m.GetCounter("farmer.pruned.chi")->Add(stats_.pruned_by_chi);
+  m.GetCounter("farmer.pruned.extension")
+      ->Add(stats_.pruned_by_extension);
+  m.GetCounter("farmer.rows_absorbed")->Add(stats_.rows_absorbed);
+  m.GetCounter("farmer.tasks.spawned")->Add(stats_.tasks_spawned);
+  m.GetCounter("farmer.tasks.steals")->Add(stats_.task_steals);
+  m.GetCounter("farmer.tasks.stolen")->Add(stats_.tasks_stolen);
+  m.GetCounter("farmer.groups")->Add(result.groups.size());
+  m.GetGauge("farmer.mine_seconds")->Set(stats_.mine_seconds);
+  m.GetGauge("farmer.lower_bound_seconds")
+      ->Set(stats_.lower_bound_seconds);
+  m.GetGauge("farmer.timed_out")->Set(stats_.timed_out ? 1.0 : 0.0);
+  m.GetGauge("farmer.num_threads")
+      ->Set(static_cast<double>(options_.num_threads));
+  obs::Histogram* support = m.GetHistogram(
+      "farmer.group.rows", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  for (const RuleGroup& g : result.groups) {
+    support->Observe(
+        static_cast<double>(g.support_pos + g.support_neg));
+  }
+}
+
 FarmerResult FarmerMiner::Mine() {
   FarmerResult result;
   result.num_rows = n_;
@@ -733,7 +861,14 @@ FarmerResult FarmerMiner::Mine() {
   if (n_ == 0) return result;
 
   Stopwatch sw;
-  GroupStore store = RunSearch(&stats_);
+  GroupStore store;
+  {
+    obs::ScopedSpan span(options_.trace, obs::TraceSession::kMainLane,
+                         "mine");
+    store = RunSearch(&stats_);
+    span.Arg("nodes", static_cast<std::int64_t>(stats_.nodes_visited));
+    span.Arg("groups", static_cast<std::int64_t>(store.groups.size()));
+  }
   std::vector<RuleGroup> groups = std::move(store.groups);
   stats_.mine_seconds = sw.ElapsedSeconds();
 
@@ -760,8 +895,13 @@ FarmerResult FarmerMiner::Mine() {
   // Optional lower-bound mining (MineLB), still in permuted row ids.
   if (options_.mine_lower_bounds) {
     Stopwatch lb_sw;
+    obs::ScopedSpan lb_phase(options_.trace, obs::TraceSession::kMainLane,
+                             "minelb_phase");
+    lb_phase.Arg("groups", static_cast<std::int64_t>(groups.size()));
     for (RuleGroup& g : groups) {
-      if (options_.deadline.Expired()) {
+      // Unthrottled: one MineLB call can dwarf the check interval, so
+      // each group re-samples the clock directly.
+      if (options_.deadline.ExpiredNow()) {
         stats_.timed_out = true;
         break;
       }
@@ -781,9 +921,21 @@ FarmerResult FarmerMiner::Mine() {
           antecedent = std::move(merged);
         }
       }
-      LowerBoundResult lb = MineLowerBounds(
-          permuted_, antecedent, g.rows,
-          options_.max_lower_bound_candidates);
+      LowerBoundResult lb;
+      {
+        obs::ScopedSpan span(options_.trace, obs::TraceSession::kMainLane,
+                             "minelb");
+        lb = MineLowerBounds(permuted_, antecedent, g.rows,
+                             options_.max_lower_bound_candidates,
+                             &options_.deadline);
+        span.Arg("bounds",
+                 static_cast<std::int64_t>(lb.lower_bounds.size()));
+        span.Arg("truncated", lb.truncated ? 1 : 0);
+      }
+      if (FARMER_PREDICT_FALSE(options_.progress != nullptr)) {
+        options_.progress->minelb_done.fetch_add(
+            1, std::memory_order_relaxed);
+      }
       if (FARMER_PREDICT_FALSE(options_.verify_invariants) &&
           !lb.truncated) {
         FARMER_CHECK_OK(ValidateLowerBounds(permuted_, antecedent, g.rows,
@@ -792,20 +944,32 @@ FarmerResult FarmerMiner::Mine() {
       }
       g.lower_bounds = std::move(lb.lower_bounds);
       g.lower_bounds_truncated = lb.truncated;
+      if (lb.timed_out) {
+        // The deadline fired inside the computation; the remaining
+        // groups' MineLB calls would all time out instantly too.
+        stats_.timed_out = true;
+        break;
+      }
     }
     stats_.lower_bound_seconds = lb_sw.ElapsedSeconds();
   }
 
   // Remap row sets from permuted to original row ids.
-  for (RuleGroup& g : groups) {
-    Bitset original(n_);
-    g.rows.ForEach(
-        [&](std::size_t pos) { original.Set(order_.order[pos]); });
-    g.rows = std::move(original);
+  {
+    obs::ScopedSpan span(options_.trace, obs::TraceSession::kMainLane,
+                         "remap");
+    span.Arg("groups", static_cast<std::int64_t>(groups.size()));
+    for (RuleGroup& g : groups) {
+      Bitset original(n_);
+      g.rows.ForEach(
+          [&](std::size_t pos) { original.Set(order_.order[pos]); });
+      g.rows = std::move(original);
+    }
   }
 
   result.groups = std::move(groups);
   result.stats = stats_;
+  if (options_.metrics != nullptr) ExportMetrics(result);
   return result;
 }
 

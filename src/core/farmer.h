@@ -135,7 +135,12 @@ class FarmerMiner {
     std::size_t supp = 0;   // Identified counts after descending into row.
     std::size_t supn = 0;
     TaskId id;
+    // Worker whose deque the task was pushed to (kExternalWorker when
+    // submitted from outside the pool). A task running on a different
+    // worker was stolen — the trace annotates its span with that.
+    std::uint32_t home_worker = kExternalWorker;
   };
+  static constexpr std::uint32_t kExternalWorker = 0xFFFFFFFFu;
 
   // A contiguous run of the sequential insertion stream, tagged with the
   // id it merges at. Tasks emit one segment per uninterrupted inline
@@ -156,6 +161,8 @@ class FarmerMiner {
     std::mutex mutex;                 // Guards the two fields below.
     std::vector<Segment> segments;    // All tasks' output, unordered.
     MinerStats stats;                 // Aggregated task statistics.
+    // Per-task wall-time distribution (null unless metrics are wired).
+    obs::Histogram* task_seconds = nullptr;
   };
 
   // Per-worker search state: recursion arena plus a private group store.
@@ -170,6 +177,13 @@ class FarmerMiner {
     CancelFlag* cancel = nullptr;  // Shared cross-worker stop signal.
     ParallelShared* shared = nullptr;  // Null in sequential runs.
     TaskId path;  // Row path of the current node (parallel runs only).
+    // Trace lane of the thread running this context: 0 for the control
+    // thread (sequential search), worker_id + 1 inside pool tasks.
+    std::size_t lane = 0;
+    // Progress baseline: the counter values already flushed to
+    // MinerOptions::progress, so each flush publishes only the delta.
+    MinerStats published;
+    std::size_t published_groups = 0;
     // Segment boundaries of the running task: (segment id, index into
     // store.groups where the segment starts).
     std::vector<std::pair<TaskId, std::size_t>> seg_bounds;
@@ -261,8 +275,18 @@ class FarmerMiner {
   void DeferStep7(SearchContext& ctx, std::size_t depth, std::size_t supp,
                   std::size_t supn);
 
-  // Wraps `task` into a pool submission.
-  void SubmitTask(ParallelShared& shared, SubtreeTask task);
+  // Wraps `task` into a pool submission; `lane` is the submitting
+  // thread's trace lane (for the enqueue event).
+  void SubmitTask(ParallelShared& shared, SubtreeTask task,
+                  std::size_t lane);
+
+  // Flushes the delta between ctx.stats and the last flush into the
+  // live progress counters (MinerOptions::progress must be non-null).
+  void PublishProgress(SearchContext& ctx) const;
+
+  // Publishes the end-of-run counters, timings, and per-group
+  // distributions into MinerOptions::metrics (must be non-null).
+  void ExportMetrics(const FarmerResult& result) const;
 
   // Executes one subtree task on worker `worker_id`: rebuilds the node
   // inputs from the snapshot, mines, then publishes segments + stats.

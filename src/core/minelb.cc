@@ -49,7 +49,8 @@ Bitset SupportRows(const BinaryDataset& dataset, const ItemVector& itemset) {
 LowerBoundResult MineLowerBounds(const BinaryDataset& dataset,
                                  const ItemVector& antecedent,
                                  const Bitset& rows,
-                                 std::size_t max_candidates) {
+                                 std::size_t max_candidates,
+                                 const Deadline* deadline) {
   LowerBoundResult result;
   const std::size_t a_size = antecedent.size();
   if (a_size == 0) return result;
@@ -69,6 +70,13 @@ LowerBoundResult MineLowerBounds(const BinaryDataset& dataset,
   // outside R(A); by Lemma 3.11 only the maximal ones matter.
   std::vector<Bitset> sigma;
   for (RowId r = 0; r < dataset.num_rows(); ++r) {
+    // The throttled check amortizes the clock read over this per-row
+    // loop; a timeout here leaves Γ at the singleton stage, still a
+    // valid under-approximation.
+    if (deadline != nullptr && deadline->Expired()) {
+      result.timed_out = result.truncated = true;
+      break;
+    }
     if (rows.Test(r)) continue;
     Bitset inter(a_size);
     const ItemVector& row = dataset.row(r);
@@ -93,6 +101,14 @@ LowerBoundResult MineLowerBounds(const BinaryDataset& dataset,
 
   // Step 3: incremental update of Γ per added closed set (Lemma 3.10).
   for (const Bitset& a_prime : sigma) {
+    // One update step can be combinatorially heavy (Γ1 × missing
+    // candidates), so each one re-samples the deadline unthrottled:
+    // this is the checkpoint that keeps a near-deadline mining run from
+    // overshooting inside a long MineLB call.
+    if (deadline != nullptr && deadline->ExpiredNow()) {
+      result.timed_out = result.truncated = true;
+      break;
+    }
     std::vector<Bitset> gamma1;  // bounds contained in A'
     std::vector<Bitset> gamma2;  // bounds that survive as-is
     for (Bitset& l : gamma) {
@@ -138,7 +154,16 @@ LowerBoundResult MineLowerBounds(const BinaryDataset& dataset,
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
     std::vector<Bitset> accepted;
+    bool step_timed_out = false;
     for (Bitset& c : candidates) {
+      // Candidate filtering is quadratic in the candidate count; the
+      // throttled per-candidate check bounds the overshoot of this one
+      // loop. Γ1 was only copied into the candidates, so the cap-style
+      // recovery below (Γ := Γ2 ∪ Γ1) stays available.
+      if (deadline != nullptr && deadline->Expired()) {
+        step_timed_out = true;
+        break;
+      }
       bool covers = false;
       for (const Bitset& l2 : gamma2) {
         if (l2.IsSubsetOf(c)) {
@@ -157,6 +182,12 @@ LowerBoundResult MineLowerBounds(const BinaryDataset& dataset,
         }
       }
       if (!covers) accepted.push_back(std::move(c));
+    }
+    if (step_timed_out) {
+      result.timed_out = result.truncated = true;
+      gamma = std::move(gamma2);
+      for (Bitset& l : gamma1) gamma.push_back(std::move(l));
+      break;
     }
     gamma = std::move(gamma2);
     for (Bitset& c : accepted) gamma.push_back(std::move(c));

@@ -8,6 +8,7 @@
 #include "dataset/types.h"
 #include "util/bitset.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace farmer {
 
@@ -18,6 +19,9 @@ struct LowerBoundResult {
   /// True when the computation stopped early because the candidate cap was
   /// hit; `lower_bounds` is then a (valid-prefix) under-approximation.
   bool truncated = false;
+  /// True when the computation was abandoned because the caller's
+  /// deadline fired mid-update; implies `truncated`.
+  bool timed_out = false;
 };
 
 /// MineLB (paper §3.4, Figure 9): computes the lower bounds of the closed
@@ -29,10 +33,17 @@ struct LowerBoundResult {
 /// maximal proper subset `I(r) ∩ antecedent` contributed by rows outside
 /// `rows` (Lemmas 3.10/3.11). `max_candidates` caps the intermediate
 /// candidate set per update step (0 = unlimited).
+///
+/// A non-null `deadline` is sampled before every update step (and
+/// throttled inside the row scan), so a single long MineLB invocation
+/// cannot overshoot a near-expired mining deadline: the computation
+/// stops at the next checkpoint with `timed_out` (and `truncated`) set
+/// and the bounds accumulated so far — a valid under-approximation.
 LowerBoundResult MineLowerBounds(const BinaryDataset& dataset,
                                  const ItemVector& antecedent,
                                  const Bitset& rows,
-                                 std::size_t max_candidates = 0);
+                                 std::size_t max_candidates = 0,
+                                 const Deadline* deadline = nullptr);
 
 /// Invariant validator for a (non-truncated) MineLB result: every lower
 /// bound must be a *minimal generator* of its rule group — a subset of

@@ -3,11 +3,19 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "dataset/types.h"
 #include "util/timer.h"
 
 namespace farmer {
+
+namespace obs {
+class Histogram;
+class TraceSession;
+class MetricsRegistry;
+struct ProgressCounters;
+}  // namespace obs
 
 /// Configuration shared by the FARMER miner and (where applicable) the
 /// baseline miners.
@@ -87,7 +95,26 @@ struct MinerOptions {
   bool verify_invariants = false;
 
   /// Cooperative time limit; the miner reports `timed_out` when it fires.
+  /// Sampled between enumeration nodes and inside MineLB update steps,
+  /// so even a run dominated by one long lower-bound computation stops
+  /// close to the limit.
   Deadline deadline;
+
+  /// Observability hooks (src/obs/), all optional and all owned by the
+  /// caller. With every pointer null — the default — the miner touches
+  /// no atomics beyond the scheduler's own counters: the instrumented
+  /// paths are guarded by one predictable branch each.
+  ///
+  /// Tracing: per-worker spans and events (task run/steal/merge, MineLB,
+  /// per-phase totals) recorded into the session's ring buffers. Build
+  /// the session with at least `num_threads + 1` lanes.
+  obs::TraceSession* trace = nullptr;
+  /// Metrics: end-of-run counters, timings, and distribution histograms
+  /// published under "farmer.*" names.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Progress: live counters flushed in small batches during the search,
+  /// for a ProgressReporter (or any other sampler) to read.
+  obs::ProgressCounters* progress = nullptr;
 };
 
 /// Search statistics reported by the miners.
@@ -107,6 +134,16 @@ struct MinerStats {
   double mine_seconds = 0.0;            // Upper-bound search time.
   double lower_bound_seconds = 0.0;     // MineLB time.
   bool timed_out = false;
+
+  /// Adds every additive counter of `other` into this (the parallel
+  /// miner's per-task aggregation); `timed_out` ORs, the phase timings
+  /// are left alone (they are whole-run, not per-task, quantities).
+  void MergeFrom(const MinerStats& other);
+
+  /// The full stats block as one JSON object, e.g.
+  /// {"nodes_visited": 12, ..., "timed_out": false}. Shared by the CLI's
+  /// --stats flag and the benches, which embed it per measurement.
+  std::string ToJson() const;
 };
 
 }  // namespace farmer

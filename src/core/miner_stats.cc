@@ -1,0 +1,49 @@
+#include <cstdio>
+#include <string>
+
+#include "core/miner_options.h"
+
+namespace farmer {
+
+void MinerStats::MergeFrom(const MinerStats& other) {
+  nodes_visited += other.nodes_visited;
+  pruned_by_backscan += other.pruned_by_backscan;
+  pruned_by_support += other.pruned_by_support;
+  pruned_by_confidence += other.pruned_by_confidence;
+  pruned_by_chi += other.pruned_by_chi;
+  pruned_by_extension += other.pruned_by_extension;
+  rows_absorbed += other.rows_absorbed;
+  tasks_spawned += other.tasks_spawned;
+  task_steals += other.task_steals;
+  tasks_stolen += other.tasks_stolen;
+  timed_out = timed_out || other.timed_out;
+}
+
+std::string MinerStats::ToJson() const {
+  auto field = [](const char* key, std::size_t value) {
+    return "\"" + std::string(key) + "\": " + std::to_string(value);
+  };
+  char buf[64];
+  std::string out = "{";
+  out += field("nodes_visited", nodes_visited) + ", ";
+  out += field("pruned_by_backscan", pruned_by_backscan) + ", ";
+  out += field("pruned_by_support", pruned_by_support) + ", ";
+  out += field("pruned_by_confidence", pruned_by_confidence) + ", ";
+  out += field("pruned_by_chi", pruned_by_chi) + ", ";
+  out += field("pruned_by_extension", pruned_by_extension) + ", ";
+  out += field("rows_absorbed", rows_absorbed) + ", ";
+  out += field("tasks_spawned", tasks_spawned) + ", ";
+  out += field("task_steals", task_steals) + ", ";
+  out += field("tasks_stolen", tasks_stolen) + ", ";
+  std::snprintf(buf, sizeof(buf), "\"mine_seconds\": %.6g, ",
+                mine_seconds);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "\"lower_bound_seconds\": %.6g, ",
+                lower_bound_seconds);
+  out += buf;
+  out += std::string("\"timed_out\": ") + (timed_out ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+}  // namespace farmer

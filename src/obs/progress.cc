@@ -1,0 +1,172 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace farmer {
+namespace obs {
+
+namespace {
+
+// "1234", "12.3k", "4.5M" — keeps the status line narrow.
+std::string Compact(std::uint64_t n) {
+  char buf[32];
+  if (n >= 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fM",
+                  static_cast<double>(n) / 1e6);
+  } else if (n >= 10'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fk",
+                  static_cast<double>(n) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(const ProgressCounters* counters,
+                                   Options options)
+    : counters_(counters), options_(std::move(options)) {
+  if (!options_.sink) {
+    options_.sink = [](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    };
+  }
+  if (options_.interval_seconds <= 0.0) options_.interval_seconds = 1.0;
+  thread_ = std::thread([this] { SamplerLoop(); });
+}
+
+ProgressReporter::~ProgressReporter() { Stop(); }
+
+void ProgressReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    wake_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  if (!stopped_) {
+    stopped_ = true;
+    options_.sink(FormatSample());  // Final totals line.
+  }
+}
+
+void ProgressReporter::SamplerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto interval = std::chrono::duration<double>(
+        options_.interval_seconds);
+    if (wake_.wait_for(lock, interval, [this] { return stopping_; })) {
+      return;  // Stop() emits the final line after the join.
+    }
+    lock.unlock();
+    options_.sink(FormatSample());
+    lock.lock();
+  }
+}
+
+std::string ProgressReporter::FormatSample() {
+  const ProgressCounters& c = *counters_;
+  const double elapsed = elapsed_.ElapsedSeconds();
+  const std::uint64_t nodes = c.nodes.load(std::memory_order_relaxed);
+
+  // Nodes/sec over the window since the previous sample (whole-run
+  // average for the first one).
+  const double window = elapsed - last_elapsed_;
+  const double rate =
+      window > 1e-9
+          ? static_cast<double>(nodes - last_nodes_) / window
+          : 0.0;
+  last_nodes_ = nodes;
+  last_elapsed_ = elapsed;
+
+  const std::uint64_t pruned[5] = {
+      c.pruned_backscan.load(std::memory_order_relaxed),
+      c.pruned_support.load(std::memory_order_relaxed),
+      c.pruned_confidence.load(std::memory_order_relaxed),
+      c.pruned_chi.load(std::memory_order_relaxed),
+      c.pruned_extension.load(std::memory_order_relaxed)};
+  std::uint64_t visited = nodes;
+  if (visited == 0) visited = 1;  // Shares of zero work are zero.
+
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "[farmer %6.1fs] nodes %s (%s/s) depth %llu groups %s",
+                elapsed, Compact(nodes).c_str(),
+                Compact(static_cast<std::uint64_t>(rate)).c_str(),
+                static_cast<unsigned long long>(
+                    c.max_depth.load(std::memory_order_relaxed)),
+                Compact(c.groups.load(std::memory_order_relaxed)).c_str());
+  std::string line = buf;
+
+  std::snprintf(buf, sizeof(buf),
+                " | prune%% bs %.0f sup %.0f conf %.0f chi %.0f ext %.0f",
+                100.0 * static_cast<double>(pruned[0]) /
+                    static_cast<double>(visited),
+                100.0 * static_cast<double>(pruned[1]) /
+                    static_cast<double>(visited),
+                100.0 * static_cast<double>(pruned[2]) /
+                    static_cast<double>(visited),
+                100.0 * static_cast<double>(pruned[3]) /
+                    static_cast<double>(visited),
+                100.0 * static_cast<double>(pruned[4]) /
+                    static_cast<double>(visited));
+  line += buf;
+
+  const std::uint64_t spawned =
+      c.tasks_spawned.load(std::memory_order_relaxed);
+  if (spawned > 0) {
+    std::snprintf(
+        buf, sizeof(buf), " | tasks %llu/%llu",
+        static_cast<unsigned long long>(
+            c.tasks_completed.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(spawned));
+    line += buf;
+  }
+  const std::uint64_t lb = c.minelb_done.load(std::memory_order_relaxed);
+  if (lb > 0) {
+    line += " | minelb " + Compact(lb);
+  }
+
+  // Completion estimate from first-level branch progress — crude (the
+  // tree is skewed) but monotone and cheap. Task progress stands in
+  // once the run has split into subtree tasks.
+  const std::uint64_t root_total =
+      c.root_total.load(std::memory_order_relaxed);
+  const std::uint64_t root_done =
+      c.root_done.load(std::memory_order_relaxed);
+  double frac = 0.0;
+  if (root_total > 0) {
+    frac = static_cast<double>(root_done) /
+           static_cast<double>(root_total);
+  }
+  if (spawned > 0) {
+    const double task_frac =
+        static_cast<double>(
+            c.tasks_completed.load(std::memory_order_relaxed)) /
+        static_cast<double>(spawned);
+    frac = std::max(frac, task_frac);
+  }
+  if (frac > 0.0 && frac < 1.0) {
+    std::snprintf(buf, sizeof(buf), " | ~%.0f%% eta %.0fs", 100.0 * frac,
+                  elapsed * (1.0 - frac) / frac);
+    line += buf;
+  }
+
+  if (options_.deadline.has_deadline()) {
+    const double left = options_.deadline.SecondsRemaining();
+    if (left <= 0.0) {
+      line += " | budget EXPIRED";
+    } else {
+      std::snprintf(buf, sizeof(buf), " | budget %.0fs left", left);
+      line += buf;
+    }
+  }
+  return line;
+}
+
+}  // namespace obs
+}  // namespace farmer

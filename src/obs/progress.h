@@ -1,0 +1,100 @@
+#ifndef FARMER_OBS_PROGRESS_H_
+#define FARMER_OBS_PROGRESS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace farmer {
+namespace obs {
+
+/// Live counters the miner publishes while a search is running. All
+/// fields are relaxed atomics updated in batches (the miner flushes
+/// deltas every few dozen enumeration nodes), so a sampler thread can
+/// read a consistent-enough picture at any time without slowing the
+/// search down. With MinerOptions::progress == nullptr none of these
+/// atomics is ever touched.
+struct ProgressCounters {
+  std::atomic<std::uint64_t> nodes{0};
+  std::atomic<std::uint64_t> groups{0};  // Live (pre-merge) group count.
+  std::atomic<std::uint64_t> pruned_backscan{0};
+  std::atomic<std::uint64_t> pruned_support{0};
+  std::atomic<std::uint64_t> pruned_confidence{0};
+  std::atomic<std::uint64_t> pruned_chi{0};
+  std::atomic<std::uint64_t> pruned_extension{0};
+  std::atomic<std::uint64_t> rows_absorbed{0};
+  std::atomic<std::uint64_t> tasks_spawned{0};
+  std::atomic<std::uint64_t> tasks_completed{0};
+  std::atomic<std::uint64_t> minelb_done{0};    // Groups with bounds mined.
+  std::atomic<std::uint64_t> max_depth{0};      // Deepest node so far.
+  std::atomic<std::uint64_t> root_done{0};      // First-level branches done.
+  std::atomic<std::uint64_t> root_total{0};     // First-level branch count.
+
+  void RaiseMaxDepth(std::uint64_t depth) {
+    std::uint64_t cur = max_depth.load(std::memory_order_relaxed);
+    while (cur < depth &&
+           !max_depth.compare_exchange_weak(cur, depth,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// A deadline-aware background sampler: every `interval_seconds` it
+/// formats one status line — nodes/sec, deepest frontier, per-strategy
+/// pruning shares, live rule-group count, completion estimate, deadline
+/// budget — and hands it to `sink` (default: one line on stderr).
+///
+/// The reporter owns its thread; Stop() (or destruction) joins it. It
+/// only ever *reads* the counters, so it may outlive the mining call
+/// that fed them but must not outlive the counters object itself.
+class ProgressReporter {
+ public:
+  struct Options {
+    double interval_seconds = 1.0;
+    /// When set, each report includes the share of the time budget
+    /// already spent.
+    Deadline deadline;
+    /// Receives each formatted report line (without trailing newline).
+    /// Defaults to writing "line\n" to stderr.
+    std::function<void(const std::string&)> sink;
+  };
+
+  ProgressReporter(const ProgressCounters* counters, Options options);
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Emits one final report and joins the sampler thread. Idempotent.
+  void Stop();
+
+  /// Builds one report line from the current counter values. Public so
+  /// tests (and one-shot callers) can sample without a thread.
+  std::string FormatSample();
+
+ private:
+  void SamplerLoop();
+
+  const ProgressCounters* counters_;
+  Options options_;
+  Stopwatch elapsed_;
+  std::uint64_t last_nodes_ = 0;   // Sampler-thread only.
+  double last_elapsed_ = 0.0;      // Sampler-thread only.
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace farmer
+
+#endif  // FARMER_OBS_PROGRESS_H_

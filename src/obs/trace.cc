@@ -1,0 +1,204 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace farmer {
+namespace obs {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EventRing::EventRing(std::size_t capacity)
+    : slots_(RoundUpPow2(std::max<std::size_t>(2, capacity))) {}
+
+void EventRing::Push(const TraceEvent& e) {
+  // Single producer: the relaxed load/store pair on next_ is a plain
+  // increment from the producer's point of view; readers only run after
+  // an external synchronization point (pool drain / thread join).
+  const std::uint64_t i = next_.load(std::memory_order_relaxed);
+  slots_[i & (slots_.size() - 1)] = e;
+  next_.store(i + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> EventRing::Snapshot() const {
+  const std::uint64_t n = next_.load(std::memory_order_acquire);
+  const std::uint64_t kept = std::min<std::uint64_t>(n, slots_.size());
+  std::vector<TraceEvent> out;
+  out.reserve(kept);
+  for (std::uint64_t i = n - kept; i < n; ++i) {
+    out.push_back(slots_[i & (slots_.size() - 1)]);
+  }
+  return out;
+}
+
+TraceSession::TraceSession(std::size_t num_lanes,
+                           std::size_t events_per_lane)
+    : origin_(std::chrono::steady_clock::now()) {
+  FARMER_CHECK(num_lanes > 0) << "a trace session needs at least one lane";
+  lanes_.reserve(num_lanes);
+  for (std::size_t i = 0; i < num_lanes; ++i) {
+    lanes_.push_back(std::make_unique<EventRing>(events_per_lane));
+  }
+}
+
+std::uint64_t TraceSession::NowNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+void TraceSession::Emit(const TraceEvent& e) {
+  const std::size_t lane = std::min<std::size_t>(e.lane, num_lanes() - 1);
+  lanes_[lane]->Push(e);
+}
+
+void TraceSession::Instant(std::size_t lane, const char* name,
+                           const char* arg1_name, std::int64_t arg1,
+                           const char* arg2_name, std::int64_t arg2) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'i';
+  e.lane = static_cast<std::uint32_t>(lane);
+  e.ts_ns = NowNs();
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  Emit(e);
+}
+
+void TraceSession::EndSpan(std::size_t lane, const char* name,
+                           std::uint64_t start_ns, const char* arg1_name,
+                           std::int64_t arg1, const char* arg2_name,
+                           std::int64_t arg2) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'X';
+  e.lane = static_cast<std::uint32_t>(lane);
+  e.ts_ns = start_ns;
+  const std::uint64_t now = NowNs();
+  e.dur_ns = now > start_ns ? now - start_ns : 0;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  Emit(e);
+}
+
+std::uint64_t TraceSession::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_) total += lane->dropped();
+  return total;
+}
+
+namespace {
+
+// One Chrome Trace Event Format object. Timestamps are microseconds
+// (the format's unit); fractional digits keep nanosecond precision.
+void AppendEventJson(const TraceEvent& e, std::string* out) {
+  char buf[64];
+  *out += "{\"name\": \"";
+  *out += JsonEscape(e.name != nullptr ? e.name : "?");
+  *out += "\", \"cat\": \"farmer\", \"ph\": \"";
+  *out += e.phase;
+  std::snprintf(buf, sizeof(buf), "\", \"ts\": %.3f",
+                static_cast<double>(e.ts_ns) / 1000.0);
+  *out += buf;
+  if (e.phase == 'X') {
+    std::snprintf(buf, sizeof(buf), ", \"dur\": %.3f",
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    *out += buf;
+  }
+  if (e.phase == 'i') *out += ", \"s\": \"t\"";  // Thread-scoped instant.
+  std::snprintf(buf, sizeof(buf), ", \"pid\": 1, \"tid\": %u", e.lane);
+  *out += buf;
+  if (e.arg1_name != nullptr || e.arg2_name != nullptr) {
+    *out += ", \"args\": {";
+    if (e.arg1_name != nullptr) {
+      *out += '"' + JsonEscape(e.arg1_name) +
+              "\": " + std::to_string(e.arg1);
+    }
+    if (e.arg2_name != nullptr) {
+      if (e.arg1_name != nullptr) *out += ", ";
+      *out += '"' + JsonEscape(e.arg2_name) +
+              "\": " + std::to_string(e.arg2);
+    }
+    *out += "}";
+  }
+  *out += "}";
+}
+
+void AppendMetadataJson(const char* name, std::size_t tid,
+                        const std::string& value, std::string* out) {
+  *out += "{\"name\": \"";
+  *out += name;
+  *out += "\", \"ph\": \"M\", \"pid\": 1, \"tid\": ";
+  *out += std::to_string(tid);
+  *out += ", \"args\": {\"name\": \"" + JsonEscape(value) + "\"}}";
+}
+
+}  // namespace
+
+std::string TraceSession::ToJson() const {
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&first, &out]() {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  ";
+  };
+  sep();
+  AppendMetadataJson("process_name", 0, "farmer", &out);
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    sep();
+    AppendMetadataJson(
+        "thread_name", lane,
+        lane == kMainLane ? "main" : "worker-" + std::to_string(lane - 1),
+        &out);
+  }
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    for (const TraceEvent& e : lanes_[lane]->Snapshot()) {
+      sep();
+      AppendEventJson(e, &out);
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\", \"farmer_dropped_events\": " +
+         std::to_string(total_dropped()) + "}\n";
+  return out;
+}
+
+Status TraceSession::WriteJsonFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const std::string json = ToJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+void TracingPoolObserver::OnSteal(std::size_t thief, std::size_t victim,
+                                  std::size_t tasks_taken) {
+  session_->Instant(thief + 1, "steal", "victim",
+                    static_cast<std::int64_t>(victim), "tasks",
+                    static_cast<std::int64_t>(tasks_taken));
+}
+
+}  // namespace obs
+}  // namespace farmer

@@ -102,6 +102,10 @@ bool ThreadPool::StealInto(std::size_t id, Task* out) {
     }
     steals_.fetch_add(1, std::memory_order_relaxed);
     stolen_tasks_.fetch_add(loot.size(), std::memory_order_relaxed);
+    if (PoolObserver* obs = observer_.load(std::memory_order_acquire);
+        obs != nullptr) {
+      obs->OnSteal(id, victim, loot.size());
+    }
     // Run the oldest stolen task now; queue the rest back-to-front so the
     // local LIFO pop preserves their age order.
     *out = std::move(loot.front());

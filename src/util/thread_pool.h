@@ -30,6 +30,19 @@ class CancelFlag {
   std::atomic<bool> flag_{false};
 };
 
+/// Scheduler-event listener for observability layers. Implementations
+/// must be cheap and thread-safe: callbacks fire on worker threads, in
+/// the scheduling path (though never under a deque lock).
+class PoolObserver {
+ public:
+  virtual ~PoolObserver() = default;
+
+  /// A successful steal: worker `thief` transferred `tasks_taken` tasks
+  /// from worker `victim`'s deque (and is about to run the oldest one).
+  virtual void OnSteal(std::size_t thief, std::size_t victim,
+                       std::size_t tasks_taken) = 0;
+};
+
 /// A fixed-size pool of worker threads with per-worker work-stealing
 /// deques.
 ///
@@ -88,6 +101,14 @@ class ThreadPool {
     return stolen_tasks_.load(std::memory_order_relaxed);
   }
 
+  /// Installs (or, with nullptr, removes) the scheduler-event observer.
+  /// Install while the pool is quiescent — before the first Submit of a
+  /// batch or after Wait() — so callbacks never race the swap; the
+  /// observer must outlive its installation window.
+  void SetObserver(PoolObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
+
   /// Contract check that the pool is quiescent: no task queued or
   /// running, every deque empty, and the pending counter agrees with the
   /// deques. Only meaningful after Wait() returned (concurrent Submits
@@ -121,6 +142,7 @@ class ThreadPool {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> stolen_tasks_{0};
+  std::atomic<PoolObserver*> observer_{nullptr};
   std::atomic<std::size_t> next_external_{0};  // Round-robin for outsiders.
 
   // Sleep/wake plumbing. `sleep_mutex_` only serializes the transitions

@@ -60,6 +60,27 @@ class Deadline {
     return expired_;
   }
 
+  /// Unthrottled expiry check: consults the clock on every call. For
+  /// checkpoints that are reached rarely but may be preceded by long
+  /// uninterruptible work (e.g. one MineLB update step), where the
+  /// throttled Expired() could stay blind for hundreds of calls.
+  bool ExpiredNow() const {
+    if (!has_deadline_) return false;
+    if (expired_) return true;
+    expired_ = Clock::now() >= deadline_;
+    return expired_;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  /// Seconds until expiry (negative once past). Without a deadline,
+  /// a large sentinel (1e18) — callers treat it as "plenty".
+  double SecondsRemaining() const {
+    if (!has_deadline_) return 1e18;
+    return std::chrono::duration<double>(deadline_ - Clock::now())
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   static constexpr std::uint32_t kCheckInterval = 256;

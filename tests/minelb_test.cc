@@ -1,8 +1,11 @@
 #include "core/minelb.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "core/brute_force.h"
+#include "core/farmer.h"
 #include "tests/test_util.h"
 
 namespace farmer {
@@ -168,6 +171,66 @@ TEST(MineLbTest, ValidatorRejectsCorruptedBounds) {
     EXPECT_FALSE(
         ValidateLowerBounds(ds, antecedent, rows, corrupted).ok());
   }
+}
+
+// An already-expired deadline: waiting on ExpiredNow() first makes the
+// test deterministic on any machine speed.
+Deadline ExpiredDeadline() {
+  Deadline d = Deadline::After(1e-9);
+  while (!d.ExpiredNow()) {
+  }
+  return d;
+}
+
+TEST(MineLbTest, ExpiredDeadlineStopsAtNextCheckpoint) {
+  // Paper Example 7 setup: two interfering rows force update steps, so
+  // the per-step checkpoint must fire and flag the result.
+  BinaryDataset ds = MakeDataset({
+      {{0, 1, 2, 3, 4}, 1},
+      {{0, 1, 2, 5}, 0},
+      {{2, 3, 4, 6}, 0},
+  });
+  const ItemVector antecedent = {0, 1, 2, 3, 4};
+  Bitset rows(3);
+  rows.Set(0);
+  const Deadline expired = ExpiredDeadline();
+  LowerBoundResult lb = MineLowerBounds(ds, antecedent, rows, 0, &expired);
+  EXPECT_TRUE(lb.timed_out);
+  EXPECT_TRUE(lb.truncated);
+  // Whatever survived is still an under-approximation: every bound is a
+  // non-empty subset of the antecedent.
+  for (const ItemVector& bound : lb.lower_bounds) {
+    EXPECT_FALSE(bound.empty());
+    EXPECT_TRUE(std::includes(antecedent.begin(), antecedent.end(),
+                              bound.begin(), bound.end()));
+  }
+}
+
+TEST(MineLbTest, NullAndLiveDeadlinesChangeNothing) {
+  BinaryDataset ds = RandomDataset(16, 14, 0.4, 11);
+  const Deadline generous = Deadline::After(3600.0);
+  for (const RuleGroup& g : BruteForceAllRuleGroups(ds, 1)) {
+    LowerBoundResult plain = MineLowerBounds(ds, g.antecedent, g.rows);
+    LowerBoundResult timed =
+        MineLowerBounds(ds, g.antecedent, g.rows, 0, &generous);
+    EXPECT_FALSE(timed.timed_out);
+    EXPECT_EQ(plain.lower_bounds, timed.lower_bounds);
+  }
+}
+
+TEST(MineLbTest, MinerPropagatesMineLbTimeout) {
+  // A deadline that expires during (not before) the search would be
+  // machine-dependent; an expired one deterministically exercises the
+  // propagation path: mining stops, MineLB never completes a group, and
+  // the result is flagged partial.
+  BinaryDataset ds = RandomDataset(30, 16, 0.45, 5);
+  MinerOptions opts;
+  opts.consequent = 1;
+  opts.min_support = 1;
+  opts.mine_lower_bounds = true;
+  opts.deadline = ExpiredDeadline();
+  FarmerResult r = MineFarmer(ds, opts);
+  EXPECT_TRUE(r.stats.timed_out);
 }
 
 }  // namespace

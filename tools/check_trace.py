@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate farmer_cli observability artifacts.
+
+Usage:
+    check_trace.py TRACE.json [METRICS.json]
+
+Checks that TRACE.json is a well-formed Chrome Trace Event Format file
+(loadable in chrome://tracing / Perfetto) produced by --trace-out:
+
+  * top level is an object with a "traceEvents" array and a
+    "farmer_dropped_events" count;
+  * every event carries name/ph/pid/tid, ph is one of X / i / M;
+  * complete events ('X') have a timestamp and a non-negative duration;
+  * instants ('i') have a timestamp and a scope;
+  * metadata ('M') names the process and every lane (thread), and lane
+    names are unique;
+  * the span names the miner always emits ("mine", "merge") are present,
+    and every "merge" span sits on the control lane (tid 0).
+
+When METRICS.json is given, also checks the --metrics-out shape: the
+counters / gauges / histograms objects exist, counter values are
+non-negative integers, and each histogram has len(bounds) + 1 buckets
+that sum to its count.
+
+Exit status 0 when everything holds; 1 with a message on stderr
+otherwise.  Used by the obs-artifacts CI job.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    sys.stderr.write("check_trace: FAIL: %s\n" % msg)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_trace(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    check(isinstance(doc, dict), "top level must be a JSON object")
+    check("traceEvents" in doc, 'missing "traceEvents"')
+    events = doc["traceEvents"]
+    check(isinstance(events, list), '"traceEvents" must be an array')
+    check(len(events) > 0, "trace contains no events")
+    dropped = doc.get("farmer_dropped_events")
+    check(isinstance(dropped, int) and dropped >= 0,
+          '"farmer_dropped_events" must be a non-negative integer')
+
+    names = set()
+    thread_names = {}
+    process_named = False
+    for i, e in enumerate(events):
+        where = "event %d" % i
+        check(isinstance(e, dict), "%s is not an object" % where)
+        for key in ("name", "ph", "pid", "tid"):
+            check(key in e, "%s missing %r" % (where, key))
+        ph = e["ph"]
+        check(ph in ("X", "i", "M"), "%s has unknown ph %r" % (where, ph))
+        if ph == "M":
+            if e["name"] == "process_name":
+                process_named = True
+            elif e["name"] == "thread_name":
+                tid = e["tid"]
+                label = e.get("args", {}).get("name")
+                check(isinstance(label, str) and label,
+                      "%s thread_name has no label" % where)
+                check(tid not in thread_names,
+                      "lane %r named twice" % tid)
+                thread_names[tid] = label
+            continue
+        names.add(e["name"])
+        check(isinstance(e.get("ts"), (int, float)),
+              "%s (%s) has no numeric ts" % (where, ph))
+        if ph == "X":
+            dur = e.get("dur")
+            check(isinstance(dur, (int, float)) and dur >= 0,
+                  "%s has bad dur %r" % (where, dur))
+        if ph == "i":
+            check(e.get("s") in ("t", "p", "g"),
+                  "%s instant has bad scope %r" % (where, e.get("s")))
+        if e["name"] == "merge":
+            check(e["tid"] == 0,
+                  "%s: merge span on lane %r, expected the control "
+                  "lane 0" % (where, e["tid"]))
+
+    check(process_named, "no process_name metadata event")
+    check(len(thread_names) > 0, "no thread_name metadata events")
+    check(len(set(thread_names.values())) == len(thread_names),
+          "duplicate lane labels: %r" % thread_names)
+    for required in ("mine", "merge"):
+        check(required in names,
+              "required span %r absent (got %s)" % (required, sorted(names)))
+    print("check_trace: trace OK: %d events on %d lanes, names %s, "
+          "%d dropped" % (len(events), len(thread_names), sorted(names),
+                          dropped))
+
+
+def check_metrics(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    check(isinstance(doc, dict), "metrics top level must be a JSON object")
+    for section in ("counters", "gauges", "histograms"):
+        check(isinstance(doc.get(section), dict),
+              'metrics missing object %r' % section)
+    for name, value in doc["counters"].items():
+        check(isinstance(value, int) and value >= 0,
+              "counter %r has bad value %r" % (name, value))
+    for name, value in doc["gauges"].items():
+        check(isinstance(value, (int, float)),
+              "gauge %r has bad value %r" % (name, value))
+    for name, h in doc["histograms"].items():
+        check(isinstance(h, dict), "histogram %r is not an object" % name)
+        bounds, buckets = h.get("bounds"), h.get("buckets")
+        check(isinstance(bounds, list) and len(bounds) > 0,
+              "histogram %r has no bounds" % name)
+        check(bounds == sorted(bounds),
+              "histogram %r bounds not ascending" % name)
+        check(isinstance(buckets, list) and
+              len(buckets) == len(bounds) + 1,
+              "histogram %r needs len(bounds)+1 buckets" % name)
+        check(sum(buckets) == h.get("count"),
+              "histogram %r buckets sum to %r, count says %r" %
+              (name, sum(buckets), h.get("count")))
+    print("check_trace: metrics OK: %d counters, %d gauges, %d histograms"
+          % (len(doc["counters"]), len(doc["gauges"]),
+             len(doc["histograms"])))
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        sys.stderr.write(__doc__)
+        return 2
+    check_trace(argv[1])
+    if len(argv) == 3:
+        check_metrics(argv[2])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,9 @@
 #include "dataset/discretize.h"
 #include "dataset/io.h"
 #include "dataset/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -81,6 +85,8 @@ int Usage() {
                "[--all-groups] [--no-lower-bounds]\n"
                "            [--timeout S] [--threads N] [--max N] "
                "[--out FILE] [--model-out PREFIX]\n"
+               "            [--trace-out FILE] [--metrics-out FILE] "
+               "[--progress [SECS]] [--stats]\n"
                "  predict   --in FILE --model PREFIX\n"
                "  classify  --in FILE --train N [--method irg|cba|svm] "
                "[--seed N] [--minsup-frac F] [--minconf F]\n");
@@ -117,13 +123,21 @@ int CmdGenerate(const Args& args) {
 }
 
 // Loads + discretizes per the shared flags; returns false on failure.
+// A non-null `trace` records one span per phase on the control lane.
 bool LoadAndDiscretize(const Args& args, ExpressionMatrix* matrix,
-                       Discretization* disc, BinaryDataset* dataset) {
-  Status s = LoadExpressionCsv(args.Get("--in"), matrix);
-  if (!s.ok()) {
-    Fail(s);
-    return false;
+                       Discretization* disc, BinaryDataset* dataset,
+                       obs::TraceSession* trace = nullptr) {
+  {
+    obs::ScopedSpan span(trace, obs::TraceSession::kMainLane, "load_csv");
+    Status s = LoadExpressionCsv(args.Get("--in"), matrix);
+    if (!s.ok()) {
+      Fail(s);
+      return false;
+    }
+    span.Arg("rows", static_cast<std::int64_t>(matrix->num_rows()));
+    span.Arg("genes", static_cast<std::int64_t>(matrix->num_genes()));
   }
+  obs::ScopedSpan span(trace, obs::TraceSession::kMainLane, "discretize");
   if (args.Has("--entropy")) {
     *disc = Discretization::FitEntropyMdl(*matrix);
   } else {
@@ -132,6 +146,7 @@ bool LoadAndDiscretize(const Args& args, ExpressionMatrix* matrix,
   }
   *dataset = disc->Apply(*matrix);
   dataset->set_item_names(disc->MakeItemNames(*matrix));
+  span.Arg("items", static_cast<std::int64_t>(dataset->num_items()));
   return true;
 }
 
@@ -156,10 +171,22 @@ int CmdStats(const Args& args) {
 
 int CmdMine(const Args& args) {
   if (!args.Has("--in")) return Usage();
+  const std::size_t threads =
+      static_cast<std::size_t>(std::max(1L, args.GetInt("--threads", 1)));
+
+  // Observability hooks, each opt-in via its own flag.
+  std::unique_ptr<obs::TraceSession> trace;
+  if (args.Has("--trace-out")) {
+    trace = std::make_unique<obs::TraceSession>(threads + 1);
+  }
+  obs::MetricsRegistry metrics;
+
   ExpressionMatrix matrix;
   Discretization disc;
   BinaryDataset dataset;
-  if (!LoadAndDiscretize(args, &matrix, &disc, &dataset)) return 1;
+  if (!LoadAndDiscretize(args, &matrix, &disc, &dataset, trace.get())) {
+    return 1;
+  }
 
   MinerOptions opts;
   opts.consequent =
@@ -177,10 +204,41 @@ int CmdMine(const Args& args) {
   opts.mine_lower_bounds = !args.Has("--no-lower-bounds");
   const double timeout = args.GetDouble("--timeout", 0.0);
   if (timeout > 0) opts.deadline = Deadline::After(timeout);
-  opts.num_threads =
-      static_cast<std::size_t>(std::max(1L, args.GetInt("--threads", 1)));
+  opts.num_threads = threads;
+  opts.trace = trace.get();
+  if (args.Has("--metrics-out")) opts.metrics = &metrics;
+
+  std::unique_ptr<obs::ProgressCounters> progress;
+  std::unique_ptr<obs::ProgressReporter> reporter;
+  if (args.Has("--progress")) {
+    progress = std::make_unique<obs::ProgressCounters>();
+    opts.progress = progress.get();
+    obs::ProgressReporter::Options ropts;
+    ropts.interval_seconds = args.GetDouble("--progress", 1.0);
+    ropts.deadline = opts.deadline;
+    reporter =
+        std::make_unique<obs::ProgressReporter>(progress.get(), ropts);
+  }
 
   FarmerResult result = MineFarmer(dataset, opts);
+  if (reporter != nullptr) reporter->Stop();
+  if (args.Has("--stats")) {
+    std::fprintf(stderr, "%s\n", result.stats.ToJson().c_str());
+  }
+  if (trace != nullptr) {
+    const std::string path = args.Get("--trace-out");
+    Status s = trace->WriteJsonFile(path);
+    if (!s.ok()) return Fail(s);
+    std::fprintf(stderr, "trace written to %s (%llu events dropped)\n",
+                 path.c_str(),
+                 static_cast<unsigned long long>(trace->total_dropped()));
+  }
+  if (args.Has("--metrics-out")) {
+    const std::string path = args.Get("--metrics-out");
+    Status s = metrics.WriteJsonFile(path);
+    if (!s.ok()) return Fail(s);
+    std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+  }
   std::fprintf(stderr,
                "%zu rule groups, %zu nodes, %.3fs mining + %.3fs lower "
                "bounds%s\n",
