@@ -1,0 +1,347 @@
+// Latency/throughput benchmark of the rule-group query server: an
+// in-process Server on an ephemeral loopback port, driven by 1, 4 and
+// 16 concurrent client connections. Each client count is measured twice:
+//
+//   cold  — the response cache is cleared and every request has a unique
+//           canonical key, so every query runs the full engine + render
+//           path;
+//   warm  — the same clients replay a fixed 8-query working set that was
+//           primed beforehand, so requests are served from the LRU cache.
+//
+// Reports p50/p99 round-trip latency and aggregate throughput per phase,
+// plus the server-side cache hit/miss deltas. The run fails (exit 1) if
+// any warm p50 is not strictly below its cold p50 — the cache must be
+// observably faster than the engine, or it is dead weight.
+//
+// Every measurement is appended to BENCH_serve_latency.json.
+//
+// Extra knobs (on top of bench_common's):
+//   --count <n>   total requests per phase (default 400, min 200)
+//   --port <p>    drive an already-running server on 127.0.0.1:<p>
+//                 instead of an in-process one (single mixed phase, no
+//                 cache assertions — for CI smoke against farmer_serve)
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/bench_json.h"
+#include "core/farmer.h"
+#include "serve/index.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "util/timer.h"
+
+namespace farmer {
+namespace bench {
+namespace {
+
+using serve::RuleGroupIndex;
+using serve::RuleGroupSnapshot;
+using serve::Server;
+
+/// A blocking loopback client for one connection.
+class Client {
+ public:
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  /// Sends one request line and reads one response line. Returns false
+  /// on any socket error or EOF.
+  bool RoundTrip(const std::string& request, std::string* response) {
+    std::string line = request + "\n";
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+      const ssize_t n = ::send(fd_, line.data() + sent, line.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    while (true) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *response = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string ItemsJson(const ItemVector& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(items[i]);
+  }
+  return out + "]";
+}
+
+/// The mixed query workload. `uniq` feeds every variable field, so two
+/// distinct values always produce distinct canonical keys (the cold
+/// phase relies on this to defeat the cache).
+std::string MakeQuery(std::size_t uniq, const BinaryDataset& dataset) {
+  switch (uniq % 5) {
+    case 0:
+      return "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":" +
+             std::to_string(1 + uniq) + ",\"limit\":5000}";
+    case 1:
+      return "{\"op\":\"topk\",\"metric\":\"chi_square\",\"k\":" +
+             std::to_string(1 + uniq) + ",\"limit\":5000}";
+    case 2:
+      return "{\"op\":\"filter\",\"minsup\":" + std::to_string(uniq / 100) +
+             ",\"minconf\":0." + std::to_string(10 + uniq % 89) +
+             ",\"limit\":5000}";
+    case 3:
+      return "{\"op\":\"contains\",\"items\":[" +
+             std::to_string(uniq % dataset.num_items()) +
+             "],\"limit\":" + std::to_string(100 + uniq) + "}";
+    default:
+      return "{\"op\":\"cover\",\"items\":" +
+             ItemsJson(dataset.row(uniq % dataset.num_rows())) +
+             ",\"limit\":" + std::to_string(100 + uniq) + "}";
+  }
+}
+
+struct PhaseResult {
+  std::vector<double> latencies;  // Seconds per round trip.
+  double wall_seconds = 0.0;
+  std::size_t requests = 0;
+  std::size_t failures = 0;
+};
+
+/// Runs `clients` concurrent connections, each issuing `per_client`
+/// requests. `query_of(client, i)` names the request; every round trip
+/// is timed individually.
+template <typename QueryFn>
+PhaseResult RunPhase(int port, std::size_t clients, std::size_t per_client,
+                     QueryFn query_of) {
+  PhaseResult result;
+  std::vector<std::vector<double>> lat(clients);
+  std::vector<std::size_t> failures(clients, 0);
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect(port)) {
+        failures[c] = per_client;
+        return;
+      }
+      std::string response;
+      lat[c].reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        Stopwatch sw;
+        if (!client.RoundTrip(query_of(c, i), &response) ||
+            response.find("\"ok\":true") == std::string::npos) {
+          ++failures[c];
+          continue;
+        }
+        lat[c].push_back(sw.ElapsedSeconds());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_seconds = wall.ElapsedSeconds();
+  for (std::size_t c = 0; c < clients; ++c) {
+    result.latencies.insert(result.latencies.end(), lat[c].begin(),
+                            lat[c].end());
+    result.failures += failures[c];
+  }
+  result.requests = result.latencies.size();
+  std::sort(result.latencies.begin(), result.latencies.end());
+  return result;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t i = std::min(
+      sorted.size() - 1, static_cast<std::size_t>(p * sorted.size()));
+  return sorted[i];
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace farmer
+
+int main(int argc, char** argv) {
+  using namespace farmer;
+  using namespace farmer::bench;
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  std::size_t count = 400;
+  int external_port = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
+      count = static_cast<std::size_t>(std::atoll(argv[++i]));
+    }
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      external_port = std::atoi(argv[++i]);
+    }
+  }
+  count = std::max<std::size_t>(count, 200);
+  PrintBenchHeader("Query-server latency: cold vs warm cache at 1/4/16 "
+                   "clients", config);
+  JsonWriter json("serve_latency");
+
+  // The served store: the Fig. 10 BC workload's rule groups.
+  BenchDataset ds = MakeBenchDataset("BC", config.column_scale);
+  MinerOptions opts;
+  opts.consequent = 1;
+  opts.min_support = 5;
+  FarmerResult mined = MineFarmer(ds.binary, opts);
+  std::printf("store: %zu rule groups from %s (%zu rows x %zu items)\n\n",
+              mined.groups.size(), ds.name.c_str(),
+              static_cast<std::size_t>(ds.binary.num_rows()),
+              static_cast<std::size_t>(ds.binary.num_items()));
+
+  std::unique_ptr<Server> server;
+  int port = external_port;
+  if (external_port == 0) {
+    RuleGroupSnapshot snapshot;
+    snapshot.num_rows = ds.binary.num_rows();
+    snapshot.groups = std::move(mined.groups);
+    snapshot.params = serve::SnapshotParams::FromMinerOptions(opts);
+    snapshot.fingerprint = serve::SnapshotFingerprint::FromDataset(ds.binary);
+    Server::Options server_options;
+    server_options.num_workers = 8;
+    server_options.max_connections = 64;
+    server = std::make_unique<Server>(RuleGroupIndex(std::move(snapshot)),
+                                      server_options);
+    const Status started = server->Start();
+    if (!started.ok()) {
+      std::printf("server failed to start: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    port = server->port();
+  }
+  std::printf("%6s %6s | %9s %9s %9s | %8s | %6s %6s\n", "phase", "conns",
+              "p50(us)", "p99(us)", "qps", "requests", "hits", "miss");
+
+  bool cache_regression = false;
+  for (std::size_t clients : {std::size_t{1}, std::size_t{4},
+                              std::size_t{16}}) {
+    const std::size_t per_client = std::max<std::size_t>(count / clients, 8);
+
+    struct Phase {
+      const char* name;
+      PhaseResult result;
+      std::uint64_t hits = 0;
+      std::uint64_t misses = 0;
+    };
+    std::vector<Phase> phases;
+
+    if (external_port == 0) {
+      // Cold: unique canonical keys, nothing reusable in the cache.
+      server->cache().Clear();
+      const std::uint64_t h0 = server->cache().hits();
+      const std::uint64_t m0 = server->cache().misses();
+      PhaseResult cold = RunPhase(
+          port, clients, per_client, [&](std::size_t c, std::size_t i) {
+            return MakeQuery(1 + c * per_client + i, ds.binary);
+          });
+      phases.push_back({"cold", std::move(cold), server->cache().hits() - h0,
+                        server->cache().misses() - m0});
+
+      // Warm: a fixed 8-query working set, primed before timing.
+      server->cache().Clear();
+      {
+        Client primer;
+        if (!primer.Connect(port)) return 1;
+        std::string response;
+        for (std::size_t i = 0; i < 8; ++i) {
+          if (!primer.RoundTrip(MakeQuery(i, ds.binary), &response)) return 1;
+        }
+      }
+      const std::uint64_t h1 = server->cache().hits();
+      const std::uint64_t m1 = server->cache().misses();
+      PhaseResult warm = RunPhase(
+          port, clients, per_client, [&](std::size_t, std::size_t i) {
+            return MakeQuery(i % 8, ds.binary);
+          });
+      phases.push_back({"warm", std::move(warm), server->cache().hits() - h1,
+                        server->cache().misses() - m1});
+    } else {
+      PhaseResult mixed = RunPhase(
+          port, clients, per_client, [&](std::size_t c, std::size_t i) {
+            return MakeQuery(c * per_client + i, ds.binary);
+          });
+      phases.push_back({"mixed", std::move(mixed), 0, 0});
+    }
+
+    double cold_p50 = 0.0;
+    for (const Phase& phase : phases) {
+      const double p50 = Percentile(phase.result.latencies, 0.50);
+      const double p99 = Percentile(phase.result.latencies, 0.99);
+      const double qps = phase.result.wall_seconds > 0.0
+                             ? phase.result.requests /
+                                   phase.result.wall_seconds
+                             : 0.0;
+      if (std::strcmp(phase.name, "cold") == 0) cold_p50 = p50;
+      if (std::strcmp(phase.name, "warm") == 0 && p50 >= cold_p50) {
+        cache_regression = true;
+      }
+      std::printf("%6s %6zu | %9.1f %9.1f %9.0f | %8zu | %6llu %6llu%s\n",
+                  phase.name, clients, p50 * 1e6, p99 * 1e6, qps,
+                  phase.result.requests,
+                  static_cast<unsigned long long>(phase.hits),
+                  static_cast<unsigned long long>(phase.misses),
+                  phase.result.failures > 0 ? " (FAILURES)" : "");
+      std::fflush(stdout);
+      if (phase.result.failures > 0) {
+        std::printf("%zu requests failed\n", phase.result.failures);
+        return 1;
+      }
+      json.Add(JsonRecord()
+                   .Str("bench", "serve_latency")
+                   .Str("phase", phase.name)
+                   .Int("clients", static_cast<long long>(clients))
+                   .Int("requests",
+                        static_cast<long long>(phase.result.requests))
+                   .Num("p50_us", p50 * 1e6)
+                   .Num("p99_us", p99 * 1e6)
+                   .Num("qps", qps)
+                   .Num("wall_s", phase.result.wall_seconds)
+                   .Int("cache_hits", static_cast<long long>(phase.hits))
+                   .Int("cache_misses",
+                        static_cast<long long>(phase.misses)));
+      json.Flush();
+    }
+  }
+
+  if (server != nullptr) server->Shutdown();
+  if (cache_regression) {
+    std::printf("\nCACHE REGRESSION: warm p50 is not below cold p50\n");
+    return 1;
+  }
+  std::printf("\njson: %s\n", json.path().c_str());
+  return 0;
+}

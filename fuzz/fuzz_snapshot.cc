@@ -1,0 +1,46 @@
+/// Fuzz harness for the rule-group snapshot parser.
+///
+/// Feeds arbitrary bytes to LoadSnapshotFromBuffer. The parser must
+/// either reject the input with InvalidArgument or produce a snapshot
+/// that (a) re-serializes to exactly the input bytes — the format is
+/// canonical, so parse and serialize are inverse bijections on the set
+/// of valid buffers — and (b) is safe to hand to RuleGroupIndex and
+/// query. Any crash, hang, or round-trip mismatch is a bug.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "serve/index.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  farmer::serve::RuleGroupSnapshot snapshot;
+  const farmer::Status status =
+      farmer::serve::LoadSnapshotFromBuffer(input, "fuzz", &snapshot);
+  if (!status.ok()) {
+    // Rejections must be graceful and typed: never IoError or a crash.
+    if (!status.IsInvalidArgument()) __builtin_trap();
+    return 0;
+  }
+
+  // Accepted buffers must re-serialize byte-identically.
+  const std::string reserialized =
+      farmer::serve::SerializeSnapshot(snapshot);
+  if (reserialized != input) __builtin_trap();
+
+  // Accepted snapshots must be safe to index and query.
+  farmer::serve::RuleGroupIndex index(std::move(snapshot));
+  (void)index.TopKByConfidence(3);
+  (void)index.TopKByChiSquare(3);
+  (void)index.Filter(1, 0.5, 8);
+  (void)index.AntecedentContains({0, 2}, 8);
+  (void)index.RowCover({1, 3, 5}, 8);
+  return 0;
+}

@@ -20,11 +20,13 @@ bool IrgClassifier::EntryMatches(const Entry& entry,
 
 IrgClassifier IrgClassifier::Train(const BinaryDataset& train,
                                    const IrgClassifierOptions& options) {
-  IrgClassifier classifier;
-  classifier.prediction_ = options.prediction;
-  std::vector<Entry> entries;
+  return BuildFromGroups(train, MineClassGroups(train, options), options);
+}
+
+std::vector<IrgClassifier::MinedClassGroups> IrgClassifier::MineClassGroups(
+    const BinaryDataset& train, const IrgClassifierOptions& options) {
+  std::vector<MinedClassGroups> mined;
   const std::size_t num_classes = train.num_classes();
-  classifier.num_classes_ = num_classes;
   for (std::size_t c = 0; c < num_classes; ++c) {
     const auto label = static_cast<ClassLabel>(c);
     const std::size_t class_size = train.CountLabel(label);
@@ -40,11 +42,28 @@ IrgClassifier IrgClassifier::Train(const BinaryDataset& train,
     if (options.max_seconds_per_class > 0.0) {
       opts.deadline = Deadline::After(options.max_seconds_per_class);
     }
-    const FarmerResult result = MineFarmer(train, opts);
-    classifier.num_mined_ += result.groups.size();
-    for (const RuleGroup& g : result.groups) {
+    FarmerResult result = MineFarmer(train, opts);
+    MinedClassGroups m;
+    m.label = label;
+    m.groups = std::move(result.groups);
+    mined.push_back(std::move(m));
+  }
+  return mined;
+}
+
+IrgClassifier IrgClassifier::BuildFromGroups(
+    const BinaryDataset& train, const std::vector<MinedClassGroups>& mined,
+    const IrgClassifierOptions& options) {
+  IrgClassifier classifier;
+  classifier.prediction_ = options.prediction;
+  const std::size_t num_classes = train.num_classes();
+  classifier.num_classes_ = num_classes;
+  std::vector<Entry> entries;
+  for (const MinedClassGroups& m : mined) {
+    classifier.num_mined_ += m.groups.size();
+    for (const RuleGroup& g : m.groups) {
       Entry e;
-      e.label = label;
+      e.label = m.label;
       e.support = g.support_pos;
       e.confidence = g.confidence;
       if (!g.lower_bounds.empty()) {

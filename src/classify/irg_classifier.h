@@ -41,9 +41,32 @@ struct IrgClassifierOptions {
 /// the upper bound when lower bounds are unavailable.
 class IrgClassifier {
  public:
-  /// Mines IRGs on `train` and builds the classifier.
+  /// The rule groups FARMER mined for one class (training intermediate;
+  /// also what a serve/ snapshot stores per consequent).
+  struct MinedClassGroups {
+    ClassLabel label = 0;
+    std::vector<RuleGroup> groups;
+  };
+
+  /// Mines IRGs on `train` and builds the classifier. Exactly
+  /// BuildFromGroups(train, MineClassGroups(train, options), options).
   static IrgClassifier Train(const BinaryDataset& train,
                              const IrgClassifierOptions& options);
+
+  /// The mining phase of Train(): one FARMER run per class with the
+  /// options' per-class thresholds, in class order.
+  static std::vector<MinedClassGroups> MineClassGroups(
+      const BinaryDataset& train, const IrgClassifierOptions& options);
+
+  /// The deterministic build phase of Train(): ranking, database-
+  /// coverage pruning, and default-class selection over already-mined
+  /// groups. Given the same `train` and the same groups in the same
+  /// order — e.g. groups saved to and reloaded from a serve/ snapshot —
+  /// the resulting classifier predicts identically.
+  static IrgClassifier BuildFromGroups(
+      const BinaryDataset& train,
+      const std::vector<MinedClassGroups>& mined,
+      const IrgClassifierOptions& options);
 
   /// Predicts the label of a row given as a sorted itemset.
   ClassLabel Predict(const ItemVector& row_items) const;

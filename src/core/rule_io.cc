@@ -67,17 +67,22 @@ Status LoadRuleGroups(const std::string& path,
   std::vector<RuleGroup> out;
   RuleGroup current;
   bool in_group = false;
+  bool has_rows = false;
+  bool has_upper = false;
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
     const auto err = [&](const std::string& msg) {
       return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
                                      ": " + msg);
     };
+    if (line.size() > kMaxRuleLineBytes) return err("line too long");
+    if (line.empty() || line[0] == '#') continue;
     if (line.rfind("group ", 0) == 0) {
       if (in_group) return err("nested 'group'");
       in_group = true;
+      has_rows = false;
+      has_upper = false;
       current = RuleGroup();
       current.rows = Bitset(n);
       std::istringstream is(line.substr(6));
@@ -86,6 +91,8 @@ Status LoadRuleGroups(const std::string& path,
       if (is.fail()) return err("bad group stats");
     } else if (line.rfind("rows", 0) == 0) {
       if (!in_group) return err("'rows' outside a group");
+      if (has_rows) return err("duplicate 'rows' in one group");
+      has_rows = true;
       bool ok = true;
       ParseIds(line, [&](unsigned long r) {
         if (r >= n) {
@@ -97,6 +104,8 @@ Status LoadRuleGroups(const std::string& path,
       if (!ok) return err("row id out of range");
     } else if (line.rfind("upper", 0) == 0) {
       if (!in_group) return err("'upper' outside a group");
+      if (has_upper) return err("duplicate 'upper' in one group");
+      has_upper = true;
       ParseIds(line, [&](unsigned long i) {
         current.antecedent.push_back(static_cast<ItemId>(i));
       });

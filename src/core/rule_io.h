@@ -25,8 +25,16 @@ namespace farmer {
 Status SaveRuleGroups(const std::vector<RuleGroup>& groups,
                       std::size_t num_rows, const std::string& path);
 
+/// Longest line LoadRuleGroups accepts. Generous for real stores (a
+/// 4M-row `rows` line stays under it) while bounding what a hostile
+/// file can make the parser buffer and re-scan.
+inline constexpr std::size_t kMaxRuleLineBytes = std::size_t{1} << 25;
+
 /// Loads rule groups written by SaveRuleGroups. Returns InvalidArgument
-/// on malformed or version-mismatched input.
+/// on malformed or version-mismatched input: bad header, records outside
+/// a group, duplicate `rows`/`upper` records within one group, a group
+/// missing its `end`, row indices >= the header's num_rows, supports
+/// disagreeing with the row set, or lines over kMaxRuleLineBytes.
 Status LoadRuleGroups(const std::string& path,
                       std::vector<RuleGroup>* groups,
                       std::size_t* num_rows);

@@ -63,6 +63,26 @@ Status BinaryDataset::Validate() const {
   return Status::Ok();
 }
 
+std::uint64_t BinaryDataset::ContentHash() const {
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xFFu;
+      h *= kPrime;
+    }
+  };
+  mix(num_items_);
+  mix(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    mix(static_cast<std::uint64_t>(labels_[r]));
+    mix(rows_[r].size());
+    for (ItemId i : rows_[r]) mix(i);
+  }
+  return h;
+}
+
 std::string BinaryDataset::ItemName(ItemId i) const {
   if (i < item_names_.size()) return item_names_[i];
   return "i" + std::to_string(i);

@@ -2,6 +2,7 @@
 #define FARMER_DATASET_DATASET_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,12 @@ class BinaryDataset {
   /// Checks structural invariants: sorted duplicate-free rows, item ids in
   /// range. Returns the first violation found.
   Status Validate() const;
+
+  /// Stable FNV-1a digest of the dataset contents (item universe, rows,
+  /// labels; item names excluded). The serving snapshot stores it as the
+  /// dataset fingerprint so a rule store can be matched back to the data
+  /// it was mined from.
+  std::uint64_t ContentHash() const;
 
   /// Optional human-readable item names (for rule printing). Either empty
   /// or exactly num_items() entries.

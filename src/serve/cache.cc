@@ -1,0 +1,80 @@
+#include "serve/cache.h"
+
+namespace farmer {
+namespace serve {
+
+bool ResponseCache::Get(const std::string& key, std::string* value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *value = it->second->second;
+  ++hits_;
+  return true;
+}
+
+void ResponseCache::Put(const std::string& key, std::string value) {
+  if (value.size() > max_bytes_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    bytes_ -= it->second->second.size();
+    bytes_ += value.size();
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    bytes_ += value.size();
+    lru_.emplace_front(key, std::move(value));
+    map_.emplace(key, lru_.begin());
+  }
+  EvictLocked();
+}
+
+void ResponseCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  map_.clear();
+  bytes_ = 0;
+}
+
+void ResponseCache::EvictLocked() {
+  while (!lru_.empty() &&
+         (map_.size() > max_entries_ || bytes_ > max_bytes_)) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.second.size();
+    map_.erase(victim.first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::size_t ResponseCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+std::size_t ResponseCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::uint64_t ResponseCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResponseCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t ResponseCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace serve
+}  // namespace farmer

@@ -1,0 +1,67 @@
+#ifndef FARMER_SERVE_CACHE_H_
+#define FARMER_SERVE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace farmer {
+namespace serve {
+
+/// Thread-safe LRU cache for rendered response payloads, keyed by the
+/// canonicalized query (see CanonicalKey). Bounded both by entry count
+/// and by total payload bytes; inserting past either bound evicts the
+/// least-recently-used entries. One mutex guards everything — entries
+/// are small strings and the critical sections are a few pointer moves,
+/// so contention is not a concern at the server's request rates.
+class ResponseCache {
+ public:
+  ResponseCache(std::size_t max_entries, std::size_t max_bytes)
+      : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  /// Looks up `key`; on hit copies the payload into *value, promotes the
+  /// entry to most-recently-used, and returns true.
+  bool Get(const std::string& key, std::string* value);
+
+  /// Inserts (or refreshes) `key` -> `value`, then evicts LRU entries
+  /// until both bounds hold again. Values larger than the byte bound are
+  /// not cached at all.
+  void Put(const std::string& key, std::string value);
+
+  /// Drops every entry (the bench's cold-cache phases).
+  void Clear();
+
+  std::size_t size() const;
+  std::size_t bytes() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+ private:
+  using Entry = std::pair<std::string, std::string>;  // key, payload.
+
+  void EvictLocked();
+
+  const std::size_t max_entries_;
+  const std::size_t max_bytes_;
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace serve
+}  // namespace farmer
+
+#endif  // FARMER_SERVE_CACHE_H_

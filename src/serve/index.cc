@@ -1,0 +1,178 @@
+#include "serve/index.h"
+
+#include <algorithm>
+
+namespace farmer {
+namespace serve {
+
+namespace {
+
+/// Keeps only ids present in `allowed` (both sorted ascending).
+void IntersectSorted(std::vector<std::uint32_t>* ids,
+                     const std::vector<std::uint32_t>& allowed) {
+  std::vector<std::uint32_t> out;
+  std::set_intersection(ids->begin(), ids->end(), allowed.begin(),
+                        allowed.end(), std::back_inserter(out));
+  *ids = std::move(out);
+}
+
+}  // namespace
+
+bool RuleGroupIndex::IsSubset(const ItemVector& sub,
+                              const ItemVector& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+RuleGroupIndex::RuleGroupIndex(RuleGroupSnapshot snapshot)
+    : snap_(std::move(snapshot)) {
+  const std::size_t n = snap_.groups.size();
+  by_confidence_.resize(n);
+  by_chi_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    by_confidence_[i] = static_cast<std::uint32_t>(i);
+    by_chi_[i] = static_cast<std::uint32_t>(i);
+  }
+  const auto& groups = snap_.groups;
+  std::stable_sort(by_confidence_.begin(), by_confidence_.end(),
+                   [&groups](std::uint32_t a, std::uint32_t b) {
+                     if (groups[a].confidence != groups[b].confidence) {
+                       return groups[a].confidence > groups[b].confidence;
+                     }
+                     return groups[a].support_pos > groups[b].support_pos;
+                   });
+  std::stable_sort(by_chi_.begin(), by_chi_.end(),
+                   [&groups](std::uint32_t a, std::uint32_t b) {
+                     if (groups[a].chi_square != groups[b].chi_square) {
+                       return groups[a].chi_square > groups[b].chi_square;
+                     }
+                     return groups[a].support_pos > groups[b].support_pos;
+                   });
+  conf_rank_.resize(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    conf_rank_[by_confidence_[rank]] = static_cast<std::uint32_t>(rank);
+  }
+
+  const std::size_t num_items =
+      static_cast<std::size_t>(snap_.fingerprint.num_items);
+  antecedent_postings_.resize(num_items);
+  ms_postings_.resize(num_items);
+  for (std::size_t g = 0; g < n; ++g) {
+    for (ItemId item : groups[g].antecedent) {
+      antecedent_postings_[item].push_back(static_cast<std::uint32_t>(g));
+    }
+    const auto add_match_set = [this, g](const ItemVector& items) {
+      if (items.empty()) {
+        always_match_.push_back(static_cast<std::uint32_t>(g));
+        return;
+      }
+      const auto ms_id = static_cast<std::uint32_t>(ms_group_.size());
+      ms_group_.push_back(static_cast<std::uint32_t>(g));
+      ms_size_.push_back(static_cast<std::uint32_t>(items.size()));
+      for (ItemId item : items) ms_postings_[item].push_back(ms_id);
+    };
+    if (groups[g].lower_bounds.empty()) {
+      add_match_set(groups[g].antecedent);
+    } else {
+      for (const ItemVector& lb : groups[g].lower_bounds) {
+        add_match_set(lb);
+      }
+    }
+  }
+}
+
+std::vector<std::uint32_t> RuleGroupIndex::TopKByConfidence(
+    std::size_t k) const {
+  k = std::min(k, by_confidence_.size());
+  return {by_confidence_.begin(), by_confidence_.begin() + k};
+}
+
+std::vector<std::uint32_t> RuleGroupIndex::TopKByChiSquare(
+    std::size_t k) const {
+  k = std::min(k, by_chi_.size());
+  return {by_chi_.begin(), by_chi_.begin() + k};
+}
+
+std::vector<std::uint32_t> RuleGroupIndex::AntecedentContains(
+    const ItemVector& items, std::size_t limit) const {
+  std::vector<std::uint32_t> candidates;
+  if (items.empty()) {
+    // Every group contains the empty itemset.
+    candidates = TopKByConfidence(limit);
+    return candidates;
+  }
+  for (ItemId item : items) {
+    if (item >= antecedent_postings_.size()) return {};
+  }
+  // Intersect posting lists, shortest first so the running set shrinks
+  // as fast as possible.
+  ItemVector probe = items;
+  std::sort(probe.begin(), probe.end(), [this](ItemId a, ItemId b) {
+    return antecedent_postings_[a].size() < antecedent_postings_[b].size();
+  });
+  candidates = antecedent_postings_[probe[0]];
+  for (std::size_t k = 1; k < probe.size() && !candidates.empty(); ++k) {
+    IntersectSorted(&candidates, antecedent_postings_[probe[k]]);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return conf_rank_[a] < conf_rank_[b];
+            });
+  if (candidates.size() > limit) candidates.resize(limit);
+  return candidates;
+}
+
+std::vector<std::uint32_t> RuleGroupIndex::RowCover(
+    const ItemVector& row_items, std::size_t limit) const {
+  // Counting join: a match set of size s is covered by the sample iff
+  // exactly s of the sample's items hit it, so only match sets touched
+  // by some sample item can qualify. The dense count vector keeps the
+  // per-hit cost at one array bump (its zero-fill is a memset of one
+  // byte-per-match-set — cheap next to the posting walk).
+  std::vector<std::uint32_t> touched;
+  std::vector<std::uint32_t> counts(ms_group_.size(), 0);
+  for (ItemId item : row_items) {
+    if (item >= ms_postings_.size()) continue;
+    for (std::uint32_t ms : ms_postings_[item]) {
+      if (counts[ms] == 0) touched.push_back(ms);
+      ++counts[ms];
+    }
+  }
+  std::vector<std::uint32_t> out = always_match_;
+  for (std::uint32_t ms : touched) {
+    if (counts[ms] == ms_size_[ms]) out.push_back(ms_group_[ms]);
+  }
+  // Several lower bounds of one group may match; dedupe on group id.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  std::sort(out.begin(), out.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return conf_rank_[a] < conf_rank_[b];
+            });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<std::uint32_t> RuleGroupIndex::Filter(
+    std::size_t min_support, double min_confidence,
+    std::size_t limit) const {
+  // Groups with confidence >= min_confidence form a prefix of the
+  // confidence projection; binary-search its end, then filter the prefix
+  // by support.
+  const auto& groups = snap_.groups;
+  const auto end = std::partition_point(
+      by_confidence_.begin(), by_confidence_.end(),
+      [&groups, min_confidence](std::uint32_t g) {
+        return groups[g].confidence >= min_confidence;
+      });
+  std::vector<std::uint32_t> out;
+  for (auto it = by_confidence_.begin(); it != end; ++it) {
+    if (groups[*it].support_pos >= min_support) {
+      out.push_back(*it);
+      if (out.size() == limit) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace farmer

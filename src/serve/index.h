@@ -1,0 +1,91 @@
+#ifndef FARMER_SERVE_INDEX_H_
+#define FARMER_SERVE_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dataset/types.h"
+#include "serve/snapshot.h"
+
+namespace farmer {
+namespace serve {
+
+/// In-memory query engine over a loaded snapshot.
+///
+/// Construction builds sorted projections (by confidence and by
+/// chi-square) and a per-item posting-list inverted index, so each query
+/// type an analyst or classifier issues is answered without scanning the
+/// whole store:
+///
+///   * top-k by confidence / chi-square      O(k) off the projection
+///   * filter by min-support + min-confidence  O(log n + answer) via
+///     binary search on the confidence projection
+///   * antecedent-contains(items)            posting-list intersection,
+///     O(shortest posting list) per probe
+///   * row-cover(sample items)               counting join over the
+///     match-set postings, O(sum of the sample's posting lists)
+///
+/// All queries return group indices into `snapshot().groups`, most
+/// interesting first, truncated to the caller's limit. The index is
+/// immutable after construction and safe for concurrent readers.
+class RuleGroupIndex {
+ public:
+  explicit RuleGroupIndex(RuleGroupSnapshot snapshot);
+
+  const RuleGroupSnapshot& snapshot() const { return snap_; }
+  std::size_t size() const { return snap_.groups.size(); }
+  const RuleGroup& group(std::size_t i) const { return snap_.groups[i]; }
+
+  /// The `k` groups with the highest (confidence, support_pos) /
+  /// (chi_square, support_pos), best first.
+  std::vector<std::uint32_t> TopKByConfidence(std::size_t k) const;
+  std::vector<std::uint32_t> TopKByChiSquare(std::size_t k) const;
+
+  /// Groups whose upper-bound antecedent contains every item of `items`
+  /// (sorted, duplicate-free), by descending confidence, at most `limit`.
+  std::vector<std::uint32_t> AntecedentContains(const ItemVector& items,
+                                                std::size_t limit) const;
+
+  /// Groups matching a sample given as its sorted item vector: any lower
+  /// bound (or, for groups without lower bounds, the upper bound) is a
+  /// subset of `row_items` — the same match rule the IRG classifier
+  /// applies. Descending confidence, at most `limit`.
+  std::vector<std::uint32_t> RowCover(const ItemVector& row_items,
+                                      std::size_t limit) const;
+
+  /// Groups with support_pos >= min_support and confidence >=
+  /// min_confidence, by descending confidence, at most `limit`.
+  std::vector<std::uint32_t> Filter(std::size_t min_support,
+                                    double min_confidence,
+                                    std::size_t limit) const;
+
+ private:
+  /// True when every item of the sorted vector `sub` appears in the
+  /// sorted vector `super`.
+  static bool IsSubset(const ItemVector& sub, const ItemVector& super);
+
+  RuleGroupSnapshot snap_;
+  /// Group indices by descending (confidence, support_pos, index).
+  std::vector<std::uint32_t> by_confidence_;
+  /// Group indices by descending (chi_square, support_pos, index).
+  std::vector<std::uint32_t> by_chi_;
+  /// Rank of each group in by_confidence_ (for sorting query answers).
+  std::vector<std::uint32_t> conf_rank_;
+  /// item -> groups whose antecedent contains it (ascending group index).
+  std::vector<std::vector<std::uint32_t>> antecedent_postings_;
+  /// Row-cover side: one match set per (group, lower bound) pair — or the
+  /// antecedent when a group has no lower bounds. Sizes + owning group
+  /// per match set, and item -> match-set ids postings for the counting
+  /// join.
+  std::vector<std::uint32_t> ms_group_;
+  std::vector<std::uint32_t> ms_size_;
+  std::vector<std::vector<std::uint32_t>> ms_postings_;
+  /// Groups with an empty match set (match every sample).
+  std::vector<std::uint32_t> always_match_;
+};
+
+}  // namespace serve
+}  // namespace farmer
+
+#endif  // FARMER_SERVE_INDEX_H_

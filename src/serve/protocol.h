@@ -1,0 +1,105 @@
+#ifndef FARMER_SERVE_PROTOCOL_H_
+#define FARMER_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataset/types.h"
+#include "serve/index.h"
+#include "util/status.h"
+
+namespace farmer {
+namespace serve {
+
+/// Wire protocol of the rule-group server: line-delimited JSON. One
+/// request object per line in, one response object per line out.
+///
+/// Requests:
+///   {"op":"ping"}
+///   {"op":"stats"}
+///   {"op":"topk","metric":"confidence"|"chi_square","k":10}
+///   {"op":"contains","items":[3,17]}
+///   {"op":"cover","items":[1,2,5,9]}
+///   {"op":"filter","minsup":5,"minconf":0.9}
+/// Optional on any request: "limit" (result cap, default 100, max 10000),
+/// "id" (opaque string echoed back), "deadline_ms" (per-request budget).
+///
+/// Responses: {"ok":true,...,"cached":false} or
+/// {"ok":false,"error":"<code>","message":"..."}. Error codes:
+/// "bad_request", "overloaded", "deadline_exceeded", "shutting_down".
+
+/// A parsed, validated request.
+struct QueryRequest {
+  enum class Op {
+    kPing,
+    kStats,
+    kTopkConfidence,
+    kTopkChiSquare,
+    kContains,
+    kCover,
+    kFilter,
+  };
+
+  Op op = Op::kPing;
+  std::size_t k = 10;           // topk
+  ItemVector items;             // contains / cover (sorted, deduped)
+  std::size_t min_support = 0;  // filter
+  double min_confidence = 0.0;  // filter
+  std::size_t limit = 100;      // all group-returning ops
+  double deadline_ms = 0.0;     // 0 = server default
+  std::string id;               // echoed verbatim ("" = absent)
+};
+
+/// Caps keeping hostile requests bounded.
+inline constexpr std::size_t kMaxRequestBytes = 1 << 16;
+inline constexpr std::size_t kMaxResultLimit = 10000;
+inline constexpr std::size_t kMaxQueryItems = 4096;
+
+/// Parses one request line. InvalidArgument on anything malformed: bad
+/// JSON, unknown op or field, wrong type, out-of-range value. Never
+/// crashes on arbitrary bytes.
+Status ParseRequest(const std::string& line, QueryRequest* out);
+
+/// Deterministic cache key: the request re-rendered with fields in fixed
+/// order, excluding "id" and "deadline_ms" (which don't affect the
+/// answer). Two requests with equal keys have byte-identical payloads.
+std::string CanonicalKey(const QueryRequest& request);
+
+/// True when responses to `request` are cacheable (everything except
+/// ping/stats, whose answers are trivial or time-varying).
+bool IsCacheable(const QueryRequest& request);
+
+/// Renders the payload of a successful group-returning response, WITHOUT
+/// the trailing "cached" field and closing brace — the server appends
+/// `,"cached":true}` or `,"cached":false}` so one cached payload serves
+/// both cases. `ids` are group indices into the index's snapshot.
+std::string RenderGroupsPayload(const QueryRequest& request,
+                                const RuleGroupIndex& index,
+                                const std::vector<std::uint32_t>& ids);
+
+/// Payload of a "stats" response (store size, params, fingerprint).
+std::string RenderStatsPayload(const QueryRequest& request,
+                               const RuleGroupIndex& index);
+
+/// Payload of a "ping" response.
+std::string RenderPingPayload(const QueryRequest& request);
+
+/// A complete (self-closed) error response line, no trailing newline.
+std::string RenderError(const std::string& code, const std::string& message,
+                        const std::string& id = "");
+
+/// Appends the cached flag and the request's echo id to a payload from
+/// the Render*Payload functions, producing a complete response line (no
+/// newline). The id lives here, not in the payload, so one cached
+/// payload can serve requests that differ only in their ids.
+std::string FinishResponse(const std::string& payload, bool cached,
+                           const std::string& id = "");
+
+}  // namespace serve
+}  // namespace farmer
+
+#endif  // FARMER_SERVE_PROTOCOL_H_

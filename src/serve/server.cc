@@ -1,0 +1,380 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace farmer {
+namespace serve {
+namespace {
+
+// Receive timeout on connection sockets. Handlers wake at this cadence
+// to poll the stop flag, which bounds how long Shutdown() can block on
+// an idle connection.
+constexpr int kRecvTimeoutMs = 100;
+
+// Latency buckets, seconds: 10us .. 1s plus overflow.
+std::vector<double> LatencyBounds() {
+  return {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0};
+}
+
+// Writes all of `data` to `fd`, retrying partial writes and EINTR.
+// Returns false when the peer is gone. MSG_NOSIGNAL keeps a dead peer
+// from raising SIGPIPE and killing the process.
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool SendLine(int fd, std::string line) {
+  line.push_back('\n');
+  return SendAll(fd, line);
+}
+
+const char* SpanName(QueryRequest::Op op) {
+  switch (op) {
+    case QueryRequest::Op::kPing:
+      return "serve.ping";
+    case QueryRequest::Op::kStats:
+      return "serve.stats";
+    case QueryRequest::Op::kTopkConfidence:
+    case QueryRequest::Op::kTopkChiSquare:
+      return "serve.topk";
+    case QueryRequest::Op::kContains:
+      return "serve.contains";
+    case QueryRequest::Op::kCover:
+      return "serve.cover";
+    case QueryRequest::Op::kFilter:
+      return "serve.filter";
+  }
+  return "serve.request";
+}
+
+}  // namespace
+
+Server::Server(RuleGroupIndex index, const Options& options)
+    : index_(std::move(index)),
+      options_(options),
+      cache_(options.cache_entries, options.cache_bytes) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.max_connections == 0) options_.max_connections = 1;
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    metrics_.requests = m->GetCounter("serve.requests");
+    metrics_.responses_ok = m->GetCounter("serve.responses_ok");
+    metrics_.responses_error = m->GetCounter("serve.responses_error");
+    metrics_.cache_hits = m->GetCounter("serve.cache_hits");
+    metrics_.cache_misses = m->GetCounter("serve.cache_misses");
+    metrics_.overloaded = m->GetCounter("serve.overloaded");
+    metrics_.deadline_exceeded = m->GetCounter("serve.deadline_exceeded");
+    metrics_.active_connections = m->GetGauge("serve.active_connections");
+    metrics_.latency =
+        m->GetHistogram("serve.latency_seconds", LatencyBounds());
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  if (started_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already started");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError("socket(): " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind(): " + err);
+  }
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen(): " + err);
+  }
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("getsockname(): " + err);
+  }
+  port_ = ntohs(bound.sin_port);
+
+  stopping_.store(false, std::memory_order_release);
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+void Server::Shutdown() {
+  // Serialized: concurrent Shutdown() calls (say, a signal-driven stop
+  // racing the destructor) must not both join the accept thread.
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (!started_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Unblock the accept() call with shutdown() rather than close(): a
+  // close here could race a new accept on a reused fd number. The real
+  // close happens after the accept thread is gone.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // In-flight handlers notice stopping_ within one recv timeout, finish
+  // the request they are on, and return; Wait() drains them all.
+  pool_->Wait();
+  pool_.reset();
+  started_.store(false, std::memory_order_release);
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listener closed or broken: stop accepting. Shutdown() handles
+      // the rest.
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      SendLine(fd, RenderError("shutting_down", "server is shutting down"));
+      ::close(fd);
+      break;
+    }
+
+    // Admission control. The count is reserved here (before the task is
+    // queued) and released when the handler finishes, so queued-but-not-
+    // started connections occupy a slot too.
+    std::size_t active = active_connections_.load(std::memory_order_relaxed);
+    bool admitted = false;
+    while (active < options_.max_connections) {
+      if (active_connections_.compare_exchange_weak(
+              active, active + 1, std::memory_order_relaxed)) {
+        admitted = true;
+        break;
+      }
+    }
+    if (!admitted) {
+      overloaded_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_.overloaded != nullptr) metrics_.overloaded->Increment();
+      SendLine(fd, RenderError("overloaded", "connection limit reached"));
+      ::close(fd);
+      continue;
+    }
+    if (metrics_.active_connections != nullptr) {
+      metrics_.active_connections->Set(static_cast<double>(
+          active_connections_.load(std::memory_order_relaxed)));
+    }
+
+    pool_->Submit([this, fd](std::size_t worker_id) {
+      HandleConnection(fd, worker_id);
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      if (metrics_.active_connections != nullptr) {
+        metrics_.active_connections->Set(static_cast<double>(
+            active_connections_.load(std::memory_order_relaxed)));
+      }
+    });
+  }
+}
+
+void Server::HandleConnection(int fd, std::size_t worker_id) {
+  // Receive timeout doubles as the stop-flag polling interval.
+  timeval tv;
+  tv.tv_sec = kRecvTimeoutMs / 1000;
+  tv.tv_usec = (kRecvTimeoutMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  std::string buffer;
+  char chunk[4096];
+  bool alive = true;
+  while (alive && !stopping_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        continue;  // Timeout tick: re-check the stop flag.
+      }
+      break;
+    }
+    if (n == 0) break;  // Peer closed.
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    // Drain every complete line currently buffered.
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (!SendLine(fd, ProcessRequest(line, worker_id))) {
+        alive = false;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+
+    // A line longer than the request cap can never become valid; reject
+    // it and drop the connection rather than buffering without bound.
+    if (buffer.size() > kMaxRequestBytes) {
+      SendLine(fd, RenderError("bad_request", "request line too long"));
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+std::string Server::ProcessRequest(const std::string& line,
+                                   std::size_t worker_id) {
+  Stopwatch watch;
+  if (metrics_.requests != nullptr) metrics_.requests->Increment();
+
+  QueryRequest request;
+  const Status parsed = ParseRequest(line, &request);
+  if (!parsed.ok()) {
+    if (metrics_.responses_error != nullptr) {
+      metrics_.responses_error->Increment();
+    }
+    return RenderError("bad_request", parsed.message());
+  }
+
+  obs::ScopedSpan span(options_.trace, worker_id + 1, SpanName(request.op));
+
+  // The request's own budget only ever tightens the server default.
+  double budget_s = options_.default_deadline_s;
+  if (request.deadline_ms > 0 &&
+      request.deadline_ms / 1000.0 < budget_s) {
+    budget_s = request.deadline_ms / 1000.0;
+  }
+  const Deadline deadline = Deadline::After(budget_s);
+
+  std::string response;
+  bool is_error = false;
+  bool cache_hit = false;
+  const bool cacheable = IsCacheable(request);
+  std::string key;
+  if (cacheable) {
+    key = CanonicalKey(request);
+    std::string payload;
+    if (cache_.Get(key, &payload)) {
+      cache_hit = true;
+      if (metrics_.cache_hits != nullptr) metrics_.cache_hits->Increment();
+      response = FinishResponse(payload, /*cached=*/true, request.id);
+    } else if (metrics_.cache_misses != nullptr) {
+      metrics_.cache_misses->Increment();
+    }
+  }
+
+  if (!cache_hit) {
+    const std::string payload = ExecuteQuery(request, deadline, &is_error);
+    if (is_error) {
+      response = payload;  // Already a complete error line.
+    } else {
+      if (cacheable) cache_.Put(key, payload);
+      response = FinishResponse(payload, /*cached=*/false, request.id);
+    }
+  }
+
+  if (metrics_.latency != nullptr) {
+    metrics_.latency->Observe(watch.ElapsedSeconds());
+  }
+  if (is_error) {
+    if (metrics_.responses_error != nullptr) {
+      metrics_.responses_error->Increment();
+    }
+  } else if (metrics_.responses_ok != nullptr) {
+    metrics_.responses_ok->Increment();
+  }
+  span.Arg("cached", cache_hit ? 1 : 0);
+  return response;
+}
+
+std::string Server::ExecuteQuery(const QueryRequest& request,
+                                 const Deadline& deadline, bool* is_error) {
+  *is_error = false;
+  if (deadline.ExpiredNow()) {
+    if (metrics_.deadline_exceeded != nullptr) {
+      metrics_.deadline_exceeded->Increment();
+    }
+    *is_error = true;
+    return RenderError("deadline_exceeded", "deadline expired before query",
+                       request.id);
+  }
+
+  std::vector<std::uint32_t> ids;
+  switch (request.op) {
+    case QueryRequest::Op::kPing:
+      return RenderPingPayload(request);
+    case QueryRequest::Op::kStats:
+      return RenderStatsPayload(request, index_);
+    case QueryRequest::Op::kTopkConfidence:
+      ids = index_.TopKByConfidence(request.k);
+      break;
+    case QueryRequest::Op::kTopkChiSquare:
+      ids = index_.TopKByChiSquare(request.k);
+      break;
+    case QueryRequest::Op::kContains:
+      ids = index_.AntecedentContains(request.items, request.limit);
+      break;
+    case QueryRequest::Op::kCover:
+      ids = index_.RowCover(request.items, request.limit);
+      break;
+    case QueryRequest::Op::kFilter:
+      ids = index_.Filter(request.min_support, request.min_confidence,
+                          request.limit);
+      break;
+  }
+  if (ids.size() > request.limit) ids.resize(request.limit);
+
+  if (deadline.ExpiredNow()) {
+    if (metrics_.deadline_exceeded != nullptr) {
+      metrics_.deadline_exceeded->Increment();
+    }
+    *is_error = true;
+    return RenderError("deadline_exceeded", "deadline expired during query",
+                       request.id);
+  }
+  return RenderGroupsPayload(request, index_, ids);
+}
+
+}  // namespace serve
+}  // namespace farmer

@@ -1,0 +1,136 @@
+#ifndef FARMER_SERVE_SERVER_H_
+#define FARMER_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/cache.h"
+#include "serve/index.h"
+#include "serve/protocol.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace farmer {
+namespace serve {
+
+/// A concurrent rule-group query server: blocking accept loop on its own
+/// thread, connection handlers on a work-stealing ThreadPool, speaking
+/// the line-delimited JSON protocol of serve/protocol.h.
+///
+/// Admission control: at most `max_connections` connections may be
+/// queued or active at once. Connections arriving past the bound get an
+/// explicit {"ok":false,"error":"overloaded"} response and are closed —
+/// never silently dropped, never queued without bound.
+///
+/// Responses to cacheable queries are served from an LRU ResponseCache
+/// keyed by the canonicalized query; a hit skips the query engine and
+/// the renderer entirely and flips the response's "cached" field.
+///
+/// Each request runs under a deadline budget (the request's
+/// "deadline_ms" clamped to the server default); a budget that expires
+/// before execution yields a "deadline_exceeded" error.
+///
+/// Shutdown() is graceful: the listener closes first, in-flight requests
+/// run to completion, then connections close and the workers drain.
+///
+/// Observability: when Options::metrics is set the server publishes
+/// serve.* counters (requests, responses by kind, cache hits/misses,
+/// overloaded rejections), an active-connection gauge, and a per-query-
+/// type latency histogram; when Options::trace is set each request emits
+/// one "serve.request" span on its worker's lane (build the session with
+/// num_workers + 1 lanes).
+class Server {
+ public:
+  struct Options {
+    /// Listen address. Loopback by default: the protocol is unauthenti-
+    /// cated, so exposing it wider is an explicit operator decision.
+    std::string host = "127.0.0.1";
+    /// TCP port; 0 binds an ephemeral port (read it back via port()).
+    int port = 0;
+    std::size_t num_workers = 4;
+    /// Admission bound: queued + active connections.
+    std::size_t max_connections = 64;
+    std::size_t cache_entries = 1024;
+    std::size_t cache_bytes = std::size_t{16} << 20;
+    /// Per-request deadline budget ceiling, seconds.
+    double default_deadline_s = 1.0;
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::TraceSession* trace = nullptr;
+  };
+
+  /// Takes ownership of the index (and through it the snapshot).
+  Server(RuleGroupIndex index, const Options& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept thread + worker pool.
+  Status Start();
+
+  /// The bound TCP port (valid after Start(); resolves port 0 binds).
+  int port() const { return port_; }
+
+  /// Graceful shutdown: stop accepting, finish in-flight requests,
+  /// close connections, drain the pool. Idempotent.
+  void Shutdown();
+
+  const RuleGroupIndex& index() const { return index_; }
+  ResponseCache& cache() { return cache_; }
+
+  /// Connections rejected with an overloaded response so far.
+  std::uint64_t overloaded_count() const {
+    return overloaded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Metrics {
+    obs::Counter* requests = nullptr;
+    obs::Counter* responses_ok = nullptr;
+    obs::Counter* responses_error = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* overloaded = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Gauge* active_connections = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd, std::size_t worker_id);
+  /// Processes one request line; returns the response line (no '\n').
+  std::string ProcessRequest(const std::string& line,
+                             std::size_t worker_id);
+  /// Runs a parsed query against the index (cache miss path); returns
+  /// the unfinished payload (see FinishResponse) or an error line.
+  std::string ExecuteQuery(const QueryRequest& request,
+                           const Deadline& deadline, bool* is_error);
+
+  RuleGroupIndex index_;
+  Options options_;
+  ResponseCache cache_;
+  Metrics metrics_;
+
+  std::mutex shutdown_mutex_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> active_connections_{0};
+  std::atomic<std::uint64_t> overloaded_{0};
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+};
+
+}  // namespace serve
+}  // namespace farmer
+
+#endif  // FARMER_SERVE_SERVER_H_

@@ -1,0 +1,109 @@
+#ifndef FARMER_SERVE_SNAPSHOT_H_
+#define FARMER_SERVE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/miner_options.h"
+#include "core/rule.h"
+#include "dataset/dataset.h"
+#include "dataset/types.h"
+#include "util/status.h"
+
+namespace farmer {
+namespace serve {
+
+/// Versioned, checksummed binary container for a mined rule-group store.
+///
+/// A snapshot is the unit the serving layer loads: the groups themselves,
+/// the mining parameters that produced them, and a fingerprint of the
+/// dataset they were mined from, so a server (or classifier) can verify
+/// it is pairing rules with the right data. The format is little-endian
+/// fixed-width with a CRC32 per section; LoadSnapshot validates
+/// strictly and returns InvalidArgument — never crashes, hangs, or
+/// over-allocates — on truncated, corrupt, or version-mismatched input.
+///
+/// File layout (all integers little-endian):
+///   header   "FSNP" | u32 version | u32 section_count | u32 crc32(bytes
+///            0..11)
+///   section  u32 tag | u64 payload_size | payload bytes | u32
+///            crc32(payload)
+/// Sections appear in tag order: META then GRPS. Unknown tags, duplicate
+/// tags, or trailing bytes are rejected (strict parse, mirroring the
+/// dataset parsers). See docs/SERVING.md for the full byte layout table.
+
+/// The subset of MinerOptions a snapshot records: every knob that shapes
+/// the mined store. Serving-side consumers read these to answer "what am
+/// I serving?"; they are also replayed into classifier rebuilds.
+struct SnapshotParams {
+  ClassLabel consequent = 1;
+  std::size_t min_support = 1;
+  double min_confidence = 0.0;
+  double min_chi_square = 0.0;
+  std::size_t top_k = 0;
+  bool mine_lower_bounds = true;
+  bool report_all_rule_groups = false;
+
+  /// Copies the recorded fields out of a full miner configuration.
+  static SnapshotParams FromMinerOptions(const MinerOptions& options);
+
+  friend bool operator==(const SnapshotParams& a,
+                         const SnapshotParams& b) = default;
+};
+
+/// Identity of the dataset the store was mined from.
+struct SnapshotFingerprint {
+  std::uint64_t dataset_hash = 0;  // BinaryDataset::ContentHash().
+  std::uint64_t num_rows = 0;
+  std::uint64_t num_items = 0;
+
+  static SnapshotFingerprint FromDataset(const BinaryDataset& dataset);
+
+  friend bool operator==(const SnapshotFingerprint& a,
+                         const SnapshotFingerprint& b) = default;
+};
+
+/// An in-memory snapshot: what SaveSnapshot writes and LoadSnapshot
+/// reconstructs, losslessly.
+struct RuleGroupSnapshot {
+  std::vector<RuleGroup> groups;
+  /// Width of every group's row bitset (the mined dataset's row count).
+  std::size_t num_rows = 0;
+  SnapshotParams params;
+  SnapshotFingerprint fingerprint;
+};
+
+/// Hard caps enforced on load so hostile inputs cannot trigger unbounded
+/// allocation: per-group bitsets allocate num_rows/8 bytes before any
+/// row data is read, so the row count must be bounded up front.
+inline constexpr std::uint64_t kMaxSnapshotRows = std::uint64_t{1} << 22;
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Serializes `snapshot` into the binary format (the exact bytes
+/// SaveSnapshot writes).
+std::string SerializeSnapshot(const RuleGroupSnapshot& snapshot);
+
+/// Writes `snapshot` to `path`. Fails with IoError when the file cannot
+/// be created or fully written, InvalidArgument when the snapshot itself
+/// is malformed (row bitset wider than num_rows, num_rows over the cap).
+Status SaveSnapshot(const RuleGroupSnapshot& snapshot,
+                    const std::string& path);
+
+/// Parses a snapshot from an in-memory buffer. `name` labels error
+/// messages (a path or "fuzz"). Strict: any deviation from the format —
+/// bad magic, unsupported version, checksum mismatch, truncation,
+/// out-of-range counts, trailing bytes — returns InvalidArgument and
+/// leaves *out untouched.
+Status LoadSnapshotFromBuffer(std::string_view data, const std::string& name,
+                              RuleGroupSnapshot* out);
+
+/// Reads and parses the snapshot at `path` (IoError when unreadable).
+Status LoadSnapshot(const std::string& path, RuleGroupSnapshot* out);
+
+}  // namespace serve
+}  // namespace farmer
+
+#endif  // FARMER_SERVE_SNAPSHOT_H_

@@ -154,6 +154,12 @@ class Bitset {
   /// Indices of the set bits, ascending.
   std::vector<std::size_t> ToVector() const;
 
+  /// The backing 64-bit words, bit `pos` at word `pos / 64` bit
+  /// `pos % 64`, tail bits clear. For serializers (the snapshot store's
+  /// compact row-set encoding); everything else should go through the
+  /// set-algebra interface.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
   /// "{1,4,7}"-style rendering, for test failure messages.
   std::string ToString() const;
 

@@ -1,0 +1,36 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace farmer {
+
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? (c >> 1) ^ kPolynomial : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace farmer

@@ -10,6 +10,7 @@
 #include "classify/svm.h"
 #include "dataset/discretize.h"
 #include "dataset/synthetic.h"
+#include "serve/snapshot.h"
 #include "tests/test_util.h"
 #include "util/rng.h"
 
@@ -185,6 +186,93 @@ TEST(IrgClassifierTest, EndToEndOnSyntheticMicroarray) {
   }
   // Planted-signal data must classify clearly better than chance.
   EXPECT_GT(Accuracy(truth, predicted), 0.7);
+}
+
+TEST(IrgClassifierTest, TrainSplitsIntoMineAndBuild) {
+  BinaryDataset train = MakeDataset({{{0, 2}, 1},
+                                     {{0, 3}, 1},
+                                     {{0, 2, 3}, 1},
+                                     {{1, 2}, 0},
+                                     {{1, 3}, 0},
+                                     {{1}, 0}});
+  IrgClassifierOptions opts;
+  opts.min_support_fraction = 0.5;
+  opts.min_confidence = 0.8;
+  IrgClassifier trained = IrgClassifier::Train(train, opts);
+  IrgClassifier staged = IrgClassifier::BuildFromGroups(
+      train, IrgClassifier::MineClassGroups(train, opts), opts);
+  EXPECT_EQ(trained.num_mined_groups(), staged.num_mined_groups());
+  EXPECT_EQ(trained.default_class(), staged.default_class());
+  ASSERT_EQ(trained.entries().size(), staged.entries().size());
+  for (ItemId probe = 0; probe < 6; ++probe) {
+    EXPECT_EQ(trained.Predict({probe}), staged.Predict({probe}));
+  }
+}
+
+TEST(IrgClassifierTest, SnapshotRoundTripPredictsIdentically) {
+  // The serving contract: mine -> SaveSnapshot -> LoadSnapshot ->
+  // BuildFromGroups must yield a classifier whose predictions are
+  // byte-identical to training directly on the same data.
+  SyntheticSpec spec;
+  spec.num_rows = 50;
+  spec.num_genes = 80;
+  spec.num_class1 = 25;
+  spec.num_clusters = 3;
+  spec.cluster_purity = 0.9;
+  spec.p_informative = 0.6;
+  spec.shift = 3.0;
+  spec.seed = 31;
+  ExpressionMatrix m = GenerateSynthetic(spec);
+  Split split = StratifiedSplit(m.labels(), 34, 2);
+  ExpressionMatrix train_m = m.SelectRows(split.train);
+  ExpressionMatrix test_m = m.SelectRows(split.test);
+  Discretization disc = Discretization::FitEntropyMdl(train_m);
+  BinaryDataset train = disc.Apply(train_m);
+  BinaryDataset test = disc.Apply(test_m);
+
+  IrgClassifierOptions opts;
+  opts.min_support_fraction = 0.6;
+  opts.min_confidence = 0.8;
+  const std::vector<IrgClassifier::MinedClassGroups> mined =
+      IrgClassifier::MineClassGroups(train, opts);
+  ASSERT_FALSE(mined.empty());
+
+  // Round-trip each class's store through the on-disk snapshot format.
+  std::vector<IrgClassifier::MinedClassGroups> reloaded;
+  for (std::size_t i = 0; i < mined.size(); ++i) {
+    serve::RuleGroupSnapshot snapshot;
+    snapshot.groups = mined[i].groups;
+    snapshot.num_rows = train.num_rows();
+    MinerOptions mopts;
+    mopts.consequent = mined[i].label;
+    snapshot.params = serve::SnapshotParams::FromMinerOptions(mopts);
+    snapshot.fingerprint = serve::SnapshotFingerprint::FromDataset(train);
+    const std::string path = ::testing::TempDir() + "/irg_class_" +
+                             std::to_string(i) + ".fsnap";
+    ASSERT_TRUE(serve::SaveSnapshot(snapshot, path).ok());
+    serve::RuleGroupSnapshot loaded;
+    ASSERT_TRUE(serve::LoadSnapshot(path, &loaded).ok());
+    EXPECT_EQ(loaded.fingerprint.dataset_hash, train.ContentHash());
+    IrgClassifier::MinedClassGroups back;
+    back.label = mined[i].label;
+    back.groups = std::move(loaded.groups);
+    reloaded.push_back(std::move(back));
+  }
+
+  IrgClassifier direct = IrgClassifier::Train(train, opts);
+  IrgClassifier from_snapshot =
+      IrgClassifier::BuildFromGroups(train, reloaded, opts);
+  EXPECT_GT(direct.entries().size(), 0u);
+  EXPECT_EQ(direct.default_class(), from_snapshot.default_class());
+  for (RowId r = 0; r < test.num_rows(); ++r) {
+    EXPECT_EQ(direct.Predict(test.row(r)), from_snapshot.Predict(test.row(r)))
+        << "test row " << r;
+  }
+  for (RowId r = 0; r < train.num_rows(); ++r) {
+    EXPECT_EQ(direct.Predict(train.row(r)),
+              from_snapshot.Predict(train.row(r)))
+        << "train row " << r;
+  }
 }
 
 TEST(SvmTest, SeparableGaussians) {

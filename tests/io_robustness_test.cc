@@ -13,6 +13,8 @@
 #include "dataset/expression_matrix.h"
 #include "dataset/io.h"
 #include "gtest/gtest.h"
+#include "serve/index.h"
+#include "serve/snapshot.h"
 #include "util/status.h"
 
 namespace farmer {
@@ -143,6 +145,26 @@ TEST(CorpusSweepTest, ExpressionCsvCorpusNeverCrashes) {
 TEST(CorpusSweepTest, TransactionCorpusNeverCrashes) {
   CorpusSweep::Run("fuzz_load_transactions", [](const std::string& text) {
     (void)ParseTransactions(text);
+  });
+}
+
+TEST(CorpusSweepTest, SnapshotCorpusNeverCrashes) {
+  // Mirrors fuzz_snapshot's contract: hostile bytes come back as
+  // InvalidArgument; accepted buffers re-serialize byte-identically and
+  // survive index queries.
+  CorpusSweep::Run("fuzz_snapshot", [](const std::string& text) {
+    serve::RuleGroupSnapshot snapshot;
+    const Status s =
+        serve::LoadSnapshotFromBuffer(text, "corpus", &snapshot);
+    if (!s.ok()) {
+      EXPECT_TRUE(s.IsInvalidArgument());
+      return;
+    }
+    EXPECT_EQ(serve::SerializeSnapshot(snapshot), text);
+    serve::RuleGroupIndex index(std::move(snapshot));
+    (void)index.TopKByConfidence(3);
+    (void)index.Filter(1, 0.5, 8);
+    (void)index.RowCover({1, 3, 5}, 8);
   });
 }
 

@@ -78,6 +78,77 @@ TEST(RuleIoTest, RejectsMalformedFiles) {
           .IsIoError());
 }
 
+TEST(RuleIoTest, RejectsDuplicateRecordsWithinGroup) {
+  const std::string path = ::testing::TempDir() + "/rules_dup.txt";
+  std::vector<RuleGroup> loaded;
+  std::size_t num_rows = 0;
+
+  // Repeating an end-less record inside one group must fail rather than
+  // silently merging the payloads (two `rows` lines used to OR their row
+  // sets; two `upper` lines concatenated their antecedents).
+  const char* cases[] = {
+      "farmer-rules v1 4\n"
+      "group 2 0 1 0\nrows 0\nrows 1\nupper 3\nend\n",
+      "farmer-rules v1 4\n"
+      "group 1 0 1 0\nrows 0\nupper 3\nupper 4\nend\n",
+  };
+  for (const char* contents : cases) {
+    {
+      std::ofstream os(path);
+      os << contents;
+    }
+    Status s = LoadRuleGroups(path, &loaded, &num_rows);
+    EXPECT_FALSE(s.ok()) << "accepted duplicate record:\n" << contents;
+    EXPECT_TRUE(s.IsInvalidArgument());
+  }
+  // Multiple `lower` lines stay legal: one per lower bound.
+  {
+    std::ofstream os(path);
+    os << "farmer-rules v1 4\n"
+       << "group 1 0 1 0\nrows 0\nupper 3 4\nlower 3\nlower 4\nend\n";
+  }
+  ASSERT_TRUE(LoadRuleGroups(path, &loaded, &num_rows).ok());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].lower_bounds.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(RuleIoTest, RejectsRowIndicesAtOrPastNumRows) {
+  const std::string path = ::testing::TempDir() + "/rules_range.txt";
+  std::vector<RuleGroup> loaded;
+  std::size_t num_rows = 0;
+  // Row ids are 0-based, so `num_rows` itself is already out of range —
+  // the classic off-by-one a careless writer would produce.
+  {
+    std::ofstream os(path);
+    os << "farmer-rules v1 4\ngroup 1 0 1 0\nrows 4\nupper 1\nend\n";
+  }
+  Status s = LoadRuleGroups(path, &loaded, &num_rows);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("out of range"), std::string::npos);
+  {
+    std::ofstream os(path);
+    os << "farmer-rules v1 4\ngroup 1 0 1 0\nrows 3\nupper 1\nend\n";
+  }
+  EXPECT_TRUE(LoadRuleGroups(path, &loaded, &num_rows).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RuleIoTest, RejectsOverlongLines) {
+  const std::string path = ::testing::TempDir() + "/rules_long.txt";
+  {
+    std::ofstream os(path);
+    os << "farmer-rules v1 4\n"
+       << "# " << std::string(kMaxRuleLineBytes + 1, 'x') << "\n";
+  }
+  std::vector<RuleGroup> loaded;
+  std::size_t num_rows = 0;
+  Status s = LoadRuleGroups(path, &loaded, &num_rows);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("line too long"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(RuleIoTest, CommentsAndBlankLinesIgnored) {
   const std::string path = ::testing::TempDir() + "/rules_comment.txt";
   {

@@ -1,0 +1,198 @@
+#include "serve/index.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/farmer.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace farmer {
+namespace serve {
+namespace {
+
+using testing_util::RandomDataset;
+
+struct Fixture {
+  BinaryDataset dataset;
+  RuleGroupIndex index;
+};
+
+Fixture MakeFixture(std::uint64_t seed) {
+  BinaryDataset ds = RandomDataset(16, 18, 0.45, seed);
+  MinerOptions opts;
+  opts.min_support = 2;
+  FarmerResult mined = MineFarmer(ds, opts);
+  RuleGroupSnapshot snapshot;
+  snapshot.groups = std::move(mined.groups);
+  snapshot.num_rows = ds.num_rows();
+  snapshot.params = SnapshotParams::FromMinerOptions(opts);
+  snapshot.fingerprint = SnapshotFingerprint::FromDataset(ds);
+  return Fixture{std::move(ds), RuleGroupIndex(std::move(snapshot))};
+}
+
+// The index's canonical answer order: descending (confidence,
+// support_pos), ties by ascending group index (stable sort over 0..n-1).
+std::vector<std::uint32_t> SortByConfidence(
+    std::vector<std::uint32_t> ids, const std::vector<RuleGroup>& groups) {
+  std::stable_sort(ids.begin(), ids.end(),
+                   [&groups](std::uint32_t a, std::uint32_t b) {
+                     if (groups[a].confidence != groups[b].confidence) {
+                       return groups[a].confidence > groups[b].confidence;
+                     }
+                     if (groups[a].support_pos != groups[b].support_pos) {
+                       return groups[a].support_pos > groups[b].support_pos;
+                     }
+                     return a < b;
+                   });
+  return ids;
+}
+
+std::vector<std::uint32_t> AllIds(const RuleGroupIndex& index) {
+  std::vector<std::uint32_t> ids(index.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<std::uint32_t>(i);
+  }
+  return ids;
+}
+
+bool Contains(const ItemVector& super, const ItemVector& sub) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+// The classifier's match rule: any lower bound covers the sample, or the
+// antecedent does when the group has no lower bounds.
+bool Matches(const RuleGroup& g, const ItemVector& row) {
+  if (g.lower_bounds.empty()) return Contains(row, g.antecedent);
+  for (const ItemVector& lb : g.lower_bounds) {
+    if (Contains(row, lb)) return true;
+  }
+  return false;
+}
+
+TEST(RuleGroupIndexTest, TopKMatchesBruteForce) {
+  const Fixture f = MakeFixture(3);
+  const auto& groups = f.index.snapshot().groups;
+  ASSERT_GT(f.index.size(), 5u);
+
+  const auto expected = SortByConfidence(AllIds(f.index), groups);
+  for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                        f.index.size(), f.index.size() + 10}) {
+    const auto got = f.index.TopKByConfidence(k);
+    const std::size_t want = std::min(k, f.index.size());
+    ASSERT_EQ(got.size(), want) << "k=" << k;
+    for (std::size_t i = 0; i < want; ++i) {
+      EXPECT_EQ(got[i], expected[i]) << "k=" << k << " i=" << i;
+    }
+  }
+
+  auto by_chi = AllIds(f.index);
+  std::stable_sort(by_chi.begin(), by_chi.end(),
+                   [&groups](std::uint32_t a, std::uint32_t b) {
+                     if (groups[a].chi_square != groups[b].chi_square) {
+                       return groups[a].chi_square > groups[b].chi_square;
+                     }
+                     return groups[a].support_pos > groups[b].support_pos;
+                   });
+  const auto got_chi = f.index.TopKByChiSquare(4);
+  ASSERT_EQ(got_chi.size(), 4u);
+  for (std::size_t i = 0; i < got_chi.size(); ++i) {
+    EXPECT_EQ(groups[got_chi[i]].chi_square, groups[by_chi[i]].chi_square);
+  }
+}
+
+TEST(RuleGroupIndexTest, AntecedentContainsMatchesBruteForce) {
+  const Fixture f = MakeFixture(8);
+  const auto& groups = f.index.snapshot().groups;
+  Rng rng(17);
+  const auto num_items =
+      static_cast<ItemId>(f.index.snapshot().fingerprint.num_items);
+  for (int probe = 0; probe < 50; ++probe) {
+    ItemVector items;
+    const int len = 1 + static_cast<int>(rng.NextU64() % 3);
+    for (int j = 0; j < len; ++j) {
+      items.push_back(static_cast<ItemId>(rng.NextU64() % num_items));
+    }
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t g = 0; g < f.index.size(); ++g) {
+      if (Contains(groups[g].antecedent, items)) expected.push_back(g);
+    }
+    expected = SortByConfidence(std::move(expected), groups);
+    const auto got = f.index.AntecedentContains(items, 1000);
+    EXPECT_EQ(got, expected) << "probe " << probe;
+  }
+  // Out-of-universe items can never match.
+  EXPECT_TRUE(f.index.AntecedentContains({num_items}, 10).empty());
+  // The empty probe matches everything.
+  EXPECT_EQ(f.index.AntecedentContains({}, 1000).size(), f.index.size());
+}
+
+TEST(RuleGroupIndexTest, RowCoverMatchesClassifierRule) {
+  const Fixture f = MakeFixture(12);
+  const auto& groups = f.index.snapshot().groups;
+  // Probe with the dataset's own rows plus synthetic ones.
+  for (RowId r = 0; r < f.dataset.num_rows(); ++r) {
+    const ItemVector& row = f.dataset.row(r);
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t g = 0; g < f.index.size(); ++g) {
+      if (Matches(groups[g], row)) expected.push_back(g);
+    }
+    expected = SortByConfidence(std::move(expected), groups);
+    EXPECT_EQ(f.index.RowCover(row, 100000), expected) << "row " << r;
+  }
+  // The empty sample matches only groups whose match sets are all empty.
+  for (std::uint32_t g : f.index.RowCover({}, 100)) {
+    EXPECT_TRUE(Matches(f.index.group(g), {}));
+  }
+}
+
+TEST(RuleGroupIndexTest, FilterMatchesBruteForce) {
+  const Fixture f = MakeFixture(23);
+  const auto& groups = f.index.snapshot().groups;
+  for (double minconf : {0.0, 0.4, 0.8, 1.0, 1.1}) {
+    for (std::size_t minsup : {std::size_t{0}, std::size_t{2},
+                               std::size_t{4}, std::size_t{100}}) {
+      std::vector<std::uint32_t> expected;
+      for (std::uint32_t g = 0; g < f.index.size(); ++g) {
+        if (groups[g].confidence >= minconf &&
+            groups[g].support_pos >= minsup) {
+          expected.push_back(g);
+        }
+      }
+      expected = SortByConfidence(std::move(expected), groups);
+      EXPECT_EQ(f.index.Filter(minsup, minconf, 100000), expected)
+          << "minconf=" << minconf << " minsup=" << minsup;
+    }
+  }
+}
+
+TEST(RuleGroupIndexTest, LimitsAreRespected) {
+  const Fixture f = MakeFixture(5);
+  ASSERT_GT(f.index.size(), 3u);
+  EXPECT_EQ(f.index.Filter(0, 0.0, 2).size(), 2u);
+  EXPECT_EQ(f.index.AntecedentContains({}, 3).size(), 3u);
+  const ItemVector& row = f.dataset.row(0);
+  EXPECT_LE(f.index.RowCover(row, 1).size(), 1u);
+}
+
+TEST(RuleGroupIndexTest, EmptyStoreAnswersEverythingEmpty) {
+  RuleGroupSnapshot snapshot;
+  snapshot.num_rows = 4;
+  snapshot.fingerprint.num_items = 8;
+  RuleGroupIndex index(std::move(snapshot));
+  EXPECT_TRUE(index.TopKByConfidence(5).empty());
+  EXPECT_TRUE(index.TopKByChiSquare(5).empty());
+  EXPECT_TRUE(index.AntecedentContains({1}, 5).empty());
+  EXPECT_TRUE(index.RowCover({1, 2}, 5).empty());
+  EXPECT_TRUE(index.Filter(0, 0.0, 5).empty());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace farmer

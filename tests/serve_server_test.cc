@@ -1,0 +1,346 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/farmer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tests/test_util.h"
+
+namespace farmer {
+namespace serve {
+namespace {
+
+using testing_util::RandomDataset;
+
+RuleGroupIndex MakeIndex(std::uint64_t seed = 41) {
+  BinaryDataset ds = RandomDataset(14, 16, 0.45, seed);
+  MinerOptions opts;
+  opts.min_support = 2;
+  FarmerResult mined = MineFarmer(ds, opts);
+  RuleGroupSnapshot snapshot;
+  snapshot.groups = std::move(mined.groups);
+  snapshot.num_rows = ds.num_rows();
+  snapshot.params = SnapshotParams::FromMinerOptions(opts);
+  snapshot.fingerprint = SnapshotFingerprint::FromDataset(ds);
+  return RuleGroupIndex(std::move(snapshot));
+}
+
+// A blocking line-oriented test client.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  bool Send(const std::string& line) {
+    const std::string framed = line + "\n";
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool Recv(std::string* line) {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string RoundTrip(const std::string& request) {
+    if (!Send(request)) return "<send failed>";
+    std::string response;
+    if (!Recv(&response)) return "<recv failed>";
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+TEST(ServerTest, ServesQueriesOnEphemeralPort) {
+  Server::Options options;
+  options.num_workers = 2;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.RoundTrip("{\"op\":\"ping\"}"),
+            "{\"ok\":true,\"op\":\"ping\",\"cached\":false}");
+  const std::string stats = client.RoundTrip("{\"op\":\"stats\"}");
+  EXPECT_NE(stats.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(stats.find("\"groups\":"), std::string::npos);
+  const std::string topk = client.RoundTrip(
+      "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":3}");
+  EXPECT_NE(topk.find("\"op\":\"topk_confidence\""), std::string::npos);
+  EXPECT_NE(topk.find("\"cached\":false"), std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServerTest, PipelinedRequestsOnOneConnection) {
+  Server::Options options;
+  options.num_workers = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // Send several requests before reading any response.
+  ASSERT_TRUE(client.Send("{\"op\":\"ping\",\"id\":\"a\"}"));
+  ASSERT_TRUE(client.Send("{\"op\":\"ping\",\"id\":\"b\"}"));
+  ASSERT_TRUE(client.Send("{\"op\":\"ping\",\"id\":\"c\"}"));
+  std::string line;
+  for (const char* id : {"a", "b", "c"}) {
+    ASSERT_TRUE(client.Recv(&line));
+    EXPECT_NE(line.find(std::string("\"id\":\"") + id + "\""),
+              std::string::npos)
+        << line;
+  }
+  server.Shutdown();
+}
+
+TEST(ServerTest, CachesRepeatedQueries) {
+  obs::MetricsRegistry metrics;
+  Server::Options options;
+  options.num_workers = 2;
+  options.metrics = &metrics;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string query =
+      "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":4}";
+  TestClient a(server.port());
+  ASSERT_TRUE(a.connected());
+  const std::string first = a.RoundTrip(query);
+  EXPECT_NE(first.find("\"cached\":false"), std::string::npos);
+  // Same canonical query from another connection hits the cache.
+  TestClient b(server.port());
+  ASSERT_TRUE(b.connected());
+  const std::string second = b.RoundTrip(
+      "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":4,\"id\":\"x\"}");
+  EXPECT_NE(second.find("\"cached\":true"), std::string::npos);
+  EXPECT_NE(second.find("\"id\":\"x\""), std::string::npos);
+  // Identical payloads modulo the cached flag and echo id.
+  EXPECT_EQ(first.substr(0, first.find("\"cached\"")),
+            second.substr(0, second.find("\"cached\"")));
+  EXPECT_EQ(server.cache().hits(), 1u);
+  server.Shutdown();
+
+  bool saw_hit_counter = false;
+  for (const auto& c : metrics.Snapshot().counters) {
+    if (c.name == "serve.cache_hits") {
+      saw_hit_counter = true;
+      EXPECT_EQ(c.value, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_hit_counter);
+}
+
+TEST(ServerTest, RejectsMalformedRequestsWithoutClosing) {
+  Server::Options options;
+  options.num_workers = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  for (const char* bad :
+       {"not json", "{\"op\":\"nope\"}", "{}", "[1,2]",
+        "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":-1}",
+        "{\"op\":\"ping\",\"stray\":1}"}) {
+    const std::string response = client.RoundTrip(bad);
+    EXPECT_NE(response.find("\"error\":\"bad_request\""), std::string::npos)
+        << bad << " -> " << response;
+  }
+  // The connection stays usable after errors.
+  EXPECT_NE(client.RoundTrip("{\"op\":\"ping\"}").find("\"ok\":true"),
+            std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServerTest, TinyDeadlineYieldsDeadlineExceeded) {
+  Server::Options options;
+  options.num_workers = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // 1e-9 ms rounds to a zero-length budget: expired before execution.
+  const std::string response = client.RoundTrip(
+      "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":2,"
+      "\"deadline_ms\":1e-9}");
+  EXPECT_NE(response.find("\"error\":\"deadline_exceeded\""),
+            std::string::npos)
+      << response;
+  server.Shutdown();
+}
+
+TEST(ServerTest, OverloadFloodGetsExplicitErrors) {
+  Server::Options options;
+  options.num_workers = 1;
+  options.max_connections = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Fill the single admission slot and prove it is held.
+  TestClient holder(server.port());
+  ASSERT_TRUE(holder.connected());
+  EXPECT_NE(holder.RoundTrip("{\"op\":\"ping\"}").find("\"ok\":true"),
+            std::string::npos);
+
+  // Every further connection must get an explicit overloaded error —
+  // never a silent drop, never a hang.
+  for (int i = 0; i < 8; ++i) {
+    TestClient extra(server.port());
+    ASSERT_TRUE(extra.connected());
+    std::string line;
+    ASSERT_TRUE(extra.Recv(&line)) << "flood connection " << i;
+    EXPECT_NE(line.find("\"error\":\"overloaded\""), std::string::npos)
+        << line;
+  }
+  EXPECT_EQ(server.overloaded_count(), 8u);
+  server.Shutdown();
+}
+
+TEST(ServerTest, ConcurrentClientsAllGetAnswers) {
+  obs::MetricsRegistry metrics;
+  obs::TraceSession trace(/*num_lanes=*/5);
+  Server::Options options;
+  options.num_workers = 4;
+  options.metrics = &metrics;
+  options.trace = &trace;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  constexpr int kRequests = 25;
+  std::vector<std::thread> threads;
+  std::vector<int> ok_counts(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([c, port = server.port(), &ok_counts] {
+      TestClient client(port);
+      if (!client.connected()) return;
+      for (int r = 0; r < kRequests; ++r) {
+        std::string query;
+        switch (r % 4) {
+          case 0:
+            query = "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":5}";
+            break;
+          case 1:
+            query = "{\"op\":\"topk\",\"metric\":\"chi_square\",\"k\":3}";
+            break;
+          case 2:
+            query = "{\"op\":\"filter\",\"minsup\":2,\"minconf\":0.5}";
+            break;
+          default:
+            query = "{\"op\":\"ping\"}";
+        }
+        const std::string response = client.RoundTrip(query);
+        if (response.find("\"ok\":true") != std::string::npos) {
+          ++ok_counts[c];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(ok_counts[c], kRequests) << "client " << c;
+  }
+  server.Shutdown();
+
+  std::uint64_t requests = 0;
+  for (const auto& counter : metrics.Snapshot().counters) {
+    if (counter.name == "serve.requests") requests = counter.value;
+  }
+  EXPECT_EQ(requests,
+            static_cast<std::uint64_t>(kClients) * kRequests);
+  // Worker lanes saw request spans.
+  std::uint64_t events = 0;
+  for (std::size_t lane = 0; lane < trace.num_lanes(); ++lane) {
+    events += trace.ring(lane).pushed();
+  }
+  EXPECT_GT(events, 0u);
+}
+
+TEST(ServerTest, ShutdownIsIdempotentAndStopsAccepting) {
+  Server::Options options;
+  options.num_workers = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+  {
+    TestClient client(port);
+    ASSERT_TRUE(client.connected());
+    EXPECT_NE(client.RoundTrip("{\"op\":\"ping\"}").find("\"ok\":true"),
+              std::string::npos);
+  }
+  server.Shutdown();
+  server.Shutdown();  // Second call is a no-op.
+
+  // The listener is gone: either the connect fails outright or the
+  // socket delivers EOF/reset instead of a response.
+  TestClient after(port);
+  if (after.connected()) {
+    std::string line;
+    after.Send("{\"op\":\"ping\"}");
+    EXPECT_FALSE(after.Recv(&line));
+  }
+}
+
+TEST(ServerTest, OverlongRequestLineIsRejected) {
+  Server::Options options;
+  options.num_workers = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // A newline-free blob over the cap: the server answers bad_request and
+  // closes rather than buffering forever.
+  const std::string blob(kMaxRequestBytes + 100, 'x');
+  ASSERT_TRUE(client.Send(blob));
+  std::string line;
+  ASSERT_TRUE(client.Recv(&line));
+  EXPECT_NE(line.find("\"error\":\"bad_request\""), std::string::npos);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace farmer

@@ -31,6 +31,7 @@
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "serve/snapshot.h"
 
 namespace {
 
@@ -56,19 +57,52 @@ struct Args {
   bool Has(const std::string& key) const { return flags.count(key) > 0; }
 };
 
-Args ParseArgs(int argc, char** argv, int first) {
-  Args args;
+// Parses `--flag [value]` pairs. A token that is neither a flag nor a
+// flag's value is a usage error; so is a flag outside `allowed`. Exit
+// code discipline: usage errors are reported by the caller with exit 2,
+// runtime failures (unreadable files etc.) with exit 1.
+bool ParseArgs(int argc, char** argv, int first,
+               const std::vector<std::string>& allowed, Args* args,
+               std::string* error) {
   for (int i = first; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      *error = "unexpected argument '" + key + "'";
+      return false;
+    }
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      *error = "unknown flag '" + key + "'";
+      return false;
+    }
     if (i + 1 < argc && argv[i + 1][0] != '-') {
-      args.flags[key] = argv[++i];
+      args->flags[key] = argv[++i];
     } else {
-      args.flags[key] = "1";
+      args->flags[key] = "1";
     }
   }
-  return args;
+  return true;
 }
+
+// Per-command flag whitelists (usage below must list every entry).
+const std::vector<std::string> kGenerateFlags = {
+    "--out", "--name", "--scale", "--rows", "--genes", "--class1",
+    "--seed"};
+const std::vector<std::string> kStatsFlags = {"--in", "--buckets",
+                                              "--entropy"};
+const std::vector<std::string> kMineFlags = {
+    "--in",          "--minsup",       "--minconf",
+    "--minchi",      "--minlift",      "--minconviction",
+    "--minentropy",  "--mingini",      "--mincorr",
+    "--consequent",  "--buckets",      "--entropy",
+    "--topk",        "--all-groups",   "--no-lower-bounds",
+    "--timeout",     "--threads",      "--max",
+    "--out",         "--model-out",    "--snapshot-out",
+    "--trace-out",   "--metrics-out",  "--progress",
+    "--stats"};
+const std::vector<std::string> kPredictFlags = {"--in", "--model"};
+const std::vector<std::string> kClassifyFlags = {
+    "--in", "--train", "--method", "--seed", "--minsup-frac",
+    "--minconf"};
 
 int Usage() {
   std::fprintf(stderr,
@@ -85,8 +119,8 @@ int Usage() {
                "[--all-groups] [--no-lower-bounds]\n"
                "            [--timeout S] [--threads N] [--max N] "
                "[--out FILE] [--model-out PREFIX]\n"
-               "            [--trace-out FILE] [--metrics-out FILE] "
-               "[--progress [SECS]] [--stats]\n"
+               "            [--snapshot-out FILE] [--trace-out FILE] "
+               "[--metrics-out FILE] [--progress [SECS]] [--stats]\n"
                "  predict   --in FILE --model PREFIX\n"
                "  classify  --in FILE --train N [--method irg|cba|svm] "
                "[--seed N] [--minsup-frac F] [--minconf F]\n");
@@ -288,6 +322,20 @@ int CmdMine(const Args& args) {
     std::fprintf(stderr, "model written to %s.cuts / %s.rules\n",
                  model.c_str(), model.c_str());
   }
+
+  // Optional binary snapshot for the query server (see docs/SERVING.md).
+  const std::string snapshot_path = args.Get("--snapshot-out");
+  if (!snapshot_path.empty()) {
+    serve::RuleGroupSnapshot snapshot;
+    snapshot.groups = result.groups;
+    snapshot.num_rows = dataset.num_rows();
+    snapshot.params = serve::SnapshotParams::FromMinerOptions(opts);
+    snapshot.fingerprint = serve::SnapshotFingerprint::FromDataset(dataset);
+    Status s = serve::SaveSnapshot(snapshot, snapshot_path);
+    if (!s.ok()) return Fail(s);
+    std::fprintf(stderr, "snapshot written to %s (%zu groups)\n",
+                 snapshot_path.c_str(), result.groups.size());
+  }
   return 0;
 }
 
@@ -413,16 +461,39 @@ int CmdClassify(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  const Args args = ParseArgs(argc, argv, 2);
+
+  const std::vector<std::string>* allowed = nullptr;
+  int (*handler)(const Args&) = nullptr;
+  if (command == "generate") {
+    allowed = &kGenerateFlags;
+    handler = &CmdGenerate;
+  } else if (command == "stats") {
+    allowed = &kStatsFlags;
+    handler = &CmdStats;
+  } else if (command == "mine") {
+    allowed = &kMineFlags;
+    handler = &CmdMine;
+  } else if (command == "predict") {
+    allowed = &kPredictFlags;
+    handler = &CmdPredict;
+  } else if (command == "classify") {
+    allowed = &kClassifyFlags;
+    handler = &CmdClassify;
+  } else {
+    std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+    return Usage();
+  }
+
+  Args args;
+  std::string error;
+  if (!ParseArgs(argc, argv, 2, *allowed, &args, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return Usage();
+  }
   try {
-    if (command == "generate") return CmdGenerate(args);
-    if (command == "stats") return CmdStats(args);
-    if (command == "mine") return CmdMine(args);
-    if (command == "predict") return CmdPredict(args);
-    if (command == "classify") return CmdClassify(args);
+    return handler(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return Usage();
 }

@@ -1,0 +1,150 @@
+// farmer_query — line-oriented client for the farmer_serve server.
+//
+//   echo '{"op":"topk","metric":"confidence","k":5}' | \
+//       farmer_query --port 7437
+//   farmer_query --port 7437 '{"op":"stats"}'
+//
+// Sends each request line (from the positional argument, or stdin when
+// none is given) to the server and prints one response line per request.
+// Exit 0 when every request got a response line, 1 on connection or I/O
+// failure, 2 on usage errors. Responses are printed verbatim — callers
+// judge "ok" themselves (the CI smoke test greps for it).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: farmer_query [--host ADDR] --port N [REQUEST]\n\n"
+               "Sends REQUEST (or each line of stdin) to a farmer_serve\n"
+               "server and prints the response lines.\n");
+  return 2;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads one '\n'-terminated line from `fd` into *line (newline
+// stripped), carrying leftover bytes between calls in *buffer.
+bool RecvLine(int fd, std::string* buffer, std::string* line) {
+  for (;;) {
+    const std::size_t nl = buffer->find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer->substr(0, nl);
+      buffer->erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // Server closed without a full line.
+    buffer->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string request;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (key == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (key.rfind("--", 0) != 0 && request.empty()) {
+      request = key;
+    } else {
+      std::fprintf(stderr, "error: bad argument '%s'\n", key.c_str());
+      return Usage();
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "error: --port must be in [1, 65535]\n");
+    return Usage();
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "error: bad --host '%s'\n", host.c_str());
+    ::close(fd);
+    return 2;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    std::fprintf(stderr, "error: connect %s:%d: %s\n", host.c_str(), port,
+                 std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+
+  std::vector<std::string> requests;
+  if (!request.empty()) {
+    requests.push_back(request);
+  } else {
+    std::string line;
+    char buf[4096];
+    while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+      line.append(buf);
+      if (!line.empty() && line.back() == '\n') {
+        line.pop_back();
+        if (!line.empty()) requests.push_back(line);
+        line.clear();
+      }
+    }
+    if (!line.empty()) requests.push_back(line);
+  }
+
+  std::string recv_buffer;
+  for (const std::string& r : requests) {
+    if (!SendAll(fd, r + "\n")) {
+      std::fprintf(stderr, "error: send failed: %s\n", std::strerror(errno));
+      ::close(fd);
+      return 1;
+    }
+    std::string response;
+    if (!RecvLine(fd, &recv_buffer, &response)) {
+      std::fprintf(stderr, "error: connection closed before response\n");
+      ::close(fd);
+      return 1;
+    }
+    std::printf("%s\n", response.c_str());
+  }
+  ::close(fd);
+  return 0;
+}

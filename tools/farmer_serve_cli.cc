@@ -1,0 +1,151 @@
+// farmer_serve — serves a mined rule-group snapshot over TCP.
+//
+//   farmer_cli mine --in data.csv --minsup 5 --snapshot-out rules.fsnap
+//   farmer_serve --snapshot rules.fsnap --port 7437
+//
+// Speaks the line-delimited JSON protocol of src/serve/protocol.h (see
+// docs/SERVING.md). SIGINT/SIGTERM trigger a graceful shutdown: the
+// listener closes, in-flight requests finish, then the process exits.
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/index.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using namespace farmer;
+
+// Async-signal-safe shutdown request flag, set by the signal handler and
+// polled by the main thread.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int /*signum*/) { g_stop_requested = 1; }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: farmer_serve --snapshot FILE [--port N] [--host ADDR]\n"
+      "                    [--workers N] [--max-connections N]\n"
+      "                    [--cache-entries N] [--cache-mb N]\n"
+      "                    [--deadline S] [--metrics-out FILE]\n"
+      "                    [--trace-out FILE]\n\n"
+      "Serves a rule-group snapshot (from `farmer_cli mine\n"
+      "--snapshot-out`) over line-delimited JSON on TCP. --port 0 binds\n"
+      "an ephemeral port (printed on startup). SIGINT/SIGTERM shut down\n"
+      "gracefully; --metrics-out/--trace-out are written on exit.\n");
+  return 2;
+}
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", key.c_str());
+      return Usage();
+    }
+    static const char* kKnown[] = {
+        "--snapshot",      "--port",        "--host",
+        "--workers",       "--max-connections", "--cache-entries",
+        "--cache-mb",      "--deadline",    "--metrics-out",
+        "--trace-out"};
+    bool known = false;
+    for (const char* f : kKnown) known = known || key == f;
+    if (!known) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", key.c_str());
+      return Usage();
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: flag '%s' needs a value\n", key.c_str());
+      return Usage();
+    }
+    flags[key] = argv[++i];
+  }
+  if (flags.count("--snapshot") == 0) return Usage();
+
+  const auto get_long = [&flags](const char* key, long fallback) {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atol(it->second.c_str());
+  };
+
+  serve::RuleGroupSnapshot snapshot;
+  Status s = serve::LoadSnapshot(flags["--snapshot"], &snapshot);
+  if (!s.ok()) return Fail(s);
+  const std::size_t num_groups = snapshot.groups.size();
+
+  serve::Server::Options options;
+  if (flags.count("--host") != 0) options.host = flags["--host"];
+  options.port = static_cast<int>(get_long("--port", 0));
+  options.num_workers =
+      static_cast<std::size_t>(std::max(1L, get_long("--workers", 4)));
+  options.max_connections = static_cast<std::size_t>(
+      std::max(1L, get_long("--max-connections", 64)));
+  options.cache_entries = static_cast<std::size_t>(
+      std::max(0L, get_long("--cache-entries", 1024)));
+  options.cache_bytes = static_cast<std::size_t>(
+      std::max(0L, get_long("--cache-mb", 16))) << 20;
+  auto deadline_it = flags.find("--deadline");
+  if (deadline_it != flags.end()) {
+    options.default_deadline_s = std::atof(deadline_it->second.c_str());
+  }
+
+  obs::MetricsRegistry metrics;
+  if (flags.count("--metrics-out") != 0) options.metrics = &metrics;
+  std::unique_ptr<obs::TraceSession> trace;
+  if (flags.count("--trace-out") != 0) {
+    trace = std::make_unique<obs::TraceSession>(options.num_workers + 1);
+    options.trace = trace.get();
+  }
+
+  serve::Server server(serve::RuleGroupIndex(std::move(snapshot)), options);
+  s = server.Start();
+  if (!s.ok()) return Fail(s);
+
+  std::signal(SIGINT, &HandleStopSignal);
+  std::signal(SIGTERM, &HandleStopSignal);
+
+  std::fprintf(stderr,
+               "farmer_serve: %zu rule groups on %s:%d (%zu workers, "
+               "max %zu connections)\n",
+               num_groups, options.host.c_str(), server.port(),
+               options.num_workers, options.max_connections);
+  std::fflush(stderr);
+
+  // Sleep in short ticks until a stop signal lands; shutdown latency is
+  // bounded by one tick.
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "farmer_serve: shutting down\n");
+  server.Shutdown();
+
+  if (flags.count("--metrics-out") != 0) {
+    s = metrics.WriteJsonFile(flags["--metrics-out"]);
+    if (!s.ok()) return Fail(s);
+  }
+  if (trace != nullptr) {
+    s = trace->WriteJsonFile(flags["--trace-out"]);
+    if (!s.ok()) return Fail(s);
+  }
+  return 0;
+}
