@@ -17,10 +17,15 @@ namespace farmer {
 namespace serve {
 namespace {
 
-// Receive timeout on connection sockets. Handlers wake at this cadence
-// to poll the stop flag, which bounds how long Shutdown() can block on
-// an idle connection.
-constexpr int kRecvTimeoutMs = 100;
+// Receive/send timeout on connection sockets. Handlers wake at this
+// cadence to poll the stop flag, which bounds how long Shutdown() can
+// block on an idle connection or a non-reading peer.
+constexpr int kIoTimeoutMs = 100;
+
+// A send() that makes no progress for this many timeout ticks in a row
+// is talking to a dead or non-reading peer (full TCP window); the
+// connection is dropped rather than blocking a worker indefinitely.
+constexpr int kMaxSendStalls = 50;  // 5 s at 100 ms ticks.
 
 // Latency buckets, seconds: 10us .. 1s plus overflow.
 std::vector<double> LatencyBounds() {
@@ -29,24 +34,47 @@ std::vector<double> LatencyBounds() {
 
 // Writes all of `data` to `fd`, retrying partial writes and EINTR.
 // Returns false when the peer is gone. MSG_NOSIGNAL keeps a dead peer
-// from raising SIGPIPE and killing the process.
-bool SendAll(int fd, const std::string& data) {
+// from raising SIGPIPE and killing the process. The socket's
+// SO_SNDTIMEO turns a blocked send into an EAGAIN tick, at which the
+// writer re-checks `stopping` and gives up on peers that have made no
+// progress for kMaxSendStalls ticks — so neither a stalled client nor
+// Shutdown() can leave a worker stuck in send() forever.
+bool SendAll(int fd, const std::string& data,
+             const std::atomic<bool>& stopping) {
   std::size_t sent = 0;
+  int stalls = 0;
   while (sent < data.size()) {
     const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (stopping.load(std::memory_order_acquire)) return false;
+        if (++stalls >= kMaxSendStalls) return false;
+        continue;
+      }
       return false;
     }
+    stalls = 0;
     sent += static_cast<std::size_t>(n);
   }
   return true;
 }
 
-bool SendLine(int fd, std::string line) {
+bool SendLine(int fd, std::string line, const std::atomic<bool>& stopping) {
   line.push_back('\n');
-  return SendAll(fd, line);
+  return SendAll(fd, line, stopping);
+}
+
+// Bounds both directions of socket I/O so handlers can poll the stop
+// flag: recv() wakes to notice shutdown and the idle deadline, send()
+// wakes to notice shutdown and dead peers.
+void SetIoTimeouts(int fd) {
+  timeval tv;
+  tv.tv_sec = kIoTimeoutMs / 1000;
+  tv.tv_usec = (kIoTimeoutMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 const char* SpanName(QueryRequest::Op op) {
@@ -159,8 +187,10 @@ void Server::Shutdown() {
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  // In-flight handlers notice stopping_ within one recv timeout, finish
-  // the request they are on, and return; Wait() drains them all.
+  // In-flight handlers notice stopping_ within one I/O timeout tick —
+  // whether they are blocked in recv() or in send() to a non-reading
+  // peer — finish the request they are on, and return; Wait() drains
+  // them all.
   pool_->Wait();
   pool_.reset();
   started_.store(false, std::memory_order_release);
@@ -175,8 +205,10 @@ void Server::AcceptLoop() {
       // the rest.
       break;
     }
+    SetIoTimeouts(fd);
     if (stopping_.load(std::memory_order_acquire)) {
-      SendLine(fd, RenderError("shutting_down", "server is shutting down"));
+      SendLine(fd, RenderError("shutting_down", "server is shutting down"),
+               stopping_);
       ::close(fd);
       break;
     }
@@ -196,7 +228,8 @@ void Server::AcceptLoop() {
     if (!admitted) {
       overloaded_.fetch_add(1, std::memory_order_relaxed);
       if (metrics_.overloaded != nullptr) metrics_.overloaded->Increment();
-      SendLine(fd, RenderError("overloaded", "connection limit reached"));
+      SendLine(fd, RenderError("overloaded", "connection limit reached"),
+               stopping_);
       ::close(fd);
       continue;
     }
@@ -217,20 +250,24 @@ void Server::AcceptLoop() {
 }
 
 void Server::HandleConnection(int fd, std::size_t worker_id) {
-  // Receive timeout doubles as the stop-flag polling interval.
-  timeval tv;
-  tv.tv_sec = kRecvTimeoutMs / 1000;
-  tv.tv_usec = (kRecvTimeoutMs % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-
+  // Timeouts (set at accept) double as the stop-flag polling interval.
+  // The idle deadline is reset only when a complete request line is
+  // processed, so a slow-loris peer trickling bytes of a never-finished
+  // line cannot hold its admission slot past the bound.
+  Deadline idle = Deadline::After(options_.idle_timeout_s);
   std::string buffer;
   char chunk[4096];
   bool alive = true;
   while (alive && !stopping_.load(std::memory_order_acquire)) {
+    if (idle.ExpiredNow()) {
+      SendLine(fd, RenderError("idle_timeout", "connection idle too long"),
+               stopping_);
+      break;
+    }
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-        continue;  // Timeout tick: re-check the stop flag.
+        continue;  // Timeout tick: re-check the stop flag and deadline.
       }
       break;
     }
@@ -246,17 +283,21 @@ void Server::HandleConnection(int fd, std::size_t worker_id) {
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      if (!SendLine(fd, ProcessRequest(line, worker_id))) {
+      if (!SendLine(fd, ProcessRequest(line, worker_id), stopping_)) {
         alive = false;
         break;
       }
     }
-    buffer.erase(0, start);
+    if (start > 0) {
+      buffer.erase(0, start);
+      idle = Deadline::After(options_.idle_timeout_s);
+    }
 
     // A line longer than the request cap can never become valid; reject
     // it and drop the connection rather than buffering without bound.
     if (buffer.size() > kMaxRequestBytes) {
-      SendLine(fd, RenderError("bad_request", "request line too long"));
+      SendLine(fd, RenderError("bad_request", "request line too long"),
+               stopping_);
       break;
     }
   }

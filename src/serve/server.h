@@ -28,7 +28,10 @@ namespace serve {
 /// Admission control: at most `max_connections` connections may be
 /// queued or active at once. Connections arriving past the bound get an
 /// explicit {"ok":false,"error":"overloaded"} response and are closed —
-/// never silently dropped, never queued without bound.
+/// never silently dropped, never queued without bound. Admitted
+/// connections that complete no request within `idle_timeout_s` are
+/// closed with an "idle_timeout" error, so idle or slow-loris clients
+/// cannot hold admission slots indefinitely.
 ///
 /// Responses to cacheable queries are served from an LRU ResponseCache
 /// keyed by the canonicalized query; a hit skips the query engine and
@@ -62,6 +65,11 @@ class Server {
     std::size_t cache_bytes = std::size_t{16} << 20;
     /// Per-request deadline budget ceiling, seconds.
     double default_deadline_s = 1.0;
+    /// Close connections that complete no request line for this long
+    /// (an "idle_timeout" error is sent first), freeing their admission
+    /// slot: without it, max_connections silent clients lock the server
+    /// against all new arrivals. Non-positive disables the timeout.
+    double idle_timeout_s = 30.0;
     obs::MetricsRegistry* metrics = nullptr;
     obs::TraceSession* trace = nullptr;
   };

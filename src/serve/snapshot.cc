@@ -244,6 +244,12 @@ Status ParseMeta(std::string_view payload, const std::string& name,
                          " exceeds cap " +
                          std::to_string(kMaxSnapshotRows));
   }
+  if (out->fingerprint.num_items > kMaxSnapshotItems) {
+    return Err(name, "num_items " +
+                         std::to_string(out->fingerprint.num_items) +
+                         " exceeds cap " +
+                         std::to_string(kMaxSnapshotItems));
+  }
   if (consequent > 0xFF) {
     return Err(name, "consequent " + std::to_string(consequent) +
                          " is not a class label");
@@ -313,6 +319,11 @@ Status ParseGroups(std::string_view payload, const std::string& name,
       return err("non-finite measure");
     }
     g.lower_bounds_truncated = flags == 1;
+    // Bound each support by num_rows before summing: with raw u64s the
+    // sum below could wrap and collide with the true row count.
+    if (support_pos > out->num_rows || support_neg > out->num_rows) {
+      return err("support exceeds num_rows");
+    }
     g.support_pos = static_cast<std::size_t>(support_pos);
     g.support_neg = static_cast<std::size_t>(support_neg);
     if (!ParseItems(&reader, out->fingerprint.num_items, &g.antecedent,
@@ -394,6 +405,12 @@ Status SaveSnapshot(const RuleGroupSnapshot& snapshot,
     return Status::InvalidArgument(
         "snapshot num_rows " + std::to_string(snapshot.num_rows) +
         " exceeds cap " + std::to_string(kMaxSnapshotRows));
+  }
+  if (snapshot.fingerprint.num_items > kMaxSnapshotItems) {
+    return Status::InvalidArgument(
+        "snapshot num_items " +
+        std::to_string(snapshot.fingerprint.num_items) + " exceeds cap " +
+        std::to_string(kMaxSnapshotItems));
   }
   for (const RuleGroup& g : snapshot.groups) {
     if (g.rows.size() != snapshot.num_rows) {

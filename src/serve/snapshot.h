@@ -78,8 +78,11 @@ struct RuleGroupSnapshot {
 
 /// Hard caps enforced on load so hostile inputs cannot trigger unbounded
 /// allocation: per-group bitsets allocate num_rows/8 bytes before any
-/// row data is read, so the row count must be bounded up front.
+/// row data is read, and RuleGroupIndex sizes its per-item posting-list
+/// vectors from the fingerprint's num_items before reading any group, so
+/// both counts must be bounded up front.
 inline constexpr std::uint64_t kMaxSnapshotRows = std::uint64_t{1} << 22;
+inline constexpr std::uint64_t kMaxSnapshotItems = std::uint64_t{1} << 22;
 inline constexpr std::uint32_t kSnapshotVersion = 1;
 
 /// Serializes `snapshot` into the binary format (the exact bytes

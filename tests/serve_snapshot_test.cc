@@ -180,6 +180,55 @@ TEST(SnapshotTest, RejectsNonCanonicalRowSetEncoding) {
   EXPECT_NE(s.message().find("non-canonical"), std::string::npos);
 }
 
+TEST(SnapshotTest, RejectsItemUniverseOverCap) {
+  // A CRC-valid META declaring a huge item universe must be rejected up
+  // front: RuleGroupIndex sizes two posting-list vectors from
+  // num_items, so an unchecked count is an allocation bomb.
+  std::string buffer = SerializeSnapshot(MineSnapshot());
+  // META payload starts after header (16) + tag u32 + size u64; its
+  // layout puts fingerprint.num_items at payload offset 24.
+  const std::size_t meta_payload = 16 + 4 + 8;
+  const std::uint64_t meta_size =
+      ReadLe<std::uint64_t>(buffer, 16 + 4);
+  WriteLe<std::uint64_t>(&buffer, meta_payload + 24,
+                         std::uint64_t{1} << 60);
+  WriteLe<std::uint32_t>(
+      &buffer, meta_payload + meta_size,
+      Crc32(buffer.data() + meta_payload, meta_size));
+  RuleGroupSnapshot loaded;
+  const Status s = LoadSnapshotFromBuffer(buffer, "items", &loaded);
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("num_items"), std::string::npos)
+      << s.message();
+}
+
+TEST(SnapshotTest, RejectsSupportsWhoseSumWrapsToRowCount) {
+  // support_pos and support_neg are attacker-controlled u64s; adding
+  // 2^63 to both leaves their mod-2^64 sum equal to the true row count,
+  // so the row-count cross-check alone would accept nonsense supports.
+  std::string buffer = SerializeSnapshot(MineSnapshot());
+  std::size_t section = 16;
+  section += 4 + 8 + ReadLe<std::uint64_t>(buffer, section + 4) + 4;
+  const std::uint64_t grps_size = ReadLe<std::uint64_t>(buffer, section + 4);
+  const std::size_t payload = section + 4 + 8;
+  // GRPS payload: group count u64, then group 0's support_pos u64 and
+  // support_neg u64.
+  ASSERT_GE(ReadLe<std::uint64_t>(buffer, payload), 1u);
+  const std::uint64_t half = std::uint64_t{1} << 63;
+  WriteLe<std::uint64_t>(&buffer, payload + 8,
+                         ReadLe<std::uint64_t>(buffer, payload + 8) + half);
+  WriteLe<std::uint64_t>(&buffer, payload + 16,
+                         ReadLe<std::uint64_t>(buffer, payload + 16) + half);
+  WriteLe<std::uint32_t>(&buffer, payload + grps_size,
+                         Crc32(buffer.data() + payload, grps_size));
+  RuleGroupSnapshot loaded;
+  const Status s = LoadSnapshotFromBuffer(buffer, "wrap", &loaded);
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("support exceeds num_rows"),
+            std::string::npos)
+      << s.message();
+}
+
 TEST(SnapshotTest, RejectsTrailingBytes) {
   const std::string buffer = SerializeSnapshot(MineSnapshot()) + "x";
   RuleGroupSnapshot loaded;
@@ -221,6 +270,13 @@ TEST(SnapshotTest, SaveRejectsRowCountOverCap) {
   RuleGroupSnapshot snapshot;
   snapshot.num_rows = static_cast<std::size_t>(kMaxSnapshotRows) + 1;
   const std::string path = ::testing::TempDir() + "/overcap.fsnap";
+  EXPECT_TRUE(SaveSnapshot(snapshot, path).IsInvalidArgument());
+}
+
+TEST(SnapshotTest, SaveRejectsItemCountOverCap) {
+  RuleGroupSnapshot snapshot;
+  snapshot.fingerprint.num_items = kMaxSnapshotItems + 1;
+  const std::string path = ::testing::TempDir() + "/overitems.fsnap";
   EXPECT_TRUE(SaveSnapshot(snapshot, path).IsInvalidArgument());
 }
 

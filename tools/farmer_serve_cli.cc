@@ -40,8 +40,8 @@ int Usage() {
       "usage: farmer_serve --snapshot FILE [--port N] [--host ADDR]\n"
       "                    [--workers N] [--max-connections N]\n"
       "                    [--cache-entries N] [--cache-mb N]\n"
-      "                    [--deadline S] [--metrics-out FILE]\n"
-      "                    [--trace-out FILE]\n\n"
+      "                    [--deadline S] [--idle-timeout S]\n"
+      "                    [--metrics-out FILE] [--trace-out FILE]\n\n"
       "Serves a rule-group snapshot (from `farmer_cli mine\n"
       "--snapshot-out`) over line-delimited JSON on TCP. --port 0 binds\n"
       "an ephemeral port (printed on startup). SIGINT/SIGTERM shut down\n"
@@ -67,8 +67,8 @@ int main(int argc, char** argv) {
     static const char* kKnown[] = {
         "--snapshot",      "--port",        "--host",
         "--workers",       "--max-connections", "--cache-entries",
-        "--cache-mb",      "--deadline",    "--metrics-out",
-        "--trace-out"};
+        "--cache-mb",      "--deadline",    "--idle-timeout",
+        "--metrics-out",   "--trace-out"};
     bool known = false;
     for (const char* f : kKnown) known = known || key == f;
     if (!known) {
@@ -107,6 +107,10 @@ int main(int argc, char** argv) {
   auto deadline_it = flags.find("--deadline");
   if (deadline_it != flags.end()) {
     options.default_deadline_s = std::atof(deadline_it->second.c_str());
+  }
+  auto idle_it = flags.find("--idle-timeout");
+  if (idle_it != flags.end()) {
+    options.idle_timeout_s = std::atof(idle_it->second.c_str());
   }
 
   obs::MetricsRegistry metrics;
