@@ -10,6 +10,8 @@
 #define FARMER_BENCH_HAS_RUSAGE 1
 #endif
 
+#include "util/simd/simd.h"
+
 namespace farmer {
 namespace bench {
 
@@ -87,8 +89,9 @@ class JsonWriter {
   JsonWriter& operator=(const JsonWriter&) = delete;
 
   /// Appends the record plus process resource telemetry (peak RSS and
-  /// cumulative user/system CPU time from getrusage), so every entry of
-  /// a BENCH_*.json file carries memory context for free.
+  /// cumulative user/system CPU time from getrusage) and the active
+  /// SIMD kernel tier, so every entry of a BENCH_*.json file carries
+  /// memory and ISA context for free.
   void Add(const JsonRecord& record) {
     JsonRecord r = record;
     AppendResourceTelemetry(&r);
@@ -114,6 +117,7 @@ class JsonWriter {
 
  private:
   static void AppendResourceTelemetry(JsonRecord* r) {
+    r->Str("simd_level", simd::LevelName(simd::ActiveLevel()));
 #ifdef FARMER_BENCH_HAS_RUSAGE
     struct rusage ru;
     if (getrusage(RUSAGE_SELF, &ru) != 0) return;

@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "util/bitset_ref.h"
 #include "util/check.h"
+#include "util/simd/simd.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -855,6 +856,17 @@ void FarmerMiner::ExportMetrics(const FarmerResult& result) const {
 }
 
 FarmerResult FarmerMiner::Mine() {
+  // Apply the per-run kernel-tier override before any bitset kernel
+  // runs; a level this binary/host cannot execute must fail loudly, not
+  // quietly mine on the wrong tier. The stats record whichever tier the
+  // run actually used.
+  if (!options_.simd_level.empty()) {
+    FARMER_CHECK(simd::Configure(options_.simd_level))
+        << "MinerOptions::simd_level='" << options_.simd_level
+        << "' is not usable here (supported: " << simd::SupportedLevelsCsv()
+        << ")";
+  }
+
   FarmerResult result;
   result.num_rows = n_;
   result.num_consequent_rows = m_;
@@ -871,6 +883,9 @@ FarmerResult FarmerMiner::Mine() {
   }
   std::vector<RuleGroup> groups = std::move(store.groups);
   stats_.mine_seconds = sw.ElapsedSeconds();
+  // After RunSearch: the search overwrites stats_ with the aggregated
+  // per-task counters, which never carry a level of their own.
+  stats_.simd_level = simd::LevelName(simd::ActiveLevel());
 
   // Debug mode: every reported upper bound must be the closed antecedent
   // of its row set (closed-pattern uniqueness — the property that makes a

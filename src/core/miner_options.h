@@ -94,6 +94,16 @@ struct MinerOptions {
   /// a plain run — for tests and debugging only, never production.
   bool verify_invariants = false;
 
+  /// SIMD kernel tier for the word-parallel bitset kernels. "" or
+  /// "auto" keeps the process-wide selection (the FARMER_SIMD
+  /// environment override when set, else the widest level the binary
+  /// and host CPU support); "scalar" / "sse42" / "avx2" / "avx512"
+  /// force that tier for testing and benchmarking. The selection is
+  /// process-global (simd::Configure), so it outlives the run; a level
+  /// this binary/host cannot execute is a fatal error, never a silent
+  /// fallback. Every tier yields bit-identical rule groups.
+  std::string simd_level;
+
   /// Cooperative time limit; the miner reports `timed_out` when it fires.
   /// Sampled between enumeration nodes and inside MineLB update steps,
   /// so even a run dominated by one long lower-bound computation stops
@@ -134,6 +144,11 @@ struct MinerStats {
   double mine_seconds = 0.0;            // Upper-bound search time.
   double lower_bound_seconds = 0.0;     // MineLB time.
   bool timed_out = false;
+  /// Name of the SIMD kernel tier the run executed with ("scalar",
+  /// "sse42", "avx2", "avx512"), so recorded perf numbers stay
+  /// attributable to the ISA that produced them. Set by the miner at
+  /// run start; empty in per-task partial stats.
+  std::string simd_level;
 
   /// Adds every additive counter of `other` into this (the parallel
   /// miner's per-task aggregation); `timed_out` ORs, the phase timings

@@ -2,6 +2,7 @@
 #include <string>
 
 #include "core/miner_options.h"
+#include "util/simd/simd.h"
 
 namespace farmer {
 
@@ -17,6 +18,7 @@ void MinerStats::MergeFrom(const MinerStats& other) {
   task_steals += other.task_steals;
   tasks_stolen += other.tasks_stolen;
   timed_out = timed_out || other.timed_out;
+  if (simd_level.empty()) simd_level = other.simd_level;
 }
 
 std::string MinerStats::ToJson() const {
@@ -42,6 +44,11 @@ std::string MinerStats::ToJson() const {
                 lower_bound_seconds);
   out += buf;
   out += std::string("\"timed_out\": ") + (timed_out ? "true" : "false");
+  // Level names are fixed identifier tokens; no JSON escaping needed.
+  out += ", \"simd_level\": \"" +
+         std::string(simd_level.empty() ? simd::LevelName(simd::ActiveLevel())
+                                        : simd_level.c_str()) +
+         "\"";
   out += "}";
   return out;
 }

@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.h"
+#include "util/simd/simd.h"
 
 namespace farmer {
 namespace serve {
@@ -447,6 +448,8 @@ std::string RenderStatsPayload(const QueryRequest& request,
   (void)request;
   const RuleGroupSnapshot& snap = index.snapshot();
   std::string out = "{\"ok\":true,\"op\":\"stats\"";
+  out += std::string(",\"simd_level\":\"") +
+         simd::LevelName(simd::ActiveLevel()) + "\"";
   out += ",\"groups\":" + std::to_string(snap.groups.size());
   out += ",\"num_rows\":" + std::to_string(snap.num_rows);
   out += ",\"params\":{\"consequent\":" +

@@ -109,7 +109,7 @@ Status Err(const std::string& name, const std::string& msg) {
 /// Compact row-set encoding: the bitset's 64-bit words with trailing
 /// zero words trimmed, prefixed by the surviving word count.
 void AppendRowSet(std::string* out, const Bitset& rows) {
-  const std::vector<std::uint64_t>& words = rows.words();
+  const Bitset::WordVector& words = rows.words();
   std::size_t count = words.size();
   while (count > 0 && words[count - 1] == 0) --count;
   AppendU32(out, static_cast<std::uint32_t>(count));

@@ -1,0 +1,57 @@
+#ifndef FARMER_UTIL_ALIGNED_H_
+#define FARMER_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+
+namespace farmer {
+
+/// Minimal C++17 std::allocator drop-in that over-aligns every
+/// allocation to `Alignment` bytes via the aligned operator new.
+///
+/// Bitset uses it to keep its word storage on 64-byte boundaries so the
+/// widest SIMD kernels (src/util/simd/) never issue a vector load that
+/// straddles a cache line. Value semantics are untouched: a
+/// std::vector<T, AlignedAllocator<T, N>> holds exactly the same bytes
+/// as a std::vector<T>, it just starts them at a rounder address.
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+}  // namespace farmer
+
+#endif  // FARMER_UTIL_ALIGNED_H_

@@ -4,8 +4,20 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/simd/simd.h"
+
+// Every word-parallel kernel below calls through the process-wide SIMD
+// kernel table (src/util/simd/): one relaxed atomic load plus an
+// indirect call selects the scalar, SSE4.2/POPCNT, AVX2, or AVX-512
+// variant picked at startup (or forced via FARMER_SIMD /
+// simd::ForceLevel). Tail-bit handling stays here — the kernels see
+// whole words only — so each per-ISA unit stays a straight-line loop.
 
 namespace farmer {
+
+namespace {
+inline const simd::KernelTable& Kernels() { return simd::Active(); }
+}  // namespace
 
 void Bitset::Resize(std::size_t num_bits) {
   num_bits_ = num_bits;
@@ -29,21 +41,17 @@ void Bitset::SetAll() {
 }
 
 std::size_t Bitset::Count() const {
-  std::size_t total = 0;
-  for (std::uint64_t w : words_) total += __builtin_popcountll(w);
-  return total;
+  return Kernels().count(words_.data(), words_.size());
 }
 
 std::size_t Bitset::CountPrefix(std::size_t pos_limit) const {
   if (pos_limit >= num_bits_) return Count();
   const std::size_t full_words = pos_limit >> 6;
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < full_words; ++i) {
-    total += __builtin_popcountll(words_[i]);
-  }
+  std::size_t total = Kernels().count(words_.data(), full_words);
   const std::size_t tail = pos_limit & 63;
   if (tail != 0) {
-    total += __builtin_popcountll(words_[full_words] & ((kOne << tail) - 1));
+    total += static_cast<std::size_t>(
+        __builtin_popcountll(words_[full_words] & ((kOne << tail) - 1)));
   }
   return total;
 }
@@ -53,15 +61,13 @@ std::size_t Bitset::AndCountPrefix(const Bitset& other,
   const std::size_t limit = std::min(pos_limit, std::min(num_bits_,
                                                          other.num_bits_));
   const std::size_t full_words = limit >> 6;
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < full_words; ++i) {
-    total += __builtin_popcountll(words_[i] & other.words_[i]);
-  }
+  std::size_t total =
+      Kernels().and_count(words_.data(), other.words_.data(), full_words);
   const std::size_t tail = limit & 63;
   if (tail != 0) {
-    total += __builtin_popcountll(words_[full_words] &
-                                  other.words_[full_words] &
-                                  ((kOne << tail) - 1));
+    total += static_cast<std::size_t>(
+        __builtin_popcountll(words_[full_words] & other.words_[full_words] &
+                             ((kOne << tail) - 1)));
   }
   return total;
 }
@@ -69,88 +75,81 @@ std::size_t Bitset::AndCountPrefix(const Bitset& other,
 bool Bitset::IntersectsAllOf(const Bitset* const* sets, std::size_t count,
                              Bitset* scratch) const {
   *scratch = *this;
+  const simd::KernelTable& k = Kernels();
   for (std::size_t i = 0; i < count; ++i) {
-    *scratch &= *sets[i];
-    if (scratch->None()) return false;
+    const Bitset& s = *sets[i];
+    if (s.words_.size() == scratch->words_.size()) {
+      // Fused pass: intersect and emptiness-test in one sweep.
+      if (k.and_into_any(scratch->words_.data(), s.words_.data(),
+                         scratch->words_.data(),
+                         scratch->words_.size()) == 0) {
+        return false;
+      }
+    } else {
+      *scratch &= s;
+      if (scratch->None()) return false;
+    }
   }
-  return scratch->Any();
+  return count > 0 || scratch->Any();
 }
 
 void Bitset::AndInto(const Bitset& a, const Bitset& b, Bitset* out) {
   out->num_bits_ = a.num_bits_;
   out->words_.resize(a.words_.size());
-  for (std::size_t i = 0; i < a.words_.size(); ++i) {
-    out->words_[i] = a.words_[i] & b.words_[i];
-  }
+  Kernels().and_into(a.words_.data(), b.words_.data(), out->words_.data(),
+                     a.words_.size());
 }
 
 void Bitset::AndNotInto(const Bitset& a, const Bitset& b, Bitset* out) {
   out->num_bits_ = a.num_bits_;
   out->words_.resize(a.words_.size());
-  for (std::size_t i = 0; i < a.words_.size(); ++i) {
-    out->words_[i] = a.words_[i] & ~b.words_[i];
-  }
+  Kernels().and_not_into(a.words_.data(), b.words_.data(),
+                         out->words_.data(), a.words_.size());
 }
 
 void Bitset::OrAnd(const Bitset& a, const Bitset& b) {
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] |= a.words_[i] & b.words_[i];
-  }
+  Kernels().or_and(words_.data(), a.words_.data(), b.words_.data(),
+                   words_.size());
 }
 
 bool Bitset::None() const {
-  for (std::uint64_t w : words_) {
-    if (w != 0) return false;
-  }
-  return true;
+  return Kernels().none(words_.data(), words_.size());
 }
 
 bool Bitset::IsSubsetOf(const Bitset& other) const {
   const std::size_t n = std::min(words_.size(), other.words_.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
-  }
-  for (std::size_t i = n; i < words_.size(); ++i) {
-    if (words_[i] != 0) return false;
-  }
-  return true;
+  const simd::KernelTable& k = Kernels();
+  if (!k.is_subset_of(words_.data(), other.words_.data(), n)) return false;
+  return k.none(words_.data() + n, words_.size() - n);
 }
 
 bool Bitset::Intersects(const Bitset& other) const {
   const std::size_t n = std::min(words_.size(), other.words_.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  }
-  return false;
+  return Kernels().intersects(words_.data(), other.words_.data(), n);
 }
 
 std::size_t Bitset::IntersectCount(const Bitset& other) const {
   const std::size_t n = std::min(words_.size(), other.words_.size());
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    total += __builtin_popcountll(words_[i] & other.words_[i]);
-  }
-  return total;
+  return Kernels().and_count(words_.data(), other.words_.data(), n);
 }
 
 Bitset& Bitset::operator|=(const Bitset& other) {
   if (other.num_bits_ > num_bits_) Resize(other.num_bits_);
-  for (std::size_t i = 0; i < other.words_.size(); ++i) {
-    words_[i] |= other.words_[i];
-  }
+  Kernels().or_inplace(words_.data(), other.words_.data(),
+                       other.words_.size());
   return *this;
 }
 
 Bitset& Bitset::operator&=(const Bitset& other) {
   const std::size_t n = std::min(words_.size(), other.words_.size());
-  for (std::size_t i = 0; i < n; ++i) words_[i] &= other.words_[i];
-  for (std::size_t i = n; i < words_.size(); ++i) words_[i] = 0;
+  Kernels().and_inplace(words_.data(), other.words_.data(), n);
+  std::fill(words_.begin() + n, words_.end(), 0);
   return *this;
 }
 
 Bitset& Bitset::operator-=(const Bitset& other) {
   const std::size_t n = std::min(words_.size(), other.words_.size());
-  for (std::size_t i = 0; i < n; ++i) words_[i] &= ~other.words_[i];
+  Kernels().and_not_inplace(words_.data(), other.words_.data(), n);
   return *this;
 }
 

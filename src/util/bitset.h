@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "util/aligned.h"
+
 namespace farmer {
 
 /// A dynamically sized bit set.
@@ -18,6 +20,13 @@ namespace farmer {
 /// iteration over set bits).
 class Bitset {
  public:
+  /// Backing storage: 64-bit words on 64-byte boundaries, so the widest
+  /// SIMD kernels (src/util/simd/) never issue a load that splits a
+  /// cache line. Same element layout as std::vector<std::uint64_t> —
+  /// only the allocation's starting address differs.
+  using WordVector =
+      std::vector<std::uint64_t, AlignedAllocator<std::uint64_t, 64>>;
+
   Bitset() = default;
 
   /// Creates a bitset with `num_bits` bits, all clear.
@@ -158,7 +167,7 @@ class Bitset {
   /// `pos % 64`, tail bits clear. For serializers (the snapshot store's
   /// compact row-set encoding); everything else should go through the
   /// set-algebra interface.
-  const std::vector<std::uint64_t>& words() const { return words_; }
+  const WordVector& words() const { return words_; }
 
   /// "{1,4,7}"-style rendering, for test failure messages.
   std::string ToString() const;
@@ -179,7 +188,7 @@ class Bitset {
   void TrimTail();
 
   std::size_t num_bits_ = 0;
-  std::vector<std::uint64_t> words_;
+  WordVector words_;
 };
 
 /// Hash functor so Bitset can key unordered containers.

@@ -1,0 +1,179 @@
+#include "util/simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace farmer {
+namespace simd {
+namespace {
+
+// Host CPUID feature probes. __builtin_cpu_supports resolves against
+// the running processor (GCC and Clang both route it through
+// __builtin_cpu_init), so a binary carrying AVX-512 code still selects
+// correctly on an AVX2-only machine.
+bool HostHasSse42() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("popcnt");
+#else
+  return false;
+#endif
+}
+
+bool HostHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("popcnt");
+#else
+  return false;
+#endif
+}
+
+bool HostHasAvx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl") &&
+         __builtin_cpu_supports("popcnt");
+#else
+  return false;
+#endif
+}
+
+// The active table. Resolved on first Active() call (or first explicit
+// ForceLevel/Configure); afterwards every kernel dispatch is one
+// relaxed load of this pointer.
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable& RawTable(Level level) {
+  switch (level) {
+    case Level::kScalar: return ScalarKernels();
+    case Level::kSse42: return Sse42Kernels();
+    case Level::kAvx2: return Avx2Kernels();
+    case Level::kAvx512: return Avx512Kernels();
+  }
+  return ScalarKernels();
+}
+
+const KernelTable* ResolveFromEnvironment() {
+  const char* env = std::getenv("FARMER_SIMD");
+  if (env == nullptr || env[0] == '\0' ||
+      std::string(env) == std::string("auto")) {
+    return &TableFor(DetectBestLevel());
+  }
+  // A forced level must never silently fall back: misspellings and
+  // levels this binary/host cannot run are fatal, not ignored.
+  Level level = Level::kScalar;
+  FARMER_CHECK(ParseLevel(env, &level))
+      << "FARMER_SIMD='" << env
+      << "' is not auto|scalar|sse42|avx2|avx512";
+  FARMER_CHECK(LevelSupported(level))
+      << "FARMER_SIMD=" << env
+      << " is not usable here (supported: " << SupportedLevelsCsv() << ")";
+  return &TableFor(level);
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kSse42: return "sse42";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+  }
+  return "scalar";
+}
+
+bool ParseLevel(const std::string& text, Level* out) {
+  for (int i = 0; i < kNumLevels; ++i) {
+    const Level level = static_cast<Level>(i);
+    if (text == LevelName(level)) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LevelCompiled(Level level) {
+  // A tier whose translation unit was built without its -m flags
+  // aliases the scalar table, so its level field gives it away.
+  return RawTable(level).level == level;
+}
+
+bool LevelSupported(Level level) {
+  if (!LevelCompiled(level)) return false;
+  switch (level) {
+    case Level::kScalar: return true;
+    case Level::kSse42: return HostHasSse42();
+    case Level::kAvx2: return HostHasAvx2();
+    case Level::kAvx512: return HostHasAvx512();
+  }
+  return false;
+}
+
+Level DetectBestLevel() {
+  for (int i = kNumLevels - 1; i >= 0; --i) {
+    const Level level = static_cast<Level>(i);
+    if (LevelSupported(level)) return level;
+  }
+  return Level::kScalar;
+}
+
+const KernelTable& TableFor(Level level) {
+  FARMER_CHECK(LevelSupported(level))
+      << "SIMD level " << LevelName(level)
+      << " is not usable here (supported: " << SupportedLevelsCsv() << ")";
+  return RawTable(level);
+}
+
+std::string SupportedLevelsCsv() {
+  std::string out;
+  for (int i = 0; i < kNumLevels; ++i) {
+    const Level level = static_cast<Level>(i);
+    if (!LevelSupported(level)) continue;
+    if (!out.empty()) out += ',';
+    out += LevelName(level);
+  }
+  return out;
+}
+
+const KernelTable& Active() {
+  const KernelTable* table = g_active.load(std::memory_order_relaxed);
+  if (FARMER_PREDICT_FALSE(table == nullptr)) {
+    // First use; function-local static gives once-only env resolution
+    // even under concurrent first calls.
+    static const KernelTable* resolved = [] {
+      const KernelTable* t = ResolveFromEnvironment();
+      const KernelTable* expected = nullptr;
+      g_active.compare_exchange_strong(expected, t,
+                                       std::memory_order_relaxed);
+      return t;
+    }();
+    (void)resolved;
+    table = g_active.load(std::memory_order_relaxed);
+  }
+  return *table;
+}
+
+Level ActiveLevel() { return Active().level; }
+
+bool ForceLevel(Level level) {
+  if (!LevelSupported(level)) return false;
+  g_active.store(&RawTable(level), std::memory_order_relaxed);
+  return true;
+}
+
+bool Configure(const std::string& spec) {
+  if (spec.empty() || spec == "auto") {
+    g_active.store(&RawTable(DetectBestLevel()), std::memory_order_relaxed);
+    return true;
+  }
+  Level level = Level::kScalar;
+  if (!ParseLevel(spec, &level)) return false;
+  return ForceLevel(level);
+}
+
+}  // namespace simd
+}  // namespace farmer

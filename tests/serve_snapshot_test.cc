@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -283,6 +284,26 @@ TEST(SnapshotTest, SaveRejectsItemCountOverCap) {
 TEST(SnapshotTest, LoadReportsIoErrorForMissingFile) {
   RuleGroupSnapshot loaded;
   EXPECT_TRUE(LoadSnapshot("/nonexistent/store.fsnap", &loaded).IsIoError());
+}
+
+// Format-stability regression: a checked-in FSNP v1 file written by an
+// earlier build must load and re-serialize byte-identically forever.
+// This pins the on-disk format against internal representation changes
+// (e.g. the Bitset word storage moving to 64-byte-aligned allocations).
+TEST(SnapshotTest, FixtureV1RoundTripsByteIdentically) {
+  const std::string path =
+      std::string(FARMER_TEST_DATA_DIR) + "/fixture_v1.fsnap";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << path;
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  ASSERT_FALSE(bytes.empty());
+
+  RuleGroupSnapshot loaded;
+  ASSERT_TRUE(LoadSnapshotFromBuffer(bytes, path, &loaded).ok());
+  EXPECT_EQ(loaded.groups.size(), 272u);
+  EXPECT_EQ(loaded.num_rows, 62u);
+  EXPECT_EQ(SerializeSnapshot(loaded), bytes);
 }
 
 TEST(SnapshotTest, FingerprintTracksDatasetContent) {

@@ -32,6 +32,7 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "serve/snapshot.h"
+#include "util/simd/simd.h"
 
 namespace {
 
@@ -98,11 +99,12 @@ const std::vector<std::string> kMineFlags = {
     "--timeout",     "--threads",      "--max",
     "--out",         "--model-out",    "--snapshot-out",
     "--trace-out",   "--metrics-out",  "--progress",
-    "--stats"};
+    "--stats",       "--simd"};
 const std::vector<std::string> kPredictFlags = {"--in", "--model"};
 const std::vector<std::string> kClassifyFlags = {
     "--in", "--train", "--method", "--seed", "--minsup-frac",
     "--minconf"};
+const std::vector<std::string> kSimdFlags = {"--check"};
 
 int Usage() {
   std::fprintf(stderr,
@@ -121,9 +123,12 @@ int Usage() {
                "[--out FILE] [--model-out PREFIX]\n"
                "            [--snapshot-out FILE] [--trace-out FILE] "
                "[--metrics-out FILE] [--progress [SECS]] [--stats]\n"
+               "            [--simd auto|scalar|sse42|avx2|avx512]\n"
                "  predict   --in FILE --model PREFIX\n"
                "  classify  --in FILE --train N [--method irg|cba|svm] "
-               "[--seed N] [--minsup-frac F] [--minconf F]\n");
+               "[--seed N] [--minsup-frac F] [--minconf F]\n"
+               "  simd      [--check LEVEL]   (report / probe SIMD kernel "
+               "tiers; --check exits 0 iff LEVEL is usable)\n");
   return 2;
 }
 
@@ -236,6 +241,19 @@ int CmdMine(const Args& args) {
   opts.top_k = static_cast<std::size_t>(args.GetInt("--topk", 0));
   opts.report_all_rule_groups = args.Has("--all-groups");
   opts.mine_lower_bounds = !args.Has("--no-lower-bounds");
+  if (args.Has("--simd")) {
+    // Validate up front for a usage-style error instead of the fatal
+    // check the miner would fire on an unusable level.
+    const std::string level = args.Get("--simd");
+    if (level != "auto" && !simd::Configure(level)) {
+      std::fprintf(stderr,
+                   "error: --simd '%s' is not usable here (supported: "
+                   "%s or auto)\n",
+                   level.c_str(), simd::SupportedLevelsCsv().c_str());
+      return 2;
+    }
+    opts.simd_level = level;
+  }
   const double timeout = args.GetDouble("--timeout", 0.0);
   if (timeout > 0) opts.deadline = Deadline::After(timeout);
   opts.num_threads = threads;
@@ -397,6 +415,32 @@ int CmdPredict(const Args& args) {
   return 0;
 }
 
+int CmdSimd(const Args& args) {
+  if (args.Has("--check")) {
+    // Exit 0 iff the named level is usable in this binary on this host.
+    // CI uses this to skip matrix entries the runner cannot execute.
+    const std::string level = args.Get("--check");
+    simd::Level parsed;
+    const bool usable = level == "auto" ||
+                        (simd::ParseLevel(level, &parsed) &&
+                         simd::LevelSupported(parsed));
+    std::printf("%s: %s\n", level.c_str(),
+                usable ? "supported" : "unsupported");
+    return usable ? 0 : 1;
+  }
+  std::printf("active: %s\n", simd::LevelName(simd::ActiveLevel()));
+  std::printf("detected best: %s\n",
+              simd::LevelName(simd::DetectBestLevel()));
+  std::printf("supported: %s\n", simd::SupportedLevelsCsv().c_str());
+  for (int i = 0; i < simd::kNumLevels; ++i) {
+    const auto level = static_cast<simd::Level>(i);
+    std::printf("  %-6s compiled=%s host=%s\n", simd::LevelName(level),
+                simd::LevelCompiled(level) ? "yes" : "no",
+                simd::LevelSupported(level) ? "yes" : "no");
+  }
+  return 0;
+}
+
 int CmdClassify(const Args& args) {
   if (!args.Has("--in") || !args.Has("--train")) return Usage();
   ExpressionMatrix matrix;
@@ -479,6 +523,9 @@ int main(int argc, char** argv) {
   } else if (command == "classify") {
     allowed = &kClassifyFlags;
     handler = &CmdClassify;
+  } else if (command == "simd") {
+    allowed = &kSimdFlags;
+    handler = &CmdSimd;
   } else {
     std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
     return Usage();

@@ -1,6 +1,6 @@
 // farmer_query — line-oriented client for the farmer_serve server.
 //
-//   echo '{"op":"topk","metric":"confidence","k":5}' | \
+//   echo '{"op":"topk","metric":"confidence","k":5}' |
 //       farmer_query --port 7437
 //   farmer_query --port 7437 '{"op":"stats"}'
 //
