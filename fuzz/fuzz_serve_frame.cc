@@ -1,0 +1,171 @@
+/// Fuzz harness for the serve wire protocols: the JSON/binary
+/// auto-detector, the FQP1 frame extractor, and the binary request and
+/// response codecs.
+///
+/// The input is treated as the byte stream of one client connection,
+/// walked exactly as the server walks it: detect the framing, then cut
+/// requests off the buffer one at a time. Every property the server
+/// relies on is checked:
+///
+///   * DetectProtocol is total and matches its spec: kNeedMore only on
+///     a strict prefix of the preamble, kBinary only on the exact
+///     preamble, kJson otherwise.
+///   * ExtractFrame never reads past the buffer, never accepts a zero
+///     or oversized length, and consumes exactly what it reports.
+///   * ParseBinaryRequest rejects with InvalidArgument only, and
+///     accepted requests round-trip: EncodeBinaryRequest produces a
+///     frame that re-extracts and re-parses to an identical request.
+///   * DecodeResponseFrame rejects with InvalidArgument only, and
+///     accepted bodies round-trip through EncodeResponseFrame.
+///
+/// Any crash, hang, out-of-range read, or round-trip mismatch is a bug.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace {
+
+using farmer::Status;
+namespace serve = farmer::serve;
+
+bool IsPreamblePrefix(std::string_view input) {
+  if (input.size() >= serve::kBinaryPreambleSize) return false;
+  return std::memcmp(input.data(), serve::kBinaryPreamble, input.size()) ==
+         0;
+}
+
+bool HasPreamble(std::string_view input) {
+  return input.size() >= serve::kBinaryPreambleSize &&
+         std::memcmp(input.data(), serve::kBinaryPreamble,
+                     serve::kBinaryPreambleSize) == 0;
+}
+
+void CheckDetector(std::string_view input) {
+  switch (serve::DetectProtocol(input)) {
+    case serve::ProtocolDetect::kNeedMore:
+      if (!IsPreamblePrefix(input)) __builtin_trap();
+      break;
+    case serve::ProtocolDetect::kBinary:
+      if (!HasPreamble(input)) __builtin_trap();
+      break;
+    case serve::ProtocolDetect::kJson:
+      if (IsPreamblePrefix(input) || HasPreamble(input)) __builtin_trap();
+      break;
+  }
+}
+
+void CheckRequestRoundTrip(std::uint8_t opcode, std::string_view payload) {
+  serve::QueryRequest request;
+  const Status parsed =
+      serve::ParseBinaryRequest(opcode, payload, &request);
+  if (!parsed.ok()) {
+    if (!parsed.IsInvalidArgument()) __builtin_trap();
+    return;
+  }
+  // Accepted requests re-encode to a frame that parses back to the
+  // same request (compared via the deterministic encoding, which
+  // covers every field without tripping over NaN comparisons).
+  const std::string encoded = serve::EncodeBinaryRequest(request);
+  std::size_t consumed = 0;
+  std::uint8_t opcode2 = 0;
+  std::string_view payload2;
+  std::string error;
+  if (serve::ExtractFrame(encoded, &consumed, &opcode2, &payload2,
+                          &error) != serve::FrameExtract::kComplete) {
+    __builtin_trap();
+  }
+  if (consumed != encoded.size()) __builtin_trap();
+  serve::QueryRequest request2;
+  if (!serve::ParseBinaryRequest(opcode2, payload2, &request2).ok()) {
+    __builtin_trap();
+  }
+  if (serve::EncodeBinaryRequest(request2) != encoded) __builtin_trap();
+}
+
+void WalkBinaryStream(std::string_view buffer) {
+  std::size_t pos = serve::kBinaryPreambleSize;
+  for (;;) {
+    const std::string_view rest = buffer.substr(pos);
+    std::size_t consumed = 0;
+    std::uint8_t opcode = 0;
+    std::string_view payload;
+    std::string error;
+    switch (serve::ExtractFrame(rest, &consumed, &opcode, &payload,
+                                &error)) {
+      case serve::FrameExtract::kNeedMore:
+        return;
+      case serve::FrameExtract::kError:
+        // Unfixable framing must explain itself; the server closes.
+        if (error.empty()) __builtin_trap();
+        return;
+      case serve::FrameExtract::kComplete:
+        if (consumed < 5 || consumed > rest.size()) __builtin_trap();
+        if (payload.size() != consumed - 5) __builtin_trap();
+        if (payload.size() > serve::kMaxFramePayload) __builtin_trap();
+        // The payload view must alias the buffer, not dangle.
+        if (!payload.empty() &&
+            (payload.data() < rest.data() ||
+             payload.data() + payload.size() >
+                 rest.data() + rest.size())) {
+          __builtin_trap();
+        }
+        CheckRequestRoundTrip(opcode, payload);
+        pos += consumed;
+        break;
+    }
+  }
+}
+
+void WalkJsonStream(std::string_view buffer) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = buffer.find('\n', start);
+    if (nl == std::string_view::npos) return;
+    std::string line(buffer.substr(start, nl - start));
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    serve::QueryRequest request;
+    const Status parsed = serve::ParseRequest(line, &request);
+    if (!parsed.ok() && !parsed.IsInvalidArgument()) __builtin_trap();
+  }
+}
+
+void CheckResponseDecode(std::string_view input) {
+  serve::FrameStatus status;
+  std::uint64_t req_id = 0;
+  std::string json;
+  const Status decoded =
+      serve::DecodeResponseFrame(input, &status, &req_id, &json);
+  if (!decoded.ok()) {
+    if (!decoded.IsInvalidArgument()) __builtin_trap();
+    return;
+  }
+  const std::string frame =
+      serve::EncodeResponseFrame(status, req_id, json);
+  // The frame is the 4-byte length plus the body it was decoded from.
+  if (frame.size() != 4 + input.size()) __builtin_trap();
+  if (std::string_view(frame).substr(4) != input) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  CheckDetector(input);
+  if (HasPreamble(input)) {
+    WalkBinaryStream(input);
+  } else if (!IsPreamblePrefix(input)) {
+    WalkJsonStream(input);
+  }
+  CheckResponseDecode(input);
+  return 0;
+}

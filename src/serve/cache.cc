@@ -3,34 +3,60 @@
 namespace farmer {
 namespace serve {
 
-bool ResponseCache::Get(const std::string& key, std::string* value) {
+std::string ResponseCache::ComposeKey(std::uint64_t version,
+                                      const std::string& key) {
+  std::string out = std::to_string(version);
+  out.push_back('\x1f');
+  out += key;
+  return out;
+}
+
+bool ResponseCache::Get(std::uint64_t version, const std::string& key,
+                        std::string* value) {
+  const std::string composite = ComposeKey(version, key);
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = map_.find(key);
+  auto it = map_.find(composite);
   if (it == map_.end()) {
     ++misses_;
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
-  *value = it->second->second;
+  *value = it->second->payload;
   ++hits_;
   return true;
 }
 
-void ResponseCache::Put(const std::string& key, std::string value) {
+void ResponseCache::Put(std::uint64_t version, const std::string& key,
+                        std::string value) {
   if (value.size() > max_bytes_) return;
+  std::string composite = ComposeKey(version, key);
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = map_.find(key);
+  auto it = map_.find(composite);
   if (it != map_.end()) {
-    bytes_ -= it->second->second.size();
+    bytes_ -= it->second->payload.size();
     bytes_ += value.size();
-    it->second->second = std::move(value);
+    it->second->payload = std::move(value);
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
     bytes_ += value.size();
-    lru_.emplace_front(key, std::move(value));
-    map_.emplace(key, lru_.begin());
+    lru_.push_front(Entry{version, composite, std::move(value)});
+    map_.emplace(std::move(composite), lru_.begin());
   }
   EvictLocked();
+}
+
+void ResponseCache::DropVersionsBelow(std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->version < version) {
+      bytes_ -= it->payload.size();
+      map_.erase(it->map_key);
+      it = lru_.erase(it);
+      ++evictions_;
+    } else {
+      ++it;
+    }
+  }
 }
 
 void ResponseCache::Clear() {
@@ -44,8 +70,8 @@ void ResponseCache::EvictLocked() {
   while (!lru_.empty() &&
          (map_.size() > max_entries_ || bytes_ > max_bytes_)) {
     const Entry& victim = lru_.back();
-    bytes_ -= victim.second.size();
-    map_.erase(victim.first);
+    bytes_ -= victim.payload.size();
+    map_.erase(victim.map_key);
     lru_.pop_back();
     ++evictions_;
   }

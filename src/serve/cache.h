@@ -12,12 +12,19 @@
 namespace farmer {
 namespace serve {
 
-/// Thread-safe LRU cache for rendered response payloads, keyed by the
-/// canonicalized query (see CanonicalKey). Bounded both by entry count
-/// and by total payload bytes; inserting past either bound evicts the
-/// least-recently-used entries. One mutex guards everything — entries
-/// are small strings and the critical sections are a few pointer moves,
-/// so contention is not a concern at the server's request rates.
+/// Thread-safe LRU cache for rendered response payloads, keyed by
+/// (snapshot version, canonicalized query). The version is part of the
+/// key, so a hot snapshot swap can never serve a stale payload: entries
+/// rendered against an old snapshot become unreachable the moment the
+/// server bumps its version, and DropVersionsBelow() reclaims their
+/// bytes eagerly instead of waiting for LRU pressure.
+///
+/// Bounded both by entry count and by total payload bytes; inserting
+/// past either bound evicts the least-recently-used entries. One mutex
+/// guards everything — entries are small strings and the critical
+/// sections are a few pointer moves, so contention is not a concern at
+/// the server's request rates (shards copy the payload out under the
+/// lock and render outside it).
 class ResponseCache {
  public:
   ResponseCache(std::size_t max_entries, std::size_t max_bytes)
@@ -26,14 +33,22 @@ class ResponseCache {
   ResponseCache(const ResponseCache&) = delete;
   ResponseCache& operator=(const ResponseCache&) = delete;
 
-  /// Looks up `key`; on hit copies the payload into *value, promotes the
-  /// entry to most-recently-used, and returns true.
-  bool Get(const std::string& key, std::string* value);
+  /// Looks up (version, key); on hit copies the payload into *value,
+  /// promotes the entry to most-recently-used, and returns true.
+  bool Get(std::uint64_t version, const std::string& key,
+           std::string* value);
 
-  /// Inserts (or refreshes) `key` -> `value`, then evicts LRU entries
-  /// until both bounds hold again. Values larger than the byte bound are
-  /// not cached at all.
-  void Put(const std::string& key, std::string value);
+  /// Inserts (or refreshes) (version, key) -> `value`, then evicts LRU
+  /// entries until both bounds hold again. Values larger than the byte
+  /// bound are not cached at all.
+  void Put(std::uint64_t version, const std::string& key,
+           std::string value);
+
+  /// Frees every entry older than `version` — called on snapshot swap
+  /// so dead payloads stop occupying byte budget. (Version-keyed
+  /// lookups already make them unreachable; this is reclamation, not
+  /// correctness.)
+  void DropVersionsBelow(std::uint64_t version);
 
   /// Drops every entry (the bench's cold-cache phases).
   void Clear();
@@ -45,7 +60,17 @@ class ResponseCache {
   std::uint64_t evictions() const;
 
  private:
-  using Entry = std::pair<std::string, std::string>;  // key, payload.
+  struct Entry {
+    std::uint64_t version;
+    std::string map_key;  // version-prefixed composite key.
+    std::string payload;
+  };
+
+  /// The composite map key: "<version>\x1f<key>". \x1f cannot appear in
+  /// a canonical key (they are rendered from validated fields), so the
+  /// composition is injective.
+  static std::string ComposeKey(std::uint64_t version,
+                                const std::string& key);
 
   void EvictLocked();
 

@@ -18,12 +18,22 @@ void IntersectSorted(std::vector<std::uint32_t>* ids,
 
 }  // namespace
 
+PostingBanks::PostingBanks(std::size_t universe, std::size_t num_banks)
+    : universe_(universe), num_banks_(num_banks == 0 ? 1 : num_banks) {
+  banks_.resize(num_banks_);
+  // Sized so id / num_banks is always in range for id < universe: the
+  // largest slot index any bank sees is (universe - 1) / num_banks.
+  const std::size_t per_bank = (universe + num_banks_ - 1) / num_banks_;
+  for (auto& bank : banks_) bank.resize(per_bank);
+}
+
 bool RuleGroupIndex::IsSubset(const ItemVector& sub,
                               const ItemVector& super) {
   return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
 }
 
-RuleGroupIndex::RuleGroupIndex(RuleGroupSnapshot snapshot)
+RuleGroupIndex::RuleGroupIndex(RuleGroupSnapshot snapshot,
+                               std::size_t num_banks)
     : snap_(std::move(snapshot)) {
   const std::size_t n = snap_.groups.size();
   by_confidence_.resize(n);
@@ -54,11 +64,12 @@ RuleGroupIndex::RuleGroupIndex(RuleGroupSnapshot snapshot)
 
   const std::size_t num_items =
       static_cast<std::size_t>(snap_.fingerprint.num_items);
-  antecedent_postings_.resize(num_items);
-  ms_postings_.resize(num_items);
+  antecedent_postings_ = PostingBanks(num_items, num_banks);
+  ms_postings_ = PostingBanks(num_items, num_banks);
   for (std::size_t g = 0; g < n; ++g) {
     for (ItemId item : groups[g].antecedent) {
-      antecedent_postings_[item].push_back(static_cast<std::uint32_t>(g));
+      antecedent_postings_.Mutable(item).push_back(
+          static_cast<std::uint32_t>(g));
     }
     const auto add_match_set = [this, g](const ItemVector& items) {
       if (items.empty()) {
@@ -68,7 +79,7 @@ RuleGroupIndex::RuleGroupIndex(RuleGroupSnapshot snapshot)
       const auto ms_id = static_cast<std::uint32_t>(ms_group_.size());
       ms_group_.push_back(static_cast<std::uint32_t>(g));
       ms_size_.push_back(static_cast<std::uint32_t>(items.size()));
-      for (ItemId item : items) ms_postings_[item].push_back(ms_id);
+      for (ItemId item : items) ms_postings_.Mutable(item).push_back(ms_id);
     };
     if (groups[g].lower_bounds.empty()) {
       add_match_set(groups[g].antecedent);
@@ -101,17 +112,18 @@ std::vector<std::uint32_t> RuleGroupIndex::AntecedentContains(
     return candidates;
   }
   for (ItemId item : items) {
-    if (item >= antecedent_postings_.size()) return {};
+    if (item >= antecedent_postings_.universe()) return {};
   }
   // Intersect posting lists, shortest first so the running set shrinks
   // as fast as possible.
   ItemVector probe = items;
   std::sort(probe.begin(), probe.end(), [this](ItemId a, ItemId b) {
-    return antecedent_postings_[a].size() < antecedent_postings_[b].size();
+    return antecedent_postings_.Get(a).size() <
+           antecedent_postings_.Get(b).size();
   });
-  candidates = antecedent_postings_[probe[0]];
+  candidates = antecedent_postings_.Get(probe[0]);
   for (std::size_t k = 1; k < probe.size() && !candidates.empty(); ++k) {
-    IntersectSorted(&candidates, antecedent_postings_[probe[k]]);
+    IntersectSorted(&candidates, antecedent_postings_.Get(probe[k]));
   }
   std::sort(candidates.begin(), candidates.end(),
             [this](std::uint32_t a, std::uint32_t b) {
@@ -131,8 +143,8 @@ std::vector<std::uint32_t> RuleGroupIndex::RowCover(
   std::vector<std::uint32_t> touched;
   std::vector<std::uint32_t> counts(ms_group_.size(), 0);
   for (ItemId item : row_items) {
-    if (item >= ms_postings_.size()) continue;
-    for (std::uint32_t ms : ms_postings_[item]) {
+    if (item >= ms_postings_.universe()) continue;
+    for (std::uint32_t ms : ms_postings_.Get(item)) {
       if (counts[ms] == 0) touched.push_back(ms);
       ++counts[ms];
     }

@@ -11,6 +11,35 @@
 namespace farmer {
 namespace serve {
 
+/// Posting lists partitioned round-robin by item id into `num_banks`
+/// banks. The serve event loop passes one bank per shard so the posting
+/// storage a shard walks most often clusters together instead of
+/// interleaving with every other shard's working set — the list for
+/// item i lives in bank i % num_banks at slot i / num_banks. Lookup is
+/// two indexed loads either way; with num_banks == 1 the layout
+/// degenerates to the classic single vector-of-vectors.
+class PostingBanks {
+ public:
+  PostingBanks() = default;
+  PostingBanks(std::size_t universe, std::size_t num_banks);
+
+  std::vector<std::uint32_t>& Mutable(std::size_t id) {
+    return banks_[id % num_banks_][id / num_banks_];
+  }
+  const std::vector<std::uint32_t>& Get(std::size_t id) const {
+    return banks_[id % num_banks_][id / num_banks_];
+  }
+  /// Number of ids the banks were sized for; ids at or past this bound
+  /// have no posting list (callers must range-check first).
+  std::size_t universe() const { return universe_; }
+  std::size_t num_banks() const { return num_banks_; }
+
+ private:
+  std::size_t universe_ = 0;
+  std::size_t num_banks_ = 1;
+  std::vector<std::vector<std::vector<std::uint32_t>>> banks_;
+};
+
 /// In-memory query engine over a loaded snapshot.
 ///
 /// Construction builds sorted projections (by confidence and by
@@ -26,16 +55,23 @@ namespace serve {
 ///   * row-cover(sample items)               counting join over the
 ///     match-set postings, O(sum of the sample's posting lists)
 ///
+/// `num_banks` shards the posting-list storage by item id (see
+/// PostingBanks) — the server passes its event-loop shard count so each
+/// shard's hot lists cluster in memory. Query results are identical for
+/// any bank count.
+///
 /// All queries return group indices into `snapshot().groups`, most
 /// interesting first, truncated to the caller's limit. The index is
 /// immutable after construction and safe for concurrent readers.
 class RuleGroupIndex {
  public:
-  explicit RuleGroupIndex(RuleGroupSnapshot snapshot);
+  explicit RuleGroupIndex(RuleGroupSnapshot snapshot,
+                          std::size_t num_banks = 1);
 
   const RuleGroupSnapshot& snapshot() const { return snap_; }
   std::size_t size() const { return snap_.groups.size(); }
   const RuleGroup& group(std::size_t i) const { return snap_.groups[i]; }
+  std::size_t num_banks() const { return antecedent_postings_.num_banks(); }
 
   /// The `k` groups with the highest (confidence, support_pos) /
   /// (chi_square, support_pos), best first.
@@ -72,15 +108,16 @@ class RuleGroupIndex {
   std::vector<std::uint32_t> by_chi_;
   /// Rank of each group in by_confidence_ (for sorting query answers).
   std::vector<std::uint32_t> conf_rank_;
-  /// item -> groups whose antecedent contains it (ascending group index).
-  std::vector<std::vector<std::uint32_t>> antecedent_postings_;
+  /// item -> groups whose antecedent contains it (ascending group index),
+  /// banked by item id across the server's event-loop shards.
+  PostingBanks antecedent_postings_;
   /// Row-cover side: one match set per (group, lower bound) pair — or the
   /// antecedent when a group has no lower bounds. Sizes + owning group
   /// per match set, and item -> match-set ids postings for the counting
   /// join.
   std::vector<std::uint32_t> ms_group_;
   std::vector<std::uint32_t> ms_size_;
-  std::vector<std::vector<std::uint32_t>> ms_postings_;
+  PostingBanks ms_postings_;
   /// Groups with an empty match set (match every sample).
   std::vector<std::uint32_t> always_match_;
 };

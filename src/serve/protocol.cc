@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 
 #include "obs/metrics.h"
 #include "util/simd/simd.h"
@@ -272,11 +273,304 @@ const char* OpName(QueryRequest::Op op) {
     case QueryRequest::Op::kContains: return "contains";
     case QueryRequest::Op::kCover: return "cover";
     case QueryRequest::Op::kFilter: return "filter";
+    case QueryRequest::Op::kReload: return "reload";
   }
   return "unknown";
 }
 
+// ---------------------------------------------------------------------
+// Little-endian scalar encoding shared by the FQP1 frame functions.
+
+void PutU32(std::string* out, std::uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void PutF64(std::string* out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// A bounds-checked little-endian reader over a frame payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(std::uint8_t* out) {
+    if (data_.size() - pos_ < 1) return false;
+    *out = static_cast<std::uint8_t>(data_[pos_]);
+    pos_ += 1;
+    return true;
+  }
+
+  bool ReadU32(std::uint32_t* out) {
+    if (data_.size() - pos_ < 4) return false;
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) |
+          static_cast<std::uint8_t>(data_[pos_ + static_cast<size_t>(i)]);
+    }
+    *out = v;
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(std::uint64_t* out) {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    if (!ReadU32(&lo) || !ReadU32(&hi)) return false;
+    *out = (static_cast<std::uint64_t>(hi) << 32) | lo;
+    return true;
+  }
+
+  bool ReadF64(double* out) {
+    std::uint64_t bits = 0;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace
+
+const char* FrameStatusCode(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kBadRequest: return "bad_request";
+    case FrameStatus::kOverloaded: return "overloaded";
+    case FrameStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case FrameStatus::kShuttingDown: return "shutting_down";
+    case FrameStatus::kIdleTimeout: return "idle_timeout";
+    case FrameStatus::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+ProtocolDetect DetectProtocol(std::string_view prefix) {
+  if (prefix.empty()) return ProtocolDetect::kNeedMore;
+  const std::string_view magic(kBinaryPreamble, kBinaryPreambleSize);
+  const std::size_t n = std::min(prefix.size(), kBinaryPreambleSize);
+  if (prefix.substr(0, n) != magic.substr(0, n)) return ProtocolDetect::kJson;
+  return prefix.size() >= kBinaryPreambleSize ? ProtocolDetect::kBinary
+                                              : ProtocolDetect::kNeedMore;
+}
+
+FrameExtract ExtractFrame(std::string_view buffer, std::size_t* consumed,
+                          std::uint8_t* opcode, std::string_view* payload,
+                          std::string* error) {
+  if (buffer.size() < 4) return FrameExtract::kNeedMore;
+  std::uint32_t length = 0;
+  for (int i = 3; i >= 0; --i) {
+    length = (length << 8) |
+             static_cast<std::uint8_t>(buffer[static_cast<size_t>(i)]);
+  }
+  if (length < 1) {
+    *error = "frame length 0 (a frame is at least its opcode byte)";
+    return FrameExtract::kError;
+  }
+  if (length > 1 + kMaxFramePayload) {
+    *error = "frame length " + std::to_string(length) + " exceeds " +
+             std::to_string(1 + kMaxFramePayload) + " bytes";
+    return FrameExtract::kError;
+  }
+  if (buffer.size() - 4 < length) return FrameExtract::kNeedMore;
+  *opcode = static_cast<std::uint8_t>(buffer[4]);
+  *payload = buffer.substr(5, length - 1);
+  *consumed = 4 + static_cast<std::size_t>(length);
+  return FrameExtract::kComplete;
+}
+
+Status ParseBinaryRequest(std::uint8_t opcode, std::string_view payload,
+                          QueryRequest* out) {
+  QueryRequest req;
+  switch (static_cast<FrameOp>(opcode)) {
+    case FrameOp::kPing: req.op = QueryRequest::Op::kPing; break;
+    case FrameOp::kStats: req.op = QueryRequest::Op::kStats; break;
+    case FrameOp::kTopk: req.op = QueryRequest::Op::kTopkConfidence; break;
+    case FrameOp::kContains: req.op = QueryRequest::Op::kContains; break;
+    case FrameOp::kCover: req.op = QueryRequest::Op::kCover; break;
+    case FrameOp::kFilter: req.op = QueryRequest::Op::kFilter; break;
+    case FrameOp::kReload: req.op = QueryRequest::Op::kReload; break;
+    default:
+      return Status::InvalidArgument("unknown frame opcode " +
+                                     std::to_string(opcode));
+  }
+
+  PayloadReader reader(payload);
+  std::uint32_t limit = 0;
+  if (!reader.ReadU64(&req.bin_id) || !reader.ReadF64(&req.deadline_ms) ||
+      !reader.ReadU32(&limit)) {
+    return Status::InvalidArgument("truncated frame header");
+  }
+  if (!(req.deadline_ms >= 0) || !std::isfinite(req.deadline_ms)) {
+    return Status::InvalidArgument("deadline_ms must be finite and >= 0");
+  }
+  if (limit > kMaxResultLimit) {
+    return Status::InvalidArgument("limit exceeds " +
+                                   std::to_string(kMaxResultLimit));
+  }
+  req.limit = limit;
+
+  switch (req.op) {
+    case QueryRequest::Op::kPing:
+    case QueryRequest::Op::kStats:
+    case QueryRequest::Op::kReload:
+      break;
+    case QueryRequest::Op::kTopkConfidence:
+    case QueryRequest::Op::kTopkChiSquare: {
+      std::uint8_t metric = 0;
+      std::uint32_t k = 0;
+      if (!reader.ReadU8(&metric) || !reader.ReadU32(&k)) {
+        return Status::InvalidArgument("truncated topk frame");
+      }
+      if (metric > 1) {
+        return Status::InvalidArgument("unknown topk metric " +
+                                       std::to_string(metric));
+      }
+      if (k > kMaxResultLimit) {
+        return Status::InvalidArgument("k exceeds " +
+                                       std::to_string(kMaxResultLimit));
+      }
+      req.op = metric == 0 ? QueryRequest::Op::kTopkConfidence
+                           : QueryRequest::Op::kTopkChiSquare;
+      req.k = k;
+      break;
+    }
+    case QueryRequest::Op::kContains:
+    case QueryRequest::Op::kCover: {
+      std::uint32_t count = 0;
+      if (!reader.ReadU32(&count)) {
+        return Status::InvalidArgument("truncated items frame");
+      }
+      if (count > kMaxQueryItems) {
+        return Status::InvalidArgument("item count exceeds " +
+                                       std::to_string(kMaxQueryItems));
+      }
+      req.items.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t item = 0;
+        if (!reader.ReadU32(&item)) {
+          return Status::InvalidArgument("truncated item list");
+        }
+        req.items.push_back(static_cast<ItemId>(item));
+      }
+      std::sort(req.items.begin(), req.items.end());
+      req.items.erase(std::unique(req.items.begin(), req.items.end()),
+                      req.items.end());
+      break;
+    }
+    case QueryRequest::Op::kFilter: {
+      std::uint64_t minsup = 0;
+      if (!reader.ReadU64(&minsup) || !reader.ReadF64(&req.min_confidence)) {
+        return Status::InvalidArgument("truncated filter frame");
+      }
+      if (minsup > static_cast<std::uint64_t>(
+                       static_cast<std::size_t>(-1) / 2)) {
+        return Status::InvalidArgument("minsup out of range");
+      }
+      if (!std::isfinite(req.min_confidence)) {
+        return Status::InvalidArgument("minconf must be finite");
+      }
+      req.min_support = static_cast<std::size_t>(minsup);
+      break;
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after frame payload");
+  }
+  *out = std::move(req);
+  return Status::Ok();
+}
+
+std::string EncodeBinaryRequest(const QueryRequest& request) {
+  FrameOp opcode = FrameOp::kPing;
+  switch (request.op) {
+    case QueryRequest::Op::kPing: opcode = FrameOp::kPing; break;
+    case QueryRequest::Op::kStats: opcode = FrameOp::kStats; break;
+    case QueryRequest::Op::kTopkConfidence:
+    case QueryRequest::Op::kTopkChiSquare:
+      opcode = FrameOp::kTopk;
+      break;
+    case QueryRequest::Op::kContains: opcode = FrameOp::kContains; break;
+    case QueryRequest::Op::kCover: opcode = FrameOp::kCover; break;
+    case QueryRequest::Op::kFilter: opcode = FrameOp::kFilter; break;
+    case QueryRequest::Op::kReload: opcode = FrameOp::kReload; break;
+  }
+
+  std::string body;
+  body.push_back(static_cast<char>(opcode));
+  PutU64(&body, request.bin_id);
+  PutF64(&body, request.deadline_ms);
+  PutU32(&body, static_cast<std::uint32_t>(request.limit));
+  switch (request.op) {
+    case QueryRequest::Op::kPing:
+    case QueryRequest::Op::kStats:
+    case QueryRequest::Op::kReload:
+      break;
+    case QueryRequest::Op::kTopkConfidence:
+    case QueryRequest::Op::kTopkChiSquare:
+      body.push_back(
+          request.op == QueryRequest::Op::kTopkConfidence ? '\0' : '\1');
+      PutU32(&body, static_cast<std::uint32_t>(request.k));
+      break;
+    case QueryRequest::Op::kContains:
+    case QueryRequest::Op::kCover:
+      PutU32(&body, static_cast<std::uint32_t>(request.items.size()));
+      for (ItemId item : request.items) {
+        PutU32(&body, static_cast<std::uint32_t>(item));
+      }
+      break;
+    case QueryRequest::Op::kFilter:
+      PutU64(&body, static_cast<std::uint64_t>(request.min_support));
+      PutF64(&body, request.min_confidence);
+      break;
+  }
+
+  std::string frame;
+  frame.reserve(4 + body.size());
+  PutU32(&frame, static_cast<std::uint32_t>(body.size()));
+  frame += body;
+  return frame;
+}
+
+std::string EncodeResponseFrame(FrameStatus status, std::uint64_t req_id,
+                                std::string_view json) {
+  std::string frame;
+  frame.reserve(4 + 9 + json.size());
+  PutU32(&frame, static_cast<std::uint32_t>(9 + json.size()));
+  frame.push_back(static_cast<char>(status));
+  PutU64(&frame, req_id);
+  frame.append(json.data(), json.size());
+  return frame;
+}
+
+Status DecodeResponseFrame(std::string_view body, FrameStatus* status,
+                           std::uint64_t* req_id, std::string* json) {
+  if (body.size() < 9) {
+    return Status::InvalidArgument("response frame shorter than 9 bytes");
+  }
+  *status = static_cast<FrameStatus>(static_cast<std::uint8_t>(body[0]));
+  PayloadReader reader(body.substr(1, 8));
+  if (!reader.ReadU64(req_id)) {
+    return Status::InvalidArgument("truncated response id");
+  }
+  json->assign(body.substr(9));
+  return Status::Ok();
+}
 
 Status ParseRequest(const std::string& line, QueryRequest* out) {
   if (line.size() > kMaxRequestBytes) {
@@ -312,6 +606,8 @@ Status ParseRequest(const std::string& line, QueryRequest* out) {
     req.op = QueryRequest::Op::kCover;
   } else if (op->string == "filter") {
     req.op = QueryRequest::Op::kFilter;
+  } else if (op->string == "reload") {
+    req.op = QueryRequest::Op::kReload;
   } else {
     return BadRequest("unknown op '" + op->string + "'");
   }
@@ -380,6 +676,7 @@ std::string CanonicalKey(const QueryRequest& request) {
   switch (request.op) {
     case QueryRequest::Op::kPing:
     case QueryRequest::Op::kStats:
+    case QueryRequest::Op::kReload:
       break;
     case QueryRequest::Op::kTopkConfidence:
     case QueryRequest::Op::kTopkChiSquare:
@@ -404,7 +701,8 @@ std::string CanonicalKey(const QueryRequest& request) {
 
 bool IsCacheable(const QueryRequest& request) {
   return request.op != QueryRequest::Op::kPing &&
-         request.op != QueryRequest::Op::kStats;
+         request.op != QueryRequest::Op::kStats &&
+         request.op != QueryRequest::Op::kReload;
 }
 
 std::string RenderGroupsPayload(const QueryRequest& request,
@@ -444,10 +742,12 @@ std::string RenderGroupsPayload(const QueryRequest& request,
 }
 
 std::string RenderStatsPayload(const QueryRequest& request,
-                               const RuleGroupIndex& index) {
+                               const RuleGroupIndex& index,
+                               std::uint64_t version) {
   (void)request;
   const RuleGroupSnapshot& snap = index.snapshot();
   std::string out = "{\"ok\":true,\"op\":\"stats\"";
+  out += ",\"version\":" + std::to_string(version);
   out += std::string(",\"simd_level\":\"") +
          simd::LevelName(simd::ActiveLevel()) + "\"";
   out += ",\"groups\":" + std::to_string(snap.groups.size());
@@ -471,6 +771,11 @@ std::string RenderStatsPayload(const QueryRequest& request,
 std::string RenderPingPayload(const QueryRequest& request) {
   (void)request;
   return "{\"ok\":true,\"op\":\"ping\"";
+}
+
+std::string RenderReloadPayload(std::uint64_t version, std::size_t groups) {
+  return "{\"ok\":true,\"op\":\"reload\",\"version\":" +
+         std::to_string(version) + ",\"groups\":" + std::to_string(groups);
 }
 
 std::string RenderError(const std::string& code, const std::string& message,

@@ -1,80 +1,84 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstring>
+#include <string_view>
 #include <utility>
 #include <vector>
+
+#include "serve/snapshot.h"
 
 namespace farmer {
 namespace serve {
 namespace {
 
-// Receive/send timeout on connection sockets. Handlers wake at this
-// cadence to poll the stop flag, which bounds how long Shutdown() can
-// block on an idle connection or a non-reading peer.
-constexpr int kIoTimeoutMs = 100;
+// epoll_wait timeout: how often a shard scans its connections for idle
+// and send-stall expiry, and how quickly it notices Shutdown() without
+// an eventfd wake.
+constexpr int kTickMs = 50;
 
-// A send() that makes no progress for this many timeout ticks in a row
-// is talking to a dead or non-reading peer (full TCP window); the
-// connection is dropped rather than blocking a worker indefinitely.
-constexpr int kMaxSendStalls = 50;  // 5 s at 100 ms ticks.
+// recv() chunk size and the per-wake read cap. The cap keeps one
+// fire-hosing connection from starving its shard's siblings: leftover
+// bytes stay in the kernel buffer and level-triggered epoll reports the
+// socket readable again on the next wait.
+constexpr std::size_t kReadChunk = 16384;
+constexpr std::size_t kMaxReadPerWake = 256 * 1024;
+
+// Responses coalesced into one vectored send (well under IOV_MAX).
+constexpr int kMaxIov = 64;
+
+constexpr int kMaxEpollEvents = 128;
+
+// Send timeout on sockets still in blocking mode (the reject path runs
+// before the fd goes non-blocking).
+constexpr int kRejectIoTimeoutMs = 100;
 
 // Latency buckets, seconds: 10us .. 1s plus overflow.
 std::vector<double> LatencyBounds() {
   return {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0};
 }
 
-// Writes all of `data` to `fd`, retrying partial writes and EINTR.
-// Returns false when the peer is gone. MSG_NOSIGNAL keeps a dead peer
-// from raising SIGPIPE and killing the process. The socket's
-// SO_SNDTIMEO turns a blocked send into an EAGAIN tick, at which the
-// writer re-checks `stopping` and gives up on peers that have made no
-// progress for kMaxSendStalls ticks — so neither a stalled client nor
-// Shutdown() can leave a worker stuck in send() forever.
-bool SendAll(int fd, const std::string& data,
-             const std::atomic<bool>& stopping) {
+// Blocking best-effort send for the reject path (overloaded /
+// shutting-down replies on not-yet-admitted sockets). SO_SNDTIMEO
+// bounds each attempt; a stalled peer just loses the courtesy reply.
+void SendRejectLine(int fd, std::string line) {
+  line.push_back('\n');
   std::size_t sent = 0;
-  int stalls = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
+  while (sent < line.size()) {
+    const ssize_t n =
+        ::send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        if (stopping.load(std::memory_order_acquire)) return false;
-        if (++stalls >= kMaxSendStalls) return false;
-        continue;
-      }
-      return false;
+      return;  // Timed out or peer gone: give up on the courtesy reply.
     }
-    stalls = 0;
     sent += static_cast<std::size_t>(n);
   }
-  return true;
 }
 
-bool SendLine(int fd, std::string line, const std::atomic<bool>& stopping) {
-  line.push_back('\n');
-  return SendAll(fd, line, stopping);
-}
-
-// Bounds both directions of socket I/O so handlers can poll the stop
-// flag: recv() wakes to notice shutdown and the idle deadline, send()
-// wakes to notice shutdown and dead peers.
-void SetIoTimeouts(int fd) {
+void SetRejectTimeout(int fd) {
   timeval tv;
-  tv.tv_sec = kIoTimeoutMs / 1000;
-  tv.tv_usec = (kIoTimeoutMs % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  tv.tv_sec = kRejectIoTimeoutMs / 1000;
+  tv.tv_usec = (kRejectIoTimeoutMs % 1000) * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 const char* SpanName(QueryRequest::Op op) {
@@ -92,6 +96,8 @@ const char* SpanName(QueryRequest::Op op) {
       return "serve.cover";
     case QueryRequest::Op::kFilter:
       return "serve.filter";
+    case QueryRequest::Op::kReload:
+      return "serve.reload";
   }
   return "serve.request";
 }
@@ -99,10 +105,11 @@ const char* SpanName(QueryRequest::Op op) {
 }  // namespace
 
 Server::Server(RuleGroupIndex index, const Options& options)
-    : index_(std::move(index)),
-      options_(options),
-      cache_(options.cache_entries, options.cache_bytes) {
-  if (options_.num_workers == 0) options_.num_workers = 1;
+    : options_(options),
+      cache_(options.cache_entries, options.cache_bytes),
+      current_(std::make_shared<const VersionedIndex>(
+          VersionedIndex{std::move(index), 1})) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
   if (options_.max_connections == 0) options_.max_connections = 1;
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry* m = options_.metrics;
@@ -113,13 +120,51 @@ Server::Server(RuleGroupIndex index, const Options& options)
     metrics_.cache_misses = m->GetCounter("serve.cache_misses");
     metrics_.overloaded = m->GetCounter("serve.overloaded");
     metrics_.deadline_exceeded = m->GetCounter("serve.deadline_exceeded");
+    metrics_.reloads = m->GetCounter("serve.reloads");
     metrics_.active_connections = m->GetGauge("serve.active_connections");
+    metrics_.snapshot_version = m->GetGauge("serve.snapshot_version");
+    metrics_.snapshot_version->Set(1.0);
     metrics_.latency =
         m->GetHistogram("serve.latency_seconds", LatencyBounds());
   }
 }
 
 Server::~Server() { Shutdown(); }
+
+std::shared_ptr<const Server::VersionedIndex> Server::Current() const {
+  return current_.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const RuleGroupIndex> Server::index() const {
+  std::shared_ptr<const VersionedIndex> vi = Current();
+  return std::shared_ptr<const RuleGroupIndex>(vi, &vi->index);
+}
+
+std::uint64_t Server::snapshot_version() const { return Current()->version; }
+
+void Server::InstallIndex(RuleGroupIndex index) {
+  // Serialize writers; readers never block. The new VersionedIndex is
+  // fully built before the pointer flips, and old versions stay alive
+  // until the last in-flight request drops its shared_ptr.
+  std::lock_guard<std::mutex> lock(swap_mutex_);
+  const std::uint64_t version = Current()->version + 1;
+  auto next = std::make_shared<const VersionedIndex>(
+      VersionedIndex{std::move(index), version});
+  current_.store(next, std::memory_order_release);
+  cache_.DropVersionsBelow(version);
+  if (metrics_.reloads != nullptr) metrics_.reloads->Increment();
+  if (metrics_.snapshot_version != nullptr) {
+    metrics_.snapshot_version->Set(static_cast<double>(version));
+  }
+}
+
+Status Server::ReloadFromFile(const std::string& path) {
+  RuleGroupSnapshot snapshot;
+  const Status loaded = LoadSnapshot(path, &snapshot);
+  if (!loaded.ok()) return loaded;
+  InstallIndex(RuleGroupIndex(std::move(snapshot), options_.num_shards));
+  return Status::Ok();
+}
 
 Status Server::Start() {
   if (started_.load(std::memory_order_acquire)) {
@@ -167,8 +212,39 @@ Status Server::Start() {
   }
   port_ = ntohs(bound.sin_port);
 
+  const auto abort_start = [this](const std::string& what) {
+    const std::string err = std::strerror(errno);
+    for (auto& shard : shards_) {
+      if (shard->wake_fd >= 0) ::close(shard->wake_fd);
+      if (shard->epoll_fd >= 0) ::close(shard->epoll_fd);
+    }
+    shards_.clear();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(what + "(): " + err);
+  };
+
+  shards_.clear();
+  for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    shard->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    shards_.push_back(std::move(shard));
+    Shard& s = *shards_.back();
+    if (s.epoll_fd < 0) return abort_start("epoll_create1");
+    if (s.wake_fd < 0) return abort_start("eventfd");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = s.wake_fd;
+    if (::epoll_ctl(s.epoll_fd, EPOLL_CTL_ADD, s.wake_fd, &ev) != 0) {
+      return abort_start("epoll_ctl");
+    }
+  }
+
   stopping_.store(false, std::memory_order_release);
-  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->thread = std::thread([this, i] { ShardLoop(i); });
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   started_.store(true, std::memory_order_release);
   return Status::Ok();
@@ -176,27 +252,30 @@ Status Server::Start() {
 
 void Server::Shutdown() {
   // Serialized: concurrent Shutdown() calls (say, a signal-driven stop
-  // racing the destructor) must not both join the accept thread.
+  // racing the destructor) must not both join the threads.
   std::lock_guard<std::mutex> lock(shutdown_mutex_);
   if (!started_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
   // Unblock the accept() call with shutdown() rather than close(): a
   // close here could race a new accept on a reused fd number. The real
-  // close happens after the accept thread is gone.
+  // close happens after the accept thread is gone — which also means no
+  // new fds can land in a shard inbox once the shards start exiting.
   ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  // In-flight handlers notice stopping_ within one I/O timeout tick —
-  // whether they are blocked in recv() or in send() to a non-reading
-  // peer — finish the request they are on, and return; Wait() drains
-  // them all.
-  pool_->Wait();
-  pool_.reset();
+  for (auto& shard : shards_) WakeShard(*shard);
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+    ::close(shard->wake_fd);
+    ::close(shard->epoll_fd);
+  }
+  shards_.clear();
   started_.store(false, std::memory_order_release);
 }
 
 void Server::AcceptLoop() {
+  std::size_t next_shard = 0;
   while (!stopping_.load(std::memory_order_acquire)) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -205,17 +284,16 @@ void Server::AcceptLoop() {
       // the rest.
       break;
     }
-    SetIoTimeouts(fd);
+    SetRejectTimeout(fd);
     if (stopping_.load(std::memory_order_acquire)) {
-      SendLine(fd, RenderError("shutting_down", "server is shutting down"),
-               stopping_);
+      SendRejectLine(fd,
+                     RenderError("shutting_down", "server is shutting down"));
       ::close(fd);
       break;
     }
 
-    // Admission control. The count is reserved here (before the task is
-    // queued) and released when the handler finishes, so queued-but-not-
-    // started connections occupy a slot too.
+    // Admission control. The slot is reserved here and released by the
+    // owning shard when the connection closes.
     std::size_t active = active_connections_.load(std::memory_order_relaxed);
     bool admitted = false;
     while (active < options_.max_connections) {
@@ -228,180 +306,334 @@ void Server::AcceptLoop() {
     if (!admitted) {
       overloaded_.fetch_add(1, std::memory_order_relaxed);
       if (metrics_.overloaded != nullptr) metrics_.overloaded->Increment();
-      SendLine(fd, RenderError("overloaded", "connection limit reached"),
-               stopping_);
+      SendRejectLine(fd,
+                     RenderError("overloaded", "connection limit reached"));
       ::close(fd);
       continue;
     }
-    if (metrics_.active_connections != nullptr) {
-      metrics_.active_connections->Set(static_cast<double>(
-          active_connections_.load(std::memory_order_relaxed)));
-    }
+    PublishActiveGauge();
 
-    pool_->Submit([this, fd](std::size_t worker_id) {
-      HandleConnection(fd, worker_id);
+    if (!SetNonBlocking(fd)) {
+      ::close(fd);
       active_connections_.fetch_sub(1, std::memory_order_relaxed);
-      if (metrics_.active_connections != nullptr) {
-        metrics_.active_connections->Set(static_cast<double>(
-            active_connections_.load(std::memory_order_relaxed)));
-      }
-    });
+      PublishActiveGauge();
+      continue;
+    }
+    // Responses are coalesced into full frames before sending; Nagle
+    // would only add latency on the last partial segment.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    Shard& shard = *shards_[next_shard];
+    next_shard = (next_shard + 1) % shards_.size();
+    {
+      std::lock_guard<std::mutex> inbox_lock(shard.inbox_mutex);
+      shard.inbox.push_back(fd);
+    }
+    WakeShard(shard);
   }
 }
 
-void Server::HandleConnection(int fd, std::size_t worker_id) {
-  // Timeouts (set at accept) double as the stop-flag polling interval.
-  // The idle deadline is reset only when a complete request line is
-  // processed, so a slow-loris peer trickling bytes of a never-finished
-  // line cannot hold its admission slot past the bound.
-  Deadline idle = Deadline::After(options_.idle_timeout_s);
-  std::string buffer;
-  char chunk[4096];
-  bool alive = true;
-  while (alive && !stopping_.load(std::memory_order_acquire)) {
-    if (idle.ExpiredNow()) {
-      SendLine(fd, RenderError("idle_timeout", "connection idle too long"),
-               stopping_);
-      break;
-    }
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-        continue;  // Timeout tick: re-check the stop flag and deadline.
-      }
-      break;
-    }
-    if (n == 0) break;  // Peer closed.
-    buffer.append(chunk, static_cast<std::size_t>(n));
+void Server::WakeShard(Shard& shard) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(shard.wake_fd, &one, sizeof(one));
+  // EAGAIN means the counter is already non-zero: the shard is waking.
+}
 
-    // Drain every complete line currently buffered.
+void Server::PublishActiveGauge() {
+  if (metrics_.active_connections != nullptr) {
+    metrics_.active_connections->Set(static_cast<double>(
+        active_connections_.load(std::memory_order_relaxed)));
+  }
+}
+
+void Server::AdoptInbox(Shard& shard) {
+  std::vector<int> fresh;
+  {
+    std::lock_guard<std::mutex> lock(shard.inbox_mutex);
+    fresh.swap(shard.inbox);
+  }
+  for (const int fd : fresh) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(shard.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    Conn conn;
+    conn.fd = fd;
+    conn.idle = Deadline::After(options_.idle_timeout_s);
+    shard.conns.emplace(fd, std::move(conn));
+  }
+  if (!fresh.empty()) PublishActiveGauge();
+}
+
+void Server::ShardLoop(std::size_t shard_id) {
+  Shard& shard = *shards_[shard_id];
+  std::array<epoll_event, kMaxEpollEvents> events;
+  while (true) {
+    const int n = ::epoll_wait(shard.epoll_fd, events.data(),
+                               kMaxEpollEvents, kTickMs);
+    // Adopt first so handed-off fds are owned (and get closed on the
+    // drain path below) even when the wake races shutdown.
+    AdoptInbox(shard);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[static_cast<std::size_t>(i)];
+      const int fd = ev.data.fd;
+      if (fd == shard.wake_fd) {
+        std::uint64_t junk;
+        while (::read(shard.wake_fd, &junk, sizeof(junk)) > 0) {
+        }
+        continue;
+      }
+      auto it = shard.conns.find(fd);
+      if (it == shard.conns.end()) continue;
+      Conn& conn = it->second;
+      bool alive = (ev.events & (EPOLLERR | EPOLLHUP)) == 0;
+      if (alive && (ev.events & EPOLLOUT) != 0) {
+        alive = FlushConn(shard, conn);
+      }
+      if (alive && (ev.events & EPOLLIN) != 0) {
+        alive = HandleReadable(shard_id, shard, conn);
+      }
+      if (!alive) CloseConn(shard, fd);
+    }
+    TickTimeouts(shard);
+  }
+  // Graceful drain: give each connection one best-effort flush (peers
+  // that are reading get their queued responses), then close.
+  for (auto& entry : shard.conns) {
+    FlushConn(shard, entry.second);
+    ::close(entry.second.fd);
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  shard.conns.clear();
+  PublishActiveGauge();
+}
+
+bool Server::HandleReadable(std::size_t shard_id, Shard& shard, Conn& conn) {
+  char chunk[kReadChunk];
+  std::size_t got = 0;
+  bool peer_closed = false;
+  while (got < kMaxReadPerWake) {
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.rbuf.append(chunk, static_cast<std::size_t>(n));
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;
+  }
+  ProcessBuffered(shard_id, shard, conn);
+  if (!FlushConn(shard, conn)) return false;
+  if (peer_closed) {
+    // Half-closed peer (shutdown(SHUT_WR)): deliver what's still
+    // queued, then close once it drains.
+    if (!HasPending(conn)) return false;
+    conn.want_close = true;
+  }
+  return true;
+}
+
+void Server::ProcessBuffered(std::size_t shard_id, Shard& shard, Conn& conn) {
+  (void)shard;
+  if (conn.mode == Conn::Mode::kDetect) {
+    switch (DetectProtocol(conn.rbuf)) {
+      case ProtocolDetect::kNeedMore:
+        return;
+      case ProtocolDetect::kJson:
+        conn.mode = Conn::Mode::kJson;
+        break;
+      case ProtocolDetect::kBinary:
+        conn.mode = Conn::Mode::kBinary;
+        conn.rbuf.erase(0, kBinaryPreambleSize);
+        break;
+    }
+  }
+
+  // Parse-then-execute: every complete request is cut off the buffer
+  // and deadline-stamped before any of them runs, so the budget of a
+  // pipelined request queued behind a slow one burns while it waits —
+  // exactly as if the client had sent them one at a time.
+  const auto stamp = [this](PendingRequest& p) {
+    if (!p.parse.ok()) return;
+    double budget_s = options_.default_deadline_s;
+    if (p.request.deadline_ms > 0 &&
+        p.request.deadline_ms / 1000.0 < budget_s) {
+      budget_s = p.request.deadline_ms / 1000.0;
+    }
+    p.deadline = Deadline::After(budget_s);
+  };
+
+  std::vector<PendingRequest> batch;
+  if (conn.mode == Conn::Mode::kJson) {
     std::size_t start = 0;
     for (;;) {
-      const std::size_t nl = buffer.find('\n', start);
+      const std::size_t nl = conn.rbuf.find('\n', start);
       if (nl == std::string::npos) break;
-      std::string line = buffer.substr(start, nl - start);
+      std::string line = conn.rbuf.substr(start, nl - start);
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      if (!SendLine(fd, ProcessRequest(line, worker_id), stopping_)) {
-        alive = false;
+      PendingRequest p;
+      p.parse = ParseRequest(line, &p.request);
+      stamp(p);
+      batch.push_back(std::move(p));
+    }
+    if (start > 0) conn.rbuf.erase(0, start);
+    // A line longer than the request cap can never become valid;
+    // reject it and close rather than buffering without bound.
+    if (conn.rbuf.size() > kMaxRequestBytes) {
+      Enqueue(conn, FrameStatus::kBadRequest, 0,
+              RenderError("bad_request", "request line too long"));
+      conn.want_close = true;
+      conn.rbuf.clear();
+    }
+  } else {
+    std::size_t pos = 0;
+    for (;;) {
+      const std::string_view rest(conn.rbuf.data() + pos,
+                                  conn.rbuf.size() - pos);
+      std::size_t consumed = 0;
+      std::uint8_t opcode = 0;
+      std::string_view payload;
+      std::string error;
+      const FrameExtract got =
+          ExtractFrame(rest, &consumed, &opcode, &payload, &error);
+      if (got == FrameExtract::kNeedMore) break;
+      if (got == FrameExtract::kError) {
+        Enqueue(conn, FrameStatus::kBadRequest, 0,
+                RenderError("bad_request", error));
+        conn.want_close = true;
+        conn.rbuf.clear();
+        pos = 0;
         break;
       }
+      PendingRequest p;
+      p.binary = true;
+      p.parse = ParseBinaryRequest(opcode, payload, &p.request);
+      stamp(p);
+      batch.push_back(std::move(p));
+      pos += consumed;
     }
-    if (start > 0) {
-      buffer.erase(0, start);
-      idle = Deadline::After(options_.idle_timeout_s);
-    }
-
-    // A line longer than the request cap can never become valid; reject
-    // it and drop the connection rather than buffering without bound.
-    if (buffer.size() > kMaxRequestBytes) {
-      SendLine(fd, RenderError("bad_request", "request line too long"),
-               stopping_);
-      break;
-    }
+    if (pos > 0) conn.rbuf.erase(0, pos);
   }
-  ::close(fd);
+
+  if (batch.empty()) return;
+  for (PendingRequest& p : batch) {
+    ExecutePending(shard_id, conn, p);
+  }
+  conn.idle = Deadline::After(options_.idle_timeout_s);
 }
 
-std::string Server::ProcessRequest(const std::string& line,
-                                   std::size_t worker_id) {
+void Server::ExecutePending(std::size_t shard_id, Conn& conn,
+                            PendingRequest& p) {
   Stopwatch watch;
   if (metrics_.requests != nullptr) metrics_.requests->Increment();
 
-  QueryRequest request;
-  const Status parsed = ParseRequest(line, &request);
-  if (!parsed.ok()) {
+  if (!p.parse.ok()) {
     if (metrics_.responses_error != nullptr) {
       metrics_.responses_error->Increment();
     }
-    return RenderError("bad_request", parsed.message());
+    Enqueue(conn, FrameStatus::kBadRequest, p.request.bin_id,
+            RenderError("bad_request", p.parse.message(),
+                        p.binary ? "" : p.request.id));
+    return;
   }
 
-  obs::ScopedSpan span(options_.trace, worker_id + 1, SpanName(request.op));
-
-  // The request's own budget only ever tightens the server default.
-  double budget_s = options_.default_deadline_s;
-  if (request.deadline_ms > 0 &&
-      request.deadline_ms / 1000.0 < budget_s) {
-    budget_s = request.deadline_ms / 1000.0;
-  }
-  const Deadline deadline = Deadline::After(budget_s);
-
-  std::string response;
-  bool is_error = false;
-  bool cache_hit = false;
-  const bool cacheable = IsCacheable(request);
-  std::string key;
-  if (cacheable) {
-    key = CanonicalKey(request);
-    std::string payload;
-    if (cache_.Get(key, &payload)) {
-      cache_hit = true;
-      if (metrics_.cache_hits != nullptr) metrics_.cache_hits->Increment();
-      response = FinishResponse(payload, /*cached=*/true, request.id);
-    } else if (metrics_.cache_misses != nullptr) {
-      metrics_.cache_misses->Increment();
-    }
-  }
-
-  if (!cache_hit) {
-    const std::string payload = ExecuteQuery(request, deadline, &is_error);
-    if (is_error) {
-      response = payload;  // Already a complete error line.
-    } else {
-      if (cacheable) cache_.Put(key, payload);
-      response = FinishResponse(payload, /*cached=*/false, request.id);
-    }
-  }
+  obs::ScopedSpan span(options_.trace, shard_id + 1, SpanName(p.request.op));
+  QueryOutcome out = p.request.op == QueryRequest::Op::kReload
+                         ? RunReload(p.request)
+                         : RunQuery(p.request, p.deadline, shard_id);
 
   if (metrics_.latency != nullptr) {
     metrics_.latency->Observe(watch.ElapsedSeconds());
   }
-  if (is_error) {
+  if (out.error) {
     if (metrics_.responses_error != nullptr) {
       metrics_.responses_error->Increment();
     }
   } else if (metrics_.responses_ok != nullptr) {
     metrics_.responses_ok->Increment();
   }
-  span.Arg("cached", cache_hit ? 1 : 0);
-  return response;
+  span.Arg("cached", out.cached ? 1 : 0);
+  Enqueue(conn, out.status, p.request.bin_id, std::move(out.json));
 }
 
-std::string Server::ExecuteQuery(const QueryRequest& request,
-                                 const Deadline& deadline, bool* is_error) {
-  *is_error = false;
+Server::QueryOutcome Server::RunQuery(const QueryRequest& request,
+                                      const Deadline& deadline,
+                                      std::size_t shard_id) {
+  (void)shard_id;
+  QueryOutcome out;
+  // One acquire per request: everything below sees a single coherent
+  // (index, version) pair, no matter how many swaps land meanwhile.
+  const std::shared_ptr<const VersionedIndex> vi = Current();
+  const RuleGroupIndex& index = vi->index;
+
+  const bool cacheable = IsCacheable(request);
+  std::string key;
+  if (cacheable) {
+    key = CanonicalKey(request);
+    std::string payload;
+    if (cache_.Get(vi->version, key, &payload)) {
+      if (metrics_.cache_hits != nullptr) metrics_.cache_hits->Increment();
+      out.cached = true;
+      out.json = FinishResponse(payload, /*cached=*/true, request.id);
+      return out;
+    }
+    if (metrics_.cache_misses != nullptr) metrics_.cache_misses->Increment();
+  }
+
   if (deadline.ExpiredNow()) {
     if (metrics_.deadline_exceeded != nullptr) {
       metrics_.deadline_exceeded->Increment();
     }
-    *is_error = true;
-    return RenderError("deadline_exceeded", "deadline expired before query",
-                       request.id);
+    out.error = true;
+    out.status = FrameStatus::kDeadlineExceeded;
+    out.json = RenderError("deadline_exceeded",
+                           "deadline expired before query", request.id);
+    return out;
   }
 
   std::vector<std::uint32_t> ids;
   switch (request.op) {
     case QueryRequest::Op::kPing:
-      return RenderPingPayload(request);
+      out.json =
+          FinishResponse(RenderPingPayload(request), /*cached=*/false,
+                         request.id);
+      return out;
     case QueryRequest::Op::kStats:
-      return RenderStatsPayload(request, index_);
+      out.json = FinishResponse(RenderStatsPayload(request, index,
+                                                   vi->version),
+                                /*cached=*/false, request.id);
+      return out;
+    case QueryRequest::Op::kReload:
+      return RunReload(request);  // Dispatched earlier; kept total.
     case QueryRequest::Op::kTopkConfidence:
-      ids = index_.TopKByConfidence(request.k);
+      ids = index.TopKByConfidence(request.k);
       break;
     case QueryRequest::Op::kTopkChiSquare:
-      ids = index_.TopKByChiSquare(request.k);
+      ids = index.TopKByChiSquare(request.k);
       break;
     case QueryRequest::Op::kContains:
-      ids = index_.AntecedentContains(request.items, request.limit);
+      ids = index.AntecedentContains(request.items, request.limit);
       break;
     case QueryRequest::Op::kCover:
-      ids = index_.RowCover(request.items, request.limit);
+      ids = index.RowCover(request.items, request.limit);
       break;
     case QueryRequest::Op::kFilter:
-      ids = index_.Filter(request.min_support, request.min_confidence,
-                          request.limit);
+      ids = index.Filter(request.min_support, request.min_confidence,
+                         request.limit);
       break;
   }
   if (ids.size() > request.limit) ids.resize(request.limit);
@@ -410,11 +642,154 @@ std::string Server::ExecuteQuery(const QueryRequest& request,
     if (metrics_.deadline_exceeded != nullptr) {
       metrics_.deadline_exceeded->Increment();
     }
-    *is_error = true;
-    return RenderError("deadline_exceeded", "deadline expired during query",
-                       request.id);
+    out.error = true;
+    out.status = FrameStatus::kDeadlineExceeded;
+    out.json = RenderError("deadline_exceeded",
+                           "deadline expired during query", request.id);
+    return out;
   }
-  return RenderGroupsPayload(request, index_, ids);
+
+  std::string payload = RenderGroupsPayload(request, index, ids);
+  if (cacheable) cache_.Put(vi->version, key, payload);
+  out.json = FinishResponse(payload, /*cached=*/false, request.id);
+  return out;
+}
+
+Server::QueryOutcome Server::RunReload(const QueryRequest& request) {
+  QueryOutcome out;
+  if (options_.snapshot_path.empty()) {
+    out.error = true;
+    out.status = FrameStatus::kBadRequest;
+    out.json = RenderError("bad_request",
+                           "reload unavailable: no snapshot path configured",
+                           request.id);
+    return out;
+  }
+  const Status swapped = ReloadFromFile(options_.snapshot_path);
+  if (!swapped.ok()) {
+    out.error = true;
+    out.status = FrameStatus::kInternal;
+    out.json = RenderError("internal", swapped.message(), request.id);
+    return out;
+  }
+  const std::shared_ptr<const VersionedIndex> vi = Current();
+  out.json = FinishResponse(RenderReloadPayload(vi->version,
+                                                vi->index.size()),
+                            /*cached=*/false, request.id);
+  return out;
+}
+
+void Server::Enqueue(Conn& conn, FrameStatus status, std::uint64_t bin_id,
+                     std::string json) {
+  const bool was_idle = !HasPending(conn);
+  if (conn.mode == Conn::Mode::kBinary) {
+    conn.outq.push_back(EncodeResponseFrame(status, bin_id, json));
+  } else {
+    // kDetect (no protocol spoken yet, e.g. an idle timeout before the
+    // first byte) answers in JSON, like the old line-only server.
+    json.push_back('\n');
+    conn.outq.push_back(std::move(json));
+  }
+  if (was_idle) conn.stall.Restart();
+}
+
+bool Server::FlushConn(Shard& shard, Conn& conn) {
+  while (HasPending(conn)) {
+    iovec iov[kMaxIov];
+    int cnt = 0;
+    for (std::size_t i = conn.out_head;
+         i < conn.outq.size() && cnt < kMaxIov; ++i) {
+      const std::string& s = conn.outq[i];
+      const std::size_t off = (i == conn.out_head) ? conn.out_off : 0;
+      iov[cnt].iov_base = const_cast<char*>(s.data() + off);
+      iov[cnt].iov_len = s.size() - off;
+      ++cnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(cnt);
+    const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    conn.stall.Restart();
+    std::size_t left = static_cast<std::size_t>(n);
+    while (left > 0) {
+      const std::size_t remain =
+          conn.outq[conn.out_head].size() - conn.out_off;
+      if (left >= remain) {
+        left -= remain;
+        conn.out_off = 0;
+        ++conn.out_head;
+      } else {
+        conn.out_off += left;
+        left = 0;
+      }
+    }
+  }
+  if (!HasPending(conn)) {
+    conn.outq.clear();
+    conn.out_head = 0;
+    conn.out_off = 0;
+    SetWriteInterest(shard, conn, false);
+    return !conn.want_close;
+  }
+  // Socket full: reclaim the fully-sent prefix once it grows, then wait
+  // for EPOLLOUT.
+  if (conn.out_head >= 64) {
+    conn.outq.erase(conn.outq.begin(),
+                    conn.outq.begin() +
+                        static_cast<std::ptrdiff_t>(conn.out_head));
+    conn.out_head = 0;
+  }
+  SetWriteInterest(shard, conn, true);
+  return true;
+}
+
+void Server::TickTimeouts(Shard& shard) {
+  std::vector<int> doomed;
+  for (auto& entry : shard.conns) {
+    Conn& conn = entry.second;
+    if (HasPending(conn)) {
+      // Pending output and no send progress: the peer stopped reading
+      // (its TCP window is full). Drop it rather than holding the
+      // buffers and the admission slot.
+      if (options_.send_timeout_s > 0 &&
+          conn.stall.ElapsedSeconds() > options_.send_timeout_s) {
+        doomed.push_back(entry.first);
+      }
+      continue;
+    }
+    if (!conn.want_close && conn.idle.ExpiredNow()) {
+      Enqueue(conn, FrameStatus::kIdleTimeout, 0,
+              RenderError("idle_timeout", "connection idle too long"));
+      conn.want_close = true;
+      if (!FlushConn(shard, conn)) doomed.push_back(entry.first);
+    }
+  }
+  for (const int fd : doomed) CloseConn(shard, fd);
+}
+
+void Server::CloseConn(Shard& shard, int fd) {
+  auto it = shard.conns.find(fd);
+  if (it == shard.conns.end()) return;
+  ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  shard.conns.erase(it);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  PublishActiveGauge();
+}
+
+void Server::SetWriteInterest(Shard& shard, Conn& conn, bool want) {
+  if (conn.out_armed == want) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+  ev.data.fd = conn.fd;
+  if (::epoll_ctl(shard.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev) == 0) {
+    conn.out_armed = want;
+  }
 }
 
 }  // namespace serve

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -15,41 +17,52 @@
 #include "serve/index.h"
 #include "serve/protocol.h"
 #include "util/status.h"
-#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace farmer {
 namespace serve {
 
-/// A concurrent rule-group query server: blocking accept loop on its own
-/// thread, connection handlers on a work-stealing ThreadPool, speaking
-/// the line-delimited JSON protocol of serve/protocol.h.
+/// A concurrent rule-group query server built around epoll readiness:
+/// one blocking acceptor thread plus `num_shards` event-loop threads.
+/// Each admitted connection is handed to exactly one shard and never
+/// migrates, so all per-connection state is thread-confined — no locks
+/// on the hot path. Sockets are non-blocking; shards run level-triggered
+/// epoll with a short tick for idle/stall scans.
 ///
-/// Admission control: at most `max_connections` connections may be
-/// queued or active at once. Connections arriving past the bound get an
-/// explicit {"ok":false,"error":"overloaded"} response and are closed —
-/// never silently dropped, never queued without bound. Admitted
-/// connections that complete no request within `idle_timeout_s` are
-/// closed with an "idle_timeout" error, so idle or slow-loris clients
-/// cannot hold admission slots indefinitely.
+/// Both wire framings of serve/protocol.h are spoken, auto-detected per
+/// connection: line-delimited JSON, and FQP1 length-prefixed binary
+/// frames. Requests pipeline in both: a shard parses every complete
+/// request buffered on a readable socket (anchoring each request's
+/// deadline at parse time), executes them in arrival order, and
+/// coalesces all their responses into a single vectored send.
 ///
-/// Responses to cacheable queries are served from an LRU ResponseCache
-/// keyed by the canonicalized query; a hit skips the query engine and
-/// the renderer entirely and flips the response's "cached" field.
+/// The serving snapshot is RCU-style hot-swappable: queries grab a
+/// shared_ptr to an immutable (index, version) pair once per request; a
+/// "reload" admin request — or ReloadFromFile(), which the CLI wires to
+/// SIGHUP — validates a new snapshot off to the side and atomically
+/// flips the pointer. In-flight requests keep their old snapshot alive;
+/// new requests see the new version immediately; the response cache is
+/// keyed by (version, canonical query) so a swap can never serve stale
+/// payloads, and dead-version entries are reclaimed eagerly.
 ///
-/// Each request runs under a deadline budget (the request's
-/// "deadline_ms" clamped to the server default); a budget that expires
-/// before execution yields a "deadline_exceeded" error.
+/// Admission control: at most `max_connections` connections at once.
+/// Connections past the bound get an explicit overloaded error and are
+/// closed — never silently dropped, never queued without bound.
+/// Connections that complete no request within `idle_timeout_s` are
+/// closed with an "idle_timeout" error; peers that stop reading while
+/// responses are pending are dropped after `send_timeout_s` without
+/// progress.
 ///
-/// Shutdown() is graceful: the listener closes first, in-flight requests
-/// run to completion, then connections close and the workers drain.
+/// Shutdown() is graceful: the listener closes first, shards finish the
+/// requests they have parsed, flush what the peers will accept, then
+/// close their connections and exit.
 ///
 /// Observability: when Options::metrics is set the server publishes
 /// serve.* counters (requests, responses by kind, cache hits/misses,
-/// overloaded rejections), an active-connection gauge, and a per-query-
-/// type latency histogram; when Options::trace is set each request emits
-/// one "serve.request" span on its worker's lane (build the session with
-/// num_workers + 1 lanes).
+/// overloaded rejections, reloads), gauges (active connections,
+/// snapshot version), and a latency histogram; when Options::trace is
+/// set each request emits one span on its shard's lane (build the
+/// session with num_shards + 1 lanes).
 class Server {
  public:
   struct Options {
@@ -58,40 +71,64 @@ class Server {
     std::string host = "127.0.0.1";
     /// TCP port; 0 binds an ephemeral port (read it back via port()).
     int port = 0;
-    std::size_t num_workers = 4;
-    /// Admission bound: queued + active connections.
+    /// Event-loop shards. Each owns its connections outright.
+    std::size_t num_shards = 4;
+    /// Admission bound: connections accepted and not yet closed.
     std::size_t max_connections = 64;
     std::size_t cache_entries = 1024;
     std::size_t cache_bytes = std::size_t{16} << 20;
     /// Per-request deadline budget ceiling, seconds.
     double default_deadline_s = 1.0;
-    /// Close connections that complete no request line for this long
-    /// (an "idle_timeout" error is sent first), freeing their admission
+    /// Close connections that complete no request for this long (an
+    /// "idle_timeout" error is sent first), freeing their admission
     /// slot: without it, max_connections silent clients lock the server
     /// against all new arrivals. Non-positive disables the timeout.
     double idle_timeout_s = 30.0;
+    /// Drop connections whose pending responses make no send progress
+    /// for this long (peer stopped reading; its TCP window is full).
+    /// Non-positive disables the check.
+    double send_timeout_s = 5.0;
+    /// The snapshot file "reload" re-reads. Empty disables the reload
+    /// op (it answers bad_request); ReloadFromFile() still works with
+    /// an explicit path.
+    std::string snapshot_path;
     obs::MetricsRegistry* metrics = nullptr;
     obs::TraceSession* trace = nullptr;
   };
 
-  /// Takes ownership of the index (and through it the snapshot).
+  /// Takes ownership of the index (and through it the snapshot), which
+  /// becomes snapshot version 1.
   Server(RuleGroupIndex index, const Options& options);
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and starts the accept thread + worker pool.
+  /// Binds, listens, and starts the acceptor and shard threads.
   Status Start();
 
   /// The bound TCP port (valid after Start(); resolves port 0 binds).
   int port() const { return port_; }
 
-  /// Graceful shutdown: stop accepting, finish in-flight requests,
-  /// close connections, drain the pool. Idempotent.
+  /// Graceful shutdown: stop accepting, finish parsed requests, flush,
+  /// close connections, join the threads. Idempotent.
   void Shutdown();
 
-  const RuleGroupIndex& index() const { return index_; }
+  /// The currently served index. The shared_ptr keeps the snapshot
+  /// alive across hot swaps for as long as the caller holds it.
+  std::shared_ptr<const RuleGroupIndex> index() const;
+
+  /// Version of the currently served snapshot (1 = the constructor's
+  /// index; each successful swap increments it).
+  std::uint64_t snapshot_version() const;
+
+  /// Loads, validates, and atomically installs the snapshot at `path`.
+  /// On any error the current snapshot keeps serving untouched.
+  Status ReloadFromFile(const std::string& path);
+
+  /// Atomically installs an already-built index as the next version.
+  void InstallIndex(RuleGroupIndex index);
+
   ResponseCache& cache() { return cache_; }
 
   /// Connections rejected with an overloaded response so far.
@@ -100,6 +137,12 @@ class Server {
   }
 
  private:
+  /// An immutable (index, version) pair — the unit of RCU publication.
+  struct VersionedIndex {
+    RuleGroupIndex index;
+    std::uint64_t version;
+  };
+
   struct Metrics {
     obs::Counter* requests = nullptr;
     obs::Counter* responses_ok = nullptr;
@@ -108,24 +151,105 @@ class Server {
     obs::Counter* cache_misses = nullptr;
     obs::Counter* overloaded = nullptr;
     obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* reloads = nullptr;
     obs::Gauge* active_connections = nullptr;
+    obs::Gauge* snapshot_version = nullptr;
     obs::Histogram* latency = nullptr;
   };
 
-  void AcceptLoop();
-  void HandleConnection(int fd, std::size_t worker_id);
-  /// Processes one request line; returns the response line (no '\n').
-  std::string ProcessRequest(const std::string& line,
-                             std::size_t worker_id);
-  /// Runs a parsed query against the index (cache miss path); returns
-  /// the unfinished payload (see FinishResponse) or an error line.
-  std::string ExecuteQuery(const QueryRequest& request,
-                           const Deadline& deadline, bool* is_error);
+  /// One parsed (or failed-to-parse) request, deadline anchored at
+  /// parse time so a queued pipelined request's budget burns while its
+  /// predecessors execute.
+  struct PendingRequest {
+    Status parse = Status::Ok();
+    QueryRequest request;
+    Deadline deadline;
+    bool binary = false;
+  };
 
-  RuleGroupIndex index_;
+  /// Per-connection state, owned by exactly one shard.
+  struct Conn {
+    enum class Mode { kDetect, kJson, kBinary };
+
+    int fd = -1;
+    Mode mode = Mode::kDetect;
+    std::string rbuf;
+    /// Outgoing responses awaiting the socket: outq[out_head..] are
+    /// unsent; out_off bytes of outq[out_head] are already gone.
+    std::vector<std::string> outq;
+    std::size_t out_head = 0;
+    std::size_t out_off = 0;
+    bool out_armed = false;   // EPOLLOUT currently requested.
+    bool want_close = false;  // Close once outq drains.
+    Deadline idle;
+    Stopwatch stall;  // Runs while outq is non-empty without progress.
+  };
+
+  /// One event-loop thread: its epoll set, an eventfd to wake it, and
+  /// a tiny locked inbox the acceptor pushes new fds through.
+  struct Shard {
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+    std::mutex inbox_mutex;
+    std::vector<int> inbox;
+    std::unordered_map<int, Conn> conns;
+  };
+
+  /// The outcome of one executed request: the complete JSON response
+  /// line plus the error class binary framing needs.
+  struct QueryOutcome {
+    bool error = false;
+    bool cached = false;
+    FrameStatus status = FrameStatus::kOk;
+    std::string json;
+  };
+
+  std::shared_ptr<const VersionedIndex> Current() const;
+
+  void AcceptLoop();
+  void ShardLoop(std::size_t shard_id);
+  /// Registers fds the acceptor queued on this shard.
+  void AdoptInbox(Shard& shard);
+  /// Drains the socket (until EAGAIN or a per-wake cap), parses and
+  /// executes every complete request, flushes. False = close.
+  bool HandleReadable(std::size_t shard_id, Shard& shard, Conn& conn);
+  /// Parses every complete request in conn.rbuf (stamping deadlines),
+  /// then executes them in arrival order, queueing responses.
+  void ProcessBuffered(std::size_t shard_id, Shard& shard, Conn& conn);
+  /// Executes one parsed request and queues its response.
+  void ExecutePending(std::size_t shard_id, Conn& conn, PendingRequest& p);
+  /// Cache lookup + query engine for one valid request.
+  QueryOutcome RunQuery(const QueryRequest& request, const Deadline& deadline,
+                        std::size_t shard_id);
+  /// The reload admin op (and SIGHUP): re-reads options_.snapshot_path.
+  QueryOutcome RunReload(const QueryRequest& request);
+  /// Queues response bytes (framed per conn.mode) on the connection.
+  void Enqueue(Conn& conn, FrameStatus status, std::uint64_t bin_id,
+               std::string json);
+  /// Writes as much of the out-queue as the socket accepts (vectored).
+  /// Arms/disarms EPOLLOUT to match. False = close the connection.
+  bool FlushConn(Shard& shard, Conn& conn);
+  /// Scans the shard's connections for idle and send-stall expiry.
+  void TickTimeouts(Shard& shard);
+  void CloseConn(Shard& shard, int fd);
+  void SetWriteInterest(Shard& shard, Conn& conn, bool want);
+  void WakeShard(Shard& shard);
+  void PublishActiveGauge();
+
+  static bool HasPending(const Conn& conn) {
+    return conn.out_head < conn.outq.size();
+  }
+
   Options options_;
   ResponseCache cache_;
   Metrics metrics_;
+
+  /// RCU publication point. Readers load once per request; writers
+  /// (serialized by swap_mutex_) build the next VersionedIndex off to
+  /// the side and store it here.
+  std::atomic<std::shared_ptr<const VersionedIndex>> current_;
+  std::mutex swap_mutex_;
 
   std::mutex shutdown_mutex_;
   int listen_fd_ = -1;
@@ -134,7 +258,7 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> active_connections_{0};
   std::atomic<std::uint64_t> overloaded_{0};
-  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::thread accept_thread_;
 };
 

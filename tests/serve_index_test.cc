@@ -181,6 +181,52 @@ TEST(RuleGroupIndexTest, LimitsAreRespected) {
   EXPECT_LE(f.index.RowCover(row, 1).size(), 1u);
 }
 
+TEST(RuleGroupIndexTest, BankedPostingsAnswerIdenticallyForAnyBankCount) {
+  // The server passes its shard count as the posting bank count; the
+  // banking is purely a memory layout and must never change answers.
+  BinaryDataset ds = RandomDataset(16, 18, 0.45, 29);
+  MinerOptions opts;
+  opts.min_support = 2;
+  FarmerResult mined = MineFarmer(ds, opts);
+  RuleGroupSnapshot snapshot;
+  snapshot.groups = std::move(mined.groups);
+  snapshot.num_rows = ds.num_rows();
+  snapshot.params = SnapshotParams::FromMinerOptions(opts);
+  snapshot.fingerprint = SnapshotFingerprint::FromDataset(ds);
+
+  const RuleGroupIndex reference(RuleGroupSnapshot(snapshot), 1);
+  ASSERT_GT(reference.size(), 3u);
+  for (std::size_t banks : {std::size_t{0}, std::size_t{2}, std::size_t{3},
+                            std::size_t{7}, std::size_t{64}}) {
+    const RuleGroupIndex banked(RuleGroupSnapshot(snapshot), banks);
+    EXPECT_EQ(banked.num_banks(), banks == 0 ? 1u : banks);
+    EXPECT_EQ(banked.TopKByConfidence(5), reference.TopKByConfidence(5));
+    Rng rng(7);
+    const auto num_items =
+        static_cast<ItemId>(snapshot.fingerprint.num_items);
+    for (int probe = 0; probe < 20; ++probe) {
+      ItemVector items;
+      const int len = 1 + static_cast<int>(rng.NextU64() % 3);
+      for (int j = 0; j < len; ++j) {
+        items.push_back(static_cast<ItemId>(rng.NextU64() % num_items));
+      }
+      std::sort(items.begin(), items.end());
+      items.erase(std::unique(items.begin(), items.end()), items.end());
+      EXPECT_EQ(banked.AntecedentContains(items, 1000),
+                reference.AntecedentContains(items, 1000))
+          << "banks=" << banks << " probe=" << probe;
+      EXPECT_EQ(banked.RowCover(items, 1000),
+                reference.RowCover(items, 1000))
+          << "banks=" << banks << " probe=" << probe;
+    }
+    for (RowId r = 0; r < ds.num_rows(); ++r) {
+      EXPECT_EQ(banked.RowCover(ds.row(r), 100000),
+                reference.RowCover(ds.row(r), 100000))
+          << "banks=" << banks << " row=" << r;
+    }
+  }
+}
+
 TEST(RuleGroupIndexTest, EmptyStoreAnswersEverythingEmpty) {
   RuleGroupSnapshot snapshot;
   snapshot.num_rows = 4;

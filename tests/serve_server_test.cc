@@ -5,8 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -15,6 +18,7 @@
 #include "core/farmer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/snapshot.h"
 #include "tests/test_util.h"
 
 namespace farmer {
@@ -23,7 +27,7 @@ namespace {
 
 using testing_util::RandomDataset;
 
-RuleGroupIndex MakeIndex(std::uint64_t seed = 41) {
+RuleGroupSnapshot MakeSnapshot(std::uint64_t seed = 41) {
   BinaryDataset ds = RandomDataset(14, 16, 0.45, seed);
   MinerOptions opts;
   opts.min_support = 2;
@@ -33,10 +37,14 @@ RuleGroupIndex MakeIndex(std::uint64_t seed = 41) {
   snapshot.num_rows = ds.num_rows();
   snapshot.params = SnapshotParams::FromMinerOptions(opts);
   snapshot.fingerprint = SnapshotFingerprint::FromDataset(ds);
-  return RuleGroupIndex(std::move(snapshot));
+  return snapshot;
 }
 
-// A blocking line-oriented test client.
+RuleGroupIndex MakeIndex(std::uint64_t seed = 41) {
+  return RuleGroupIndex(MakeSnapshot(seed));
+}
+
+// A blocking test client speaking either framing.
 class TestClient {
  public:
   explicit TestClient(int port) {
@@ -84,6 +92,29 @@ class TestClient {
     }
   }
 
+  // Reads one FQP1 response frame; fills the echoed req_id, the status,
+  // and the JSON text.
+  bool RecvFrame(std::uint64_t* req_id, FrameStatus* status,
+                 std::string* json) {
+    for (;;) {
+      if (buffer_.size() >= 4) {
+        std::uint32_t len = 0;
+        std::memcpy(&len, buffer_.data(), sizeof(len));
+        if (buffer_.size() >= 4 + static_cast<std::size_t>(len)) {
+          const Status s = DecodeResponseFrame(
+              std::string_view(buffer_.data() + 4, len), status, req_id,
+              json);
+          buffer_.erase(0, 4 + static_cast<std::size_t>(len));
+          return s.ok();
+        }
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
   std::string RoundTrip(const std::string& request) {
     if (!Send(request)) return "<send failed>";
     std::string response;
@@ -97,9 +128,13 @@ class TestClient {
   std::string buffer_;
 };
 
+std::string Preamble() {
+  return std::string(kBinaryPreamble, kBinaryPreambleSize);
+}
+
 TEST(ServerTest, ServesQueriesOnEphemeralPort) {
   Server::Options options;
-  options.num_workers = 2;
+  options.num_shards = 2;
   Server server(MakeIndex(), options);
   ASSERT_TRUE(server.Start().ok());
   ASSERT_GT(server.port(), 0);
@@ -111,6 +146,7 @@ TEST(ServerTest, ServesQueriesOnEphemeralPort) {
   const std::string stats = client.RoundTrip("{\"op\":\"stats\"}");
   EXPECT_NE(stats.find("\"ok\":true"), std::string::npos);
   EXPECT_NE(stats.find("\"groups\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"version\":1"), std::string::npos);
   const std::string topk = client.RoundTrip(
       "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":3}");
   EXPECT_NE(topk.find("\"op\":\"topk_confidence\""), std::string::npos);
@@ -120,7 +156,7 @@ TEST(ServerTest, ServesQueriesOnEphemeralPort) {
 
 TEST(ServerTest, PipelinedRequestsOnOneConnection) {
   Server::Options options;
-  options.num_workers = 1;
+  options.num_shards = 1;
   Server server(MakeIndex(), options);
   ASSERT_TRUE(server.Start().ok());
   TestClient client(server.port());
@@ -139,10 +175,128 @@ TEST(ServerTest, PipelinedRequestsOnOneConnection) {
   server.Shutdown();
 }
 
+TEST(ServerTest, BinaryPipelinedFramesAnswerInOrder) {
+  Server::Options options;
+  options.num_shards = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // M frames in ONE write (after the preamble): the shard must parse
+  // them all off the buffer and answer each, in arrival order.
+  constexpr std::uint64_t kFrames = 9;
+  std::string burst = Preamble();
+  for (std::uint64_t i = 1; i <= kFrames; ++i) {
+    QueryRequest req;
+    req.bin_id = i;
+    if (i % 3 == 0) {
+      req.op = QueryRequest::Op::kPing;
+    } else {
+      req.op = QueryRequest::Op::kTopkConfidence;
+      req.k = static_cast<std::size_t>(i);
+    }
+    burst += EncodeBinaryRequest(req);
+  }
+  ASSERT_TRUE(client.SendRaw(burst));
+
+  for (std::uint64_t i = 1; i <= kFrames; ++i) {
+    std::uint64_t req_id = 0;
+    FrameStatus status = FrameStatus::kInternal;
+    std::string json;
+    ASSERT_TRUE(client.RecvFrame(&req_id, &status, &json)) << "frame " << i;
+    EXPECT_EQ(req_id, i);
+    EXPECT_EQ(status, FrameStatus::kOk) << json;
+    EXPECT_NE(json.find("\"ok\":true"), std::string::npos) << json;
+  }
+  server.Shutdown();
+}
+
+TEST(ServerTest, BinaryPreambleSplitAcrossWritesStillDetected) {
+  Server::Options options;
+  options.num_shards = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  QueryRequest req;
+  req.op = QueryRequest::Op::kPing;
+  req.bin_id = 7;
+  const std::string frame = EncodeBinaryRequest(req);
+  // The detector must hold its decision on a strict preamble prefix.
+  ASSERT_TRUE(client.SendRaw("FQ"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(client.SendRaw("P1" + frame));
+
+  std::uint64_t req_id = 0;
+  FrameStatus status = FrameStatus::kInternal;
+  std::string json;
+  ASSERT_TRUE(client.RecvFrame(&req_id, &status, &json));
+  EXPECT_EQ(req_id, 7u);
+  EXPECT_EQ(status, FrameStatus::kOk);
+  EXPECT_NE(json.find("\"op\":\"ping\""), std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServerTest, BinaryOversizedFrameLengthClosesConnection) {
+  Server::Options options;
+  options.num_shards = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  std::string bytes = Preamble();
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  bytes.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  ASSERT_TRUE(client.SendRaw(bytes));
+
+  std::uint64_t req_id = 0;
+  FrameStatus status = FrameStatus::kOk;
+  std::string json;
+  ASSERT_TRUE(client.RecvFrame(&req_id, &status, &json));
+  EXPECT_EQ(status, FrameStatus::kBadRequest) << json;
+  // Unrecoverable framing: the server closes after the error frame.
+  std::string extra;
+  EXPECT_FALSE(client.RecvFrame(&req_id, &status, &extra));
+  server.Shutdown();
+}
+
+TEST(ServerTest, QueuedPipelinedRequestBurnsItsOwnDeadline) {
+  Server::Options options;
+  options.num_shards = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // One write, three requests. The middle one carries a zero-length
+  // budget anchored at parse time, so it must expire while queued
+  // behind its predecessor — its neighbors still succeed.
+  ASSERT_TRUE(client.SendRaw(
+      "{\"op\":\"ping\",\"id\":\"a\"}\n"
+      "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":2,"
+      "\"deadline_ms\":1e-9,\"id\":\"b\"}\n"
+      "{\"op\":\"ping\",\"id\":\"c\"}\n"));
+  std::string line;
+  ASSERT_TRUE(client.Recv(&line));
+  EXPECT_NE(line.find("\"id\":\"a\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+  ASSERT_TRUE(client.Recv(&line));
+  EXPECT_NE(line.find("\"id\":\"b\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"error\":\"deadline_exceeded\""), std::string::npos)
+      << line;
+  ASSERT_TRUE(client.Recv(&line));
+  EXPECT_NE(line.find("\"id\":\"c\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+  server.Shutdown();
+}
+
 TEST(ServerTest, CachesRepeatedQueries) {
   obs::MetricsRegistry metrics;
   Server::Options options;
-  options.num_workers = 2;
+  options.num_shards = 2;
   options.metrics = &metrics;
   Server server(MakeIndex(), options);
   ASSERT_TRUE(server.Start().ok());
@@ -176,9 +330,181 @@ TEST(ServerTest, CachesRepeatedQueries) {
   EXPECT_TRUE(saw_hit_counter);
 }
 
+TEST(ServerTest, CachedPayloadServesBothFramings) {
+  Server::Options options;
+  options.num_shards = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient json_client(server.port());
+  ASSERT_TRUE(json_client.connected());
+  const std::string first = json_client.RoundTrip(
+      "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":4}");
+  EXPECT_NE(first.find("\"cached\":false"), std::string::npos);
+
+  // The same canonical query over FQP1 framing hits the same cache
+  // entry: the frame wraps the identical JSON payload.
+  TestClient bin_client(server.port());
+  ASSERT_TRUE(bin_client.connected());
+  QueryRequest req;
+  req.op = QueryRequest::Op::kTopkConfidence;
+  req.k = 4;
+  req.bin_id = 3;
+  ASSERT_TRUE(bin_client.SendRaw(Preamble() + EncodeBinaryRequest(req)));
+  std::uint64_t req_id = 0;
+  FrameStatus status = FrameStatus::kInternal;
+  std::string json;
+  ASSERT_TRUE(bin_client.RecvFrame(&req_id, &status, &json));
+  EXPECT_EQ(req_id, 3u);
+  EXPECT_EQ(status, FrameStatus::kOk);
+  EXPECT_NE(json.find("\"cached\":true"), std::string::npos) << json;
+  EXPECT_EQ(first.substr(0, first.find("\"cached\"")),
+            json.substr(0, json.find("\"cached\"")));
+  EXPECT_EQ(server.cache().hits(), 1u);
+  server.Shutdown();
+}
+
+TEST(ServerTest, HotSwapInvalidatesCacheAndServesNewSnapshot) {
+  Server::Options options;
+  options.num_shards = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  const std::string query =
+      "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":100}";
+  const std::string before = client.RoundTrip(query);
+  EXPECT_NE(before.find("\"cached\":false"), std::string::npos);
+  // Warm the cache on the pre-swap snapshot.
+  EXPECT_NE(client.RoundTrip(query).find("\"cached\":true"),
+            std::string::npos);
+
+  // Swap to a snapshot that keeps only the single best group: any
+  // response rendered against the old snapshot is now wrong.
+  RuleGroupSnapshot truncated = MakeSnapshot();
+  truncated.groups.resize(1);
+  server.InstallIndex(RuleGroupIndex(std::move(truncated)));
+  EXPECT_EQ(server.snapshot_version(), 2u);
+
+  // The post-swap query must re-execute (no cross-version cache hit)
+  // and reflect the new snapshot, atomically.
+  const std::string after = client.RoundTrip(query);
+  EXPECT_NE(after.find("\"cached\":false"), std::string::npos) << after;
+  EXPECT_NE(after.find("\"count\":1,"), std::string::npos) << after;
+  EXPECT_NE(before, after);
+  // Stats reports the bumped version.
+  EXPECT_NE(client.RoundTrip("{\"op\":\"stats\"}").find("\"version\":2"),
+            std::string::npos);
+  // And the new version caches normally.
+  EXPECT_NE(client.RoundTrip(query).find("\"cached\":true"),
+            std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServerTest, ReloadRequestSwapsSnapshotFromFile) {
+  const std::string path = ::testing::TempDir() + "/serve_reload.fsnap";
+  RuleGroupSnapshot full = MakeSnapshot();
+  const std::size_t full_groups = full.groups.size();
+  ASSERT_GT(full_groups, 1u);
+  ASSERT_TRUE(SaveSnapshot(full, path).ok());
+
+  Server::Options options;
+  options.num_shards = 2;
+  options.snapshot_path = path;
+  Server server(RuleGroupIndex(MakeSnapshot(), options.num_shards),
+                options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // Overwrite the file with a truncated store, then ask the server to
+  // reload it over the wire.
+  RuleGroupSnapshot truncated = MakeSnapshot();
+  truncated.groups.resize(1);
+  ASSERT_TRUE(SaveSnapshot(truncated, path).ok());
+  const std::string reload = client.RoundTrip("{\"op\":\"reload\"}");
+  EXPECT_NE(reload.find("\"ok\":true"), std::string::npos) << reload;
+  EXPECT_NE(reload.find("\"version\":2"), std::string::npos) << reload;
+  EXPECT_NE(reload.find("\"groups\":1"), std::string::npos) << reload;
+  EXPECT_EQ(server.snapshot_version(), 2u);
+  EXPECT_EQ(server.index()->size(), 1u);
+
+  // A corrupt file must fail the reload and keep serving version 2.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "FSNPgarbage";
+    ASSERT_TRUE(out.good());
+  }
+  const std::string bad = client.RoundTrip("{\"op\":\"reload\"}");
+  EXPECT_NE(bad.find("\"error\":\"internal\""), std::string::npos) << bad;
+  EXPECT_EQ(server.snapshot_version(), 2u);
+  EXPECT_NE(client.RoundTrip("{\"op\":\"stats\"}").find("\"version\":2"),
+            std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServerTest, ReloadWithoutSnapshotPathIsBadRequest) {
+  Server::Options options;
+  options.num_shards = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const std::string response = client.RoundTrip("{\"op\":\"reload\"}");
+  EXPECT_NE(response.find("\"error\":\"bad_request\""), std::string::npos)
+      << response;
+  EXPECT_EQ(server.snapshot_version(), 1u);
+  server.Shutdown();
+}
+
+TEST(ServerTest, HotSwapUnderConcurrentTrafficNeverFailsARequest) {
+  Server::Options options;
+  options.num_shards = 2;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRequests = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([c, port = server.port(), &failures] {
+      TestClient client(port);
+      if (!client.connected()) {
+        failures.fetch_add(kRequests);
+        return;
+      }
+      for (int r = 0; r < kRequests; ++r) {
+        const std::string query =
+            (r + c) % 2 == 0
+                ? "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":10}"
+                : "{\"op\":\"filter\",\"minsup\":2,\"minconf\":0.5}";
+        if (client.RoundTrip(query).find("\"ok\":true") ==
+            std::string::npos) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Swap snapshots repeatedly while the clients hammer the server: a
+  // swap must never fail a request or serve a torn snapshot.
+  for (int swap = 0; swap < 5; ++swap) {
+    RuleGroupSnapshot next = MakeSnapshot();
+    if (swap % 2 == 0) next.groups.resize(1);
+    server.InstallIndex(RuleGroupIndex(std::move(next), 2));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.snapshot_version(), 6u);
+  server.Shutdown();
+}
+
 TEST(ServerTest, RejectsMalformedRequestsWithoutClosing) {
   Server::Options options;
-  options.num_workers = 1;
+  options.num_shards = 1;
   Server server(MakeIndex(), options);
   ASSERT_TRUE(server.Start().ok());
   TestClient client(server.port());
@@ -199,7 +525,7 @@ TEST(ServerTest, RejectsMalformedRequestsWithoutClosing) {
 
 TEST(ServerTest, TinyDeadlineYieldsDeadlineExceeded) {
   Server::Options options;
-  options.num_workers = 1;
+  options.num_shards = 1;
   Server server(MakeIndex(), options);
   ASSERT_TRUE(server.Start().ok());
   TestClient client(server.port());
@@ -216,7 +542,7 @@ TEST(ServerTest, TinyDeadlineYieldsDeadlineExceeded) {
 
 TEST(ServerTest, OverloadFloodGetsExplicitErrors) {
   Server::Options options;
-  options.num_workers = 1;
+  options.num_shards = 1;
   options.max_connections = 1;
   Server server(MakeIndex(), options);
   ASSERT_TRUE(server.Start().ok());
@@ -245,7 +571,7 @@ TEST(ServerTest, ConcurrentClientsAllGetAnswers) {
   obs::MetricsRegistry metrics;
   obs::TraceSession trace(/*num_lanes=*/5);
   Server::Options options;
-  options.num_workers = 4;
+  options.num_shards = 4;
   options.metrics = &metrics;
   options.trace = &trace;
   Server server(MakeIndex(), options);
@@ -293,7 +619,7 @@ TEST(ServerTest, ConcurrentClientsAllGetAnswers) {
   }
   EXPECT_EQ(requests,
             static_cast<std::uint64_t>(kClients) * kRequests);
-  // Worker lanes saw request spans.
+  // Shard lanes saw request spans.
   std::uint64_t events = 0;
   for (std::size_t lane = 0; lane < trace.num_lanes(); ++lane) {
     events += trace.ring(lane).pushed();
@@ -303,7 +629,7 @@ TEST(ServerTest, ConcurrentClientsAllGetAnswers) {
 
 TEST(ServerTest, ShutdownIsIdempotentAndStopsAccepting) {
   Server::Options options;
-  options.num_workers = 1;
+  options.num_shards = 1;
   Server server(MakeIndex(), options);
   ASSERT_TRUE(server.Start().ok());
   const int port = server.port();
@@ -328,7 +654,7 @@ TEST(ServerTest, ShutdownIsIdempotentAndStopsAccepting) {
 
 TEST(ServerTest, IdleConnectionIsTimedOutAndFreesItsSlot) {
   Server::Options options;
-  options.num_workers = 1;
+  options.num_shards = 1;
   options.max_connections = 1;
   options.idle_timeout_s = 0.25;
   Server server(MakeIndex(), options);
@@ -363,7 +689,7 @@ TEST(ServerTest, IdleConnectionIsTimedOutAndFreesItsSlot) {
 
 TEST(ServerTest, CompletedRequestsResetTheIdleDeadline) {
   Server::Options options;
-  options.num_workers = 1;
+  options.num_shards = 1;
   options.idle_timeout_s = 0.3;
   Server server(MakeIndex(), options);
   ASSERT_TRUE(server.Start().ok());
@@ -382,7 +708,7 @@ TEST(ServerTest, CompletedRequestsResetTheIdleDeadline) {
 
 TEST(ServerTest, OverlongRequestLineIsRejected) {
   Server::Options options;
-  options.num_workers = 1;
+  options.num_shards = 1;
   Server server(MakeIndex(), options);
   ASSERT_TRUE(server.Start().ok());
   TestClient client(server.port());

@@ -1,12 +1,17 @@
-// farmer_query — line-oriented client for the farmer_serve server.
+// farmer_query — client for the farmer_serve server.
 //
 //   echo '{"op":"topk","metric":"confidence","k":5}' |
 //       farmer_query --port 7437
 //   farmer_query --port 7437 '{"op":"stats"}'
+//   farmer_query --port 7437 --binary --pipeline 16 < queries.jsonl
 //
 // Sends each request line (from the positional argument, or stdin when
-// none is given) to the server and prints one response line per request.
-// Exit 0 when every request got a response line, 1 on connection or I/O
+// none is given) over ONE connection and prints one response line per
+// request, in request order. --binary speaks the FQP1 framed protocol
+// instead of line-delimited JSON (requests are still written as JSON
+// lines; they are parsed locally and encoded as frames). --pipeline N
+// keeps up to N requests in flight instead of one round trip each.
+// Exit 0 when every request got a response, 1 on connection or I/O
 // failure, 2 on usage errors. Responses are printed verbatim — callers
 // judge "ok" themselves (the CI smoke test greps for it).
 
@@ -15,20 +20,33 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "serve/protocol.h"
+#include "util/status.h"
 
 namespace {
 
+using farmer::Status;
+namespace serve = farmer::serve;
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: farmer_query [--host ADDR] --port N [REQUEST]\n\n"
-               "Sends REQUEST (or each line of stdin) to a farmer_serve\n"
-               "server and prints the response lines.\n");
+  std::fprintf(
+      stderr,
+      "usage: farmer_query [--host ADDR] --port N [--binary]\n"
+      "                    [--pipeline N] [REQUEST]\n\n"
+      "Sends REQUEST (or each line of stdin) to a farmer_serve server\n"
+      "over one connection and prints the response lines in order.\n"
+      "--binary uses FQP1 framing; --pipeline N keeps N requests in\n"
+      "flight.\n");
   return 2;
 }
 
@@ -67,11 +85,45 @@ bool RecvLine(int fd, std::string* buffer, std::string* line) {
   }
 }
 
+// Reads one FQP1 response frame and extracts its JSON text.
+bool RecvFrame(int fd, std::string* buffer, std::string* json) {
+  for (;;) {
+    if (buffer->size() >= 4) {
+      std::uint32_t len = 0;
+      std::memcpy(&len, buffer->data(), sizeof(len));
+      if (buffer->size() >= 4 + static_cast<std::size_t>(len)) {
+        serve::FrameStatus status;
+        std::uint64_t req_id = 0;
+        const Status s = serve::DecodeResponseFrame(
+            std::string_view(buffer->data() + 4, len), &status, &req_id,
+            json);
+        buffer->erase(0, 4 + static_cast<std::size_t>(len));
+        if (!s.ok()) {
+          std::fprintf(stderr, "error: bad response frame: %s\n",
+                       s.ToString().c_str());
+          return false;
+        }
+        return true;
+      }
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    buffer->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
+  bool binary = false;
+  std::size_t pipeline = 1;
   std::string request;
   for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
@@ -79,6 +131,15 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (key == "--port" && i + 1 < argc) {
       port = std::atoi(argv[++i]);
+    } else if (key == "--binary") {
+      binary = true;
+    } else if (key == "--pipeline" && i + 1 < argc) {
+      const long depth = std::atol(argv[++i]);
+      if (depth < 1) {
+        std::fprintf(stderr, "error: --pipeline must be >= 1\n");
+        return Usage();
+      }
+      pipeline = static_cast<std::size_t>(depth);
     } else if (key.rfind("--", 0) != 0 && request.empty()) {
       request = key;
     } else {
@@ -130,19 +191,63 @@ int main(int argc, char** argv) {
     if (!line.empty()) requests.push_back(line);
   }
 
-  std::string recv_buffer;
-  for (const std::string& r : requests) {
-    if (!SendAll(fd, r + "\n")) {
+  // Encode every request up front. Binary mode parses the JSON lines
+  // locally so malformed input fails here, not at the server.
+  std::vector<std::string> wire;
+  wire.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (binary) {
+      serve::QueryRequest parsed;
+      const Status s = serve::ParseRequest(requests[i], &parsed);
+      if (!s.ok()) {
+        std::fprintf(stderr, "error: request %zu: %s\n", i + 1,
+                     s.ToString().c_str());
+        ::close(fd);
+        return 2;
+      }
+      parsed.bin_id = i + 1;
+      wire.push_back(serve::EncodeBinaryRequest(parsed));
+    } else {
+      wire.push_back(requests[i] + "\n");
+    }
+  }
+
+  if (binary) {
+    if (!SendAll(fd, std::string(serve::kBinaryPreamble,
+                                 serve::kBinaryPreambleSize))) {
       std::fprintf(stderr, "error: send failed: %s\n", std::strerror(errno));
       ::close(fd);
       return 1;
     }
+  }
+
+  // Sliding window of `pipeline` requests in flight on one connection.
+  std::string recv_buffer;
+  std::size_t next_send = 0;
+  std::size_t next_recv = 0;
+  while (next_recv < wire.size()) {
+    while (next_send < wire.size() && next_send - next_recv < pipeline) {
+      std::string burst;
+      // Coalesce the whole window into one send.
+      const std::size_t until =
+          std::min(wire.size(), next_recv + pipeline);
+      while (next_send < until) burst += wire[next_send++];
+      if (!SendAll(fd, burst)) {
+        std::fprintf(stderr, "error: send failed: %s\n",
+                     std::strerror(errno));
+        ::close(fd);
+        return 1;
+      }
+    }
     std::string response;
-    if (!RecvLine(fd, &recv_buffer, &response)) {
+    const bool got = binary ? RecvFrame(fd, &recv_buffer, &response)
+                            : RecvLine(fd, &recv_buffer, &response);
+    if (!got) {
       std::fprintf(stderr, "error: connection closed before response\n");
       ::close(fd);
       return 1;
     }
+    ++next_recv;
     std::printf("%s\n", response.c_str());
   }
   ::close(fd);

@@ -3,9 +3,12 @@
 //   farmer_cli mine --in data.csv --minsup 5 --snapshot-out rules.fsnap
 //   farmer_serve --snapshot rules.fsnap --port 7437
 //
-// Speaks the line-delimited JSON protocol of src/serve/protocol.h (see
+// Speaks both wire framings of src/serve/protocol.h (line-delimited
+// JSON and FQP1 binary frames, auto-detected per connection; see
 // docs/SERVING.md). SIGINT/SIGTERM trigger a graceful shutdown: the
-// listener closes, in-flight requests finish, then the process exits.
+// listener closes, parsed requests finish, then the process exits.
+// SIGHUP — like the "reload" request — re-reads the snapshot file and
+// hot-swaps it in with zero downtime.
 
 #include <algorithm>
 #include <chrono>
@@ -28,24 +31,30 @@ namespace {
 
 using namespace farmer;
 
-// Async-signal-safe shutdown request flag, set by the signal handler and
-// polled by the main thread.
+// Async-signal-safe flags, set by the handlers and polled by the main
+// thread (which does the actual reload — handlers must not allocate).
 volatile std::sig_atomic_t g_stop_requested = 0;
+volatile std::sig_atomic_t g_reload_requested = 0;
 
 void HandleStopSignal(int /*signum*/) { g_stop_requested = 1; }
+void HandleReloadSignal(int /*signum*/) { g_reload_requested = 1; }
 
 int Usage() {
   std::fprintf(
       stderr,
       "usage: farmer_serve --snapshot FILE [--port N] [--host ADDR]\n"
-      "                    [--workers N] [--max-connections N]\n"
+      "                    [--shards N] [--max-connections N]\n"
       "                    [--cache-entries N] [--cache-mb N]\n"
       "                    [--deadline S] [--idle-timeout S]\n"
+      "                    [--send-timeout S]\n"
       "                    [--metrics-out FILE] [--trace-out FILE]\n\n"
       "Serves a rule-group snapshot (from `farmer_cli mine\n"
-      "--snapshot-out`) over line-delimited JSON on TCP. --port 0 binds\n"
-      "an ephemeral port (printed on startup). SIGINT/SIGTERM shut down\n"
-      "gracefully; --metrics-out/--trace-out are written on exit.\n");
+      "--snapshot-out`) over TCP: line-delimited JSON or FQP1 binary\n"
+      "frames, auto-detected per connection. --port 0 binds an\n"
+      "ephemeral port (printed on startup). SIGINT/SIGTERM shut down\n"
+      "gracefully; SIGHUP (or a \"reload\" request) re-reads the\n"
+      "snapshot file and hot-swaps it without dropping connections.\n"
+      "--metrics-out/--trace-out are written on exit.\n");
   return 2;
 }
 
@@ -65,10 +74,11 @@ int main(int argc, char** argv) {
       return Usage();
     }
     static const char* kKnown[] = {
-        "--snapshot",      "--port",        "--host",
-        "--workers",       "--max-connections", "--cache-entries",
-        "--cache-mb",      "--deadline",    "--idle-timeout",
-        "--metrics-out",   "--trace-out"};
+        "--snapshot",      "--port",            "--host",
+        "--shards",        "--workers",         "--max-connections",
+        "--cache-entries", "--cache-mb",        "--deadline",
+        "--idle-timeout",  "--send-timeout",    "--metrics-out",
+        "--trace-out"};
     bool known = false;
     for (const char* f : kKnown) known = known || key == f;
     if (!known) {
@@ -96,8 +106,9 @@ int main(int argc, char** argv) {
   serve::Server::Options options;
   if (flags.count("--host") != 0) options.host = flags["--host"];
   options.port = static_cast<int>(get_long("--port", 0));
-  options.num_workers =
-      static_cast<std::size_t>(std::max(1L, get_long("--workers", 4)));
+  // --workers is the pre-event-loop spelling, kept as an alias.
+  options.num_shards = static_cast<std::size_t>(
+      std::max(1L, get_long("--shards", get_long("--workers", 4))));
   options.max_connections = static_cast<std::size_t>(
       std::max(1L, get_long("--max-connections", 64)));
   options.cache_entries = static_cast<std::size_t>(
@@ -112,32 +123,57 @@ int main(int argc, char** argv) {
   if (idle_it != flags.end()) {
     options.idle_timeout_s = std::atof(idle_it->second.c_str());
   }
+  auto send_it = flags.find("--send-timeout");
+  if (send_it != flags.end()) {
+    options.send_timeout_s = std::atof(send_it->second.c_str());
+  }
+  options.snapshot_path = flags["--snapshot"];
 
   obs::MetricsRegistry metrics;
   if (flags.count("--metrics-out") != 0) options.metrics = &metrics;
   std::unique_ptr<obs::TraceSession> trace;
   if (flags.count("--trace-out") != 0) {
-    trace = std::make_unique<obs::TraceSession>(options.num_workers + 1);
+    trace = std::make_unique<obs::TraceSession>(options.num_shards + 1);
     options.trace = trace.get();
   }
 
-  serve::Server server(serve::RuleGroupIndex(std::move(snapshot)), options);
+  serve::Server server(
+      serve::RuleGroupIndex(std::move(snapshot), options.num_shards),
+      options);
   s = server.Start();
   if (!s.ok()) return Fail(s);
 
   std::signal(SIGINT, &HandleStopSignal);
   std::signal(SIGTERM, &HandleStopSignal);
+  std::signal(SIGHUP, &HandleReloadSignal);
 
   std::fprintf(stderr,
-               "farmer_serve: %zu rule groups on %s:%d (%zu workers, "
+               "farmer_serve: %zu rule groups on %s:%d (%zu shards, "
                "max %zu connections)\n",
                num_groups, options.host.c_str(), server.port(),
-               options.num_workers, options.max_connections);
+               options.num_shards, options.max_connections);
   std::fflush(stderr);
 
   // Sleep in short ticks until a stop signal lands; shutdown latency is
-  // bounded by one tick.
+  // bounded by one tick. SIGHUP reloads are serviced here, off the
+  // signal handler.
   while (g_stop_requested == 0) {
+    if (g_reload_requested != 0) {
+      g_reload_requested = 0;
+      s = server.ReloadFromFile(options.snapshot_path);
+      if (s.ok()) {
+        std::fprintf(stderr,
+                     "farmer_serve: reloaded snapshot (version %llu, "
+                     "%zu groups)\n",
+                     static_cast<unsigned long long>(
+                         server.snapshot_version()),
+                     server.index()->size());
+      } else {
+        std::fprintf(stderr, "farmer_serve: reload failed: %s\n",
+                     s.ToString().c_str());
+      }
+      std::fflush(stderr);
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::fprintf(stderr, "farmer_serve: shutting down\n");
