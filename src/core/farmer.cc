@@ -703,7 +703,7 @@ void FarmerMiner::RunTask(ParallelShared& shared, const SubtreeTask& task,
     shared.task_seconds->Observe(task_sw.ElapsedSeconds());
   }
 
-  std::lock_guard<std::mutex> lock(shared.mutex);
+  MutexLock lock(shared.mutex);
   shared.stats.MergeFrom(ctx.stats);
   for (Segment& seg : out) shared.segments.push_back(std::move(seg));
 }
@@ -766,7 +766,15 @@ FarmerMiner::GroupStore FarmerMiner::RunSearch(MinerStats* stats) {
     pool.CheckQuiescent();
   }
 
-  *stats = shared.stats;
+  // pool.Wait() means no task can still touch `shared`, but that is a
+  // scheduling argument the analysis cannot see — so take the (now
+  // uncontended) lock once and move the guarded state into locals.
+  std::vector<Segment> segments;
+  {
+    MutexLock lock(shared.mutex);
+    *stats = shared.stats;
+    segments = std::move(shared.segments);
+  }
   stats->task_steals = pool.steal_count();
   stats->tasks_stolen = pool.stolen_task_count();
 
@@ -774,7 +782,7 @@ FarmerMiner::GroupStore FarmerMiner::RunSearch(MinerStats* stats) {
   // through the same dedup -> dominance -> insert path the sequential
   // miner uses, which reproduces its insertion stream exactly.
   std::stable_sort(
-      shared.segments.begin(), shared.segments.end(),
+      segments.begin(), segments.end(),
       [](const Segment& a, const Segment& b) { return a.id < b.id; });
   obs::Counter* merge_segments =
       options_.metrics != nullptr
@@ -782,7 +790,7 @@ FarmerMiner::GroupStore FarmerMiner::RunSearch(MinerStats* stats) {
           : nullptr;
   GroupStore merged;
   merged.by_count_first.resize(n_ + 1);
-  for (Segment& seg : shared.segments) {
+  for (Segment& seg : segments) {
     // One "merge" span per replayed segment on the control lane: the
     // pool has drained, so lane 0 has a single producer again.
     obs::ScopedSpan span(options_.trace, obs::TraceSession::kMainLane,

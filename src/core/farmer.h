@@ -4,7 +4,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -14,6 +13,7 @@
 #include "dataset/transpose.h"
 #include "dataset/types.h"
 #include "util/bitset.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace farmer {
@@ -158,9 +158,11 @@ class FarmerMiner {
     std::vector<SearchContext>* contexts = nullptr;
     // Split when fewer tasks than this are queued (the pool is hungry).
     std::size_t hungry_below = 1;
-    std::mutex mutex;                 // Guards the two fields below.
-    std::vector<Segment> segments;    // All tasks' output, unordered.
-    MinerStats stats;                 // Aggregated task statistics.
+    Mutex mutex;
+    // All tasks' output, unordered (the merge sorts by id later).
+    std::vector<Segment> segments FARMER_GUARDED_BY(mutex);
+    // Aggregated task statistics.
+    MinerStats stats FARMER_GUARDED_BY(mutex);
     // Per-task wall-time distribution (null unless metrics are wired).
     obs::Histogram* task_seconds = nullptr;
   };

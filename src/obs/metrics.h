@@ -7,11 +7,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace farmer {
 namespace obs {
@@ -151,10 +151,16 @@ class MetricsRegistry {
   Status WriteJsonFile(const std::string& path) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  // The maps are guarded; the metric objects they own are not (their
+  // updates are lock-free by design — FARMER_PT_GUARDED_BY would be
+  // wrong here, and is why the pointers may be cached by callers).
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      FARMER_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      FARMER_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      FARMER_GUARDED_BY(mutex_);
 };
 
 /// Shared JSON-string escaping for the obs exporters (metrics + trace).

@@ -1,7 +1,6 @@
 #include "obs/progress.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 
 namespace farmer {
@@ -43,28 +42,42 @@ ProgressReporter::~ProgressReporter() { Stop(); }
 
 void ProgressReporter::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
-    wake_.notify_all();
+    wake_.NotifyAll();
   }
   if (thread_.joinable()) thread_.join();
-  if (!stopped_) {
-    stopped_ = true;
-    options_.sink(FormatSample());  // Final totals line.
+  bool emit_final = false;
+  {
+    MutexLock lock(mutex_);
+    if (!stopped_) {
+      stopped_ = true;
+      emit_final = true;
+    }
   }
+  // FormatSample() takes mutex_ itself, so emit outside the lock.
+  if (emit_final) options_.sink(FormatSample());  // Final totals line.
 }
 
 void ProgressReporter::SamplerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    const auto interval = std::chrono::duration<double>(
-        options_.interval_seconds);
-    if (wake_.wait_for(lock, interval, [this] { return stopping_; })) {
-      return;  // Stop() emits the final line after the join.
+    {
+      MutexLock lock(mutex_);
+      // One sampling tick: sleep out the interval unless Stop() fires
+      // first (spurious wakeups just re-wait the remaining budget).
+      const Deadline tick = Deadline::After(options_.interval_seconds);
+      while (!stopping_) {
+        const double left = tick.SecondsRemaining();
+        if (left <= 0.0) break;
+        wake_.WaitForSeconds(mutex_, left);
+      }
+      if (stopping_) {
+        return;  // Stop() emits the final line after the join.
+      }
     }
-    lock.unlock();
+    // The sink runs unlocked: it may be arbitrarily slow (stderr on a
+    // blocked pipe) and must not hold up Stop().
     options_.sink(FormatSample());
-    lock.lock();
   }
 }
 
@@ -75,13 +88,16 @@ std::string ProgressReporter::FormatSample() {
 
   // Nodes/sec over the window since the previous sample (whole-run
   // average for the first one).
-  const double window = elapsed - last_elapsed_;
-  const double rate =
-      window > 1e-9
-          ? static_cast<double>(nodes - last_nodes_) / window
-          : 0.0;
-  last_nodes_ = nodes;
-  last_elapsed_ = elapsed;
+  double rate = 0.0;
+  {
+    MutexLock lock(mutex_);
+    const double window = elapsed - last_elapsed_;
+    if (window > 1e-9) {
+      rate = static_cast<double>(nodes - last_nodes_) / window;
+    }
+    last_nodes_ = nodes;
+    last_elapsed_ = elapsed;
+  }
 
   const std::uint64_t pruned[5] = {
       c.pruned_backscan.load(std::memory_order_relaxed),

@@ -2,13 +2,12 @@
 #define FARMER_OBS_PROGRESS_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "util/sync.h"
 #include "util/timer.h"
 
 namespace farmer {
@@ -84,13 +83,17 @@ class ProgressReporter {
   const ProgressCounters* counters_;
   Options options_;
   Stopwatch elapsed_;
-  std::uint64_t last_nodes_ = 0;   // Sampler-thread only.
-  double last_elapsed_ = 0.0;      // Sampler-thread only.
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  bool stopping_ = false;
-  bool stopped_ = false;
+  Mutex mutex_;
+  CondVar wake_;
+  // Rate window of the previous sample. Nominally sampler-thread state,
+  // but FormatSample() is public (tests, one-shot callers) and Stop()
+  // emits the final line from the caller's thread, so the window is
+  // lock-protected rather than merely confined.
+  std::uint64_t last_nodes_ FARMER_GUARDED_BY(mutex_) = 0;
+  double last_elapsed_ FARMER_GUARDED_BY(mutex_) = 0.0;
+  bool stopping_ FARMER_GUARDED_BY(mutex_) = false;
+  bool stopped_ FARMER_GUARDED_BY(mutex_) = false;
   std::thread thread_;
 };
 

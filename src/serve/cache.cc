@@ -14,7 +14,7 @@ std::string ResponseCache::ComposeKey(std::uint64_t version,
 bool ResponseCache::Get(std::uint64_t version, const std::string& key,
                         std::string* value) {
   const std::string composite = ComposeKey(version, key);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = map_.find(composite);
   if (it == map_.end()) {
     ++misses_;
@@ -30,7 +30,7 @@ void ResponseCache::Put(std::uint64_t version, const std::string& key,
                         std::string value) {
   if (value.size() > max_bytes_) return;
   std::string composite = ComposeKey(version, key);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = map_.find(composite);
   if (it != map_.end()) {
     bytes_ -= it->second->payload.size();
@@ -46,7 +46,7 @@ void ResponseCache::Put(std::uint64_t version, const std::string& key,
 }
 
 void ResponseCache::DropVersionsBelow(std::uint64_t version) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->version < version) {
       bytes_ -= it->payload.size();
@@ -60,7 +60,7 @@ void ResponseCache::DropVersionsBelow(std::uint64_t version) {
 }
 
 void ResponseCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   lru_.clear();
   map_.clear();
   bytes_ = 0;
@@ -78,27 +78,27 @@ void ResponseCache::EvictLocked() {
 }
 
 std::size_t ResponseCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return map_.size();
 }
 
 std::size_t ResponseCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return bytes_;
 }
 
 std::uint64_t ResponseCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return hits_;
 }
 
 std::uint64_t ResponseCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return misses_;
 }
 
 std::uint64_t ResponseCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return evictions_;
 }
 

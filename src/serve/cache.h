@@ -4,10 +4,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "util/sync.h"
 
 namespace farmer {
 namespace serve {
@@ -72,18 +73,20 @@ class ResponseCache {
   static std::string ComposeKey(std::uint64_t version,
                                 const std::string& key);
 
-  void EvictLocked();
+  void EvictLocked() FARMER_REQUIRES(mutex_);
 
   const std::size_t max_entries_;
   const std::size_t max_bytes_;
 
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // Front = most recently used.
-  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
-  std::size_t bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable Mutex mutex_;
+  // Front = most recently used.
+  std::list<Entry> lru_ FARMER_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_
+      FARMER_GUARDED_BY(mutex_);
+  std::size_t bytes_ FARMER_GUARDED_BY(mutex_) = 0;
+  std::uint64_t hits_ FARMER_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ FARMER_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ FARMER_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace serve

@@ -51,6 +51,25 @@ std::vector<double> LatencyBounds() {
   return {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0};
 }
 
+// Thread-safe errno rendering. std::strerror may hand back a shared
+// static buffer (clang-tidy concurrency-mt-unsafe), and this file runs
+// on the acceptor plus every shard thread, so go through strerror_r.
+// The overload pair absorbs both strerror_r flavors (XSI returns int,
+// GNU returns the message pointer) without feature-macro guessing.
+[[maybe_unused]] const char* StrerrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+[[maybe_unused]] const char* StrerrorResult(const char* msg,
+                                            const char* /*buf*/) {
+  return msg;
+}
+
+std::string ErrnoString(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  return StrerrorResult(strerror_r(err, buf, sizeof(buf)), buf);
+}
+
 // Blocking best-effort send for the reject path (overloaded /
 // shutting-down replies on not-yet-admitted sockets). SO_SNDTIMEO
 // bounds each attempt; a stalled peer just loses the courtesy reply.
@@ -146,7 +165,7 @@ void Server::InstallIndex(RuleGroupIndex index) {
   // Serialize writers; readers never block. The new VersionedIndex is
   // fully built before the pointer flips, and old versions stay alive
   // until the last in-flight request drops its shared_ptr.
-  std::lock_guard<std::mutex> lock(swap_mutex_);
+  MutexLock lock(swap_mutex_);
   const std::uint64_t version = Current()->version + 1;
   auto next = std::make_shared<const VersionedIndex>(
       VersionedIndex{std::move(index), version});
@@ -159,10 +178,10 @@ void Server::InstallIndex(RuleGroupIndex index) {
 }
 
 Status Server::ReloadFromFile(const std::string& path) {
-  RuleGroupSnapshot snapshot;
-  const Status loaded = LoadSnapshot(path, &snapshot);
-  if (!loaded.ok()) return loaded;
-  InstallIndex(RuleGroupIndex(std::move(snapshot), options_.num_shards));
+  StatusOr<RuleGroupSnapshot> snapshot = LoadSnapshot(path);
+  if (!snapshot.ok()) return snapshot.status();
+  InstallIndex(
+      RuleGroupIndex(std::move(snapshot).value(), options_.num_shards));
   return Status::Ok();
 }
 
@@ -173,7 +192,7 @@ Status Server::Start() {
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
-    return Status::IoError("socket(): " + std::string(std::strerror(errno)));
+    return Status::IoError("socket(): " + ErrnoString(errno));
   }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -189,13 +208,13 @@ Status Server::Start() {
   }
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = ErrnoString(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     return Status::IoError("bind(): " + err);
   }
   if (::listen(listen_fd_, SOMAXCONN) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = ErrnoString(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     return Status::IoError("listen(): " + err);
@@ -205,7 +224,7 @@ Status Server::Start() {
   socklen_t bound_len = sizeof(bound);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
                     &bound_len) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = ErrnoString(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     return Status::IoError("getsockname(): " + err);
@@ -213,7 +232,7 @@ Status Server::Start() {
   port_ = ntohs(bound.sin_port);
 
   const auto abort_start = [this](const std::string& what) {
-    const std::string err = std::strerror(errno);
+    const std::string err = ErrnoString(errno);
     for (auto& shard : shards_) {
       if (shard->wake_fd >= 0) ::close(shard->wake_fd);
       if (shard->epoll_fd >= 0) ::close(shard->epoll_fd);
@@ -253,7 +272,7 @@ Status Server::Start() {
 void Server::Shutdown() {
   // Serialized: concurrent Shutdown() calls (say, a signal-driven stop
   // racing the destructor) must not both join the threads.
-  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  MutexLock lock(shutdown_mutex_);
   if (!started_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
   // Unblock the accept() call with shutdown() rather than close(): a
@@ -327,7 +346,7 @@ void Server::AcceptLoop() {
     Shard& shard = *shards_[next_shard];
     next_shard = (next_shard + 1) % shards_.size();
     {
-      std::lock_guard<std::mutex> inbox_lock(shard.inbox_mutex);
+      MutexLock inbox_lock(shard.inbox_mutex);
       shard.inbox.push_back(fd);
     }
     WakeShard(shard);
@@ -348,10 +367,20 @@ void Server::PublishActiveGauge() {
   }
 }
 
+// farmer-lint: begin(event-loop)
+// Everything between these markers runs on a shard's event-loop thread
+// and must never block: no file I/O, no sleeps, no blocking sockets
+// (tools/farmer_lint.py, rule `event-loop-blocking`). The sockets here
+// are non-blocking; recv/sendmsg return EAGAIN instead of parking the
+// loop. Request execution (ExecutePending and below) sits outside the
+// region: the reload admin op deliberately reads a snapshot file on
+// the shard thread, stalling only its own shard.
+
 void Server::AdoptInbox(Shard& shard) {
+  FARMER_DCHECK_CALLED_ON(shard.checker);
   std::vector<int> fresh;
   {
-    std::lock_guard<std::mutex> lock(shard.inbox_mutex);
+    MutexLock lock(shard.inbox_mutex);
     fresh.swap(shard.inbox);
   }
   for (const int fd : fresh) {
@@ -373,6 +402,9 @@ void Server::AdoptInbox(Shard& shard) {
 
 void Server::ShardLoop(std::size_t shard_id) {
   Shard& shard = *shards_[shard_id];
+  // First touch binds the checker to this thread; every shard-confined
+  // method below then asserts it runs here.
+  FARMER_DCHECK_CALLED_ON(shard.checker);
   std::array<epoll_event, kMaxEpollEvents> events;
   while (true) {
     const int n = ::epoll_wait(shard.epoll_fd, events.data(),
@@ -416,6 +448,7 @@ void Server::ShardLoop(std::size_t shard_id) {
 }
 
 bool Server::HandleReadable(std::size_t shard_id, Shard& shard, Conn& conn) {
+  FARMER_DCHECK_CALLED_ON(shard.checker);
   char chunk[kReadChunk];
   std::size_t got = 0;
   bool peer_closed = false;
@@ -446,7 +479,7 @@ bool Server::HandleReadable(std::size_t shard_id, Shard& shard, Conn& conn) {
 }
 
 void Server::ProcessBuffered(std::size_t shard_id, Shard& shard, Conn& conn) {
-  (void)shard;
+  FARMER_DCHECK_CALLED_ON(shard.checker);
   if (conn.mode == Conn::Mode::kDetect) {
     switch (DetectProtocol(conn.rbuf)) {
       case ProtocolDetect::kNeedMore:
@@ -535,6 +568,8 @@ void Server::ProcessBuffered(std::size_t shard_id, Shard& shard, Conn& conn) {
   }
   conn.idle = Deadline::After(options_.idle_timeout_s);
 }
+
+// farmer-lint: end(event-loop)
 
 void Server::ExecutePending(std::size_t shard_id, Conn& conn,
                             PendingRequest& p) {
@@ -693,7 +728,10 @@ void Server::Enqueue(Conn& conn, FrameStatus status, std::uint64_t bin_id,
   if (was_idle) conn.stall.Restart();
 }
 
+// farmer-lint: begin(event-loop)
+
 bool Server::FlushConn(Shard& shard, Conn& conn) {
+  FARMER_DCHECK_CALLED_ON(shard.checker);
   while (HasPending(conn)) {
     iovec iov[kMaxIov];
     int cnt = 0;
@@ -749,6 +787,7 @@ bool Server::FlushConn(Shard& shard, Conn& conn) {
 }
 
 void Server::TickTimeouts(Shard& shard) {
+  FARMER_DCHECK_CALLED_ON(shard.checker);
   std::vector<int> doomed;
   for (auto& entry : shard.conns) {
     Conn& conn = entry.second;
@@ -773,6 +812,7 @@ void Server::TickTimeouts(Shard& shard) {
 }
 
 void Server::CloseConn(Shard& shard, int fd) {
+  FARMER_DCHECK_CALLED_ON(shard.checker);
   auto it = shard.conns.find(fd);
   if (it == shard.conns.end()) return;
   ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
@@ -783,6 +823,7 @@ void Server::CloseConn(Shard& shard, int fd) {
 }
 
 void Server::SetWriteInterest(Shard& shard, Conn& conn, bool want) {
+  FARMER_DCHECK_CALLED_ON(shard.checker);
   if (conn.out_armed == want) return;
   epoll_event ev{};
   ev.events = EPOLLIN | (want ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
@@ -791,6 +832,8 @@ void Server::SetWriteInterest(Shard& shard, Conn& conn, bool want) {
     conn.out_armed = want;
   }
 }
+
+// farmer-lint: end(event-loop)
 
 }  // namespace serve
 }  // namespace farmer

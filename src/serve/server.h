@@ -5,7 +5,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -17,6 +16,7 @@
 #include "serve/index.h"
 #include "serve/protocol.h"
 #include "util/status.h"
+#include "util/sync.h"
 #include "util/timer.h"
 
 namespace farmer {
@@ -186,13 +186,19 @@ class Server {
   };
 
   /// One event-loop thread: its epoll set, an eventfd to wake it, and
-  /// a tiny locked inbox the acceptor pushes new fds through.
+  /// a tiny locked inbox the acceptor pushes new fds through. Except
+  /// for the inbox, everything here is confined to the shard thread —
+  /// `checker` asserts that in debug builds.
   struct Shard {
     int epoll_fd = -1;
     int wake_fd = -1;
     std::thread thread;
-    std::mutex inbox_mutex;
-    std::vector<int> inbox;
+    Mutex inbox_mutex;
+    std::vector<int> inbox FARMER_GUARDED_BY(inbox_mutex);
+    /// Shard-thread-confined: the connection map and through it every
+    /// Conn's parser buffer and out-queue. Only the shard's event loop
+    /// may touch them.
+    ThreadChecker checker;
     std::unordered_map<int, Conn> conns;
   };
 
@@ -249,9 +255,11 @@ class Server {
   /// (serialized by swap_mutex_) build the next VersionedIndex off to
   /// the side and store it here.
   std::atomic<std::shared_ptr<const VersionedIndex>> current_;
-  std::mutex swap_mutex_;
+  /// Serializes snapshot writers (reload/install); readers never take it.
+  Mutex swap_mutex_;
 
-  std::mutex shutdown_mutex_;
+  /// Makes Shutdown() idempotent under concurrent callers.
+  Mutex shutdown_mutex_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> started_{false};

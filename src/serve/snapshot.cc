@@ -497,5 +497,12 @@ Status LoadSnapshot(const std::string& path, RuleGroupSnapshot* out) {
   return LoadSnapshotFromBuffer(buf.str(), path, out);
 }
 
+StatusOr<RuleGroupSnapshot> LoadSnapshot(const std::string& path) {
+  RuleGroupSnapshot snapshot;
+  const Status loaded = LoadSnapshot(path, &snapshot);
+  if (!loaded.ok()) return loaded;
+  return snapshot;
+}
+
 }  // namespace serve
 }  // namespace farmer

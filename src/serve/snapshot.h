@@ -106,6 +106,10 @@ Status LoadSnapshotFromBuffer(std::string_view data, const std::string& name,
 /// Reads and parses the snapshot at `path` (IoError when unreadable).
 Status LoadSnapshot(const std::string& path, RuleGroupSnapshot* out);
 
+/// Value-returning form of LoadSnapshot for callers that want the
+/// snapshot and the error as one object.
+StatusOr<RuleGroupSnapshot> LoadSnapshot(const std::string& path);
+
 }  // namespace serve
 }  // namespace farmer
 

@@ -63,40 +63,40 @@ class Bitset {
   void SetAll();
 
   /// Returns bit `pos` (must be < size()).
-  bool Test(std::size_t pos) const {
+  [[nodiscard]] bool Test(std::size_t pos) const {
     return (words_[pos >> 6] >> (pos & 63)) & 1u;
   }
 
   /// Number of set bits.
-  std::size_t Count() const;
+  [[nodiscard]] std::size_t Count() const;
 
   /// Number of set bits at positions < `pos_limit` (clamped to size()).
-  std::size_t CountPrefix(std::size_t pos_limit) const;
+  [[nodiscard]] std::size_t CountPrefix(std::size_t pos_limit) const;
 
   /// True when no bit is set.
-  bool None() const;
+  [[nodiscard]] bool None() const;
 
   /// True when at least one bit is set.
-  bool Any() const { return !None(); }
+  [[nodiscard]] bool Any() const { return !None(); }
 
   /// True when every bit of *this is also set in `other`.
   /// Requires other.size() == size().
-  bool IsSubsetOf(const Bitset& other) const;
+  [[nodiscard]] bool IsSubsetOf(const Bitset& other) const;
 
   /// True when IsSubsetOf(other) and the sets differ.
-  bool IsProperSubsetOf(const Bitset& other) const {
+  [[nodiscard]] bool IsProperSubsetOf(const Bitset& other) const {
     return IsSubsetOf(other) && *this != other;
   }
 
   /// True when the two sets share at least one bit.
-  bool Intersects(const Bitset& other) const;
+  [[nodiscard]] bool Intersects(const Bitset& other) const;
 
   /// Number of bits set in both *this and `other`.
-  std::size_t IntersectCount(const Bitset& other) const;
+  [[nodiscard]] std::size_t IntersectCount(const Bitset& other) const;
 
   /// Synonym for IntersectCount, named for the miner's conditional-table
   /// kernels: |*this ∩ other| in one word-parallel pass.
-  std::size_t AndCount(const Bitset& other) const {
+  [[nodiscard]] std::size_t AndCount(const Bitset& other) const {
     return IntersectCount(other);
   }
 
@@ -104,16 +104,17 @@ class Bitset {
   /// miner uses this to count positive-class rows (a prefix of the row
   /// order) inside a tuple's candidate set without materializing the
   /// intersection.
-  std::size_t AndCountPrefix(const Bitset& other,
-                             std::size_t pos_limit) const;
+  [[nodiscard]] std::size_t AndCountPrefix(const Bitset& other,
+                                           std::size_t pos_limit) const;
 
   /// True when some bit of *this is set in every bitset of
   /// `sets[0..count)` — i.e. *this ∩ sets[0] ∩ … ∩ sets[count-1] is
   /// non-empty. `scratch` is borrowed for the running intersection (its
   /// contents are clobbered); the loop exits early once the intersection
   /// empties. With count == 0 this reduces to Any().
-  bool IntersectsAllOf(const Bitset* const* sets, std::size_t count,
-                       Bitset* scratch) const;
+  [[nodiscard]] bool IntersectsAllOf(const Bitset* const* sets,
+                                     std::size_t count,
+                                     Bitset* scratch) const;
 
   /// out = a & b without reallocating out's storage when capacities allow
   /// (the borrowed-buffer variant of operator&). a and b must be the same
@@ -142,10 +143,10 @@ class Bitset {
   friend bool operator!=(const Bitset& a, const Bitset& b) { return !(a == b); }
 
   /// Index of the first set bit, or size() when empty.
-  std::size_t FindFirst() const;
+  [[nodiscard]] std::size_t FindFirst() const;
 
   /// Index of the first set bit strictly after `pos`, or size() when none.
-  std::size_t FindNext(std::size_t pos) const;
+  [[nodiscard]] std::size_t FindNext(std::size_t pos) const;
 
   /// Calls `fn(pos)` for every set bit in increasing order.
   template <typename Fn>
@@ -173,7 +174,7 @@ class Bitset {
   std::string ToString() const;
 
   /// Stable hash of the contents (FNV-1a over the words).
-  std::size_t Hash() const;
+  [[nodiscard]] std::size_t Hash() const;
 
   /// Contract check of the representation invariants: the word vector is
   /// exactly ⌈size()/64⌉ long and every bit at positions >= size() is

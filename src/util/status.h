@@ -1,6 +1,9 @@
 #ifndef FARMER_UTIL_STATUS_H_
 #define FARMER_UTIL_STATUS_H_
 
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -63,6 +66,69 @@ class [[nodiscard]] Status {
 
   Code code_ = Code::kOk;
   std::string message_;
+};
+
+/// A value or the Status explaining why there is none — the
+/// value-returning counterpart of Status, so fallible factories return
+/// one object instead of an out-parameter + Status pair.
+///
+/// [[nodiscard]] like Status: dropping a StatusOr on the floor drops an
+/// error with it. Accessing value() without checking ok() first on an
+/// error state aborts with the status on stderr (this header cannot use
+/// FARMER_CHECK: check.h includes status.h).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Implicit from T and from Status, so `return value;` and
+  /// `return Status::IoError(...)` both work in a StatusOr function.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      Fail("StatusOr constructed from an OK Status without a value");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Violations abort (no exceptions in this
+  /// library), so an unchecked error cannot masquerade as a value.
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      Fail(("StatusOr::value() on an error: " + status_.ToString()).c_str());
+    }
+  }
+
+  [[noreturn]] static void Fail(const char* what) {
+    std::fprintf(stderr, "FATAL: %s\n", what);
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  Status status_;  // Ok iff value_ holds a value.
+  std::optional<T> value_;
 };
 
 }  // namespace farmer

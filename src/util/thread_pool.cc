@@ -29,22 +29,29 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  MutexLock shutdown_lock(shutdown_mutex_);
+  if (shut_down_) return;
   stopping_.store(true, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
-    work_available_.notify_all();
+    MutexLock lock(sleep_mutex_);
+    work_available_.NotifyAll();
   }
   for (std::thread& w : workers_) w.join();
+  shut_down_ = true;
 }
 
 void ThreadPool::PushTask(std::size_t queue_index, Task task) {
   WorkerQueue& q = *queues_[queue_index];
-  std::lock_guard<std::mutex> lock(q.mutex);
+  MutexLock lock(q.mutex);
   q.tasks.push_back(std::move(task));
 }
 
 void ThreadPool::Submit(std::function<void(std::size_t)> task) {
+  FARMER_CHECK(!stopping_.load(std::memory_order_relaxed))
+      << "Submit() on a shut-down ThreadPool";
   // Count before publishing: a worker may pop and finish the task the
   // moment it is visible, and in_flight_ must never dip to 0 in between.
   in_flight_.fetch_add(1, std::memory_order_relaxed);
@@ -59,20 +66,20 @@ void ThreadPool::Submit(std::function<void(std::size_t)> task) {
   PushTask(qi, std::move(task));
   // The empty critical section orders this notify after any worker that
   // observed pending_ == 0 has actually gone to sleep (no lost wakeup).
-  std::lock_guard<std::mutex> lock(sleep_mutex_);
-  work_available_.notify_one();
+  MutexLock lock(sleep_mutex_);
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(sleep_mutex_);
-  all_done_.wait(lock, [this] {
+  MutexLock lock(sleep_mutex_);
+  all_done_.Wait(sleep_mutex_, [this] {
     return in_flight_.load(std::memory_order_acquire) == 0;
   });
 }
 
 bool ThreadPool::PopLocal(std::size_t id, Task* out) {
   WorkerQueue& q = *queues_[id];
-  std::lock_guard<std::mutex> lock(q.mutex);
+  MutexLock lock(q.mutex);
   if (q.tasks.empty()) return false;
   *out = std::move(q.tasks.back());
   q.tasks.pop_back();
@@ -91,7 +98,7 @@ bool ThreadPool::StealInto(std::size_t id, Task* out) {
     std::vector<Task> loot;
     {
       WorkerQueue& q = *queues_[victim];
-      std::lock_guard<std::mutex> lock(q.mutex);
+      MutexLock lock(q.mutex);
       if (q.tasks.empty()) continue;
       const std::size_t take = (q.tasks.size() + 1) / 2;
       loot.reserve(take);
@@ -113,7 +120,7 @@ bool ThreadPool::StealInto(std::size_t id, Task* out) {
     FARMER_DCHECK(was > 0);
     if (loot.size() > 1) {
       WorkerQueue& mine = *queues_[id];
-      std::lock_guard<std::mutex> lock(mine.mutex);
+      MutexLock lock(mine.mutex);
       for (std::size_t i = loot.size(); i > 1; --i) {
         mine.tasks.push_back(std::move(loot[i - 1]));
       }
@@ -132,7 +139,7 @@ void ThreadPool::CheckQuiescent() {
       << "tasks still queued";
   std::size_t queued = 0;
   for (const std::unique_ptr<WorkerQueue>& q : queues_) {
-    std::lock_guard<std::mutex> lock(q->mutex);
+    MutexLock lock(q->mutex);
     queued += q->tasks.size();
   }
   FARMER_CHECK(queued == 0)
@@ -148,18 +155,22 @@ void ThreadPool::WorkerLoop(std::size_t worker_id) {
       task(worker_id);
       task = nullptr;  // Release captures before the done check.
       if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(sleep_mutex_);
-        all_done_.notify_all();
-        work_available_.notify_all();  // Stopping workers re-check exit.
+        MutexLock lock(sleep_mutex_);
+        all_done_.NotifyAll();
+        work_available_.NotifyAll();  // Stopping workers re-check exit.
       }
       continue;
     }
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
-    work_available_.wait(lock, [this] {
-      return pending_.load(std::memory_order_relaxed) > 0 ||
-             (stopping_.load(std::memory_order_relaxed) &&
-              in_flight_.load(std::memory_order_relaxed) == 0);
-    });
+    {
+      MutexLock lock(sleep_mutex_);
+      work_available_.Wait(sleep_mutex_, [this] {
+        return pending_.load(std::memory_order_relaxed) > 0 ||
+               (stopping_.load(std::memory_order_relaxed) &&
+                in_flight_.load(std::memory_order_relaxed) == 0);
+      });
+    }
+    // The exit decision reads only atomics, so re-checking after the
+    // lock is dropped is equivalent to deciding under it.
     if (stopping_.load(std::memory_order_relaxed) &&
         in_flight_.load(std::memory_order_relaxed) == 0) {
       return;

@@ -2,15 +2,15 @@
 #define FARMER_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace farmer {
 
@@ -84,6 +84,12 @@ class ThreadPool {
   /// inside a task (a worker waiting for the pool would deadlock).
   void Wait();
 
+  /// Waits for every pending task, then joins the workers. After
+  /// Shutdown() the pool is inert: Submit() is a contract violation
+  /// (FARMER_CHECK) rather than a silent drop. Idempotent; the
+  /// destructor calls it. Must not be called from inside a task.
+  void Shutdown();
+
   /// Tasks currently queued (not yet running). Approximate by nature —
   /// used by adaptive splitters to decide whether the pool is hungry.
   std::size_t ApproxPending() const {
@@ -124,8 +130,8 @@ class ThreadPool {
   // back, thieves the front; either way the critical sections are a few
   // pointer moves, so a spinless mutex per deque is cheap and TSan-clean.
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<Task> tasks;
+    Mutex mutex;
+    std::deque<Task> tasks FARMER_GUARDED_BY(mutex);
   };
 
   void WorkerLoop(std::size_t worker_id);
@@ -147,9 +153,14 @@ class ThreadPool {
 
   // Sleep/wake plumbing. `sleep_mutex_` only serializes the transitions
   // into and out of idle sleep; the deques have their own locks.
-  std::mutex sleep_mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
+  Mutex sleep_mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+
+  // Serializes Shutdown() (a signal-driven stop racing the destructor
+  // must not both join the workers).
+  Mutex shutdown_mutex_;
+  bool shut_down_ FARMER_GUARDED_BY(shutdown_mutex_) = false;
 
   std::vector<std::thread> workers_;
 };

@@ -1,7 +1,8 @@
 // Unit and stress tests for the work-stealing ThreadPool: nested
 // submission (Submit from inside a task), steal accounting, reuse across
-// Wait cycles, worker-id plumbing, and cooperative cancellation. The
-// recursive-spawn stress tests double as the TSan workload in CI.
+// Wait cycles, worker-id plumbing, cooperative cancellation, and the
+// Shutdown() teardown contract. The recursive-spawn stress tests double
+// as the TSan workload in CI.
 
 #include "util/thread_pool.h"
 
@@ -9,10 +10,13 @@
 #include <chrono>
 #include <cstddef>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "util/check.h"
 
 namespace farmer {
 namespace {
@@ -226,6 +230,50 @@ TEST(ThreadPoolTest, QuiescentAfterWaitEveryRound) {
     pool.Wait();
     pool.CheckQuiescent();
   }
+}
+
+TEST(ThreadPoolShutdownTest, DestructionWithQueuedTasksDrainsThem) {
+  // Tear the pool down while tasks are still queued behind a slow one:
+  // workers must finish everything before joining — destruction is a
+  // drain, never a drop.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+      });
+    }
+    // No Wait(): the destructor's Shutdown() owns the drain.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolShutdownTest, ShutdownIsIdempotent) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(3);
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&ran](std::size_t) { ++ran; });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 16);
+  pool.Shutdown();  // Second explicit call: no-op.
+  EXPECT_EQ(ran.load(), 16);
+  // The destructor makes the third call.
+}
+
+TEST(ThreadPoolShutdownTest, SubmitAfterShutdownFiresContractCheck) {
+  struct ContractViolation : std::runtime_error {
+    using std::runtime_error::runtime_error;
+  };
+  ScopedCheckFailureHandler scoped(
+      [](const char*, int, const std::string& message) {
+        throw ContractViolation(message);
+      });
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([](std::size_t) {}), ContractViolation);
 }
 
 }  // namespace

@@ -1,0 +1,19 @@
+// farmer-lint-fixture: path=src/core/fine.cc expect=clean
+// Uses the annotated vocabulary; nothing for any rule to object to.
+#include "util/sync.h"
+
+namespace farmer {
+
+struct Guarded {
+  Mutex mutex;
+  int value FARMER_GUARDED_BY(mutex) = 0;
+};
+
+// Mentions of std::mutex in comments (like this one) never fire:
+// token rules run on comment-stripped text.
+void Bump(Guarded& g) {
+  MutexLock lock(g.mutex);
+  ++g.value;
+}
+
+}  // namespace farmer

@@ -1,0 +1,16 @@
+// farmer-lint-fixture: path=src/serve/bad_loop.cc expect=event-loop-blocking
+// Sleeping and loading files inside a marked event-loop region.
+#include <chrono>
+#include <thread>
+
+namespace farmer {
+
+// farmer-lint: begin(event-loop)
+
+void TickSlowly() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+// farmer-lint: end(event-loop)
+
+}  // namespace farmer

@@ -1,0 +1,9 @@
+// farmer-lint-fixture: path=src/serve/unbalanced.cc expect=event-loop-blocking
+// A begin(event-loop) that is never closed.
+namespace farmer {
+
+// farmer-lint: begin(event-loop)
+
+void Spin() {}
+
+}  // namespace farmer

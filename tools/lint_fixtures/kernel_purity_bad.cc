@@ -1,0 +1,17 @@
+// farmer-lint-fixture: path=src/util/simd/kernels_bad.cc expect=kernel-purity
+// A kernel TU that allocates and logs: both are banned on the mining
+// hot path.
+#include <cstdio>
+#include <vector>
+
+namespace farmer {
+
+int SumTable(int n) {
+  std::vector<int> table(static_cast<unsigned>(n), 1);
+  std::printf("table built\n");
+  int sum = 0;
+  for (int v : table) sum += v;
+  return sum;
+}
+
+}  // namespace farmer

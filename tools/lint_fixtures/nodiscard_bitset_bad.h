@@ -1,0 +1,18 @@
+// farmer-lint-fixture: path=src/util/bitset.h expect=nodiscard-contract
+// A bitset.h where Count() lost its attribute (and the other query
+// kernels are missing outright — both are contract findings).
+#ifndef FIXTURE_BITSET_H_
+#define FIXTURE_BITSET_H_
+
+#include <cstddef>
+
+namespace farmer {
+
+class Bitset {
+ public:
+  std::size_t Count() const;
+};
+
+}  // namespace farmer
+
+#endif  // FIXTURE_BITSET_H_

@@ -1,0 +1,22 @@
+// farmer-lint-fixture: path=src/util/status.h expect=nodiscard-contract
+// A status.h whose classes lost their [[nodiscard]]: dropped errors
+// would no longer warn.
+#ifndef FIXTURE_STATUS_H_
+#define FIXTURE_STATUS_H_
+
+namespace farmer {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  bool ok() const { return true; }
+};
+
+}  // namespace farmer
+
+#endif  // FIXTURE_STATUS_H_

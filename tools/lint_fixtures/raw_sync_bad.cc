@@ -1,0 +1,12 @@
+// farmer-lint-fixture: path=src/core/bad_locking.cc expect=raw-sync
+// A std::mutex outside util/sync.h: the thread-safety analysis cannot
+// see acquisitions through unannotated primitives.
+#include <mutex>
+
+namespace farmer {
+
+std::mutex g_legacy_mutex;
+
+void Touch() { std::lock_guard<std::mutex> lock(g_legacy_mutex); }
+
+}  // namespace farmer

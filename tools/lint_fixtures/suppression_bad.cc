@@ -1,0 +1,6 @@
+// farmer-lint-fixture: path=src/w.cc expect=suppression-justification,raw-sync
+// A waiver with no real justification: the linter rejects the allow()
+// AND still reports the raw-sync finding it failed to cover.
+#include <mutex>  // farmer-lint: allow(raw-sync) -- nope
+
+namespace farmer {}
