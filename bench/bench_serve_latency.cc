@@ -34,6 +34,10 @@
 //   --port <p>    drive an already-running server on 127.0.0.1:<p>
 //                 instead of an in-process one (single mixed phase, no
 //                 cache assertions — for CI smoke against farmer_serve)
+//   --telemetry   attach a metrics registry to the in-process server
+//                 (per-op histograms, per-shard gauges — the full
+//                 instrumented path), for A/B runs against the default
+//                 telemetry-off configuration
 
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -53,6 +57,7 @@
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
 #include "core/farmer.h"
+#include "obs/metrics.h"
 #include "serve/index.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -377,6 +382,7 @@ int main(int argc, char** argv) {
   BenchConfig config = ParseBenchConfig(argc, argv);
   std::size_t count = 400;
   int external_port = 0;
+  bool telemetry = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
       count = static_cast<std::size_t>(std::atoll(argv[++i]));
@@ -384,6 +390,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       external_port = std::atoi(argv[++i]);
     }
+    if (std::strcmp(argv[i], "--telemetry") == 0) telemetry = true;
   }
   count = std::max<std::size_t>(count, 200);
   PrintBenchHeader("Query-server latency: cold/warm serial JSON and "
@@ -404,9 +411,14 @@ int main(int argc, char** argv) {
   std::unique_ptr<Server> server;
   RuleGroupSnapshot swap_source;  // Copy kept for hot-swap storms.
   int port = external_port;
+  obs::MetricsRegistry metrics;
   Server::Options server_options;
   server_options.num_shards = 4;
   server_options.max_connections = 64;
+  if (telemetry) {
+    server_options.metrics = &metrics;
+    std::printf("telemetry: metrics registry attached\n");
+  }
   if (external_port == 0) {
     RuleGroupSnapshot snapshot;
     snapshot.num_rows = ds.binary.num_rows();

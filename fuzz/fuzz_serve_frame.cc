@@ -8,8 +8,8 @@
 /// relies on is checked:
 ///
 ///   * DetectProtocol is total and matches its spec: kNeedMore only on
-///     a strict prefix of the preamble, kBinary only on the exact
-///     preamble, kJson otherwise.
+///     a strict prefix of the FQP1 or "GET " preambles, kBinary/kHttp
+///     only on the exact respective preamble, kJson otherwise.
 ///   * ExtractFrame never reads past the buffer, never accepts a zero
 ///     or oversized length, and consumes exactly what it reports.
 ///   * ParseBinaryRequest rejects with InvalidArgument only, and
@@ -46,16 +46,35 @@ bool HasPreamble(std::string_view input) {
                      serve::kBinaryPreambleSize) == 0;
 }
 
+bool IsHttpPrefix(std::string_view input) {
+  if (input.size() >= serve::kHttpPreambleSize) return false;
+  return std::memcmp(input.data(), serve::kHttpPreamble, input.size()) == 0;
+}
+
+bool HasHttpPreamble(std::string_view input) {
+  return input.size() >= serve::kHttpPreambleSize &&
+         std::memcmp(input.data(), serve::kHttpPreamble,
+                     serve::kHttpPreambleSize) == 0;
+}
+
 void CheckDetector(std::string_view input) {
   switch (serve::DetectProtocol(input)) {
     case serve::ProtocolDetect::kNeedMore:
-      if (!IsPreamblePrefix(input)) __builtin_trap();
+      if (!IsPreamblePrefix(input) && !IsHttpPrefix(input)) {
+        __builtin_trap();
+      }
       break;
     case serve::ProtocolDetect::kBinary:
       if (!HasPreamble(input)) __builtin_trap();
       break;
+    case serve::ProtocolDetect::kHttp:
+      if (!HasHttpPreamble(input)) __builtin_trap();
+      break;
     case serve::ProtocolDetect::kJson:
-      if (IsPreamblePrefix(input) || HasPreamble(input)) __builtin_trap();
+      if (IsPreamblePrefix(input) || HasPreamble(input) ||
+          IsHttpPrefix(input) || HasHttpPreamble(input)) {
+        __builtin_trap();
+      }
       break;
   }
 }
@@ -163,7 +182,8 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   CheckDetector(input);
   if (HasPreamble(input)) {
     WalkBinaryStream(input);
-  } else if (!IsPreamblePrefix(input)) {
+  } else if (!IsPreamblePrefix(input) && !HasHttpPreamble(input) &&
+             !IsHttpPrefix(input)) {
     WalkJsonStream(input);
   }
   CheckResponseDecode(input);

@@ -18,6 +18,10 @@ Histogram::Histogram(std::vector<double> bounds)
 }
 
 void Histogram::Observe(double v) {
+  // NaN fits no bucket and would poison the running sum forever; the
+  // observation is dropped. Infinities are ordered, so they land in
+  // the overflow (or first) bucket like any other out-of-range value.
+  if (std::isnan(v)) return;
   // lower_bound makes the edges inclusive: Observe(b) lands in the
   // bucket whose upper edge is b, as documented in the header.
   const std::size_t bucket = static_cast<std::size_t>(

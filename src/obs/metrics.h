@@ -70,7 +70,9 @@ class Gauge {
 /// A fixed-bucket histogram: `bounds` are the inclusive upper edges of
 /// the finite buckets; one overflow bucket catches everything above the
 /// last bound. Observe() is two relaxed atomic adds plus a CAS loop for
-/// the running sum — no locks, no allocation.
+/// the running sum — no locks, no allocation. NaN observations are
+/// dropped (they fit no bucket and would poison the sum); -inf lands in
+/// the first bucket, +inf in the overflow bucket.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);

@@ -264,20 +264,6 @@ bool GetItems(const JsonValue& v, ItemVector* out) {
   return true;
 }
 
-const char* OpName(QueryRequest::Op op) {
-  switch (op) {
-    case QueryRequest::Op::kPing: return "ping";
-    case QueryRequest::Op::kStats: return "stats";
-    case QueryRequest::Op::kTopkConfidence: return "topk_confidence";
-    case QueryRequest::Op::kTopkChiSquare: return "topk_chi_square";
-    case QueryRequest::Op::kContains: return "contains";
-    case QueryRequest::Op::kCover: return "cover";
-    case QueryRequest::Op::kFilter: return "filter";
-    case QueryRequest::Op::kReload: return "reload";
-  }
-  return "unknown";
-}
-
 // ---------------------------------------------------------------------
 // Little-endian scalar encoding shared by the FQP1 frame functions.
 
@@ -347,6 +333,21 @@ class PayloadReader {
 
 }  // namespace
 
+const char* OpName(QueryRequest::Op op) {
+  switch (op) {
+    case QueryRequest::Op::kPing: return "ping";
+    case QueryRequest::Op::kStats: return "stats";
+    case QueryRequest::Op::kTopkConfidence: return "topk_confidence";
+    case QueryRequest::Op::kTopkChiSquare: return "topk_chi_square";
+    case QueryRequest::Op::kContains: return "contains";
+    case QueryRequest::Op::kCover: return "cover";
+    case QueryRequest::Op::kFilter: return "filter";
+    case QueryRequest::Op::kReload: return "reload";
+    case QueryRequest::Op::kMetrics: return "metrics";
+  }
+  return "unknown";
+}
+
 const char* FrameStatusCode(FrameStatus status) {
   switch (status) {
     case FrameStatus::kOk: return "ok";
@@ -362,11 +363,19 @@ const char* FrameStatusCode(FrameStatus status) {
 
 ProtocolDetect DetectProtocol(std::string_view prefix) {
   if (prefix.empty()) return ProtocolDetect::kNeedMore;
-  const std::string_view magic(kBinaryPreamble, kBinaryPreambleSize);
-  const std::size_t n = std::min(prefix.size(), kBinaryPreambleSize);
-  if (prefix.substr(0, n) != magic.substr(0, n)) return ProtocolDetect::kJson;
-  return prefix.size() >= kBinaryPreambleSize ? ProtocolDetect::kBinary
+  const std::string_view binary(kBinaryPreamble, kBinaryPreambleSize);
+  const std::string_view http(kHttpPreamble, kHttpPreambleSize);
+  const std::size_t nb = std::min(prefix.size(), kBinaryPreambleSize);
+  if (prefix.substr(0, nb) == binary.substr(0, nb)) {
+    return prefix.size() >= kBinaryPreambleSize ? ProtocolDetect::kBinary
+                                                : ProtocolDetect::kNeedMore;
+  }
+  const std::size_t nh = std::min(prefix.size(), kHttpPreambleSize);
+  if (prefix.substr(0, nh) == http.substr(0, nh)) {
+    return prefix.size() >= kHttpPreambleSize ? ProtocolDetect::kHttp
                                               : ProtocolDetect::kNeedMore;
+  }
+  return ProtocolDetect::kJson;
 }
 
 FrameExtract ExtractFrame(std::string_view buffer, std::size_t* consumed,
@@ -405,6 +414,7 @@ Status ParseBinaryRequest(std::uint8_t opcode, std::string_view payload,
     case FrameOp::kCover: req.op = QueryRequest::Op::kCover; break;
     case FrameOp::kFilter: req.op = QueryRequest::Op::kFilter; break;
     case FrameOp::kReload: req.op = QueryRequest::Op::kReload; break;
+    case FrameOp::kMetrics: req.op = QueryRequest::Op::kMetrics; break;
     default:
       return Status::InvalidArgument("unknown frame opcode " +
                                      std::to_string(opcode));
@@ -429,6 +439,7 @@ Status ParseBinaryRequest(std::uint8_t opcode, std::string_view payload,
     case QueryRequest::Op::kPing:
     case QueryRequest::Op::kStats:
     case QueryRequest::Op::kReload:
+    case QueryRequest::Op::kMetrics:
       break;
     case QueryRequest::Op::kTopkConfidence:
     case QueryRequest::Op::kTopkChiSquare: {
@@ -509,6 +520,7 @@ std::string EncodeBinaryRequest(const QueryRequest& request) {
     case QueryRequest::Op::kCover: opcode = FrameOp::kCover; break;
     case QueryRequest::Op::kFilter: opcode = FrameOp::kFilter; break;
     case QueryRequest::Op::kReload: opcode = FrameOp::kReload; break;
+    case QueryRequest::Op::kMetrics: opcode = FrameOp::kMetrics; break;
   }
 
   std::string body;
@@ -520,6 +532,7 @@ std::string EncodeBinaryRequest(const QueryRequest& request) {
     case QueryRequest::Op::kPing:
     case QueryRequest::Op::kStats:
     case QueryRequest::Op::kReload:
+    case QueryRequest::Op::kMetrics:
       break;
     case QueryRequest::Op::kTopkConfidence:
     case QueryRequest::Op::kTopkChiSquare:
@@ -608,6 +621,8 @@ Status ParseRequest(const std::string& line, QueryRequest* out) {
     req.op = QueryRequest::Op::kFilter;
   } else if (op->string == "reload") {
     req.op = QueryRequest::Op::kReload;
+  } else if (op->string == "metrics") {
+    req.op = QueryRequest::Op::kMetrics;
   } else {
     return BadRequest("unknown op '" + op->string + "'");
   }
@@ -677,6 +692,7 @@ std::string CanonicalKey(const QueryRequest& request) {
     case QueryRequest::Op::kPing:
     case QueryRequest::Op::kStats:
     case QueryRequest::Op::kReload:
+    case QueryRequest::Op::kMetrics:
       break;
     case QueryRequest::Op::kTopkConfidence:
     case QueryRequest::Op::kTopkChiSquare:
@@ -702,7 +718,8 @@ std::string CanonicalKey(const QueryRequest& request) {
 bool IsCacheable(const QueryRequest& request) {
   return request.op != QueryRequest::Op::kPing &&
          request.op != QueryRequest::Op::kStats &&
-         request.op != QueryRequest::Op::kReload;
+         request.op != QueryRequest::Op::kReload &&
+         request.op != QueryRequest::Op::kMetrics;
 }
 
 std::string RenderGroupsPayload(const QueryRequest& request,
@@ -743,7 +760,8 @@ std::string RenderGroupsPayload(const QueryRequest& request,
 
 std::string RenderStatsPayload(const QueryRequest& request,
                                const RuleGroupIndex& index,
-                               std::uint64_t version) {
+                               std::uint64_t version,
+                               const ServeLiveStats* live) {
   (void)request;
   const RuleGroupSnapshot& snap = index.snapshot();
   std::string out = "{\"ok\":true,\"op\":\"stats\"";
@@ -765,7 +783,37 @@ std::string RenderStatsPayload(const QueryRequest& request,
   out += ",\"num_rows\":" + std::to_string(snap.fingerprint.num_rows);
   out += ",\"num_items\":" + std::to_string(snap.fingerprint.num_items);
   out += "}";
+  if (live != nullptr) {
+    const std::uint64_t looked_up = live->cache_hits + live->cache_misses;
+    const double hit_ratio =
+        looked_up == 0
+            ? 0.0
+            : static_cast<double>(live->cache_hits) /
+                  static_cast<double>(looked_up);
+    out += ",\"serve\":{\"requests\":" + std::to_string(live->requests);
+    out += ",\"active_connections\":" +
+           std::to_string(live->active_connections);
+    out += ",\"shard_connections\":[";
+    for (std::size_t i = 0; i < live->shard_connections.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(live->shard_connections[i]);
+    }
+    out += "],\"overloaded\":" + std::to_string(live->overloaded);
+    out += ",\"slow_queries\":" + std::to_string(live->slow_queries);
+    out += ",\"cache\":{\"hits\":" + std::to_string(live->cache_hits);
+    out += ",\"misses\":" + std::to_string(live->cache_misses);
+    out += ",\"hit_ratio\":" + obs::JsonNumber(hit_ratio);
+    out += ",\"entries\":" + std::to_string(live->cache_entries);
+    out += ",\"bytes\":" + std::to_string(live->cache_bytes);
+    out += ",\"evictions\":" + std::to_string(live->cache_evictions);
+    out += "}}";
+  }
   return out;
+}
+
+std::string RenderMetricsPayload(const std::string& exposition) {
+  return "{\"ok\":true,\"op\":\"metrics\",\"exposition\":\"" +
+         obs::JsonEscape(exposition) + "\"";
 }
 
 std::string RenderPingPayload(const QueryRequest& request) {

@@ -30,6 +30,7 @@ namespace serve {
 ///      {"op":"cover","items":[1,2,5,9]}
 ///      {"op":"filter","minsup":5,"minconf":0.9}
 ///      {"op":"reload"}
+///      {"op":"metrics"}
 ///    Optional on any request: "limit" (result cap, default 100, max
 ///    10000), "id" (opaque string echoed back), "deadline_ms"
 ///    (per-request budget). Responses: {"ok":true,...,"cached":false}
@@ -44,6 +45,12 @@ namespace serve {
 ///
 /// Both framings allow any number of pipelined requests per connection;
 /// responses are always delivered in arrival order.
+///
+/// A third, read-only surface rides on the same detector: a connection
+/// whose first bytes are "GET " is a plain-HTTP scrape. The server
+/// answers `GET /metrics` with Prometheus text exposition and closes —
+/// enough HTTP for curl and a Prometheus scraper, with no new listener
+/// required (see docs/OBSERVABILITY.md).
 
 /// A parsed, validated request (either framing).
 struct QueryRequest {
@@ -56,6 +63,7 @@ struct QueryRequest {
     kCover,
     kFilter,
     kReload,
+    kMetrics,
   };
 
   Op op = Op::kPing;
@@ -118,6 +126,7 @@ enum class FrameOp : std::uint8_t {
   kCover = 0x05,
   kFilter = 0x06,
   kReload = 0x10,
+  kMetrics = 0x11,
 };
 
 enum class FrameStatus : std::uint8_t {
@@ -133,17 +142,23 @@ enum class FrameStatus : std::uint8_t {
 /// The wire error-code string for a non-ok status ("bad_request", ...).
 const char* FrameStatusCode(FrameStatus status);
 
+/// The HTTP-scrape preamble ("GET " — method plus its space).
+inline constexpr char kHttpPreamble[4] = {'G', 'E', 'T', ' '};
+inline constexpr std::size_t kHttpPreambleSize = 4;
+
 /// Result of scanning a connection's first bytes.
 enum class ProtocolDetect {
-  kNeedMore,  // Prefix of the preamble so far; read more.
-  kJson,      // Not the preamble: line-delimited JSON.
-  kBinary,    // The full preamble: FQP1 frames follow it.
+  kNeedMore,  // Prefix of a preamble so far; read more.
+  kJson,      // Neither preamble: line-delimited JSON.
+  kBinary,    // The full FQP1 preamble: binary frames follow it.
+  kHttp,      // "GET ": a plain-HTTP metrics scrape.
 };
 
 /// Decides the framing from the first bytes of a connection. Returns
-/// kBinary only on the exact 4-byte preamble; any first byte that can
-/// no longer become the preamble selects JSON (where a non-object line
-/// is answered with bad_request, keeping the boundary total).
+/// kBinary only on the exact 4-byte FQP1 preamble and kHttp only on
+/// the exact "GET " prefix; any first bytes that can no longer become
+/// either preamble select JSON (where a non-object line is answered
+/// with bad_request, keeping the boundary total).
 ProtocolDetect DetectProtocol(std::string_view prefix);
 
 /// Result of trying to cut one frame off a buffer.
@@ -186,6 +201,9 @@ Status DecodeResponseFrame(std::string_view body, FrameStatus* status,
 // ---------------------------------------------------------------------
 // Shared request/response model.
 
+/// The wire spelling of an op ("ping", "topk_confidence", ...).
+const char* OpName(QueryRequest::Op op);
+
 /// Parses one JSON request line. InvalidArgument on anything malformed:
 /// bad JSON, unknown op or field, wrong type, out-of-range value. Never
 /// crashes on arbitrary bytes.
@@ -199,7 +217,8 @@ Status ParseRequest(const std::string& line, QueryRequest* out);
 std::string CanonicalKey(const QueryRequest& request);
 
 /// True when responses to `request` are cacheable (everything except
-/// ping/stats/reload, whose answers are trivial or time-varying).
+/// ping/stats/reload/metrics, whose answers are trivial or
+/// time-varying).
 bool IsCacheable(const QueryRequest& request);
 
 /// Renders the payload of a successful group-returning response, WITHOUT
@@ -210,11 +229,35 @@ std::string RenderGroupsPayload(const QueryRequest& request,
                                 const RuleGroupIndex& index,
                                 const std::vector<std::uint32_t>& ids);
 
+/// Live serve-side values surfaced in the "stats" op, so JSON clients
+/// see the server's health without the metrics endpoint. Filled by the
+/// server from its own counters; everything here is available whether
+/// or not a MetricsRegistry is attached.
+struct ServeLiveStats {
+  std::uint64_t requests = 0;
+  std::size_t active_connections = 0;
+  /// Connections currently owned by each shard, indexed by shard id.
+  std::vector<std::size_t> shard_connections;
+  std::uint64_t overloaded = 0;
+  std::uint64_t slow_queries = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t cache_entries = 0;
+  std::size_t cache_bytes = 0;
+  std::uint64_t cache_evictions = 0;
+};
+
 /// Payload of a "stats" response (store size, params, fingerprint, the
-/// serving snapshot version).
+/// serving snapshot version). When `live` is non-null a "serve" object
+/// with the live server-side values is included.
 std::string RenderStatsPayload(const QueryRequest& request,
                                const RuleGroupIndex& index,
-                               std::uint64_t version);
+                               std::uint64_t version,
+                               const ServeLiveStats* live = nullptr);
+
+/// Payload of a "metrics" response: the Prometheus text exposition as
+/// one JSON string field ("exposition").
+std::string RenderMetricsPayload(const std::string& exposition);
 
 /// Payload of a "ping" response.
 std::string RenderPingPayload(const QueryRequest& request);

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -14,11 +15,15 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "obs/exposition.h"
 #include "serve/snapshot.h"
 
 namespace farmer {
@@ -49,6 +54,12 @@ constexpr int kRejectIoTimeoutMs = 100;
 // Latency buckets, seconds: 10us .. 1s plus overflow.
 std::vector<double> LatencyBounds() {
   return {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0};
+}
+
+// Snapshot-swap timing buckets, seconds: reloads read a file and build
+// an index, so the interesting range sits well above request latency.
+std::vector<double> ReloadBounds() {
+  return {1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0};
 }
 
 // Thread-safe errno rendering. std::strerror may hand back a shared
@@ -117,8 +128,66 @@ const char* SpanName(QueryRequest::Op op) {
       return "serve.filter";
     case QueryRequest::Op::kReload:
       return "serve.reload";
+    case QueryRequest::Op::kMetrics:
+      return "serve.metrics";
   }
   return "serve.request";
+}
+
+// Minimal HTTP/1.0 response for the scrape surface: enough for curl
+// and a Prometheus scraper, always Connection: close.
+std::string HttpResponse(const char* status_line, const char* content_type,
+                         std::string_view body) {
+  std::string out = "HTTP/1.0 ";
+  out += status_line;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out.append(body.data(), body.size());
+  return out;
+}
+
+// Creates a bound, listening TCP socket on host:port. On success fills
+// *out_fd and *out_port (the latter resolving ephemeral binds).
+Status OpenListener(const std::string& host, int port, int* out_fd,
+                    int* out_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket(): " + ErrnoString(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string err = ErrnoString(errno);
+    ::close(fd);
+    return Status::IoError("bind(): " + err);
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const std::string err = ErrnoString(errno);
+    ::close(fd);
+    return Status::IoError("listen(): " + err);
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const std::string err = ErrnoString(errno);
+    ::close(fd);
+    return Status::IoError("getsockname(): " + err);
+  }
+  *out_fd = fd;
+  *out_port = ntohs(bound.sin_port);
+  return Status::Ok();
 }
 
 }  // namespace
@@ -140,11 +209,47 @@ Server::Server(RuleGroupIndex index, const Options& options)
     metrics_.overloaded = m->GetCounter("serve.overloaded");
     metrics_.deadline_exceeded = m->GetCounter("serve.deadline_exceeded");
     metrics_.reloads = m->GetCounter("serve.reloads");
+    metrics_.slow_queries = m->GetCounter("serve.slow_queries");
     metrics_.active_connections = m->GetGauge("serve.active_connections");
     metrics_.snapshot_version = m->GetGauge("serve.snapshot_version");
     metrics_.snapshot_version->Set(1.0);
+    metrics_.cache_entries = m->GetGauge("serve.cache_entries");
+    metrics_.cache_bytes = m->GetGauge("serve.cache_bytes");
+    metrics_.cache_evictions = m->GetGauge("serve.cache_evictions");
+    metrics_.cache_hit_ratio = m->GetGauge("serve.cache_hit_ratio");
     metrics_.latency =
         m->GetHistogram("serve.latency_seconds", LatencyBounds());
+    metrics_.reload_seconds =
+        m->GetHistogram("serve.reload_seconds", ReloadBounds());
+    static_assert(static_cast<std::size_t>(QueryRequest::Op::kMetrics) + 1 ==
+                      kOpCount,
+                  "op_latency slot count out of sync with QueryRequest::Op");
+    for (std::size_t i = 0; i < kOpCount; ++i) {
+      const auto op = static_cast<QueryRequest::Op>(i);
+      metrics_.op_latency[i] = m->GetHistogram(
+          obs::LabeledName("serve.op_latency_seconds", {{"op", OpName(op)}}),
+          LatencyBounds());
+    }
+    shard_metrics_.resize(options_.num_shards);
+    for (std::size_t i = 0; i < options_.num_shards; ++i) {
+      const std::string shard = std::to_string(i);
+      ShardMetrics& sm = shard_metrics_[i];
+      sm.connections = m->GetGauge(
+          obs::LabeledName("serve.shard_connections", {{"shard", shard}}));
+      sm.wakeups = m->GetCounter(
+          obs::LabeledName("serve.shard_wakeups", {{"shard", shard}}));
+      sm.loop_seconds = m->GetHistogram(
+          obs::LabeledName("serve.shard_loop_seconds", {{"shard", shard}}),
+          LatencyBounds());
+      sm.pending_frames = m->GetGauge(
+          obs::LabeledName("serve.shard_pending_frames", {{"shard", shard}}));
+      sm.bytes_in = m->GetCounter(
+          obs::LabeledName("serve.shard_bytes_in", {{"shard", shard}}));
+      sm.bytes_out = m->GetCounter(
+          obs::LabeledName("serve.shard_bytes_out", {{"shard", shard}}));
+      sm.write_stalls = m->GetCounter(
+          obs::LabeledName("serve.shard_write_stalls", {{"shard", shard}}));
+    }
   }
 }
 
@@ -178,10 +283,15 @@ void Server::InstallIndex(RuleGroupIndex index) {
 }
 
 Status Server::ReloadFromFile(const std::string& path) {
+  Stopwatch watch;
   StatusOr<RuleGroupSnapshot> snapshot = LoadSnapshot(path);
   if (!snapshot.ok()) return snapshot.status();
   InstallIndex(
       RuleGroupIndex(std::move(snapshot).value(), options_.num_shards));
+  // Load + index build + install: the full client-visible swap time.
+  if (metrics_.reload_seconds != nullptr) {
+    metrics_.reload_seconds->Observe(watch.ElapsedSeconds());
+  }
   return Status::Ok();
 }
 
@@ -190,46 +300,19 @@ Status Server::Start() {
     return Status::InvalidArgument("server already started");
   }
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::IoError("socket(): " + ErrnoString(errno));
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const Status listening =
+      OpenListener(options_.host, options_.port, &listen_fd_, &port_);
+  if (!listening.ok()) return listening;
 
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("bad listen address: " + options_.host);
+  if (options_.metrics_port >= 0) {
+    const Status scrape = OpenListener(options_.host, options_.metrics_port,
+                                       &metrics_listen_fd_, &metrics_port_);
+    if (!scrape.ok()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return scrape;
+    }
   }
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const std::string err = ErrnoString(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IoError("bind(): " + err);
-  }
-  if (::listen(listen_fd_, SOMAXCONN) != 0) {
-    const std::string err = ErrnoString(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IoError("listen(): " + err);
-  }
-
-  sockaddr_in bound;
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) != 0) {
-    const std::string err = ErrnoString(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IoError("getsockname(): " + err);
-  }
-  port_ = ntohs(bound.sin_port);
 
   const auto abort_start = [this](const std::string& what) {
     const std::string err = ErrnoString(errno);
@@ -240,6 +323,10 @@ Status Server::Start() {
     shards_.clear();
     ::close(listen_fd_);
     listen_fd_ = -1;
+    if (metrics_listen_fd_ >= 0) {
+      ::close(metrics_listen_fd_);
+      metrics_listen_fd_ = -1;
+    }
     return Status::IoError(what + "(): " + err);
   };
 
@@ -248,6 +335,7 @@ Status Server::Start() {
     auto shard = std::make_unique<Shard>();
     shard->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
     shard->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    shard->sm = shard_metrics_.empty() ? nullptr : &shard_metrics_[i];
     shards_.push_back(std::move(shard));
     Shard& s = *shards_.back();
     if (s.epoll_fd < 0) return abort_start("epoll_create1");
@@ -280,9 +368,14 @@ void Server::Shutdown() {
   // close happens after the accept thread is gone — which also means no
   // new fds can land in a shard inbox once the shards start exiting.
   ::shutdown(listen_fd_, SHUT_RDWR);
+  if (metrics_listen_fd_ >= 0) ::shutdown(metrics_listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
+  if (metrics_listen_fd_ >= 0) {
+    ::close(metrics_listen_fd_);
+    metrics_listen_fd_ = -1;
+  }
   for (auto& shard : shards_) WakeShard(*shard);
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
@@ -296,23 +389,68 @@ void Server::Shutdown() {
 void Server::AcceptLoop() {
   std::size_t next_shard = 0;
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
+    // The listeners stay blocking; poll() multiplexes the serve port
+    // and the optional dedicated scrape port without a second thread.
+    pollfd pfds[2];
+    nfds_t nfds = 0;
+    pfds[nfds].fd = listen_fd_;
+    pfds[nfds].events = POLLIN;
+    pfds[nfds].revents = 0;
+    ++nfds;
+    const bool scrape = metrics_listen_fd_ >= 0;
+    if (scrape) {
+      pfds[nfds].fd = metrics_listen_fd_;
+      pfds[nfds].events = POLLIN;
+      pfds[nfds].revents = 0;
+      ++nfds;
+    }
+    const int rc = ::poll(pfds, nfds, -1);
+    if (rc < 0) {
       if (errno == EINTR) continue;
-      // Listener closed or broken: stop accepting. Shutdown() handles
-      // the rest.
       break;
     }
-    SetRejectTimeout(fd);
-    if (stopping_.load(std::memory_order_acquire)) {
-      SendRejectLine(fd,
-                     RenderError("shutting_down", "server is shutting down"));
-      ::close(fd);
-      break;
+    // Shutdown() shuts the main listener down; its POLLHUP lands here
+    // and the failed accept ends the loop.
+    if ((pfds[0].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      if (!AcceptOne(listen_fd_, /*admission_exempt=*/false, &next_shard)) {
+        break;
+      }
     }
+    if (scrape && (pfds[1].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      if (!AcceptOne(metrics_listen_fd_, /*admission_exempt=*/true,
+                     &next_shard)) {
+        break;
+      }
+    }
+  }
+}
 
-    // Admission control. The slot is reserved here and released by the
-    // owning shard when the connection closes.
+bool Server::AcceptOne(int lfd, bool admission_exempt,
+                       std::size_t* next_shard) {
+  const int fd = ::accept(lfd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      return true;
+    }
+    // Listener closed or broken: stop accepting. Shutdown() handles
+    // the rest.
+    return false;
+  }
+  SetRejectTimeout(fd);
+  if (stopping_.load(std::memory_order_acquire)) {
+    SendRejectLine(fd,
+                   RenderError("shutting_down", "server is shutting down"));
+    ::close(fd);
+    return false;
+  }
+
+  // Admission control. The slot is reserved here and released by the
+  // owning shard when the connection closes. Scrape-listener
+  // connections always get a slot (telemetry must work mid-overload)
+  // but are still counted, so the gauge never lies.
+  if (admission_exempt) {
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+  } else {
     std::size_t active = active_connections_.load(std::memory_order_relaxed);
     bool admitted = false;
     while (active < options_.max_connections) {
@@ -328,29 +466,30 @@ void Server::AcceptLoop() {
       SendRejectLine(fd,
                      RenderError("overloaded", "connection limit reached"));
       ::close(fd);
-      continue;
+      return true;
     }
-    PublishActiveGauge();
-
-    if (!SetNonBlocking(fd)) {
-      ::close(fd);
-      active_connections_.fetch_sub(1, std::memory_order_relaxed);
-      PublishActiveGauge();
-      continue;
-    }
-    // Responses are coalesced into full frames before sending; Nagle
-    // would only add latency on the last partial segment.
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-    Shard& shard = *shards_[next_shard];
-    next_shard = (next_shard + 1) % shards_.size();
-    {
-      MutexLock inbox_lock(shard.inbox_mutex);
-      shard.inbox.push_back(fd);
-    }
-    WakeShard(shard);
   }
+  PublishActiveGauge();
+
+  if (!SetNonBlocking(fd)) {
+    ::close(fd);
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    PublishActiveGauge();
+    return true;
+  }
+  // Responses are coalesced into full frames before sending; Nagle
+  // would only add latency on the last partial segment.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  Shard& shard = *shards_[*next_shard];
+  *next_shard = (*next_shard + 1) % shards_.size();
+  {
+    MutexLock inbox_lock(shard.inbox_mutex);
+    shard.inbox.push_back(fd);
+  }
+  WakeShard(shard);
+  return true;
 }
 
 void Server::WakeShard(Shard& shard) {
@@ -396,8 +535,14 @@ void Server::AdoptInbox(Shard& shard) {
     conn.fd = fd;
     conn.idle = Deadline::After(options_.idle_timeout_s);
     shard.conns.emplace(fd, std::move(conn));
+    shard.owned.fetch_add(1, std::memory_order_relaxed);
   }
-  if (!fresh.empty()) PublishActiveGauge();
+  if (!fresh.empty()) {
+    PublishActiveGauge();
+    if (shard.sm != nullptr && shard.sm->connections != nullptr) {
+      shard.sm->connections->Set(static_cast<double>(shard.conns.size()));
+    }
+  }
 }
 
 void Server::ShardLoop(std::size_t shard_id) {
@@ -409,6 +554,12 @@ void Server::ShardLoop(std::size_t shard_id) {
   while (true) {
     const int n = ::epoll_wait(shard.epoll_fd, events.data(),
                                kMaxEpollEvents, kTickMs);
+    // One wake = one loop iteration; the Stopwatch below times the
+    // work between this wait and the next one (loop stall signal).
+    if (shard.sm != nullptr && shard.sm->wakeups != nullptr) {
+      shard.sm->wakeups->Increment();
+    }
+    Stopwatch loop_watch;
     // Adopt first so handed-off fds are owned (and get closed on the
     // drain path below) even when the wake races shutdown.
     AdoptInbox(shard);
@@ -435,6 +586,9 @@ void Server::ShardLoop(std::size_t shard_id) {
       if (!alive) CloseConn(shard, fd);
     }
     TickTimeouts(shard);
+    if (shard.sm != nullptr && shard.sm->loop_seconds != nullptr) {
+      shard.sm->loop_seconds->Observe(loop_watch.ElapsedSeconds());
+    }
   }
   // Graceful drain: give each connection one best-effort flush (peers
   // that are reading get their queued responses), then close.
@@ -442,9 +596,13 @@ void Server::ShardLoop(std::size_t shard_id) {
     FlushConn(shard, entry.second);
     ::close(entry.second.fd);
     active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    shard.owned.fetch_sub(1, std::memory_order_relaxed);
   }
   shard.conns.clear();
   PublishActiveGauge();
+  if (shard.sm != nullptr && shard.sm->connections != nullptr) {
+    shard.sm->connections->Set(0.0);
+  }
 }
 
 bool Server::HandleReadable(std::size_t shard_id, Shard& shard, Conn& conn) {
@@ -466,6 +624,9 @@ bool Server::HandleReadable(std::size_t shard_id, Shard& shard, Conn& conn) {
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     return false;
+  }
+  if (got > 0 && shard.sm != nullptr && shard.sm->bytes_in != nullptr) {
+    shard.sm->bytes_in->Add(got);
   }
   ProcessBuffered(shard_id, shard, conn);
   if (!FlushConn(shard, conn)) return false;
@@ -491,8 +652,22 @@ void Server::ProcessBuffered(std::size_t shard_id, Shard& shard, Conn& conn) {
         conn.mode = Conn::Mode::kBinary;
         conn.rbuf.erase(0, kBinaryPreambleSize);
         break;
+      case ProtocolDetect::kHttp:
+        conn.mode = Conn::Mode::kHttp;
+        break;
     }
   }
+  if (conn.mode == Conn::Mode::kHttp) {
+    HandleHttp(conn);
+    conn.idle = Deadline::After(options_.idle_timeout_s);
+    return;
+  }
+
+  // Request-scoped instrumentation is paid only when something will
+  // consume it: the trace (parse span) or the slow-query log (parse
+  // timing in the breakdown).
+  const bool instr =
+      options_.trace != nullptr || options_.slow_query_ms > 0;
 
   // Parse-then-execute: every complete request is cut off the buffer
   // and deadline-stamped before any of them runs, so the budget of a
@@ -519,7 +694,16 @@ void Server::ProcessBuffered(std::size_t shard_id, Shard& shard, Conn& conn) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       PendingRequest p;
-      p.parse = ParseRequest(line, &p.request);
+      if (instr) {
+        p.parse_start_ns =
+            options_.trace != nullptr ? options_.trace->NowNs() : 0;
+        Stopwatch parse_watch;
+        p.parse = ParseRequest(line, &p.request);
+        p.parse_s = parse_watch.ElapsedSeconds();
+        p.trace_id = ++conn.trace_seq;
+      } else {
+        p.parse = ParseRequest(line, &p.request);
+      }
       stamp(p);
       batch.push_back(std::move(p));
     }
@@ -554,7 +738,17 @@ void Server::ProcessBuffered(std::size_t shard_id, Shard& shard, Conn& conn) {
       }
       PendingRequest p;
       p.binary = true;
-      p.parse = ParseBinaryRequest(opcode, payload, &p.request);
+      if (instr) {
+        p.parse_start_ns =
+            options_.trace != nullptr ? options_.trace->NowNs() : 0;
+        Stopwatch parse_watch;
+        p.parse = ParseBinaryRequest(opcode, payload, &p.request);
+        p.parse_s = parse_watch.ElapsedSeconds();
+        p.trace_id = p.request.bin_id != 0 ? p.request.bin_id
+                                           : ++conn.trace_seq;
+      } else {
+        p.parse = ParseBinaryRequest(opcode, payload, &p.request);
+      }
       stamp(p);
       batch.push_back(std::move(p));
       pos += consumed;
@@ -567,6 +761,61 @@ void Server::ProcessBuffered(std::size_t shard_id, Shard& shard, Conn& conn) {
     ExecutePending(shard_id, conn, p);
   }
   conn.idle = Deadline::After(options_.idle_timeout_s);
+  if (shard.sm != nullptr && shard.sm->pending_frames != nullptr) {
+    // Responses queued behind the socket after this wake's batch — a
+    // last-writer snapshot across the shard's connections, enough to
+    // see pipelining back-pressure build.
+    shard.sm->pending_frames->Set(
+        static_cast<double>(conn.outq.size() - conn.out_head));
+  }
+}
+
+void Server::HandleHttp(Conn& conn) {
+  // Answer only once the request head is fully buffered so the
+  // response never races the peer's own send; headers are ignored.
+  std::size_t consumed = conn.rbuf.find("\r\n\r\n");
+  if (consumed != std::string::npos) {
+    consumed += 4;
+  } else {
+    consumed = conn.rbuf.find("\n\n");
+    if (consumed != std::string::npos) consumed += 2;
+  }
+  if (consumed == std::string::npos) {
+    if (conn.rbuf.size() > kMaxRequestBytes) {
+      EnqueueRaw(conn, HttpResponse("431 Request Header Fields Too Large",
+                                    "text/plain", "request too large\n"));
+      conn.want_close = true;
+      conn.rbuf.clear();
+    }
+    return;
+  }
+  const std::size_t line_end = conn.rbuf.find_first_of("\r\n");
+  const std::string line = conn.rbuf.substr(0, line_end);
+  // One response per connection, HTTP/1.0 style: drop any pipelined
+  // bytes and close after the flush.
+  conn.rbuf.clear();
+  // Request line: "GET <path> <version>". The detector guaranteed the
+  // method, so only the path matters.
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  std::string path = sp2 == std::string::npos
+                         ? line.substr(sp1 + 1)
+                         : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (path != "/metrics") {
+    EnqueueRaw(conn, HttpResponse("404 Not Found", "text/plain",
+                                  "try GET /metrics\n"));
+  } else if (options_.metrics == nullptr) {
+    EnqueueRaw(conn, HttpResponse("503 Service Unavailable", "text/plain",
+                                  "no metrics registry attached\n"));
+  } else {
+    EnqueueRaw(conn, HttpResponse("200 OK", obs::kExpositionContentType,
+                                  RenderExposition()));
+  }
+  conn.want_close = true;
 }
 
 // farmer-lint: end(event-loop)
@@ -574,6 +823,7 @@ void Server::ProcessBuffered(std::size_t shard_id, Shard& shard, Conn& conn) {
 void Server::ExecutePending(std::size_t shard_id, Conn& conn,
                             PendingRequest& p) {
   Stopwatch watch;
+  shards_[shard_id]->requests.fetch_add(1, std::memory_order_relaxed);
   if (metrics_.requests != nullptr) metrics_.requests->Increment();
 
   if (!p.parse.ok()) {
@@ -586,13 +836,46 @@ void Server::ExecutePending(std::size_t shard_id, Conn& conn,
     return;
   }
 
-  obs::ScopedSpan span(options_.trace, shard_id + 1, SpanName(p.request.op));
-  QueryOutcome out = p.request.op == QueryRequest::Op::kReload
-                         ? RunReload(p.request)
-                         : RunQuery(p.request, p.deadline, shard_id);
+  const bool slow_log = options_.slow_query_ms > 0;
+  RequestScope scope;
+  RequestScope* scope_ptr = nullptr;
+  if (options_.trace != nullptr || slow_log) {
+    scope.trace = options_.trace;
+    scope.lane = shard_id + 1;
+    scope.req_id = p.trace_id;
+    scope_ptr = &scope;
+    if (options_.trace != nullptr && p.parse_start_ns != 0) {
+      // The parse phase happened in ProcessBuffered; emit its span here
+      // with the recorded timing (same lane, same producer thread).
+      obs::TraceEvent parse_event;
+      parse_event.name = "serve.parse";
+      parse_event.phase = 'X';
+      parse_event.lane = static_cast<std::uint32_t>(shard_id + 1);
+      parse_event.ts_ns = p.parse_start_ns;
+      parse_event.dur_ns = static_cast<std::uint64_t>(p.parse_s * 1e9);
+      parse_event.arg1_name = "req_id";
+      parse_event.arg1 = static_cast<std::int64_t>(p.trace_id);
+      options_.trace->Emit(parse_event);
+    }
+  }
 
+  obs::ScopedSpan span(options_.trace, shard_id + 1, SpanName(p.request.op));
+  span.Arg("req_id", static_cast<std::int64_t>(p.trace_id));
+  QueryOutcome out =
+      p.request.op == QueryRequest::Op::kReload
+          ? RunReload(p.request)
+          : RunQuery(p.request, p.deadline, shard_id, scope_ptr);
+
+  double elapsed_s = 0.0;
+  if (metrics_.latency != nullptr || slow_log) {
+    elapsed_s = watch.ElapsedSeconds();
+  }
   if (metrics_.latency != nullptr) {
-    metrics_.latency->Observe(watch.ElapsedSeconds());
+    metrics_.latency->Observe(elapsed_s);
+    const auto opi = static_cast<std::size_t>(p.request.op);
+    if (opi < kOpCount && metrics_.op_latency[opi] != nullptr) {
+      metrics_.op_latency[opi]->Observe(elapsed_s);
+    }
   }
   if (out.error) {
     if (metrics_.responses_error != nullptr) {
@@ -602,22 +885,68 @@ void Server::ExecutePending(std::size_t shard_id, Conn& conn,
     metrics_.responses_ok->Increment();
   }
   span.Arg("cached", out.cached ? 1 : 0);
+
+  if (slow_log && elapsed_s * 1000.0 >= options_.slow_query_ms) {
+    slow_queries_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_.slow_queries != nullptr) metrics_.slow_queries->Increment();
+    Shard& shard = *shards_[shard_id];
+    const std::size_t every =
+        options_.slow_query_every == 0 ? 1 : options_.slow_query_every;
+    if (shard.slow_seen++ % every == 0) {
+      EmitSlowQuery(shard_id, p, scope, out, elapsed_s * 1000.0);
+    }
+  }
   Enqueue(conn, out.status, p.request.bin_id, std::move(out.json));
 }
 
 Server::QueryOutcome Server::RunQuery(const QueryRequest& request,
                                       const Deadline& deadline,
-                                      std::size_t shard_id) {
+                                      std::size_t shard_id,
+                                      RequestScope* scope) {
   (void)shard_id;
+  // Phase timing, active only when `scope` is non-null: one elapsed
+  // time into the scope (for the slow-query breakdown) and one span
+  // per phase when a trace session is attached. The disabled path
+  // takes zero clock reads.
+  struct PhaseTimer {
+    RequestScope* scope;
+    const char* name;
+    double RequestScope::*field;
+    std::chrono::steady_clock::time_point start;
+    std::uint64_t start_ns = 0;
+
+    PhaseTimer(RequestScope* s, const char* n, double RequestScope::*f)
+        : scope(s), name(n), field(f) {
+      if (scope == nullptr) return;
+      start = std::chrono::steady_clock::now();
+      if (scope->trace != nullptr) start_ns = scope->trace->NowNs();
+    }
+    PhaseTimer(const PhaseTimer&) = delete;
+    PhaseTimer& operator=(const PhaseTimer&) = delete;
+    ~PhaseTimer() {
+      if (scope == nullptr) return;
+      scope->*field += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      if (scope->trace != nullptr) {
+        scope->trace->EndSpan(scope->lane, name, start_ns, "req_id",
+                              static_cast<std::int64_t>(scope->req_id));
+      }
+    }
+  };
+
   QueryOutcome out;
   // One acquire per request: everything below sees a single coherent
   // (index, version) pair, no matter how many swaps land meanwhile.
   const std::shared_ptr<const VersionedIndex> vi = Current();
   const RuleGroupIndex& index = vi->index;
+  out.version = vi->version;
 
   const bool cacheable = IsCacheable(request);
   std::string key;
   if (cacheable) {
+    PhaseTimer cache_phase(scope, "serve.cache_lookup",
+                           &RequestScope::cache_s);
     key = CanonicalKey(request);
     std::string payload;
     if (cache_.Get(vi->version, key, &payload)) {
@@ -641,37 +970,54 @@ Server::QueryOutcome Server::RunQuery(const QueryRequest& request,
   }
 
   std::vector<std::uint32_t> ids;
-  switch (request.op) {
-    case QueryRequest::Op::kPing:
-      out.json =
-          FinishResponse(RenderPingPayload(request), /*cached=*/false,
-                         request.id);
-      return out;
-    case QueryRequest::Op::kStats:
-      out.json = FinishResponse(RenderStatsPayload(request, index,
-                                                   vi->version),
-                                /*cached=*/false, request.id);
-      return out;
-    case QueryRequest::Op::kReload:
-      return RunReload(request);  // Dispatched earlier; kept total.
-    case QueryRequest::Op::kTopkConfidence:
-      ids = index.TopKByConfidence(request.k);
-      break;
-    case QueryRequest::Op::kTopkChiSquare:
-      ids = index.TopKByChiSquare(request.k);
-      break;
-    case QueryRequest::Op::kContains:
-      ids = index.AntecedentContains(request.items, request.limit);
-      break;
-    case QueryRequest::Op::kCover:
-      ids = index.RowCover(request.items, request.limit);
-      break;
-    case QueryRequest::Op::kFilter:
-      ids = index.Filter(request.min_support, request.min_confidence,
-                         request.limit);
-      break;
+  {
+    PhaseTimer index_phase(scope, "serve.index", &RequestScope::index_s);
+    switch (request.op) {
+      case QueryRequest::Op::kPing:
+        out.json =
+            FinishResponse(RenderPingPayload(request), /*cached=*/false,
+                           request.id);
+        return out;
+      case QueryRequest::Op::kStats: {
+        const ServeLiveStats live = GatherLiveStats();
+        out.json = FinishResponse(RenderStatsPayload(request, index,
+                                                     vi->version, &live),
+                                  /*cached=*/false, request.id);
+        return out;
+      }
+      case QueryRequest::Op::kMetrics:
+        if (options_.metrics == nullptr) {
+          out.error = true;
+          out.status = FrameStatus::kBadRequest;
+          out.json = RenderError(
+              "bad_request", "metrics unavailable: no registry attached",
+              request.id);
+          return out;
+        }
+        out.json = FinishResponse(RenderMetricsPayload(RenderExposition()),
+                                  /*cached=*/false, request.id);
+        return out;
+      case QueryRequest::Op::kReload:
+        return RunReload(request);  // Dispatched earlier; kept total.
+      case QueryRequest::Op::kTopkConfidence:
+        ids = index.TopKByConfidence(request.k);
+        break;
+      case QueryRequest::Op::kTopkChiSquare:
+        ids = index.TopKByChiSquare(request.k);
+        break;
+      case QueryRequest::Op::kContains:
+        ids = index.AntecedentContains(request.items, request.limit);
+        break;
+      case QueryRequest::Op::kCover:
+        ids = index.RowCover(request.items, request.limit);
+        break;
+      case QueryRequest::Op::kFilter:
+        ids = index.Filter(request.min_support, request.min_confidence,
+                           request.limit);
+        break;
+    }
+    if (ids.size() > request.limit) ids.resize(request.limit);
   }
-  if (ids.size() > request.limit) ids.resize(request.limit);
 
   if (deadline.ExpiredNow()) {
     if (metrics_.deadline_exceeded != nullptr) {
@@ -684,9 +1030,12 @@ Server::QueryOutcome Server::RunQuery(const QueryRequest& request,
     return out;
   }
 
-  std::string payload = RenderGroupsPayload(request, index, ids);
-  if (cacheable) cache_.Put(vi->version, key, payload);
-  out.json = FinishResponse(payload, /*cached=*/false, request.id);
+  {
+    PhaseTimer encode_phase(scope, "serve.encode", &RequestScope::encode_s);
+    std::string payload = RenderGroupsPayload(request, index, ids);
+    if (cacheable) cache_.Put(vi->version, key, payload);
+    out.json = FinishResponse(payload, /*cached=*/false, request.id);
+  }
   return out;
 }
 
@@ -708,10 +1057,93 @@ Server::QueryOutcome Server::RunReload(const QueryRequest& request) {
     return out;
   }
   const std::shared_ptr<const VersionedIndex> vi = Current();
+  out.version = vi->version;
   out.json = FinishResponse(RenderReloadPayload(vi->version,
                                                 vi->index.size()),
                             /*cached=*/false, request.id);
   return out;
+}
+
+std::string Server::RenderExposition() {
+  if (options_.metrics == nullptr) return std::string();
+  // The cache gauges are pull-model: refreshed from the ResponseCache's
+  // own counters at scrape time rather than updated on every hit.
+  const std::uint64_t hits = cache_.hits();
+  const std::uint64_t misses = cache_.misses();
+  if (metrics_.cache_entries != nullptr) {
+    metrics_.cache_entries->Set(static_cast<double>(cache_.size()));
+  }
+  if (metrics_.cache_bytes != nullptr) {
+    metrics_.cache_bytes->Set(static_cast<double>(cache_.bytes()));
+  }
+  if (metrics_.cache_evictions != nullptr) {
+    metrics_.cache_evictions->Set(static_cast<double>(cache_.evictions()));
+  }
+  if (metrics_.cache_hit_ratio != nullptr) {
+    const std::uint64_t lookups = hits + misses;
+    metrics_.cache_hit_ratio->Set(
+        lookups == 0 ? 0.0
+                     : static_cast<double>(hits) /
+                           static_cast<double>(lookups));
+  }
+  return obs::RenderPrometheus(options_.metrics->Snapshot());
+}
+
+ServeLiveStats Server::GatherLiveStats() const {
+  ServeLiveStats live;
+  live.active_connections =
+      active_connections_.load(std::memory_order_relaxed);
+  live.overloaded = overloaded_.load(std::memory_order_relaxed);
+  live.slow_queries = slow_queries_.load(std::memory_order_relaxed);
+  live.shard_connections.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    live.requests += shard->requests.load(std::memory_order_relaxed);
+    live.shard_connections.push_back(
+        shard->owned.load(std::memory_order_relaxed));
+  }
+  live.cache_hits = cache_.hits();
+  live.cache_misses = cache_.misses();
+  live.cache_entries = cache_.size();
+  live.cache_bytes = cache_.bytes();
+  live.cache_evictions = cache_.evictions();
+  return live;
+}
+
+void Server::EmitSlowQuery(std::size_t shard_id, const PendingRequest& p,
+                           const RequestScope& scope, const QueryOutcome& out,
+                           double total_ms) {
+  std::string line = "{\"ts\":";
+  line += std::to_string(static_cast<long long>(std::time(nullptr)));
+  line += ",\"shard\":";
+  line += std::to_string(shard_id);
+  line += ",\"req_id\":";
+  line += std::to_string(scope.req_id);
+  line += ",\"op\":\"";
+  line += OpName(p.request.op);
+  line += "\",\"query\":\"";
+  line += obs::JsonEscape(CanonicalKey(p.request));
+  line += "\",\"latency_ms\":";
+  line += obs::JsonNumber(total_ms);
+  line += ",\"parse_ms\":";
+  line += obs::JsonNumber(p.parse_s * 1e3);
+  line += ",\"cache_ms\":";
+  line += obs::JsonNumber(scope.cache_s * 1e3);
+  line += ",\"index_ms\":";
+  line += obs::JsonNumber(scope.index_s * 1e3);
+  line += ",\"encode_ms\":";
+  line += obs::JsonNumber(scope.encode_s * 1e3);
+  line += ",\"snapshot_version\":";
+  line += std::to_string(out.version);
+  line += ",\"cached\":";
+  line += out.cached ? "true" : "false";
+  line += ",\"status\":\"";
+  line += out.error ? FrameStatusCode(out.status) : "ok";
+  line += "\"}";
+  if (options_.slow_query_log) {
+    options_.slow_query_log(line);
+  } else {
+    std::fprintf(stderr, "farmer_serve slow-query %s\n", line.c_str());
+  }
 }
 
 void Server::Enqueue(Conn& conn, FrameStatus status, std::uint64_t bin_id,
@@ -719,12 +1151,24 @@ void Server::Enqueue(Conn& conn, FrameStatus status, std::uint64_t bin_id,
   const bool was_idle = !HasPending(conn);
   if (conn.mode == Conn::Mode::kBinary) {
     conn.outq.push_back(EncodeResponseFrame(status, bin_id, json));
+  } else if (conn.mode == Conn::Mode::kHttp) {
+    // Server-initiated errors on a scrape connection (idle timeout)
+    // still have to be HTTP for the peer to parse them.
+    json.push_back('\n');
+    conn.outq.push_back(
+        HttpResponse("408 Request Timeout", "application/json", json));
   } else {
     // kDetect (no protocol spoken yet, e.g. an idle timeout before the
     // first byte) answers in JSON, like the old line-only server.
     json.push_back('\n');
     conn.outq.push_back(std::move(json));
   }
+  if (was_idle) conn.stall.Restart();
+}
+
+void Server::EnqueueRaw(Conn& conn, std::string bytes) {
+  const bool was_idle = !HasPending(conn);
+  conn.outq.push_back(std::move(bytes));
   if (was_idle) conn.stall.Restart();
 }
 
@@ -751,6 +1195,9 @@ bool Server::FlushConn(Shard& shard, Conn& conn) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       return false;
+    }
+    if (shard.sm != nullptr && shard.sm->bytes_out != nullptr) {
+      shard.sm->bytes_out->Add(static_cast<std::uint64_t>(n));
     }
     conn.stall.Restart();
     std::size_t left = static_cast<std::size_t>(n);
@@ -781,6 +1228,12 @@ bool Server::FlushConn(Shard& shard, Conn& conn) {
                     conn.outq.begin() +
                         static_cast<std::ptrdiff_t>(conn.out_head));
     conn.out_head = 0;
+  }
+  // Count stall transitions (not every full-socket retry): the moment
+  // a connection first blocks on the peer's receive window.
+  if (!conn.out_armed && shard.sm != nullptr &&
+      shard.sm->write_stalls != nullptr) {
+    shard.sm->write_stalls->Increment();
   }
   SetWriteInterest(shard, conn, true);
   return true;
@@ -818,8 +1271,12 @@ void Server::CloseConn(Shard& shard, int fd) {
   ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   shard.conns.erase(it);
+  shard.owned.fetch_sub(1, std::memory_order_relaxed);
   active_connections_.fetch_sub(1, std::memory_order_relaxed);
   PublishActiveGauge();
+  if (shard.sm != nullptr && shard.sm->connections != nullptr) {
+    shard.sm->connections->Set(static_cast<double>(shard.conns.size()));
+  }
 }
 
 void Server::SetWriteInterest(Shard& shard, Conn& conn, bool want) {

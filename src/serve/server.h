@@ -1,9 +1,11 @@
 #ifndef FARMER_SERVE_SERVER_H_
 #define FARMER_SERVE_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -60,9 +62,24 @@ namespace serve {
 /// Observability: when Options::metrics is set the server publishes
 /// serve.* counters (requests, responses by kind, cache hits/misses,
 /// overloaded rejections, reloads), gauges (active connections,
-/// snapshot version), and a latency histogram; when Options::trace is
-/// set each request emits one span on its shard's lane (build the
-/// session with num_shards + 1 lanes).
+/// snapshot version, cache occupancy), per-op latency histograms
+/// (labeled serve.op_latency_seconds{op=...}), per-shard event-loop
+/// series (serve.shard_*{shard=...}), and a snapshot-swap timing
+/// histogram. The registry is scrapeable live: the `metrics` op (both
+/// framings) and a plain-HTTP `GET /metrics` (on the serve port, or on
+/// the optional Options::metrics_port listener) render Prometheus text
+/// exposition from any shard without stopping the world.
+///
+/// When Options::trace is set each request emits one op span plus
+/// parse/cache-lookup/index/encode phase spans on its shard's lane,
+/// keyed by req_id (build the session with num_shards + 1 lanes). When
+/// Options::slow_query_ms > 0, requests slower than the threshold are
+/// sampled into a structured JSON-lines slow-query log.
+///
+/// All telemetry is null-pointer-guarded: with metrics/trace unset and
+/// slow_query_ms == 0 the hot path takes no clock reads, emits no
+/// events, and responses are byte-identical to the uninstrumented
+/// server.
 class Server {
  public:
   struct Options {
@@ -92,6 +109,23 @@ class Server {
     /// op (it answers bad_request); ReloadFromFile() still works with
     /// an explicit path.
     std::string snapshot_path;
+    /// Optional dedicated plain-HTTP metrics listener. Negative
+    /// disables it; 0 binds an ephemeral port (read back via
+    /// metrics_port()). Connections here bypass admission control so a
+    /// scrape always succeeds, even mid-storm. The serve port answers
+    /// `GET /metrics` too — this listener just isolates scrapes from
+    /// the query admission budget.
+    int metrics_port = -1;
+    /// Requests slower than this (milliseconds, parse excluded) are
+    /// logged as structured JSON lines through slow_query_log (or
+    /// stderr when the sink is unset). Non-positive disables the log
+    /// and its timing entirely.
+    double slow_query_ms = 0.0;
+    /// Sampling: log every Nth slow query per shard (1 = all).
+    std::size_t slow_query_every = 1;
+    /// Slow-query sink; called on shard threads, one complete JSON
+    /// line per call (no trailing newline). Must be thread-safe.
+    std::function<void(const std::string&)> slow_query_log;
     obs::MetricsRegistry* metrics = nullptr;
     obs::TraceSession* trace = nullptr;
   };
@@ -109,6 +143,10 @@ class Server {
 
   /// The bound TCP port (valid after Start(); resolves port 0 binds).
   int port() const { return port_; }
+
+  /// The bound metrics-listener port (valid after Start(); -1 when
+  /// Options::metrics_port was negative).
+  int metrics_port() const { return metrics_port_; }
 
   /// Graceful shutdown: stop accepting, finish parsed requests, flush,
   /// close connections, join the threads. Idempotent.
@@ -143,6 +181,9 @@ class Server {
     std::uint64_t version;
   };
 
+  /// One slot per QueryRequest::Op value.
+  static constexpr std::size_t kOpCount = 9;
+
   struct Metrics {
     obs::Counter* requests = nullptr;
     obs::Counter* responses_ok = nullptr;
@@ -152,9 +193,33 @@ class Server {
     obs::Counter* overloaded = nullptr;
     obs::Counter* deadline_exceeded = nullptr;
     obs::Counter* reloads = nullptr;
+    obs::Counter* slow_queries = nullptr;
     obs::Gauge* active_connections = nullptr;
     obs::Gauge* snapshot_version = nullptr;
+    /// Refreshed at scrape time (metrics op / GET /metrics) from the
+    /// ResponseCache's own counters.
+    obs::Gauge* cache_entries = nullptr;
+    obs::Gauge* cache_bytes = nullptr;
+    obs::Gauge* cache_evictions = nullptr;
+    obs::Gauge* cache_hit_ratio = nullptr;
     obs::Histogram* latency = nullptr;
+    /// serve.op_latency_seconds{op=...}, indexed by Op.
+    std::array<obs::Histogram*, kOpCount> op_latency{};
+    /// Snapshot-swap timing (load + index build + install).
+    obs::Histogram* reload_seconds = nullptr;
+  };
+
+  /// Per-shard event-loop series (serve.shard_*{shard=...}); the
+  /// pointer array lives in shard_metrics_, resolved once in the
+  /// constructor, so shard threads update them lock-free.
+  struct ShardMetrics {
+    obs::Gauge* connections = nullptr;
+    obs::Counter* wakeups = nullptr;
+    obs::Histogram* loop_seconds = nullptr;
+    obs::Gauge* pending_frames = nullptr;
+    obs::Counter* bytes_in = nullptr;
+    obs::Counter* bytes_out = nullptr;
+    obs::Counter* write_stalls = nullptr;
   };
 
   /// One parsed (or failed-to-parse) request, deadline anchored at
@@ -165,15 +230,25 @@ class Server {
     QueryRequest request;
     Deadline deadline;
     bool binary = false;
+    /// Request-scoped instrumentation, recorded at parse time only
+    /// when tracing or the slow-query log is enabled: the trace id
+    /// (bin_id, or a per-connection sequence for JSON requests) and
+    /// the parse phase timing for the "serve.parse" span.
+    std::uint64_t trace_id = 0;
+    std::uint64_t parse_start_ns = 0;
+    double parse_s = 0.0;
   };
 
   /// Per-connection state, owned by exactly one shard.
   struct Conn {
-    enum class Mode { kDetect, kJson, kBinary };
+    enum class Mode { kDetect, kJson, kBinary, kHttp };
 
     int fd = -1;
     Mode mode = Mode::kDetect;
     std::string rbuf;
+    /// Monotonic per-connection request counter; stands in for a
+    /// req_id on JSON requests when tracing is on.
+    std::uint64_t trace_seq = 0;
     /// Outgoing responses awaiting the socket: outq[out_head..] are
     /// unsent; out_off bytes of outq[out_head] are already gone.
     std::vector<std::string> outq;
@@ -200,6 +275,28 @@ class Server {
     /// may touch them.
     ThreadChecker checker;
     std::unordered_map<int, Conn> conns;
+    /// Written only by the owning shard (relaxed), read by any shard
+    /// rendering the "stats" op — hence atomic, unlike conns.
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::size_t> owned{0};
+    /// Shard-confined slow-query sampling counter.
+    std::uint64_t slow_seen = 0;
+    /// This shard's entry in shard_metrics_ (null when no registry).
+    const ShardMetrics* sm = nullptr;
+  };
+
+  /// Per-request instrumentation context: trace lane + id and the
+  /// phase timings the slow-query log reports. Allocated on the stack
+  /// by ExecutePending only when tracing or the slow-query log is on;
+  /// RunQuery takes it as a nullable pointer so the disabled path
+  /// costs nothing.
+  struct RequestScope {
+    obs::TraceSession* trace = nullptr;
+    std::size_t lane = 0;
+    std::uint64_t req_id = 0;
+    double cache_s = 0.0;
+    double index_s = 0.0;
+    double encode_s = 0.0;
   };
 
   /// The outcome of one executed request: the complete JSON response
@@ -208,12 +305,19 @@ class Server {
     bool error = false;
     bool cached = false;
     FrameStatus status = FrameStatus::kOk;
+    /// Snapshot version the request ran against (slow-query log).
+    std::uint64_t version = 0;
     std::string json;
   };
 
   std::shared_ptr<const VersionedIndex> Current() const;
 
   void AcceptLoop();
+  /// Accepts one connection from `lfd` (poll said it is ready).
+  /// Metrics-listener connections bypass the admission bound so a
+  /// scrape succeeds even when query clients hold every slot. False =
+  /// the listener is dead; AcceptLoop exits.
+  bool AcceptOne(int lfd, bool admission_exempt, std::size_t* next_shard);
   void ShardLoop(std::size_t shard_id);
   /// Registers fds the acceptor queued on this shard.
   void AdoptInbox(Shard& shard);
@@ -223,16 +327,32 @@ class Server {
   /// Parses every complete request in conn.rbuf (stamping deadlines),
   /// then executes them in arrival order, queueing responses.
   void ProcessBuffered(std::size_t shard_id, Shard& shard, Conn& conn);
+  /// Answers a plain-HTTP scrape connection once its request headers
+  /// are fully buffered (GET /metrics -> exposition; anything else ->
+  /// a small error response), then closes.
+  void HandleHttp(Conn& conn);
   /// Executes one parsed request and queues its response.
   void ExecutePending(std::size_t shard_id, Conn& conn, PendingRequest& p);
-  /// Cache lookup + query engine for one valid request.
+  /// Cache lookup + query engine for one valid request. `scope` is
+  /// null unless tracing or the slow-query log wants phase timings.
   QueryOutcome RunQuery(const QueryRequest& request, const Deadline& deadline,
-                        std::size_t shard_id);
+                        std::size_t shard_id, RequestScope* scope);
   /// The reload admin op (and SIGHUP): re-reads options_.snapshot_path.
   QueryOutcome RunReload(const QueryRequest& request);
+  /// Refreshes the scrape-time cache gauges and renders the registry
+  /// as Prometheus text ("" when no registry is attached).
+  std::string RenderExposition();
+  /// Collects the live serve-side values the "stats" op reports.
+  ServeLiveStats GatherLiveStats() const;
+  /// Renders and emits one slow-query log line.
+  void EmitSlowQuery(std::size_t shard_id, const PendingRequest& p,
+                     const RequestScope& scope, const QueryOutcome& out,
+                     double total_ms);
   /// Queues response bytes (framed per conn.mode) on the connection.
   void Enqueue(Conn& conn, FrameStatus status, std::uint64_t bin_id,
                std::string json);
+  /// Queues pre-framed bytes (HTTP responses) on the connection.
+  void EnqueueRaw(Conn& conn, std::string bytes);
   /// Writes as much of the out-queue as the socket accepts (vectored).
   /// Arms/disarms EPOLLOUT to match. False = close the connection.
   bool FlushConn(Shard& shard, Conn& conn);
@@ -250,6 +370,8 @@ class Server {
   Options options_;
   ResponseCache cache_;
   Metrics metrics_;
+  /// Indexed by shard id; empty when no registry is attached.
+  std::vector<ShardMetrics> shard_metrics_;
 
   /// RCU publication point. Readers load once per request; writers
   /// (serialized by swap_mutex_) build the next VersionedIndex off to
@@ -262,10 +384,14 @@ class Server {
   Mutex shutdown_mutex_;
   int listen_fd_ = -1;
   int port_ = 0;
+  /// Optional dedicated scrape listener (see Options::metrics_port).
+  int metrics_listen_fd_ = -1;
+  int metrics_port_ = -1;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> active_connections_{0};
   std::atomic<std::uint64_t> overloaded_{0};
+  std::atomic<std::uint64_t> slow_queries_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::thread accept_thread_;
 };

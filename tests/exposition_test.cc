@@ -1,0 +1,178 @@
+// Prometheus text exposition (src/obs/exposition.h): name/label
+// sanitization, label-value escaping, the LabeledName/SplitLabeledName
+// round trip, family grouping, histogram bucket cumulation, and the
+// +Inf == _count invariant under snapshots that race observers.
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
+namespace farmer {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::size_t CountOf(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(ExpositionTest, SanitizeMetricName) {
+  EXPECT_EQ(obs::SanitizeMetricName("serve.requests"), "serve_requests");
+  EXPECT_EQ(obs::SanitizeMetricName("a:b_c9"), "a:b_c9");
+  EXPECT_EQ(obs::SanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(obs::SanitizeMetricName("sp ace/slash"), "sp_ace_slash");
+  EXPECT_EQ(obs::SanitizeMetricName(""), "_");
+}
+
+TEST(ExpositionTest, SanitizeLabelNameRejectsColon) {
+  EXPECT_EQ(obs::SanitizeLabelName("shard"), "shard");
+  EXPECT_EQ(obs::SanitizeLabelName("a:b"), "a_b");
+  EXPECT_EQ(obs::SanitizeLabelName("0op"), "_0op");
+}
+
+TEST(ExpositionTest, EscapeLabelValue) {
+  EXPECT_EQ(obs::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::EscapeLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(ExpositionTest, LabeledNameSplitsBack) {
+  const std::string name =
+      obs::LabeledName("serve.bytes_in", {{"shard", "0"}, {"op", "top\"k"}});
+  EXPECT_EQ(name, "serve.bytes_in{shard=\"0\",op=\"top\\\"k\"}");
+  std::string base;
+  std::string labels;
+  obs::SplitLabeledName(name, &base, &labels);
+  EXPECT_EQ(base, "serve.bytes_in");
+  EXPECT_EQ(labels, "shard=\"0\",op=\"top\\\"k\"");
+
+  obs::SplitLabeledName("plain.name", &base, &labels);
+  EXPECT_EQ(base, "plain.name");
+  EXPECT_TRUE(labels.empty());
+}
+
+TEST(ExpositionTest, RendersCountersGaugesWithHelpAndType) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("serve.requests")->Add(7);
+  registry.GetGauge("serve.active_connections")->Set(3.0);
+  const std::string text = obs::RenderPrometheus(registry.Snapshot());
+
+  EXPECT_TRUE(Contains(text, "# HELP serve_requests serve.requests\n"));
+  EXPECT_TRUE(Contains(text, "# TYPE serve_requests counter\n"));
+  EXPECT_TRUE(Contains(text, "serve_requests 7\n"));
+  EXPECT_TRUE(Contains(text, "# TYPE serve_active_connections gauge\n"));
+  EXPECT_TRUE(Contains(text, "serve_active_connections 3\n"));
+  EXPECT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ExpositionTest, GroupsLabeledSeriesUnderOneFamily) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter(obs::LabeledName("serve.bytes_in", {{"shard", "0"}}))
+      ->Add(10);
+  registry.GetCounter(obs::LabeledName("serve.bytes_in", {{"shard", "1"}}))
+      ->Add(20);
+  const std::string text = obs::RenderPrometheus(registry.Snapshot());
+
+  // One HELP/TYPE pair, two samples, consecutive.
+  EXPECT_EQ(CountOf(text, "# TYPE serve_bytes_in counter\n"), 1u);
+  EXPECT_TRUE(Contains(text, "serve_bytes_in{shard=\"0\"} 10\n"));
+  EXPECT_TRUE(Contains(text, "serve_bytes_in{shard=\"1\"} 20\n"));
+}
+
+TEST(ExpositionTest, HistogramBucketsAreCumulative) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h =
+      registry.GetHistogram("serve.latency_seconds", {0.01, 0.1, 1.0});
+  h->Observe(0.005);  // le 0.01
+  h->Observe(0.005);  // le 0.01
+  h->Observe(0.5);    // le 1.0
+  h->Observe(99.0);   // overflow
+  const std::string text = obs::RenderPrometheus(registry.Snapshot());
+
+  EXPECT_TRUE(Contains(text, "# TYPE serve_latency_seconds histogram\n"));
+  EXPECT_TRUE(
+      Contains(text, "serve_latency_seconds_bucket{le=\"0.01\"} 2\n"));
+  EXPECT_TRUE(
+      Contains(text, "serve_latency_seconds_bucket{le=\"0.1\"} 2\n"));
+  EXPECT_TRUE(Contains(text, "serve_latency_seconds_bucket{le=\"1\"} 3\n"));
+  EXPECT_TRUE(
+      Contains(text, "serve_latency_seconds_bucket{le=\"+Inf\"} 4\n"));
+  EXPECT_TRUE(Contains(text, "serve_latency_seconds_count 4\n"));
+  EXPECT_TRUE(Contains(text, "serve_latency_seconds_sum "));
+}
+
+TEST(ExpositionTest, LabeledHistogramKeepsLabelsOnEverySample) {
+  obs::MetricsRegistry registry;
+  registry
+      .GetHistogram(
+          obs::LabeledName("serve.op_latency_seconds", {{"op", "topk"}}),
+          {0.5})
+      ->Observe(0.1);
+  const std::string text = obs::RenderPrometheus(registry.Snapshot());
+  EXPECT_TRUE(Contains(
+      text, "serve_op_latency_seconds_bucket{op=\"topk\",le=\"0.5\"} 1\n"));
+  EXPECT_TRUE(Contains(
+      text, "serve_op_latency_seconds_bucket{op=\"topk\",le=\"+Inf\"} 1\n"));
+  EXPECT_TRUE(Contains(text, "serve_op_latency_seconds_sum{op=\"topk\"} "));
+  EXPECT_TRUE(
+      Contains(text, "serve_op_latency_seconds_count{op=\"topk\"} 1\n"));
+}
+
+TEST(ExpositionTest, CountMatchesInfBucketWhenCountFieldLags) {
+  // Simulate a snapshot cut between a racing Observe()'s bucket add
+  // and its count add: the renderer must derive +Inf and _count from
+  // the buckets so the pair stays equal.
+  obs::MetricsSnapshot snap;
+  obs::MetricsSnapshot::HistogramValue h;
+  h.name = "lagged";
+  h.bounds = {1.0};
+  h.buckets = {3, 1};  // 4 observations landed in buckets...
+  h.count = 3;         // ...but count was read before the 4th add.
+  h.sum = 2.5;
+  snap.histograms.push_back(h);
+  const std::string text = obs::RenderPrometheus(snap);
+  EXPECT_TRUE(Contains(text, "lagged_bucket{le=\"+Inf\"} 4\n"));
+  EXPECT_TRUE(Contains(text, "lagged_count 4\n"));
+}
+
+TEST(ExpositionTest, NonFiniteGaugeAndSumRenderSpelledOut) {
+  obs::MetricsSnapshot snap;
+  obs::MetricsSnapshot::GaugeValue inf_gauge;
+  inf_gauge.name = "g.inf";
+  inf_gauge.value = std::numeric_limits<double>::infinity();
+  snap.gauges.push_back(inf_gauge);
+  obs::MetricsSnapshot::GaugeValue nan_gauge;
+  nan_gauge.name = "g.nan";
+  nan_gauge.value = std::numeric_limits<double>::quiet_NaN();
+  snap.gauges.push_back(nan_gauge);
+  const std::string text = obs::RenderPrometheus(snap);
+  EXPECT_TRUE(Contains(text, "g_inf +Inf\n"));
+  EXPECT_TRUE(Contains(text, "g_nan NaN\n"));
+}
+
+TEST(ExpositionTest, CrossKindNameCollisionSkippedNotDuplicated) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("clash.name")->Add(1);
+  registry.GetGauge("clash_name")->Set(2.0);  // Sanitizes identically.
+  const std::string text = obs::RenderPrometheus(registry.Snapshot());
+  EXPECT_EQ(CountOf(text, "# TYPE clash_name "), 1u);
+  EXPECT_TRUE(Contains(text, "skipped family 'clash_name'"));
+}
+
+}  // namespace
+}  // namespace farmer

@@ -6,7 +6,9 @@
 
 #include <atomic>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
@@ -297,6 +299,70 @@ TEST(MetricsTest, HistogramBucketsPartitionByUpperEdge) {
   EXPECT_EQ(hist.bucket_count(1), 1u);
   EXPECT_EQ(hist.bucket_count(2), 1u);
   EXPECT_EQ(hist.count(), 4u);
+}
+
+TEST(MetricsTest, HistogramDropsNaNObservations) {
+  obs::Histogram hist({1.0});
+  hist.Observe(0.5);
+  hist.Observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+  EXPECT_EQ(hist.bucket_count(1), 0u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.5);
+}
+
+TEST(MetricsTest, HistogramPlacesInfinitiesAndNegatives) {
+  obs::Histogram hist({0.0, 1.0});
+  hist.Observe(-std::numeric_limits<double>::infinity());  // First bucket.
+  hist.Observe(-5.0);                                      // First bucket.
+  hist.Observe(std::numeric_limits<double>::infinity());   // Overflow.
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 0u);
+  EXPECT_EQ(hist.bucket_count(2), 1u);
+  EXPECT_EQ(hist.count(), 3u);
+  // -inf + +inf would be NaN; the sum only has to stay a double. All
+  // three observations must be counted regardless of what it holds.
+  EXPECT_TRUE(std::isinf(hist.sum()) || std::isnan(hist.sum()));
+}
+
+TEST(MetricsTest, HistogramSnapshotConsistentUnderConcurrentObserve) {
+  // Snapshots cut while observers run must stay internally sane:
+  // bucket sums never exceed the number of observations started, and
+  // once the writers join, everything is exact.
+  obs::MetricsRegistry registry;
+  obs::Histogram* hist = registry.GetHistogram("race.hist", {0.5});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        hist->Observe(i % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  for (int round = 0; round < 50; ++round) {
+    obs::MetricsSnapshot snap = registry.Snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    const auto& h = snap.histograms[0];
+    ASSERT_EQ(h.buckets.size(), 2u);
+    std::uint64_t in_buckets = h.buckets[0] + h.buckets[1];
+    EXPECT_LE(in_buckets, total);
+    EXPECT_LE(h.count, total);
+  }
+  for (std::thread& t : writers) t.join();
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  const auto& h = snap.histograms[0];
+  EXPECT_EQ(h.count, total);
+  EXPECT_EQ(h.buckets[0] + h.buckets[1], total);
+  EXPECT_EQ(h.buckets[0], total / 2);
+  EXPECT_DOUBLE_EQ(h.sum, total / 2 * 0.25 + total / 2 * 0.75);
 }
 
 TEST(MetricsTest, JsonExportIsValidAndComplete) {

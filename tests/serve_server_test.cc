@@ -8,6 +8,8 @@
 #include <atomic>
 #include <cstring>
 #include <fstream>
+#include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -120,6 +122,17 @@ class TestClient {
     std::string response;
     if (!Recv(&response)) return "<recv failed>";
     return response;
+  }
+
+  // Everything until the peer closes — for HTTP responses.
+  std::string RecvAll() {
+    for (;;) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    return buffer_;
   }
 
  private:
@@ -720,6 +733,279 @@ TEST(ServerTest, OverlongRequestLineIsRejected) {
   std::string line;
   ASSERT_TRUE(client.Recv(&line));
   EXPECT_NE(line.find("\"error\":\"bad_request\""), std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServerTest, MetricsOpRendersExpositionOverBothFramings) {
+  obs::MetricsRegistry metrics;
+  Server::Options options;
+  options.num_shards = 1;
+  options.metrics = &metrics;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient json_client(server.port());
+  ASSERT_TRUE(json_client.connected());
+  // Prime a query so per-op series exist before the scrape.
+  EXPECT_NE(json_client
+                .RoundTrip(
+                    "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":3}")
+                .find("\"ok\":true"),
+            std::string::npos);
+  const std::string response =
+      json_client.RoundTrip("{\"op\":\"metrics\"}");
+  EXPECT_NE(response.find("\"op\":\"metrics\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"exposition\":\""), std::string::npos);
+  // The exposition text rides inside a JSON string (quotes escaped);
+  // unlabeled family lines survive escaping verbatim.
+  EXPECT_NE(response.find("# TYPE serve_requests counter"),
+            std::string::npos);
+
+  TestClient bin_client(server.port());
+  ASSERT_TRUE(bin_client.connected());
+  QueryRequest req;
+  req.op = QueryRequest::Op::kMetrics;
+  req.bin_id = 11;
+  ASSERT_TRUE(bin_client.SendRaw(Preamble() + EncodeBinaryRequest(req)));
+  std::uint64_t req_id = 0;
+  FrameStatus status = FrameStatus::kInternal;
+  std::string json;
+  ASSERT_TRUE(bin_client.RecvFrame(&req_id, &status, &json));
+  EXPECT_EQ(req_id, 11u);
+  EXPECT_EQ(status, FrameStatus::kOk) << json;
+  EXPECT_NE(json.find("# TYPE serve_requests counter"), std::string::npos)
+      << json;
+  server.Shutdown();
+}
+
+TEST(ServerTest, MetricsOpWithoutRegistryIsBadRequest) {
+  Server::Options options;
+  options.num_shards = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const std::string response = client.RoundTrip("{\"op\":\"metrics\"}");
+  EXPECT_NE(response.find("\"error\":\"bad_request\""), std::string::npos)
+      << response;
+  server.Shutdown();
+}
+
+TEST(ServerTest, HttpScrapeOnServePortCarriesLiveSeries) {
+  obs::MetricsRegistry metrics;
+  Server::Options options;
+  options.num_shards = 2;
+  options.metrics = &metrics;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Work first, so the scrape shows moving per-op/per-shard series.
+  TestClient query_client(server.port());
+  ASSERT_TRUE(query_client.connected());
+  EXPECT_NE(query_client
+                .RoundTrip(
+                    "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":3}")
+                .find("\"ok\":true"),
+            std::string::npos);
+
+  TestClient scraper(server.port());
+  ASSERT_TRUE(scraper.connected());
+  ASSERT_TRUE(scraper.SendRaw("GET /metrics HTTP/1.0\r\n\r\n"));
+  const std::string response = scraper.RecvAll();
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE serve_requests counter\n"),
+            std::string::npos);
+  EXPECT_NE(
+      response.find("serve_op_latency_seconds_bucket"
+                    "{op=\"topk_confidence\",le=\"+Inf\"} 1\n"),
+      std::string::npos)
+      << response;
+  EXPECT_NE(response.find("serve_shard_connections{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(response.find("serve_shard_connections{shard=\"1\"}"),
+            std::string::npos);
+
+  // Anything but /metrics is a 404; the query path above is untouched.
+  TestClient lost(server.port());
+  ASSERT_TRUE(lost.connected());
+  ASSERT_TRUE(lost.SendRaw("GET /other HTTP/1.0\r\n\r\n"));
+  EXPECT_EQ(lost.RecvAll().rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u);
+  server.Shutdown();
+}
+
+TEST(ServerTest, HttpScrapeWithoutRegistryIs503) {
+  Server::Options options;
+  options.num_shards = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient scraper(server.port());
+  ASSERT_TRUE(scraper.connected());
+  ASSERT_TRUE(scraper.SendRaw("GET /metrics HTTP/1.0\r\n\r\n"));
+  EXPECT_EQ(scraper.RecvAll().rfind("HTTP/1.0 503 Service Unavailable\r\n",
+                                    0),
+            0u);
+  server.Shutdown();
+}
+
+TEST(ServerTest, DedicatedMetricsListenerBypassesAdmission) {
+  obs::MetricsRegistry metrics;
+  Server::Options options;
+  options.num_shards = 1;
+  options.max_connections = 1;
+  options.metrics = &metrics;
+  options.metrics_port = 0;  // Ephemeral.
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.metrics_port(), 0);
+  ASSERT_NE(server.metrics_port(), server.port());
+
+  // Saturate the single admission slot...
+  TestClient holder(server.port());
+  ASSERT_TRUE(holder.connected());
+  EXPECT_NE(holder.RoundTrip("{\"op\":\"ping\"}").find("\"ok\":true"),
+            std::string::npos);
+
+  // ...and the scrape still succeeds on the dedicated listener.
+  TestClient scraper(server.metrics_port());
+  ASSERT_TRUE(scraper.connected());
+  ASSERT_TRUE(scraper.SendRaw("GET /metrics HTTP/1.0\r\n\r\n"));
+  const std::string response = scraper.RecvAll();
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+  EXPECT_NE(response.find("# TYPE serve_active_connections gauge\n"),
+            std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServerTest, StatsReportsLiveServeSection) {
+  obs::MetricsRegistry metrics;
+  Server::Options options;
+  options.num_shards = 2;
+  options.metrics = &metrics;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_NE(client.RoundTrip("{\"op\":\"ping\"}").find("\"ok\":true"),
+            std::string::npos);
+  const std::string stats = client.RoundTrip("{\"op\":\"stats\"}");
+  EXPECT_NE(stats.find("\"serve\":{\"requests\":"), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"active_connections\":1"), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"shard_connections\":["), std::string::npos);
+  EXPECT_NE(stats.find("\"slow_queries\":0"), std::string::npos);
+  EXPECT_NE(stats.find("\"cache\":{\"hits\":"), std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServerTest, SlowQueryLogFiresThroughTheSink) {
+  // A threshold of ~1ns makes every request slow; the sink must see
+  // structured lines with the phase breakdown.
+  std::mutex mu;
+  std::vector<std::string> lines;
+  Server::Options options;
+  options.num_shards = 1;
+  options.slow_query_ms = 1e-6;
+  options.slow_query_log = [&mu, &lines](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  };
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_NE(client
+                .RoundTrip(
+                    "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":3}")
+                .find("\"ok\":true"),
+            std::string::npos);
+  const std::string stats = client.RoundTrip("{\"op\":\"stats\"}");
+  server.Shutdown();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_GE(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_NE(line.find("\"op\":\"topk_confidence\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"latency_ms\":"), std::string::npos);
+  EXPECT_NE(line.find("\"parse_ms\":"), std::string::npos);
+  EXPECT_NE(line.find("\"index_ms\":"), std::string::npos);
+  EXPECT_NE(line.find("\"snapshot_version\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"shard\":0"), std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos);
+  // The stats op (issued after the slow one) counted it live.
+  EXPECT_NE(stats.find("\"slow_queries\":1"), std::string::npos) << stats;
+}
+
+TEST(ServerTest, SlowQuerySamplingKeepsEveryNth) {
+  std::mutex mu;
+  std::vector<std::string> lines;
+  Server::Options options;
+  options.num_shards = 1;
+  options.slow_query_ms = 1e-6;
+  options.slow_query_every = 3;
+  options.slow_query_log = [&mu, &lines](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  };
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NE(client.RoundTrip("{\"op\":\"ping\"}").find("\"ok\":true"),
+              std::string::npos);
+  }
+  server.Shutdown();
+  std::lock_guard<std::mutex> lock(mu);
+  // 6 slow requests, every 3rd logged: exactly 2 lines (the 1st and
+  // 4th — sampling is per shard, index % every == 0).
+  EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(ServerTest, TraceCoversRequestPhases) {
+  obs::TraceSession trace(/*num_lanes=*/2);
+  Server::Options options;
+  options.num_shards = 1;
+  options.trace = &trace;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_NE(client
+                .RoundTrip(
+                    "{\"op\":\"topk\",\"metric\":\"confidence\",\"k\":3}")
+                .find("\"ok\":true"),
+            std::string::npos);
+  server.Shutdown();  // Quiesces the shard lanes; rings are readable.
+
+  std::set<std::string> names;
+  for (std::size_t lane = 0; lane < trace.num_lanes(); ++lane) {
+    for (const obs::TraceEvent& e : trace.ring(lane).Snapshot()) {
+      names.insert(e.name);
+    }
+  }
+  for (const char* want :
+       {"serve.parse", "serve.cache_lookup", "serve.index", "serve.encode",
+        "serve.topk"}) {
+    EXPECT_TRUE(names.count(want) == 1) << "missing span " << want;
+  }
+}
+
+TEST(ServerTest, TelemetryOffLeavesResponsesByteIdentical) {
+  // The instrumented server with everything disabled must answer
+  // byte-for-byte like the pre-telemetry one; a golden response guards
+  // against instrumentation leaking into the payload.
+  Server::Options options;
+  options.num_shards = 1;
+  Server server(MakeIndex(), options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.RoundTrip("{\"op\":\"ping\"}"),
+            "{\"ok\":true,\"op\":\"ping\",\"cached\":false}");
   server.Shutdown();
 }
 

@@ -1,0 +1,364 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition (format 0.0.4), stdlib only.
+
+Usage:
+    check_metrics.py FILE [--require NAME[,NAME...]]
+    check_metrics.py --self-test
+
+Checks the scrape output of farmer_serve's `GET /metrics` (and the
+"metrics" op's "exposition" field, once unescaped):
+
+  * every line is a comment, blank, or `name[{labels}] value [ts]`;
+  * metric and label names match the Prometheus charsets, label values
+    use only the legal escapes (\\\\, \\", \\n);
+  * each family has at most one TYPE, TYPE precedes its samples, TYPE
+    is a known kind, and HELP/TYPE lines pair up with real samples;
+  * a family's samples are consecutive (never interleaved with another
+    family's);
+  * no duplicate series (same name and label set);
+  * counter values are non-negative and finite;
+  * histograms: every series has `le` buckets that are cumulative
+    (non-decreasing in `le` order), a final le="+Inf" bucket, a _sum,
+    and a _count equal to the +Inf bucket (the overflow-inclusive
+    total).
+
+--require fails unless each named family is present. Exit status 0
+when everything holds; 1 with a message on stderr otherwise. Used by
+the serve-smoke CI job; `--self-test` runs the embedded fixtures and
+is wired into ctest as check_metrics_selftest.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"   # metric name
+    r"(?:\{(.*)\})?"                  # optional label block
+    r"\s+(\S+)"                       # value
+    r"(?:\s+(-?\d+))?\s*$")           # optional timestamp
+LABEL = re.compile(
+    r'\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"((?:[^"\\]|\\["\\n])*)"\s*(,|$)')
+KNOWN_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+class Failure(Exception):
+    pass
+
+
+def fail(msg):
+    raise Failure(msg)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def parse_value(text, where):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    try:
+        return float(text)
+    except ValueError:
+        fail("%s: bad sample value %r" % (where, text))
+
+
+def parse_labels(block, where):
+    labels = []
+    pos = 0
+    while pos < len(block):
+        m = LABEL.match(block, pos)
+        check(m is not None, "%s: bad label block %r" % (where, block))
+        labels.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if m.group(3) != ",":
+            break
+    check(pos == len(block), "%s: trailing junk in labels %r" % (where, block))
+    names = [n for n, _ in labels]
+    check(len(names) == len(set(names)),
+          "%s: duplicate label name in %r" % (where, block))
+    return labels
+
+
+def family_of(name):
+    """The family a sample belongs to (histogram suffixes stripped)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def validate(text, require=()):
+    helps = {}
+    types = {}
+    # family -> {series key} for duplicate detection, and the order the
+    # families' samples appeared in (for the consecutiveness check).
+    series_seen = {}
+    sample_order = []
+    # (family, labels-without-le) -> list of (le, value) for histograms,
+    # plus their _sum/_count samples.
+    hist_buckets = {}
+    hist_sum = {}
+    hist_count = {}
+    families_with_samples = set()
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        where = "line %d" % lineno
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                check(METRIC_NAME.match(name) is not None,
+                      "%s: bad metric name %r in %s" % (where, name,
+                                                        parts[1]))
+                if parts[1] == "HELP":
+                    check(name not in helps,
+                          "%s: second HELP for %r" % (where, name))
+                    helps[name] = parts[3] if len(parts) == 4 else ""
+                else:
+                    check(len(parts) == 4,
+                          "%s: TYPE without a type" % where)
+                    check(parts[3] in KNOWN_TYPES,
+                          "%s: unknown TYPE %r" % (where, parts[3]))
+                    check(name not in types,
+                          "%s: second TYPE for %r" % (where, name))
+                    check(name not in families_with_samples,
+                          "%s: TYPE for %r after its samples" %
+                          (where, name))
+                    types[name] = parts[3]
+            continue
+
+        m = SAMPLE.match(line)
+        check(m is not None, "%s: unparseable sample %r" % (where, line))
+        name, block, value_text = m.group(1), m.group(2), m.group(3)
+        labels = parse_labels(block, where) if block else []
+        value = parse_value(value_text, where)
+
+        family, suffix = family_of(name)
+        ftype = types.get(family)
+        if ftype != "histogram":
+            # _bucket/_sum/_count only mean "histogram piece" when the
+            # family is typed as one; otherwise the full name is the
+            # family (e.g. a counter legitimately named foo_count).
+            family, suffix = name, ""
+            ftype = types.get(family)
+
+        key = (name, tuple(sorted(labels)))
+        seen = series_seen.setdefault(family, set())
+        check(key not in seen,
+              "%s: duplicate series %s%s" % (where, name, block or ""))
+        seen.add(key)
+        if family not in families_with_samples:
+            families_with_samples.add(family)
+            sample_order.append(family)
+        else:
+            check(sample_order[-1] == family,
+                  "%s: family %r interleaved with %r" %
+                  (where, family, sample_order[-1]))
+
+        if ftype == "counter":
+            check(value >= 0 and value == value and value != float("inf"),
+                  "%s: counter %s has bad value %s" %
+                  (where, name, value_text))
+        if ftype == "histogram":
+            rest = tuple(sorted(l for l in labels if l[0] != "le"))
+            skey = (family, rest)
+            if suffix == "_bucket":
+                les = [l[1] for l in labels if l[0] == "le"]
+                check(len(les) == 1,
+                      "%s: bucket of %s needs exactly one le" %
+                      (where, family))
+                hist_buckets.setdefault(skey, []).append(
+                    (parse_value(les[0], where), value))
+            elif suffix == "_sum":
+                hist_sum[skey] = value
+            elif suffix == "_count":
+                hist_count[skey] = value
+            else:
+                fail("%s: stray sample %r in histogram %r" %
+                     (where, name, family))
+
+    for name in types:
+        check(name in families_with_samples or types[name] == "histogram"
+              and any(f == name for f, _ in hist_buckets),
+              "TYPE for %r but no samples" % name)
+    for name in helps:
+        check(name in types, "HELP for %r without a TYPE" % name)
+
+    for (family, rest), buckets in hist_buckets.items():
+        label_of = lambda: "%s{%s}" % (family, ",".join(
+            "%s=%r" % l for l in rest)) if rest else family
+        check((family, rest) in hist_count,
+              "histogram %s has no _count" % label_of())
+        check((family, rest) in hist_sum,
+              "histogram %s has no _sum" % label_of())
+        les = [le for le, _ in buckets]
+        check(les == sorted(les),
+              "histogram %s buckets out of le order" % label_of())
+        check(les and les[-1] == float("inf"),
+              "histogram %s missing le=\"+Inf\" bucket" % label_of())
+        values = [v for _, v in buckets]
+        check(all(a <= b for a, b in zip(values, values[1:])),
+              "histogram %s buckets not cumulative: %r" %
+              (label_of(), values))
+        check(values[-1] == hist_count[(family, rest)],
+              "histogram %s _count %r != +Inf bucket %r" %
+              (label_of(), hist_count[(family, rest)], values[-1]))
+    for skey in list(hist_count) + list(hist_sum):
+        check(skey in hist_buckets,
+              "histogram %s has _sum/_count but no buckets" % skey[0])
+
+    for name in require:
+        check(name in families_with_samples,
+              "required family %r absent (got %s)" %
+              (name, sorted(families_with_samples)))
+    return len(families_with_samples)
+
+
+GOOD = """\
+# HELP serve_requests serve.requests
+# TYPE serve_requests counter
+serve_requests 42
+# HELP serve_bytes_in serve.shard_bytes_in
+# TYPE serve_bytes_in counter
+serve_bytes_in{shard="0"} 10
+serve_bytes_in{shard="1"} 0
+# HELP up up
+# TYPE up gauge
+up 1
+# HELP odd_value odd "quoted" value
+# TYPE odd_value gauge
+odd_value{path="C:\\\\x\\n",q="say \\"hi\\""} -0.5
+# HELP lat serve.latency_seconds
+# TYPE lat histogram
+lat_bucket{le="0.01"} 1
+lat_bucket{le="0.1"} 3
+lat_bucket{le="+Inf"} 4
+lat_sum 0.73
+lat_count 4
+# HELP lat2 labeled histogram
+# TYPE lat2 histogram
+lat2_bucket{op="topk",le="1"} 0
+lat2_bucket{op="topk",le="+Inf"} 2
+lat2_sum{op="topk"} 5.5
+lat2_count{op="topk"} 2
+"""
+
+BAD = [
+    # Non-cumulative buckets.
+    """# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="+Inf"} 3
+h_sum 1
+h_count 3
+""",
+    # _count disagrees with the +Inf bucket.
+    """# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 4
+h_sum 1
+h_count 5
+""",
+    # Missing +Inf bucket.
+    """# TYPE h histogram
+h_bucket{le="1"} 1
+h_sum 1
+h_count 1
+""",
+    # Duplicate series.
+    """# TYPE c counter
+c{a="1"} 1
+c{a="1"} 2
+""",
+    # Negative counter.
+    """# TYPE c counter
+c -1
+""",
+    # TYPE after its samples.
+    """c 1
+# TYPE c counter
+""",
+    # Two TYPE lines for one family.
+    """# TYPE c counter
+# TYPE c gauge
+c 1
+""",
+    # HELP without TYPE.
+    """# HELP c something
+c 1
+""",
+    # Interleaved families.
+    """# TYPE a counter
+# TYPE b counter
+a 1
+b 1
+a{x="2"} 1
+""",
+    # Unparseable sample line.
+    """# TYPE c counter
+c one
+""",
+    # Bad label escape (\\q is not a legal escape).
+    """# TYPE c counter
+c{a="\\q"} 1
+""",
+    # Unknown TYPE.
+    """# TYPE c rate
+c 1
+""",
+]
+
+
+def self_test():
+    n = validate(GOOD, require=("serve_requests", "lat2"))
+    assert n > 0
+    try:
+        validate(GOOD, require=("absent_family",))
+        raise AssertionError("--require of an absent family passed")
+    except Failure:
+        pass
+    for i, text in enumerate(BAD):
+        try:
+            validate(text)
+            raise AssertionError("bad fixture %d passed validation" % i)
+        except Failure:
+            pass
+    print("check_metrics: self-test OK (%d bad fixtures rejected)"
+          % len(BAD))
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) not in (2, 4):
+        sys.stderr.write(__doc__)
+        return 2
+    require = ()
+    if len(argv) == 4:
+        if argv[2] != "--require":
+            sys.stderr.write(__doc__)
+            return 2
+        require = tuple(n for n in argv[3].split(",") if n)
+    with open(argv[1], "r", encoding="utf-8") as f:
+        text = f.read()
+    try:
+        families = validate(text, require)
+    except Failure as e:
+        sys.stderr.write("check_metrics: FAIL: %s\n" % e)
+        return 1
+    print("check_metrics: OK: %d families" % families)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

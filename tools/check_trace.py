@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Validate farmer_cli observability artifacts.
+"""Validate farmer observability artifacts.
 
 Usage:
-    check_trace.py TRACE.json [METRICS.json]
+    check_trace.py [--require NAME[,NAME...]] TRACE.json [METRICS.json]
 
 Checks that TRACE.json is a well-formed Chrome Trace Event Format file
 (loadable in chrome://tracing / Perfetto) produced by --trace-out:
@@ -14,7 +14,9 @@ Checks that TRACE.json is a well-formed Chrome Trace Event Format file
   * instants ('i') have a timestamp and a scope;
   * metadata ('M') names the process and every lane (thread), and lane
     names are unique;
-  * the span names the miner always emits ("mine", "merge") are present,
+  * the required span names are present — by default the ones the miner
+    always emits ("mine", "merge"); pass --require for other producers
+    (e.g. --require serve.parse,serve.topk for a farmer_serve trace) —
     and every "merge" span sits on the control lane (tid 0).
 
 When METRICS.json is given, also checks the --metrics-out shape: the
@@ -40,7 +42,7 @@ def check(cond, msg):
         fail(msg)
 
 
-def check_trace(path):
+def check_trace(path, required=("mine", "merge")):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     check(isinstance(doc, dict), "top level must be a JSON object")
@@ -93,9 +95,9 @@ def check_trace(path):
     check(len(thread_names) > 0, "no thread_name metadata events")
     check(len(set(thread_names.values())) == len(thread_names),
           "duplicate lane labels: %r" % thread_names)
-    for required in ("mine", "merge"):
-        check(required in names,
-              "required span %r absent (got %s)" % (required, sorted(names)))
+    for name in required:
+        check(name in names,
+              "required span %r absent (got %s)" % (name, sorted(names)))
     print("check_trace: trace OK: %d events on %d lanes, names %s, "
           "%d dropped" % (len(events), len(thread_names), sorted(names),
                           dropped))
@@ -133,12 +135,20 @@ def check_metrics(path):
 
 
 def main(argv):
-    if len(argv) not in (2, 3):
+    args = argv[1:]
+    required = ("mine", "merge")
+    if args and args[0] == "--require":
+        if len(args) < 2:
+            sys.stderr.write(__doc__)
+            return 2
+        required = tuple(n for n in args[1].split(",") if n)
+        args = args[2:]
+    if len(args) not in (1, 2):
         sys.stderr.write(__doc__)
         return 2
-    check_trace(argv[1])
-    if len(argv) == 3:
-        check_metrics(argv[2])
+    check_trace(args[0], required)
+    if len(args) == 2:
+        check_metrics(args[1])
     return 0
 
 

@@ -5,10 +5,13 @@
 //
 // Speaks both wire framings of src/serve/protocol.h (line-delimited
 // JSON and FQP1 binary frames, auto-detected per connection; see
-// docs/SERVING.md). SIGINT/SIGTERM trigger a graceful shutdown: the
-// listener closes, parsed requests finish, then the process exits.
-// SIGHUP — like the "reload" request — re-reads the snapshot file and
-// hot-swaps it in with zero downtime.
+// docs/SERVING.md), plus plain-HTTP `GET /metrics` scrapes on the
+// serve port and the optional --metrics-port listener. SIGINT/SIGTERM
+// trigger a graceful shutdown: the listener closes, parsed requests
+// finish, then the process exits. SIGHUP — like the "reload" request —
+// re-reads the snapshot file and hot-swaps it in with zero downtime.
+// SIGUSR1 dumps the metrics registry to stderr (and --metrics-out, if
+// set) immediately; --metrics-interval-s does the same on a timer.
 
 #include <algorithm>
 #include <chrono>
@@ -35,9 +38,11 @@ using namespace farmer;
 // thread (which does the actual reload — handlers must not allocate).
 volatile std::sig_atomic_t g_stop_requested = 0;
 volatile std::sig_atomic_t g_reload_requested = 0;
+volatile std::sig_atomic_t g_dump_requested = 0;
 
 void HandleStopSignal(int /*signum*/) { g_stop_requested = 1; }
 void HandleReloadSignal(int /*signum*/) { g_reload_requested = 1; }
+void HandleDumpSignal(int /*signum*/) { g_dump_requested = 1; }
 
 int Usage() {
   std::fprintf(
@@ -46,14 +51,22 @@ int Usage() {
       "                    [--shards N] [--max-connections N]\n"
       "                    [--cache-entries N] [--cache-mb N]\n"
       "                    [--deadline S] [--idle-timeout S]\n"
-      "                    [--send-timeout S]\n"
+      "                    [--send-timeout S] [--metrics-port N]\n"
+      "                    [--metrics-interval-s S]\n"
+      "                    [--slow-query-ms MS] [--slow-query-every N]\n"
       "                    [--metrics-out FILE] [--trace-out FILE]\n\n"
       "Serves a rule-group snapshot (from `farmer_cli mine\n"
       "--snapshot-out`) over TCP: line-delimited JSON or FQP1 binary\n"
-      "frames, auto-detected per connection. --port 0 binds an\n"
-      "ephemeral port (printed on startup). SIGINT/SIGTERM shut down\n"
-      "gracefully; SIGHUP (or a \"reload\" request) re-reads the\n"
-      "snapshot file and hot-swaps it without dropping connections.\n"
+      "frames, auto-detected per connection, plus plain-HTTP\n"
+      "`GET /metrics` (Prometheus text) on the serve port and on the\n"
+      "optional --metrics-port listener (which bypasses the admission\n"
+      "bound; 0 = ephemeral). --port 0 binds an ephemeral port\n"
+      "(printed on startup). SIGINT/SIGTERM shut down gracefully;\n"
+      "SIGHUP (or a \"reload\" request) re-reads the snapshot file and\n"
+      "hot-swaps it without dropping connections; SIGUSR1 dumps the\n"
+      "metrics registry now, --metrics-interval-s every S seconds.\n"
+      "--slow-query-ms logs requests slower than MS as JSON lines on\n"
+      "stderr (every Nth per shard with --slow-query-every N).\n"
       "--metrics-out/--trace-out are written on exit.\n");
   return 2;
 }
@@ -78,7 +91,8 @@ int main(int argc, char** argv) {
         "--shards",        "--workers",         "--max-connections",
         "--cache-entries", "--cache-mb",        "--deadline",
         "--idle-timeout",  "--send-timeout",    "--metrics-out",
-        "--trace-out"};
+        "--trace-out",     "--metrics-port",    "--metrics-interval-s",
+        "--slow-query-ms", "--slow-query-every"};
     bool known = false;
     for (const char* f : kKnown) known = known || key == f;
     if (!known) {
@@ -128,9 +142,23 @@ int main(int argc, char** argv) {
     options.send_timeout_s = std::atof(send_it->second.c_str());
   }
   options.snapshot_path = flags["--snapshot"];
+  options.metrics_port = static_cast<int>(get_long("--metrics-port", -1));
+  auto slow_it = flags.find("--slow-query-ms");
+  if (slow_it != flags.end()) {
+    options.slow_query_ms = std::atof(slow_it->second.c_str());
+  }
+  options.slow_query_every = static_cast<std::size_t>(
+      std::max(1L, get_long("--slow-query-every", 1)));
+  const double metrics_interval_s =
+      flags.count("--metrics-interval-s") != 0
+          ? std::atof(flags["--metrics-interval-s"].c_str())
+          : 0.0;
 
+  // The registry is always attached: scrapes (`GET /metrics`, the
+  // "metrics" op) must work without any flag, and the disabled-path
+  // savings don't matter for a CLI that exists to be observed.
   obs::MetricsRegistry metrics;
-  if (flags.count("--metrics-out") != 0) options.metrics = &metrics;
+  options.metrics = &metrics;
   std::unique_ptr<obs::TraceSession> trace;
   if (flags.count("--trace-out") != 0) {
     trace = std::make_unique<obs::TraceSession>(options.num_shards + 1);
@@ -146,17 +174,46 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, &HandleStopSignal);
   std::signal(SIGTERM, &HandleStopSignal);
   std::signal(SIGHUP, &HandleReloadSignal);
+  std::signal(SIGUSR1, &HandleDumpSignal);
 
   std::fprintf(stderr,
                "farmer_serve: %zu rule groups on %s:%d (%zu shards, "
                "max %zu connections)\n",
                num_groups, options.host.c_str(), server.port(),
                options.num_shards, options.max_connections);
+  if (server.metrics_port() >= 0) {
+    std::fprintf(stderr, "farmer_serve: metrics on %s:%d (GET /metrics)\n",
+                 options.host.c_str(), server.metrics_port());
+  }
   std::fflush(stderr);
 
+  // Dumps the registry snapshot as one JSON line on stderr and, when
+  // --metrics-out is set, refreshes the file too. Registry snapshots
+  // are safe while shards keep serving; the trace is NOT dumped here —
+  // its rings are single-producer and only readable once the server
+  // has shut down, so --trace-out stays exit-only.
+  const auto dump_metrics = [&metrics, &flags](const char* why) {
+    std::fprintf(stderr, "farmer_serve metrics %s %s\n", why,
+                 metrics.ToJson().c_str());
+    std::fflush(stderr);
+    if (flags.count("--metrics-out") != 0) {
+      const Status written = metrics.WriteJsonFile(flags["--metrics-out"]);
+      if (!written.ok()) {
+        std::fprintf(stderr, "farmer_serve: metrics dump failed: %s\n",
+                     written.ToString().c_str());
+      }
+    }
+  };
+
   // Sleep in short ticks until a stop signal lands; shutdown latency is
-  // bounded by one tick. SIGHUP reloads are serviced here, off the
-  // signal handler.
+  // bounded by one tick. SIGHUP reloads and SIGUSR1 dumps are serviced
+  // here, off the signal handler.
+  auto next_dump = std::chrono::steady_clock::now();
+  if (metrics_interval_s > 0) {
+    next_dump += std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(metrics_interval_s));
+  }
   while (g_stop_requested == 0) {
     if (g_reload_requested != 0) {
       g_reload_requested = 0;
@@ -173,6 +230,18 @@ int main(int argc, char** argv) {
                      s.ToString().c_str());
       }
       std::fflush(stderr);
+    }
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      dump_metrics("signal");
+    }
+    if (metrics_interval_s > 0 &&
+        std::chrono::steady_clock::now() >= next_dump) {
+      dump_metrics("interval");
+      next_dump = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(metrics_interval_s));
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
