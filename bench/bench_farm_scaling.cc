@@ -1,0 +1,168 @@
+// Worker scaling of the distributed mining farm: the Figure-10 BC
+// workload mined by a real Coordinator and 1, 2 and 4 Worker instances
+// talking FMP1 over localhost. Reports farm wall seconds (plan + mine +
+// merge + MineLB), speedup over the in-process single-thread run,
+// lease/re-lease counts, and the merged group count. The farm result is
+// checked bit-identical to MineFarmer() on every sweep point — the
+// farm's whole reason to exist is scaling *without* giving up the
+// single-process answer.
+//
+// Expected shape: the farm tracks in-process thread scaling minus the
+// wire overhead (hello, per-lease grant/upload, CRC); on one machine
+// that overhead is microseconds per lease, so the curve should be close
+// to bench_thread_scaling's for the same workload.
+//
+// Every measurement is also appended to BENCH_farm_scaling.json.
+//
+// Extra knobs (on top of bench_common's):
+//   --minsup <n>   minimum support (default 5)
+//   --quick        tiny workload for CI smoke runs (scale 0.02, no
+//                  lower bounds) — exercises the sweep, not the speedup
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/bench_json.h"
+#include "core/farmer.h"
+#include "farm/coordinator.h"
+#include "farm/worker.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace farmer;
+
+// Field-by-field bit-identity; returns false and reports on mismatch.
+bool IdenticalGroups(const FarmerResult& want, const FarmerResult& got) {
+  if (want.groups.size() != got.groups.size()) {
+    std::printf("DETERMINISM VIOLATION: %zu farm groups vs %zu single\n",
+                got.groups.size(), want.groups.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < want.groups.size(); ++i) {
+    const RuleGroup& a = want.groups[i];
+    const RuleGroup& b = got.groups[i];
+    if (a.antecedent != b.antecedent || !(a.rows == b.rows) ||
+        a.support_pos != b.support_pos || a.support_neg != b.support_neg ||
+        a.confidence != b.confidence || a.chi_square != b.chi_square ||
+        a.lower_bounds != b.lower_bounds) {
+      std::printf("DETERMINISM VIOLATION: group %zu differs\n", i);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace farmer::bench;
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  std::size_t minsup = 5;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--minsup") == 0 && i + 1 < argc) {
+      minsup = static_cast<std::size_t>(std::atoll(argv[++i]));
+    }
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  if (quick) config.column_scale = 0.02;
+  const std::string name =
+      config.only_dataset.empty() ? "BC" : config.only_dataset;
+  PrintBenchHeader("Farm scaling: coordinator + N local workers over "
+                   "FMP1 on the Fig. 10 BC workload", config);
+  JsonWriter json("farm_scaling");
+
+  BenchDataset ds = MakeBenchDataset(name, config.column_scale);
+
+  MinerOptions opts;
+  opts.consequent = 1;
+  opts.min_support = minsup;
+  opts.mine_lower_bounds = !quick;
+
+  // The reference: in-process single-thread run, also the speedup base.
+  Stopwatch sw;
+  const FarmerResult single = MineFarmer(ds.binary, opts);
+  const double base_seconds = sw.ElapsedSeconds();
+
+  std::printf("dataset %s: %zu rows x %zu items, minsup %zu%s\n",
+              name.c_str(), static_cast<std::size_t>(ds.binary.num_rows()),
+              static_cast<std::size_t>(ds.binary.num_items()), minsup,
+              quick ? " (quick)" : "");
+  std::printf("single-process baseline: %s, %zu groups\n\n",
+              FmtSeconds(base_seconds, single.stats.timed_out).c_str(),
+              single.groups.size());
+  std::printf("%7s | %9s %8s | %7s %9s %9s | %7s\n", "workers", "wall(s)",
+              "speedup", "leases", "re-lease", "nodes/s", "#IRGs");
+
+  for (const int workers : {1, 2, 4}) {
+    farm::Coordinator coordinator(ds.binary, opts,
+                                  farm::Coordinator::Options{});
+    sw.Restart();
+    if (!coordinator.Start().ok()) {
+      std::printf("coordinator failed to start\n");
+      return 1;
+    }
+    std::vector<std::unique_ptr<farm::Worker>> fleet;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < workers; ++w) {
+      farm::Worker::Options wopts;
+      wopts.port = coordinator.port();
+      wopts.name = "bench-w" + std::to_string(w);
+      wopts.no_work_poll_s = 0.005;
+      fleet.push_back(
+          std::make_unique<farm::Worker>(ds.binary, opts, wopts));
+    }
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&fleet, w] { (void)fleet[w]->Run(); });
+    }
+    for (std::thread& t : threads) t.join();
+    if (!coordinator.WaitForCompletion(config.timeout_seconds)) {
+      std::printf("farm timed out at %d workers\n", workers);
+      return 1;
+    }
+    const FarmerResult farm = coordinator.Finalize();
+    const double seconds = sw.ElapsedSeconds();
+    if (!IdenticalGroups(single, farm)) return 1;
+
+    const farm::Coordinator::Stats stats = coordinator.stats();
+    const double speedup = seconds > 0.0 ? base_seconds / seconds : 0.0;
+    const double nodes_per_sec =
+        seconds > 0.0 ? static_cast<double>(farm.stats.nodes_visited) /
+                            seconds
+                      : 0.0;
+    std::printf("%7d | %9s %7.2fx | %7llu %9llu %9.0f | %7zu\n", workers,
+                FmtSeconds(seconds, farm.stats.timed_out).c_str(), speedup,
+                static_cast<unsigned long long>(stats.leases_granted),
+                static_cast<unsigned long long>(stats.releases),
+                nodes_per_sec, farm.groups.size());
+    std::fflush(stdout);
+
+    json.Add(JsonRecord()
+                 .Str("bench", "farm_scaling")
+                 .Str("dataset", name)
+                 .Num("column_scale", config.column_scale)
+                 .Int("minsup", static_cast<long long>(minsup))
+                 .Int("workers", workers)
+                 .Num("seconds", seconds)
+                 .Num("speedup", speedup)
+                 .Num("nodes_per_sec", nodes_per_sec)
+                 .Int("leases",
+                      static_cast<long long>(stats.leases_granted))
+                 .Int("releases", static_cast<long long>(stats.releases))
+                 .Bool("identical", true)
+                 .Int("groups", static_cast<long long>(farm.groups.size()))
+                 .Raw("stats", farm.stats.ToJson()));
+    json.Flush();
+  }
+  std::printf("\nfarm results are bit-identical to the single-process run "
+              "at every worker count; speedup is relative to that run on "
+              "this machine (%u hardware threads)\n",
+              std::thread::hardware_concurrency());
+  std::printf("json: %s\n", json.path().c_str());
+  return 0;
+}

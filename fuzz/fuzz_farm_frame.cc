@@ -1,0 +1,227 @@
+/// Fuzz harness for the farm wire protocol (FMP1): the preamble
+/// detector, the shared frame extractor at the farm's payload cap, and
+/// every message codec including the CRC-guarded segment payloads.
+///
+/// The input is the byte stream of one farm connection. Properties:
+///
+///   * DetectFarmProtocol is total and matches its spec: kNeedMore only
+///     on a strict prefix of "FMP1" or "GET ", kFarm/kHttp only on the
+///     exact respective preamble, kUnknown otherwise.
+///   * wire::ExtractFrame at kMaxFarmFramePayload never reads past the
+///     buffer, never accepts an oversized length, and consumes exactly
+///     what it reports.
+///   * Every Decode* rejects with InvalidArgument only, and accepted
+///     messages re-encode to the byte-identical payload (the codecs are
+///     canonical).
+///   * DecodeSegments enforces its invariants (ascending in-range rows,
+///     support arithmetic) and round-trips through EncodeSegments.
+///
+/// Any crash, hang, out-of-range read, or round-trip mismatch is a bug.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "farm/protocol.h"
+#include "util/status.h"
+#include "util/wire.h"
+
+namespace {
+
+using farmer::Status;
+namespace farm = farmer::farm;
+namespace wire = farmer::wire;
+
+constexpr std::string_view kHttpPreamble = "GET ";
+
+bool IsPrefixOf(std::string_view input, std::string_view preamble) {
+  return input.size() < preamble.size() &&
+         std::memcmp(input.data(), preamble.data(), input.size()) == 0;
+}
+
+bool StartsWith(std::string_view input, std::string_view preamble) {
+  return input.size() >= preamble.size() &&
+         std::memcmp(input.data(), preamble.data(), preamble.size()) == 0;
+}
+
+void CheckDetector(std::string_view input) {
+  const std::string_view farm_preamble(farm::kFarmPreamble,
+                                       farm::kFarmPreambleSize);
+  switch (farm::DetectFarmProtocol(input)) {
+    case farm::FarmDetect::kNeedMore:
+      if (!IsPrefixOf(input, farm_preamble) &&
+          !IsPrefixOf(input, kHttpPreamble)) {
+        __builtin_trap();
+      }
+      break;
+    case farm::FarmDetect::kFarm:
+      if (!StartsWith(input, farm_preamble)) __builtin_trap();
+      break;
+    case farm::FarmDetect::kHttp:
+      if (!StartsWith(input, kHttpPreamble)) __builtin_trap();
+      break;
+    case farm::FarmDetect::kUnknown:
+      if (IsPrefixOf(input, farm_preamble) ||
+          StartsWith(input, farm_preamble) ||
+          IsPrefixOf(input, kHttpPreamble) ||
+          StartsWith(input, kHttpPreamble)) {
+        __builtin_trap();
+      }
+      break;
+  }
+}
+
+// Re-extracts the payload of a complete single frame.
+std::string_view FramePayload(const std::string& frame) {
+  std::size_t consumed = 0;
+  std::uint8_t opcode = 0;
+  std::string_view payload;
+  std::string error;
+  if (wire::ExtractFrame(frame, farm::kMaxFarmFramePayload, &consumed,
+                         &opcode, &payload,
+                         &error) != wire::FrameExtract::kComplete) {
+    __builtin_trap();
+  }
+  if (consumed != frame.size()) __builtin_trap();
+  return payload;
+}
+
+void CheckStatus(const Status& status) {
+  if (!status.ok() && !status.IsInvalidArgument()) __builtin_trap();
+}
+
+void CheckSegments(std::string_view payload) {
+  std::vector<farmer::MineSegment> segments;
+  const Status decoded = farm::DecodeSegments(payload, 300, &segments);
+  CheckStatus(decoded);
+  if (!decoded.ok()) return;
+  if (farm::EncodeSegments(segments) != payload) __builtin_trap();
+}
+
+void CheckFrame(std::uint8_t opcode, std::string_view payload) {
+  switch (static_cast<farm::FarmOp>(opcode)) {
+    case farm::FarmOp::kHello: {
+      farm::HelloMsg msg;
+      const Status s = farm::DecodeHello(payload, &msg);
+      CheckStatus(s);
+      if (s.ok() && FramePayload(farm::EncodeHello(msg)) != payload) {
+        __builtin_trap();
+      }
+      break;
+    }
+    case farm::FarmOp::kHelloAck: {
+      farm::HelloAckMsg msg;
+      const Status s = farm::DecodeHelloAck(payload, &msg);
+      CheckStatus(s);
+      if (s.ok() && FramePayload(farm::EncodeHelloAck(msg)) != payload) {
+        __builtin_trap();
+      }
+      break;
+    }
+    case farm::FarmOp::kLeaseGrant: {
+      farm::LeaseGrantMsg msg;
+      const Status s = farm::DecodeLeaseGrant(payload, &msg);
+      CheckStatus(s);
+      if (s.ok() && FramePayload(farm::EncodeLeaseGrant(msg)) != payload) {
+        __builtin_trap();
+      }
+      break;
+    }
+    case farm::FarmOp::kHeartbeat: {
+      farm::HeartbeatMsg msg;
+      const Status s = farm::DecodeHeartbeat(payload, &msg);
+      CheckStatus(s);
+      if (s.ok() && FramePayload(farm::EncodeHeartbeat(msg)) != payload) {
+        __builtin_trap();
+      }
+      break;
+    }
+    case farm::FarmOp::kResult: {
+      farm::ResultMsg msg;
+      const Status s = farm::DecodeResult(payload, &msg);
+      CheckStatus(s);
+      // EncodeResult recomputes the CRC; an accepted payload carried a
+      // matching one, so the round-trip must be byte-identical.
+      if (s.ok() &&
+          FramePayload(farm::EncodeResult(std::move(msg))) != payload) {
+        __builtin_trap();
+      }
+      break;
+    }
+    case farm::FarmOp::kResultAck: {
+      farm::ResultAckMsg msg;
+      const Status s = farm::DecodeResultAck(payload, &msg);
+      CheckStatus(s);
+      if (s.ok() && FramePayload(farm::EncodeResultAck(msg)) != payload) {
+        __builtin_trap();
+      }
+      break;
+    }
+    case farm::FarmOp::kRevoke: {
+      farm::RevokeMsg msg;
+      const Status s = farm::DecodeRevoke(payload, &msg);
+      CheckStatus(s);
+      if (s.ok() && FramePayload(farm::EncodeRevoke(msg)) != payload) {
+        __builtin_trap();
+      }
+      break;
+    }
+    default:
+      break;  // kLeaseRequest/kNoWork/kDone have no payload; rest unknown.
+  }
+}
+
+void WalkFarmStream(std::string_view buffer) {
+  std::size_t pos = farm::kFarmPreambleSize;
+  for (;;) {
+    const std::string_view rest = buffer.substr(pos);
+    std::size_t consumed = 0;
+    std::uint8_t opcode = 0;
+    std::string_view payload;
+    std::string error;
+    switch (wire::ExtractFrame(rest, farm::kMaxFarmFramePayload, &consumed,
+                               &opcode, &payload, &error)) {
+      case wire::FrameExtract::kNeedMore:
+        return;
+      case wire::FrameExtract::kError:
+        if (error.empty()) __builtin_trap();
+        return;
+      case wire::FrameExtract::kComplete:
+        if (consumed < 5 || consumed > rest.size()) __builtin_trap();
+        if (payload.size() != consumed - 5) __builtin_trap();
+        if (payload.size() > farm::kMaxFarmFramePayload) __builtin_trap();
+        // The payload view must alias the buffer, not dangle.
+        if (!payload.empty() &&
+            (payload.data() < rest.data() ||
+             payload.data() + payload.size() > rest.data() + rest.size())) {
+          __builtin_trap();
+        }
+        CheckFrame(opcode, payload);
+        CheckSegments(payload);
+        pos += consumed;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  CheckDetector(input);
+  if (StartsWith(input,
+                 std::string_view(farm::kFarmPreamble,
+                                  farm::kFarmPreambleSize))) {
+    WalkFarmStream(input);
+  } else if (!input.empty()) {
+    // No preamble: drive the codecs directly — first byte picks the
+    // decoder, the rest is its payload.
+    CheckFrame(input[0], input.substr(1));
+    CheckSegments(input.substr(1));
+  }
+  return 0;
+}

@@ -525,7 +525,10 @@ void FarmerMiner::MineIRGs(SearchContext& ctx, std::size_t depth,
 
 bool FarmerMiner::ShouldSplit(const SearchContext& ctx,
                               std::size_t depth) const {
-  return depth < options_.max_split_depth &&
+  // Farm lease contexts carry a shared block with no pool: they must
+  // mine their whole subtree inline (the coordinator, not a local pool,
+  // owns the decomposition).
+  return ctx.shared->pool != nullptr && depth < options_.max_split_depth &&
          ctx.shared->pool->ApproxPending() < ctx.shared->hungry_below;
 }
 
@@ -863,7 +866,7 @@ void FarmerMiner::ExportMetrics(const FarmerResult& result) const {
   }
 }
 
-FarmerResult FarmerMiner::Mine() {
+void FarmerMiner::ApplySimdOverride() const {
   // Apply the per-run kernel-tier override before any bitset kernel
   // runs; a level this binary/host cannot execute must fail loudly, not
   // quietly mine on the wrong tier. The stats record whichever tier the
@@ -874,6 +877,10 @@ FarmerResult FarmerMiner::Mine() {
         << "' is not usable here (supported: " << simd::SupportedLevelsCsv()
         << ")";
   }
+}
+
+FarmerResult FarmerMiner::Mine() {
+  ApplySimdOverride();
 
   FarmerResult result;
   result.num_rows = n_;
@@ -889,10 +896,18 @@ FarmerResult FarmerMiner::Mine() {
     span.Arg("nodes", static_cast<std::int64_t>(stats_.nodes_visited));
     span.Arg("groups", static_cast<std::int64_t>(store.groups.size()));
   }
-  std::vector<RuleGroup> groups = std::move(store.groups);
   stats_.mine_seconds = sw.ElapsedSeconds();
-  // After RunSearch: the search overwrites stats_ with the aggregated
-  // per-task counters, which never carry a level of their own.
+  return FinalizeResult(std::move(store));
+}
+
+FarmerResult FarmerMiner::FinalizeResult(GroupStore store) {
+  FarmerResult result;
+  result.num_rows = n_;
+  result.num_consequent_rows = m_;
+  std::vector<RuleGroup> groups = std::move(store.groups);
+  // After RunSearch (and in farm merges): the search overwrites stats_
+  // with the aggregated per-task counters, which never carry a level of
+  // their own.
   stats_.simd_level = simd::LevelName(simd::ActiveLevel());
 
   // Debug mode: every reported upper bound must be the closed antecedent
@@ -994,6 +1009,191 @@ FarmerResult FarmerMiner::Mine() {
   result.stats = stats_;
   if (options_.metrics != nullptr) ExportMetrics(result);
   return result;
+}
+
+void FarmerMiner::EnsureFarmRoot() {
+  if (farm_root_ != nullptr) return;
+  farm_root_ = std::make_unique<FarmRoot>();
+  FarmRoot& fr = *farm_root_;
+  if (n_ == 0) {
+    fr.plan.root_pruned = true;
+    return;
+  }
+  if (farm_shared_ == nullptr) {
+    // pool == nullptr: ShouldSplit never fires, and a non-null
+    // ctx.shared keeps EffectiveMinConfidence on the static floor — the
+    // exact pruning behavior of an in-process parallel task.
+    farm_shared_ = std::make_unique<ParallelShared>();
+  }
+  if (farm_ctx_ == nullptr) {
+    farm_ctx_ =
+        std::make_unique<SearchContext>(MakeContext(/*cancel=*/nullptr));
+    farm_ctx_->shared = farm_shared_.get();
+  }
+  SearchContext& ctx = *farm_ctx_;
+  ctx.stats = MinerStats{};
+  ctx.deadline = options_.deadline;
+  ctx.path.clear();
+  ctx.seg_bounds.clear();
+  ctx.closers.clear();
+
+  // Mirror of the root visit MineIRGs performs at depth 0 (and of the
+  // parallel root task): one node, then either prune or expose the
+  // surviving candidates as subtrees.
+  DepthScratch& root = ctx.arena[0];
+  root.alive.clear();
+  for (ItemId i = 0; i < tt_.num_items(); ++i) {
+    if (!tt_.tuple(i).empty()) root.alive.push_back(i);
+  }
+  root.cand.SetAll();
+  root.support.ResetAll();
+  ++ctx.stats.nodes_visited;
+  std::size_t supp = 0;
+  std::size_t supn = 0;
+  if (root.alive.empty() || !VisitNode(ctx, 0, &supp, &supn)) {
+    fr.plan.root_pruned = true;
+    fr.plan.root_stats = ctx.stats;
+    return;
+  }
+  fr.supp = supp;
+  fr.supn = supn;
+
+  auto snapshot = std::make_shared<SplitSnapshot>();
+  snapshot->alive = root.alive;
+  snapshot->cands = root.new_cands;
+  snapshot->support = root.support;
+  fr.snapshot = std::move(snapshot);
+  for (std::size_t ri = root.new_cands.FindFirst(); ri < n_;
+       ri = root.new_cands.FindNext(ri)) {
+    fr.plan.lease_rows.push_back(static_cast<std::uint32_t>(ri));
+    ++ctx.stats.tasks_spawned;
+  }
+
+  // The root's own step 7, deferred past the leases' merge exactly as
+  // SpawnRemaining + DeferStep7 would defer it: a closer segment at
+  // [kCloserRank] (ctx.path is empty here).
+  DeferStep7(ctx, 0, supp, supn);
+  fr.plan.root_segments = std::move(ctx.closers);
+  ctx.closers.clear();
+  fr.plan.root_stats = ctx.stats;
+  if (FARMER_PREDICT_FALSE(options_.progress != nullptr)) {
+    options_.progress->root_total.store(fr.plan.lease_rows.size(),
+                                        std::memory_order_relaxed);
+  }
+}
+
+const FarmerMiner::FarmPlan& FarmerMiner::PlanFarm() {
+  ApplySimdOverride();
+  EnsureFarmRoot();
+  return farm_root_->plan;
+}
+
+std::vector<MineSegment> FarmerMiner::MineFarmLease(std::uint32_t row,
+                                                    CancelFlag* cancel,
+                                                    MinerStats* stats) {
+  ApplySimdOverride();
+  EnsureFarmRoot();
+  FarmRoot& fr = *farm_root_;
+  FARMER_CHECK(!fr.plan.root_pruned)
+      << "no farm leases exist: the root node was pruned";
+  FARMER_CHECK(row < n_ && fr.snapshot->cands.Test(row))
+      << "row " << row << " is not a farm lease root";
+
+  // Per-lease reset, mirroring RunTask's per-task reset.
+  SearchContext& ctx = *farm_ctx_;
+  ctx.store.groups.clear();
+  ctx.store.by_count_first.assign(n_ + 1, {});
+  ctx.store.max_count = 0;
+  ctx.store.topk_confs.clear();
+  ctx.store.seen_exact.clear();
+  ctx.stats = MinerStats{};
+  ctx.deadline = options_.deadline;
+  ctx.cancel = cancel;
+  ctx.path.assign(1, row);
+  ctx.seg_bounds.clear();
+  ctx.seg_bounds.emplace_back(TaskId{row}, 0);
+  ctx.closers.clear();
+  ctx.lane = 0;
+  ctx.published = MinerStats{};
+  ctx.published_groups = 0;
+
+  // Derive the lease's node inputs from the root snapshot exactly as
+  // RunTask derives a spawned task's.
+  const SplitSnapshot& p = *fr.snapshot;
+  DepthScratch& top = ctx.arena[1];
+  top.alive.clear();
+  for (ItemId it : p.alive) {
+    if (tuple_bits_[it].Test(row)) top.alive.push_back(it);
+  }
+  top.cand = p.cands;
+  top.cand.ResetPrefix(row + 1);  // Candidates strictly after row.
+  top.support = p.support;
+  top.support.Set(row);
+  MineIRGs(ctx, 1, fr.supp + (row < m_ ? 1 : 0),
+           fr.supn + (row >= m_ ? 1 : 0));
+
+  // Slice the inline insertions into their segments (mirrors RunTask).
+  std::vector<MineSegment> out;
+  out.reserve(ctx.seg_bounds.size() + ctx.closers.size());
+  for (std::size_t b = 0; b < ctx.seg_bounds.size(); ++b) {
+    const std::size_t begin = ctx.seg_bounds[b].second;
+    const std::size_t end = b + 1 < ctx.seg_bounds.size()
+                                ? ctx.seg_bounds[b + 1].second
+                                : ctx.store.groups.size();
+    if (begin == end) continue;
+    MineSegment seg;
+    seg.id = std::move(ctx.seg_bounds[b].first);
+    seg.groups.assign(
+        std::make_move_iterator(ctx.store.groups.begin() + begin),
+        std::make_move_iterator(ctx.store.groups.begin() + end));
+    out.push_back(std::move(seg));
+  }
+  for (MineSegment& closer : ctx.closers) out.push_back(std::move(closer));
+
+  if (FARMER_PREDICT_FALSE(options_.progress != nullptr)) {
+    PublishProgress(ctx);
+    options_.progress->tasks_completed.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  }
+  if (stats != nullptr) *stats = ctx.stats;
+  ctx.cancel = nullptr;
+  return out;
+}
+
+FarmerResult FarmerMiner::FinalizeFarm(std::vector<MineSegment> segments,
+                                       MinerStats stats) {
+  ApplySimdOverride();
+  FarmerResult result;
+  result.num_rows = n_;
+  result.num_consequent_rows = m_;
+  if (n_ == 0) return result;
+  stats_ = stats;
+
+  // The deterministic merge of RunSearch, fed by uploads instead of the
+  // pool's shared segment vector. Duplicate uploads of the same lease
+  // must NOT reach this point (the coordinator dedups by lease id): two
+  // copies of one segment would double-insert in report-all mode.
+  std::stable_sort(segments.begin(), segments.end(),
+                   [](const MineSegment& a, const MineSegment& b) {
+                     return a.id < b.id;
+                   });
+  obs::Counter* merge_segments =
+      options_.metrics != nullptr
+          ? options_.metrics->GetCounter("farmer.merge.segments")
+          : nullptr;
+  GroupStore merged;
+  merged.by_count_first.resize(n_ + 1);
+  for (MineSegment& seg : segments) {
+    obs::ScopedSpan span(options_.trace, obs::TraceSession::kMainLane,
+                         "merge");
+    span.Arg("groups", static_cast<std::int64_t>(seg.groups.size()));
+    if (merge_segments != nullptr) merge_segments->Increment();
+    for (RuleGroup& g : seg.groups) MergeGroup(merged, std::move(g));
+    if (FARMER_PREDICT_FALSE(options_.verify_invariants)) {
+      ValidateStore(merged);
+    }
+  }
+  return FinalizeResult(std::move(merged));
 }
 
 }  // namespace internal

@@ -18,6 +18,25 @@
 
 namespace farmer {
 
+/// Lexicographic id of a merge event in the parallel (and farm)
+/// search: the row path of the node it belongs to. A task's id is the
+/// path of its root node; a node's own step-7 record is ordered after
+/// its whole subtree by appending kCloserRank (larger than any row
+/// index). Paths ascend along every branch, so id order == sequential
+/// (DFS post-order insertion) order.
+using TaskId = std::vector<std::uint32_t>;
+inline constexpr std::uint32_t kCloserRank = 0xFFFFFFFFu;
+
+/// A contiguous run of the sequential insertion stream, tagged with the
+/// id it merges at. Tasks emit one segment per uninterrupted inline
+/// stretch plus one single-group segment per deferred step-7 record.
+/// This is both the unit of the in-process deterministic merge and the
+/// unit a farm worker uploads to its coordinator.
+struct MineSegment {
+  TaskId id;
+  std::vector<RuleGroup> groups;
+};
+
 /// Result of a FARMER run.
 struct FarmerResult {
   /// The interesting rule groups satisfying all constraints, in discovery
@@ -71,6 +90,57 @@ class FarmerMiner {
 
   FarmerResult Mine();
 
+  // ---- Farm decomposition (distributed mining) -----------------------
+  //
+  // The farm splits the search exactly where the parallel scheme's
+  // SpawnRemaining would split it at the tree root: one lease per root
+  // candidate row surviving the root visit, plus the root's own deferred
+  // step-7 closer. A worker process mines one lease with
+  // MineFarmLease(); the coordinator replays every uploaded segment in
+  // id order with FinalizeFarm(). Because the decomposition and the
+  // merge are the in-process parallel ones verbatim, the farm output is
+  // bit-identical to MineFarmer() on one machine.
+
+  // The root split: which subtrees exist and what the root itself
+  // contributed. Computed once, lazily, by PlanFarm().
+  struct FarmPlan {
+    // True when the root node itself was pruned: no leases, no root
+    // segments — the result is empty (FinalizeFarm({} ...) handles it).
+    bool root_pruned = false;
+    // One lease per surviving root candidate row, ascending. Lease i
+    // mines the subtree rooted at row lease_rows[i].
+    std::vector<std::uint32_t> lease_rows;
+    // The root's own segments: its deferred step-7 closer (when the
+    // root pattern qualifies). Must be merged along with the workers'
+    // uploads.
+    std::vector<MineSegment> root_segments;
+    // Stats of the root visit (nodes_visited etc.).
+    MinerStats root_stats;
+  };
+
+  // Visits the root node once and returns the lease decomposition.
+  // Idempotent; the plan is cached across calls.
+  const FarmPlan& PlanFarm();
+
+  // Mines the subtree of one lease (a row from FarmPlan::lease_rows)
+  // and returns its segments. Reentrant with respect to distinct miner
+  // instances, NOT thread-safe on one instance (workers are
+  // single-threaded processes). `cancel` may be null; when it fires the
+  // partial result must be discarded (stats->timed_out is set). `stats`
+  // may be null.
+  std::vector<MineSegment> MineFarmLease(std::uint32_t row,
+                                         CancelFlag* cancel,
+                                         MinerStats* stats);
+
+  // Replays `segments` (the workers' uploads plus FarmPlan's
+  // root_segments, in any order) through the deterministic id-ordered
+  // merge and finishes exactly like Mine(): top-k cut, MineLB, row-id
+  // remap, metrics export. `stats` seeds the result's counters (the
+  // caller accumulates worker stats); the root visit's stats should be
+  // included by the caller.
+  FarmerResult FinalizeFarm(std::vector<MineSegment> segments,
+                            MinerStats stats);
+
  private:
   // Scratch owned by one depth of the enumeration recursion. All bitsets
   // are sized to the row count once, so steady-state recursion allocates
@@ -106,14 +176,8 @@ class FarmerMiner {
     std::unordered_set<Bitset, BitsetHash> seen_exact;
   };
 
-  // Lexicographic id of a merge event in the parallel search: the row
-  // path of the node it belongs to. A task's id is the path of its root
-  // node; a node's own step-7 record is ordered after its whole subtree
-  // by appending kCloserRank (larger than any row index). Paths ascend
-  // along every branch, so id order == sequential (DFS post-order
-  // insertion) order.
-  using TaskId = std::vector<std::uint32_t>;
-  static constexpr std::uint32_t kCloserRank = 0xFFFFFFFFu;
+  using TaskId = farmer::TaskId;
+  static constexpr std::uint32_t kCloserRank = farmer::kCloserRank;
 
   // Immutable inputs shared by all sibling tasks spawned at one split
   // node: one snapshot allocation per split instead of one full bitset
@@ -142,13 +206,7 @@ class FarmerMiner {
   };
   static constexpr std::uint32_t kExternalWorker = 0xFFFFFFFFu;
 
-  // A contiguous run of the sequential insertion stream, tagged with the
-  // id it merges at. Tasks emit one segment per uninterrupted inline
-  // stretch plus one single-group segment per deferred step-7 record.
-  struct Segment {
-    TaskId id;
-    std::vector<RuleGroup> groups;
-  };
+  using Segment = MineSegment;
 
   struct SearchContext;
 
@@ -300,6 +358,39 @@ class FarmerMiner {
   // with adaptive subtree splitting, followed by the deterministic
   // id-ordered merge. Stats are accumulated into *stats.
   GroupStore RunSearch(MinerStats* stats);
+
+  // Applies options_.simd_level (fatal on an unknown level). Mine() and
+  // the farm entry points all route through this so a worker process
+  // honors the override too.
+  void ApplySimdOverride() const;
+
+  // The shared tail of Mine() and FinalizeFarm(): takes the merged
+  // store (plus stats_ already populated), and produces the final
+  // result — validation, top-k cut, MineLB, row-id remap back to the
+  // caller's ids, metrics export.
+  FarmerResult FinalizeResult(GroupStore store);
+
+  // Root-visit state backing the farm decomposition (PlanFarm /
+  // MineFarmLease derive every lease from this snapshot).
+  struct FarmRoot {
+    FarmPlan plan;
+    std::shared_ptr<const SplitSnapshot> snapshot;  // Null when pruned.
+    std::size_t supp = 0;  // Identified counts after the root visit.
+    std::size_t supn = 0;
+  };
+
+  // Visits the root once and fills farm_root_ (no-op when already done).
+  void EnsureFarmRoot();
+
+  std::unique_ptr<FarmRoot> farm_root_;
+  // Reused across MineFarmLease calls (arena allocation is the dominant
+  // per-lease cost for small subtrees).
+  std::unique_ptr<SearchContext> farm_ctx_;
+  // Dummy shared state handed to farm lease contexts: pool == nullptr
+  // disables splitting, and a non-null ctx.shared keeps the static
+  // top-k confidence floor (the same floor parallel workers use), so a
+  // lease's pruning matches the in-process parallel task exactly.
+  std::unique_ptr<ParallelShared> farm_shared_;
 
   MinerOptions options_;  // Copied: the miner may outlive the caller's copy.
   RowOrder order_;

@@ -1,0 +1,622 @@
+#include "farm/coordinator.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "obs/exposition.h"
+#include "obs/progress.h"
+#include "util/check.h"
+#include "util/net.h"
+#include "util/wire.h"
+
+namespace farmer {
+namespace farm {
+
+namespace {
+
+// epoll_wait timeout: how often the loop scans for heartbeat expiry and
+// notices Stop() without an eventfd wake (same cadence as the serve
+// shards).
+constexpr int kTickMs = 50;
+constexpr int kMaxEpollEvents = 64;
+constexpr std::size_t kReadChunk = 65536;
+// An HTTP scrape request larger than this is dropped.
+constexpr std::size_t kMaxHttpRequest = 1 << 16;
+
+}  // namespace
+
+Coordinator::Coordinator(const BinaryDataset& dataset,
+                         const MinerOptions& options,
+                         const Options& coordinator_options)
+    : dataset_(dataset),
+      miner_options_(options),
+      options_(coordinator_options),
+      miner_(dataset, options),
+      fingerprint_(serve::SnapshotFingerprint::FromDataset(dataset)),
+      params_(serve::SnapshotParams::FromMinerOptions(options)) {
+  if (options_.heartbeat_timeout_s <= 0) options_.heartbeat_timeout_s = 10.0;
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    metrics_.active_workers = m->GetGauge("farm.active_workers");
+    metrics_.leases_pending = m->GetGauge("farm.leases_pending");
+    metrics_.leases_outstanding = m->GetGauge("farm.leases_outstanding");
+    metrics_.nodes_per_sec = m->GetGauge("farm.nodes_per_sec");
+    metrics_.leases_granted = m->GetCounter("farm.leases_granted");
+    metrics_.releases = m->GetCounter("farm.leases_releases");
+    metrics_.results = m->GetCounter("farm.results");
+    metrics_.duplicate_results = m->GetCounter("farm.duplicate_results");
+    metrics_.workers_rejected = m->GetCounter("farm.workers_rejected");
+    metrics_.bytes_in = m->GetCounter("farm.bytes_in");
+    metrics_.bytes_out = m->GetCounter("farm.bytes_out");
+  }
+}
+
+Coordinator::~Coordinator() { Stop(); }
+
+Status Coordinator::Start() {
+  if (started_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("coordinator already started");
+  }
+
+  // Decompose before accepting anyone: the root visit is one node, and
+  // doing it here keeps the loop thread free of mining work.
+  const internal::FarmerMiner::FarmPlan& plan = miner_.PlanFarm();
+  lease_total_ = plan.lease_rows.size();
+  for (const std::uint32_t row : plan.lease_rows) {
+    pending_.insert(row);
+    leases_.emplace(row, LeaseState{});
+  }
+  if (lease_total_ == 0) {
+    MutexLock lock(mutex_);
+    complete_ = true;
+  }
+
+  const Status listening =
+      net::OpenListener(options_.host, options_.port, &listen_fd_, &port_);
+  if (!listening.ok()) return listening;
+  if (!net::SetNonBlocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("fcntl(listener): " +
+                           net::ErrnoString(errno));
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const std::string err = net::ErrnoString(errno);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return Status::IoError("epoll/eventfd: " + err);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  FARMER_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0)
+      << "epoll_ctl(listener): " << net::ErrnoString(errno);
+  ev.data.fd = wake_fd_;
+  FARMER_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0)
+      << "epoll_ctl(eventfd): " << net::ErrnoString(errno);
+
+  started_.store(true, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  loop_thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+bool Coordinator::WaitForCompletion(double timeout_seconds) {
+  MutexLock lock(mutex_);
+  if (timeout_seconds <= 0) {
+    while (!complete_) done_cv_.Wait(mutex_);
+    return true;
+  }
+  const Deadline deadline = Deadline::After(timeout_seconds);
+  while (!complete_) {
+    const double left = deadline.SecondsRemaining();
+    if (left <= 0) return false;
+    done_cv_.WaitForSeconds(mutex_, left);
+  }
+  return true;
+}
+
+bool Coordinator::complete() const {
+  MutexLock lock(mutex_);
+  return complete_;
+}
+
+Coordinator::Stats Coordinator::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+std::size_t Coordinator::lease_total() const { return lease_total_; }
+
+std::size_t Coordinator::lease_remaining() const {
+  MutexLock lock(mutex_);
+  return lease_total_ - static_cast<std::size_t>(stats_.results);
+}
+
+FarmerResult Coordinator::Finalize() {
+  // Stop the loop first: afterwards nothing can append to collected_,
+  // so the merge sees every accepted upload exactly once.
+  Stop();
+  std::vector<MineSegment> segments;
+  MinerStats stats;
+  {
+    MutexLock lock(mutex_);
+    FARMER_CHECK(complete_)
+        << "Finalize() before every lease completed (call "
+           "WaitForCompletion first)";
+    segments = std::move(collected_);
+    collected_.clear();
+    stats = worker_stats_;
+  }
+  const internal::FarmerMiner::FarmPlan& plan = miner_.PlanFarm();
+  for (const MineSegment& seg : plan.root_segments) segments.push_back(seg);
+  stats.MergeFrom(plan.root_stats);
+  return miner_.FinalizeFarm(std::move(segments), stats);
+}
+
+void Coordinator::Stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_, &one, sizeof(one));
+  if (loop_thread_.joinable()) loop_thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  started_.store(false, std::memory_order_release);
+}
+
+// farmer-lint: begin(event-loop)
+// Everything between these markers runs on the coordinator's event-loop
+// thread and must never block: the sockets are non-blocking, partial
+// sends park in per-connection write buffers behind EPOLLOUT, and the
+// merge (Finalize) happens on the caller thread after the loop exits.
+
+void Coordinator::Loop() {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  std::array<epoll_event, kMaxEpollEvents> events;
+  while (true) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(), kMaxEpollEvents,
+                               kTickMs);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[static_cast<std::size_t>(i)];
+      const int fd = ev.data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t junk;
+        while (::read(wake_fd_, &junk, sizeof(junk)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Conn& conn = it->second;
+      bool alive = (ev.events & (EPOLLERR | EPOLLHUP)) == 0;
+      if (alive && (ev.events & EPOLLOUT) != 0) alive = FlushConn(conn);
+      if (alive && (ev.events & EPOLLIN) != 0) alive = HandleReadable(conn);
+      if (!alive) CloseConn(fd);
+    }
+    TickTimeouts();
+    PublishGauges();
+  }
+  // Drain: one best-effort flush per connection, then close.
+  for (auto& entry : conns_) {
+    FlushConn(entry.second);
+    ::close(entry.second.fd);
+  }
+  conns_.clear();
+}
+
+void Coordinator::AcceptReady() {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN / transient failure: next wake retries.
+    if (!net::SetNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    net::SetTcpNoDelay(fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    Conn conn;
+    conn.fd = fd;
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+bool Coordinator::HandleReadable(Conn& conn) {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  char chunk[kReadChunk];
+  bool peer_closed = false;
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.rbuf.append(chunk, static_cast<std::size_t>(n));
+      if (metrics_.bytes_in != nullptr) {
+        metrics_.bytes_in->Add(static_cast<std::uint64_t>(n));
+      }
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;
+  }
+
+  if (conn.state == ConnState::kPreamble) {
+    switch (DetectFarmProtocol(conn.rbuf)) {
+      case FarmDetect::kNeedMore:
+        return !peer_closed;
+      case FarmDetect::kUnknown:
+        return false;
+      case FarmDetect::kFarm:
+        conn.state = ConnState::kFarm;
+        conn.rbuf.erase(0, kFarmPreambleSize);
+        break;
+      case FarmDetect::kHttp:
+        conn.state = ConnState::kHttp;
+        break;
+    }
+  }
+
+  if (conn.state == ConnState::kHttp) {
+    // Serve the scrape once the header block is complete; one response
+    // per connection, then close (HTTP/1.0 style, like the serve
+    // listener's scrape surface).
+    std::size_t header_end = conn.rbuf.find("\r\n\r\n");
+    if (header_end == std::string::npos) header_end = conn.rbuf.find("\n\n");
+    if (header_end == std::string::npos) {
+      if (conn.rbuf.size() > kMaxHttpRequest) return false;
+      return !peer_closed;
+    }
+    const std::size_t line_end = conn.rbuf.find_first_of("\r\n");
+    const std::string line = conn.rbuf.substr(0, line_end);
+    conn.rbuf.clear();
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    std::string path = sp2 == std::string::npos
+                           ? line.substr(sp1 + 1)
+                           : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    std::string response;
+    if (path != "/metrics") {
+      response = net::HttpResponse("404 Not Found", "text/plain",
+                                   "try GET /metrics\n");
+    } else if (options_.metrics == nullptr) {
+      response = net::HttpResponse("503 Service Unavailable", "text/plain",
+                                   "no metrics registry attached\n");
+    } else {
+      response =
+          net::HttpResponse("200 OK", obs::kExpositionContentType,
+                            obs::RenderPrometheus(
+                                options_.metrics->Snapshot()));
+    }
+    conn.close_after_flush = true;
+    return SendFrame(conn, std::move(response));
+  }
+
+  // Farm frames.
+  while (true) {
+    std::size_t consumed = 0;
+    std::uint8_t opcode = 0;
+    std::string_view payload;
+    std::string error;
+    const wire::FrameExtract got =
+        wire::ExtractFrame(conn.rbuf, kMaxFarmFramePayload, &consumed,
+                           &opcode, &payload, &error);
+    if (got == wire::FrameExtract::kNeedMore) break;
+    if (got == wire::FrameExtract::kError) return false;
+    conn.since_frame.Restart();
+    if (!HandleFrame(conn, opcode, payload)) return false;
+    conn.rbuf.erase(0, consumed);
+  }
+  if (conn.close_after_flush && conn.wbuf.empty()) return false;
+  return !peer_closed;
+}
+
+bool Coordinator::HandleFrame(Conn& conn, std::uint8_t opcode,
+                              std::string_view payload) {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  switch (static_cast<FarmOp>(opcode)) {
+    case FarmOp::kHello:
+      return HandleHello(conn, payload);
+    case FarmOp::kLeaseRequest:
+      return payload.empty() && HandleLeaseRequest(conn);
+    case FarmOp::kHeartbeat:
+      return HandleHeartbeat(conn, payload);
+    case FarmOp::kResult:
+      return HandleResult(conn, payload);
+    default:
+      // Coordinator-to-worker opcodes (or junk) from a worker: protocol
+      // error, close.
+      return false;
+  }
+}
+
+bool Coordinator::HandleHello(Conn& conn, std::string_view payload) {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  if (conn.hello_done) return false;
+  HelloMsg hello;
+  if (!DecodeHello(payload, &hello).ok()) return false;
+
+  HelloAckMsg ack;
+  if (hello.version != kFarmProtocolVersion) {
+    ack.reason = "protocol version mismatch";
+  } else if (!(hello.fingerprint == fingerprint_)) {
+    ack.reason = "dataset fingerprint mismatch";
+  } else if (!(hello.params == params_)) {
+    ack.reason = "mining parameter mismatch";
+  } else {
+    ack.accepted = true;
+    ack.worker_id = next_worker_id_++;
+  }
+  if (ack.accepted) {
+    conn.hello_done = true;
+    conn.worker_id = ack.worker_id;
+    conn.name = std::move(hello.worker_name);
+    MutexLock lock(mutex_);
+    ++stats_.workers_seen;
+  } else {
+    conn.close_after_flush = true;
+    if (metrics_.workers_rejected != nullptr) {
+      metrics_.workers_rejected->Increment();
+    }
+    MutexLock lock(mutex_);
+    ++stats_.workers_rejected;
+  }
+  return SendFrame(conn, EncodeHelloAck(ack));
+}
+
+bool Coordinator::HandleLeaseRequest(Conn& conn) {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  if (!conn.hello_done) return false;
+  if (!pending_.empty()) {
+    const std::uint32_t row = *pending_.begin();
+    pending_.erase(pending_.begin());
+    LeaseState& lease = leases_[row];
+    lease.status = LeaseStatus::kLeased;
+    lease.lease_id = next_lease_id_++;
+    lease.holder_fd = conn.fd;
+    conn.held.insert(row);
+    if (metrics_.leases_granted != nullptr) {
+      metrics_.leases_granted->Increment();
+    }
+    {
+      MutexLock lock(mutex_);
+      ++stats_.leases_granted;
+    }
+    LeaseGrantMsg grant;
+    grant.lease_id = lease.lease_id;
+    grant.root_row = row;
+    return SendFrame(conn, EncodeLeaseGrant(grant));
+  }
+  if (done_count_ == lease_total_) {
+    return SendFrame(conn, EncodeEmptyFrame(FarmOp::kDone));
+  }
+  // Everything is leased out but not merged yet; the worker backs off
+  // and asks again (it may yet inherit a re-leased row).
+  return SendFrame(conn, EncodeEmptyFrame(FarmOp::kNoWork));
+}
+
+bool Coordinator::HandleHeartbeat(Conn& conn, std::string_view payload) {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  if (!conn.hello_done) return false;
+  HeartbeatMsg beat;
+  if (!DecodeHeartbeat(payload, &beat).ok()) return false;
+  conn.last_nodes_per_sec = beat.nodes_per_sec;
+  return true;
+}
+
+bool Coordinator::HandleResult(Conn& conn, std::string_view payload) {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  if (!conn.hello_done) return false;
+  ResultMsg msg;
+  if (!DecodeResult(payload, &msg).ok()) return false;
+  auto it = leases_.find(msg.root_row);
+  if (it == leases_.end()) return false;  // Never a lease: protocol error.
+  conn.held.erase(msg.root_row);
+
+  ResultAckMsg ack;
+  ack.lease_id = msg.lease_id;
+  if (it->second.status == LeaseStatus::kDone) {
+    // A re-leased row finished twice (or a duplicate retransmit). First
+    // upload won; this one is discarded before it can reach the merge.
+    ack.fresh = false;
+    if (metrics_.duplicate_results != nullptr) {
+      metrics_.duplicate_results->Increment();
+    }
+    MutexLock lock(mutex_);
+    ++stats_.duplicate_results;
+    return SendFrame(conn, EncodeResultAck(ack));
+  }
+
+  std::vector<MineSegment> segments;
+  if (!DecodeSegments(msg.segments_wire, dataset_.num_rows(), &segments)
+           .ok()) {
+    return false;
+  }
+  it->second.status = LeaseStatus::kDone;
+  it->second.holder_fd = -1;
+  pending_.erase(msg.root_row);
+  ++done_count_;
+  ack.fresh = true;
+  if (metrics_.results != nullptr) metrics_.results->Increment();
+  {
+    MutexLock lock(mutex_);
+    ++stats_.results;
+    for (MineSegment& seg : segments) {
+      collected_.push_back(std::move(seg));
+    }
+    worker_stats_.nodes_visited += msg.nodes_visited;
+    if (msg.mine_seconds > worker_stats_.mine_seconds) {
+      worker_stats_.mine_seconds = msg.mine_seconds;
+    }
+  }
+  if (miner_options_.progress != nullptr) {
+    miner_options_.progress->root_done.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  }
+  CheckCompletion();
+  return SendFrame(conn, EncodeResultAck(ack));
+}
+
+bool Coordinator::SendFrame(Conn& conn, std::string frame) {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  conn.wbuf.append(frame);
+  return FlushConn(conn);
+}
+
+bool Coordinator::FlushConn(Conn& conn) {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  std::size_t sent = 0;
+  while (sent < conn.wbuf.size()) {
+    const ssize_t n = ::send(conn.fd, conn.wbuf.data() + sent,
+                             conn.wbuf.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      if (metrics_.bytes_out != nullptr) {
+        metrics_.bytes_out->Add(static_cast<std::uint64_t>(n));
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    return false;
+  }
+  conn.wbuf.erase(0, sent);
+  const bool want_out = !conn.wbuf.empty();
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_out ? static_cast<std::uint32_t>(EPOLLOUT)
+                                  : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  if (!want_out && conn.close_after_flush) return false;
+  return true;
+}
+
+void Coordinator::CloseConn(int fd) {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  RevokeHeld(it->second, /*notify=*/false);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+void Coordinator::RevokeHeld(Conn& conn, bool notify) {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  for (const std::uint32_t row : conn.held) {
+    auto it = leases_.find(row);
+    if (it == leases_.end() || it->second.status != LeaseStatus::kLeased) {
+      continue;
+    }
+    // Book-keeping strictly before the notify: the wire is observable,
+    // so a peer that saw the revoke frame must also see the release in
+    // stats() and the row back in the pending set.
+    const std::uint64_t stale_lease = it->second.lease_id;
+    it->second.status = LeaseStatus::kPending;
+    it->second.holder_fd = -1;
+    pending_.insert(row);
+    if (metrics_.releases != nullptr) metrics_.releases->Increment();
+    {
+      MutexLock lock(mutex_);
+      ++stats_.releases;
+    }
+    if (notify) {
+      RevokeMsg revoke;
+      revoke.lease_id = stale_lease;
+      SendFrame(conn, EncodeRevoke(revoke));
+    }
+  }
+  conn.held.clear();
+}
+
+void Coordinator::TickTimeouts() {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  for (auto& entry : conns_) {
+    Conn& conn = entry.second;
+    if (conn.held.empty()) continue;
+    if (conn.since_frame.ElapsedSeconds() <= options_.heartbeat_timeout_s) {
+      continue;
+    }
+    // Silent past the deadline: revoke (the worker, if alive, abandons
+    // the lease on receipt) and hand the rows to the next requester.
+    // The connection itself stays open — a stalled worker may recover
+    // and take fresh leases.
+    RevokeHeld(conn, /*notify=*/true);
+  }
+}
+
+void Coordinator::CheckCompletion() {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  if (done_count_ != lease_total_) return;
+  // Tell every connected worker the farm is finished before the caller
+  // tears the loop down; without the broadcast an idle worker only
+  // sees its socket die and wastes its reconnect budget.
+  for (auto& entry : conns_) {
+    Conn& conn = entry.second;
+    if (!conn.hello_done || conn.close_after_flush) continue;
+    SendFrame(conn, EncodeEmptyFrame(FarmOp::kDone));
+  }
+  {
+    MutexLock lock(mutex_);
+    complete_ = true;
+  }
+  done_cv_.NotifyAll();
+}
+
+void Coordinator::PublishGauges() {
+  FARMER_DCHECK_CALLED_ON(checker_);
+  if (options_.metrics == nullptr) return;
+  std::size_t workers = 0;
+  double nodes_per_sec = 0.0;
+  std::size_t outstanding = 0;
+  for (const auto& entry : conns_) {
+    const Conn& conn = entry.second;
+    if (!conn.hello_done) continue;
+    ++workers;
+    nodes_per_sec += conn.last_nodes_per_sec;
+    outstanding += conn.held.size();
+  }
+  metrics_.active_workers->Set(static_cast<double>(workers));
+  metrics_.nodes_per_sec->Set(nodes_per_sec);
+  metrics_.leases_outstanding->Set(static_cast<double>(outstanding));
+  metrics_.leases_pending->Set(static_cast<double>(pending_.size()));
+}
+
+// farmer-lint: end(event-loop)
+
+}  // namespace farm
+}  // namespace farmer

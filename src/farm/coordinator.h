@@ -1,0 +1,215 @@
+#ifndef FARMER_FARM_COORDINATOR_H_
+#define FARMER_FARM_COORDINATOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/farmer.h"
+#include "core/miner_options.h"
+#include "dataset/dataset.h"
+#include "farm/protocol.h"
+#include "obs/metrics.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+#include "util/sync.h"
+#include "util/timer.h"
+
+namespace farmer {
+namespace farm {
+
+/// The mining farm's coordinator: owns the dataset, decomposes the
+/// search into per-root-subtree leases (FarmerMiner::PlanFarm), hands
+/// them to worker processes over FMP1, and merges the uploads back into
+/// a result bit-identical to a single-process MineFarmer() run.
+///
+/// Lease lifecycle:
+///
+///   pending --grant--> leased --result--> done
+///               ^          |
+///               +--revoke--+   (holder died or missed heartbeats)
+///
+/// A lease is revoked when its holder's connection closes or goes
+/// silent past `heartbeat_timeout_s`; the row returns to the pending
+/// set and the next hungry worker re-mines it. A revoked worker that
+/// finishes anyway may still upload; the first upload of a row wins and
+/// later ones are acked `fresh=0` and discarded — duplicates never
+/// reach the merge, which keeps it deterministic.
+///
+/// Threading: Start() spawns one event-loop thread (epoll,
+/// level-triggered, same discipline as the serve shards) that owns all
+/// connection and lease state (ThreadChecker-confined). The caller
+/// thread talks to it only through the mutex-guarded completion state
+/// and stats. Finalize() runs on the caller thread after completion,
+/// when the loop can no longer append segments.
+class Coordinator {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;  // 0 = ephemeral; read the bound port with port().
+    /// A worker silent for longer than this has its leases revoked.
+    double heartbeat_timeout_s = 10.0;
+    /// Optional metrics sink: farm.* counters/gauges, plus the "GET "
+    /// scrape surface on the listener.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  struct Stats {
+    std::uint64_t leases_granted = 0;
+    std::uint64_t releases = 0;  // Leases revoked and re-queued.
+    std::uint64_t results = 0;   // Fresh uploads accepted.
+    std::uint64_t duplicate_results = 0;
+    std::uint64_t workers_seen = 0;
+    std::uint64_t workers_rejected = 0;
+  };
+
+  Coordinator(const BinaryDataset& dataset, const MinerOptions& options,
+              const Options& coordinator_options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Plans the decomposition, opens the listener, starts the loop.
+  Status Start();
+
+  /// The bound listen port (valid after Start()).
+  int port() const { return port_; }
+
+  /// Blocks until every lease is merged. Returns false on timeout
+  /// (non-positive = wait forever).
+  bool WaitForCompletion(double timeout_seconds);
+
+  /// True once every lease's result has been merged.
+  bool complete() const;
+
+  /// Merges all uploads plus the root's own segments and finishes the
+  /// mine (top-k, MineLB, row-id remap). Call once, after
+  /// WaitForCompletion() succeeded; stops the loop first so no upload
+  /// can race the merge.
+  FarmerResult Finalize();
+
+  /// Stops the event loop and closes every connection. Idempotent.
+  void Stop();
+
+  Stats stats() const;
+
+  /// Total and remaining lease counts (for progress displays).
+  std::size_t lease_total() const;
+  std::size_t lease_remaining() const;
+
+ private:
+  enum class ConnState : std::uint8_t {
+    kPreamble,  // Waiting for "FMP1" / "GET ".
+    kFarm,      // Frames.
+    kHttp,      // Metrics scrape: flush the response, then close.
+  };
+
+  enum class LeaseStatus : std::uint8_t { kPending, kLeased, kDone };
+
+  struct Conn {
+    int fd = -1;
+    ConnState state = ConnState::kPreamble;
+    bool hello_done = false;
+    bool close_after_flush = false;
+    std::uint32_t worker_id = 0;
+    std::string name;
+    std::string rbuf;
+    std::string wbuf;
+    /// Rows this connection currently holds a lease on.
+    std::set<std::uint32_t> held;
+    /// Time since the last frame (any frame counts as liveness).
+    Stopwatch since_frame;
+    double last_nodes_per_sec = 0.0;
+  };
+
+  struct LeaseState {
+    LeaseStatus status = LeaseStatus::kPending;
+    std::uint64_t lease_id = 0;  // Current (latest) lease of the row.
+    int holder_fd = -1;
+  };
+
+  // ---- Event-loop thread (all state below `checker_` is confined) ----
+  void Loop();
+  void AcceptReady();
+  bool HandleReadable(Conn& conn);
+  bool HandleFrame(Conn& conn, std::uint8_t opcode,
+                   std::string_view payload);
+  bool HandleHello(Conn& conn, std::string_view payload);
+  bool HandleLeaseRequest(Conn& conn);
+  bool HandleHeartbeat(Conn& conn, std::string_view payload);
+  bool HandleResult(Conn& conn, std::string_view payload);
+  /// Queues bytes on the connection and flushes what the socket takes.
+  bool SendFrame(Conn& conn, std::string frame);
+  bool FlushConn(Conn& conn);
+  void CloseConn(int fd);
+  /// Returns every lease `conn` holds to the pending set.
+  void RevokeHeld(Conn& conn, bool notify);
+  void TickTimeouts();
+  void CheckCompletion();
+  void PublishGauges();
+
+  const BinaryDataset& dataset_;
+  MinerOptions miner_options_;
+  Options options_;
+  internal::FarmerMiner miner_;
+  serve::SnapshotFingerprint fingerprint_;
+  serve::SnapshotParams params_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int port_ = 0;
+  std::thread loop_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  /// Binds to the loop thread on its first iteration; every handler
+  /// asserts it runs there.
+  ThreadChecker checker_;
+  // Loop-confined state (no locks: single owner thread).
+  std::map<int, Conn> conns_;
+  std::map<std::uint32_t, LeaseState> leases_;  // Keyed by root row.
+  std::set<std::uint32_t> pending_;
+  std::size_t done_count_ = 0;
+  std::uint64_t next_lease_id_ = 1;
+  std::uint32_t next_worker_id_ = 1;
+
+  mutable Mutex mutex_;
+  CondVar done_cv_;
+  bool complete_ FARMER_GUARDED_BY(mutex_) = false;
+  Stats stats_ FARMER_GUARDED_BY(mutex_);
+  /// Accepted uploads, decoded. Appended by the loop, drained by
+  /// Finalize() after the loop stopped.
+  std::vector<MineSegment> collected_ FARMER_GUARDED_BY(mutex_);
+  /// Aggregated worker-side stats (nodes, mine seconds).
+  MinerStats worker_stats_ FARMER_GUARDED_BY(mutex_);
+
+  struct Metrics {
+    obs::Gauge* active_workers = nullptr;
+    obs::Gauge* leases_pending = nullptr;
+    obs::Gauge* leases_outstanding = nullptr;
+    obs::Gauge* nodes_per_sec = nullptr;
+    obs::Counter* leases_granted = nullptr;
+    obs::Counter* releases = nullptr;
+    obs::Counter* results = nullptr;
+    obs::Counter* duplicate_results = nullptr;
+    obs::Counter* workers_rejected = nullptr;
+    obs::Counter* bytes_in = nullptr;
+    obs::Counter* bytes_out = nullptr;
+  } metrics_;
+
+  std::size_t lease_total_ = 0;
+};
+
+}  // namespace farm
+}  // namespace farmer
+
+#endif  // FARMER_FARM_COORDINATOR_H_

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "util/simd/simd.h"
+#include "util/wire.h"
 
 namespace farmer {
 namespace serve {
@@ -265,71 +266,14 @@ bool GetItems(const JsonValue& v, ItemVector* out) {
 }
 
 // ---------------------------------------------------------------------
-// Little-endian scalar encoding shared by the FQP1 frame functions.
+// Little-endian scalar encoding shared by the FQP1 frame functions:
+// one implementation in util/wire, shared with the farm protocol
+// (FMP1), so both protocols run the same fuzzed codec.
 
-void PutU32(std::string* out, std::uint32_t v) {
-  out->push_back(static_cast<char>(v & 0xFF));
-  out->push_back(static_cast<char>((v >> 8) & 0xFF));
-  out->push_back(static_cast<char>((v >> 16) & 0xFF));
-  out->push_back(static_cast<char>((v >> 24) & 0xFF));
-}
-
-void PutU64(std::string* out, std::uint64_t v) {
-  PutU32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
-  PutU32(out, static_cast<std::uint32_t>(v >> 32));
-}
-
-void PutF64(std::string* out, double v) {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(out, bits);
-}
-
-/// A bounds-checked little-endian reader over a frame payload.
-class PayloadReader {
- public:
-  explicit PayloadReader(std::string_view data) : data_(data) {}
-
-  bool ReadU8(std::uint8_t* out) {
-    if (data_.size() - pos_ < 1) return false;
-    *out = static_cast<std::uint8_t>(data_[pos_]);
-    pos_ += 1;
-    return true;
-  }
-
-  bool ReadU32(std::uint32_t* out) {
-    if (data_.size() - pos_ < 4) return false;
-    std::uint32_t v = 0;
-    for (int i = 3; i >= 0; --i) {
-      v = (v << 8) |
-          static_cast<std::uint8_t>(data_[pos_ + static_cast<size_t>(i)]);
-    }
-    *out = v;
-    pos_ += 4;
-    return true;
-  }
-
-  bool ReadU64(std::uint64_t* out) {
-    std::uint32_t lo = 0;
-    std::uint32_t hi = 0;
-    if (!ReadU32(&lo) || !ReadU32(&hi)) return false;
-    *out = (static_cast<std::uint64_t>(hi) << 32) | lo;
-    return true;
-  }
-
-  bool ReadF64(double* out) {
-    std::uint64_t bits = 0;
-    if (!ReadU64(&bits)) return false;
-    std::memcpy(out, &bits, sizeof(*out));
-    return true;
-  }
-
-  bool AtEnd() const { return pos_ == data_.size(); }
-
- private:
-  std::string_view data_;
-  std::size_t pos_ = 0;
-};
+using wire::PutF64;
+using wire::PutU32;
+using wire::PutU64;
+using PayloadReader = wire::Reader;
 
 }  // namespace
 
@@ -381,26 +325,16 @@ ProtocolDetect DetectProtocol(std::string_view prefix) {
 FrameExtract ExtractFrame(std::string_view buffer, std::size_t* consumed,
                           std::uint8_t* opcode, std::string_view* payload,
                           std::string* error) {
-  if (buffer.size() < 4) return FrameExtract::kNeedMore;
-  std::uint32_t length = 0;
-  for (int i = 3; i >= 0; --i) {
-    length = (length << 8) |
-             static_cast<std::uint8_t>(buffer[static_cast<size_t>(i)]);
+  switch (wire::ExtractFrame(buffer, kMaxFramePayload, consumed, opcode,
+                             payload, error)) {
+    case wire::FrameExtract::kComplete:
+      return FrameExtract::kComplete;
+    case wire::FrameExtract::kNeedMore:
+      return FrameExtract::kNeedMore;
+    case wire::FrameExtract::kError:
+      break;
   }
-  if (length < 1) {
-    *error = "frame length 0 (a frame is at least its opcode byte)";
-    return FrameExtract::kError;
-  }
-  if (length > 1 + kMaxFramePayload) {
-    *error = "frame length " + std::to_string(length) + " exceeds " +
-             std::to_string(1 + kMaxFramePayload) + " bytes";
-    return FrameExtract::kError;
-  }
-  if (buffer.size() - 4 < length) return FrameExtract::kNeedMore;
-  *opcode = static_cast<std::uint8_t>(buffer[4]);
-  *payload = buffer.substr(5, length - 1);
-  *consumed = 4 + static_cast<std::size_t>(length);
-  return FrameExtract::kComplete;
+  return FrameExtract::kError;
 }
 
 Status ParseBinaryRequest(std::uint8_t opcode, std::string_view payload,

@@ -25,6 +25,7 @@
 
 #include "obs/exposition.h"
 #include "serve/snapshot.h"
+#include "util/net.h"
 
 namespace farmer {
 namespace serve {
@@ -62,53 +63,24 @@ std::vector<double> ReloadBounds() {
   return {1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0};
 }
 
-// Thread-safe errno rendering. std::strerror may hand back a shared
-// static buffer (clang-tidy concurrency-mt-unsafe), and this file runs
-// on the acceptor plus every shard thread, so go through strerror_r.
-// The overload pair absorbs both strerror_r flavors (XSI returns int,
-// GNU returns the message pointer) without feature-macro guessing.
-[[maybe_unused]] const char* StrerrorResult(int rc, const char* buf) {
-  return rc == 0 ? buf : "unknown error";
-}
-[[maybe_unused]] const char* StrerrorResult(const char* msg,
-                                            const char* /*buf*/) {
-  return msg;
-}
-
-std::string ErrnoString(int err) {
-  char buf[256];
-  buf[0] = '\0';
-  return StrerrorResult(strerror_r(err, buf, sizeof(buf)), buf);
-}
+// The POSIX socket plumbing (errno rendering, non-blocking mode,
+// listener setup, HTTP responses) lives in util/net, shared with the
+// farm layer and the CLI clients.
+using net::ErrnoString;
+using net::HttpResponse;
+using net::OpenListener;
+using net::SetNonBlocking;
 
 // Blocking best-effort send for the reject path (overloaded /
 // shutting-down replies on not-yet-admitted sockets). SO_SNDTIMEO
 // bounds each attempt; a stalled peer just loses the courtesy reply.
 void SendRejectLine(int fd, std::string line) {
   line.push_back('\n');
-  std::size_t sent = 0;
-  while (sent < line.size()) {
-    const ssize_t n =
-        ::send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return;  // Timed out or peer gone: give up on the courtesy reply.
-    }
-    sent += static_cast<std::size_t>(n);
-  }
+  net::SendAll(fd, line);
 }
 
 void SetRejectTimeout(int fd) {
-  timeval tv;
-  tv.tv_sec = kRejectIoTimeoutMs / 1000;
-  tv.tv_usec = (kRejectIoTimeoutMs % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-bool SetNonBlocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0) return false;
-  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+  net::SetSendTimeoutMs(fd, kRejectIoTimeoutMs);
 }
 
 const char* SpanName(QueryRequest::Op op) {
@@ -132,62 +104,6 @@ const char* SpanName(QueryRequest::Op op) {
       return "serve.metrics";
   }
   return "serve.request";
-}
-
-// Minimal HTTP/1.0 response for the scrape surface: enough for curl
-// and a Prometheus scraper, always Connection: close.
-std::string HttpResponse(const char* status_line, const char* content_type,
-                         std::string_view body) {
-  std::string out = "HTTP/1.0 ";
-  out += status_line;
-  out += "\r\nContent-Type: ";
-  out += content_type;
-  out += "\r\nContent-Length: ";
-  out += std::to_string(body.size());
-  out += "\r\nConnection: close\r\n\r\n";
-  out.append(body.data(), body.size());
-  return out;
-}
-
-// Creates a bound, listening TCP socket on host:port. On success fills
-// *out_fd and *out_port (the latter resolving ephemeral binds).
-Status OpenListener(const std::string& host, int port, int* out_fd,
-                    int* out_port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Status::IoError("socket(): " + ErrnoString(errno));
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad listen address: " + host);
-  }
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const std::string err = ErrnoString(errno);
-    ::close(fd);
-    return Status::IoError("bind(): " + err);
-  }
-  if (::listen(fd, SOMAXCONN) != 0) {
-    const std::string err = ErrnoString(errno);
-    ::close(fd);
-    return Status::IoError("listen(): " + err);
-  }
-  sockaddr_in bound;
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) != 0) {
-    const std::string err = ErrnoString(errno);
-    ::close(fd);
-    return Status::IoError("getsockname(): " + err);
-  }
-  *out_fd = fd;
-  *out_port = ntohs(bound.sin_port);
-  return Status::Ok();
 }
 
 }  // namespace
@@ -479,8 +395,7 @@ bool Server::AcceptOne(int lfd, bool admission_exempt,
   }
   // Responses are coalesced into full frames before sending; Nagle
   // would only add latency on the last partial segment.
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  net::SetTcpNoDelay(fd);
 
   Shard& shard = *shards_[*next_shard];
   *next_shard = (*next_shard + 1) % shards_.size();

@@ -1,0 +1,397 @@
+// End-to-end farm tests: a real Coordinator and real Workers talking
+// FMP1 over localhost, plus a raw scripted client for the failure
+// paths — death mid-lease, duplicate uploads, heartbeat-timeout
+// revocation, and hello rejection. The headline assertion everywhere:
+// whatever goes wrong short of losing the coordinator, the merged farm
+// result is bit-identical to a single-process MineFarmer() run.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/farmer.h"
+#include "core/miner_options.h"
+#include "dataset/dataset.h"
+#include "farm/coordinator.h"
+#include "farm/protocol.h"
+#include "farm/worker.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+#include "util/net.h"
+#include "util/wire.h"
+
+namespace farmer {
+namespace farm {
+namespace {
+
+using testing_util::RandomDataset;
+
+void ExpectIdenticalResults(const FarmerResult& want,
+                            const FarmerResult& got) {
+  ASSERT_EQ(want.groups.size(), got.groups.size());
+  for (std::size_t i = 0; i < want.groups.size(); ++i) {
+    SCOPED_TRACE("group " + std::to_string(i));
+    const RuleGroup& a = want.groups[i];
+    const RuleGroup& b = got.groups[i];
+    EXPECT_EQ(a.antecedent, b.antecedent);
+    EXPECT_EQ(a.rows, b.rows);
+    EXPECT_EQ(a.support_pos, b.support_pos);
+    EXPECT_EQ(a.support_neg, b.support_neg);
+    EXPECT_EQ(a.confidence, b.confidence);
+    EXPECT_EQ(a.chi_square, b.chi_square);
+    EXPECT_EQ(a.lower_bounds, b.lower_bounds);
+    EXPECT_EQ(a.lower_bounds_truncated, b.lower_bounds_truncated);
+  }
+  EXPECT_EQ(want.num_rows, got.num_rows);
+  EXPECT_EQ(want.num_consequent_rows, got.num_consequent_rows);
+}
+
+// A blocking scripted FMP1 client for driving the coordinator into
+// exact protocol states a well-behaved Worker never produces.
+class RawClient {
+ public:
+  ~RawClient() { Close(); }
+
+  bool Connect(int port) {
+    return net::ConnectToHost("127.0.0.1", port, 5.0, &fd_).ok();
+  }
+
+  bool Send(std::string_view bytes) { return net::SendAll(fd_, bytes); }
+
+  bool SendPreambleAndHello(const HelloMsg& hello) {
+    std::string bytes(kFarmPreamble, kFarmPreambleSize);
+    bytes += EncodeHello(hello);
+    return Send(bytes);
+  }
+
+  // Reads one frame (blocking). Returns false on EOF / error.
+  bool ReadFrame(std::uint8_t* opcode, std::string* payload) {
+    while (true) {
+      std::size_t consumed = 0;
+      std::string_view view;
+      std::string error;
+      const wire::FrameExtract got =
+          wire::ExtractFrame(buf_, kMaxFarmFramePayload, &consumed, opcode,
+                             &view, &error);
+      if (got == wire::FrameExtract::kComplete) {
+        *payload = std::string(view);
+        buf_.erase(0, consumed);
+        return true;
+      }
+      if (got == wire::FrameExtract::kError) return false;
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  // Hello + ack convenience; returns the ack.
+  HelloAckMsg Handshake(const HelloMsg& hello) {
+    HelloAckMsg ack;
+    if (!SendPreambleAndHello(hello)) return ack;
+    std::uint8_t opcode = 0;
+    std::string payload;
+    if (!ReadFrame(&opcode, &payload)) return ack;
+    EXPECT_EQ(static_cast<FarmOp>(opcode), FarmOp::kHelloAck);
+    EXPECT_TRUE(DecodeHelloAck(payload, &ack).ok());
+    return ack;
+  }
+
+  // Requests a lease; EXPECTs a grant and returns it.
+  LeaseGrantMsg RequestLease() {
+    LeaseGrantMsg grant;
+    EXPECT_TRUE(Send(EncodeEmptyFrame(FarmOp::kLeaseRequest)));
+    std::uint8_t opcode = 0;
+    std::string payload;
+    EXPECT_TRUE(ReadFrame(&opcode, &payload));
+    EXPECT_EQ(static_cast<FarmOp>(opcode), FarmOp::kLeaseGrant);
+    EXPECT_TRUE(DecodeLeaseGrant(payload, &grant).ok());
+    return grant;
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    buf_.clear();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+HelloMsg MakeHello(const BinaryDataset& dataset, const MinerOptions& opts) {
+  HelloMsg hello;
+  hello.fingerprint = serve::SnapshotFingerprint::FromDataset(dataset);
+  hello.params = serve::SnapshotParams::FromMinerOptions(opts);
+  hello.simd_level = "test";
+  hello.worker_name = "raw";
+  return hello;
+}
+
+// Runs `count` real workers to completion against the coordinator's
+// port; EXPECTs every Run() to come back Ok.
+void RunWorkers(const BinaryDataset& dataset, const MinerOptions& opts,
+                int port, int count) {
+  std::vector<std::thread> threads;
+  std::vector<Status> statuses(static_cast<std::size_t>(count));
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (int i = 0; i < count; ++i) {
+    Worker::Options wopts;
+    wopts.port = port;
+    wopts.name = "w" + std::to_string(i);
+    wopts.no_work_poll_s = 0.02;
+    workers.push_back(std::make_unique<Worker>(dataset, opts, wopts));
+  }
+  for (int i = 0; i < count; ++i) {
+    threads.emplace_back([&, i] { statuses[i] = workers[i]->Run(); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < count; ++i) {
+    EXPECT_TRUE(statuses[i].ok()) << "worker " << i << ": "
+                                  << statuses[i].ToString();
+  }
+}
+
+TEST(FarmE2ETest, TwoWorkersBitIdentical) {
+  const BinaryDataset dataset = RandomDataset(20, 24, 0.3, 3);
+  MinerOptions opts;
+  opts.min_support = 2;
+  opts.min_confidence = 0.6;
+  const FarmerResult single = MineFarmer(dataset, opts);
+
+  obs::MetricsRegistry metrics;
+  Coordinator::Options copts;
+  copts.metrics = &metrics;
+  Coordinator coordinator(dataset, opts, copts);
+  ASSERT_TRUE(coordinator.Start().ok());
+  ASSERT_GT(coordinator.port(), 0);
+
+  RunWorkers(dataset, opts, coordinator.port(), 2);
+  ASSERT_TRUE(coordinator.WaitForCompletion(30.0));
+  const FarmerResult farm = coordinator.Finalize();
+  ExpectIdenticalResults(single, farm);
+  EXPECT_EQ(single.stats.nodes_visited, farm.stats.nodes_visited);
+
+  const Coordinator::Stats stats = coordinator.stats();
+  EXPECT_EQ(stats.workers_seen, 2u);
+  EXPECT_EQ(stats.results, coordinator.lease_total());
+  EXPECT_EQ(stats.duplicate_results, 0u);
+}
+
+TEST(FarmE2ETest, WorkerKilledMidLeaseIsReleased) {
+  const BinaryDataset dataset = RandomDataset(18, 22, 0.3, 7);
+  MinerOptions opts;
+  opts.min_support = 2;
+  const FarmerResult single = MineFarmer(dataset, opts);
+
+  Coordinator coordinator(dataset, opts, Coordinator::Options{});
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  // A "worker" takes a lease and then dies without uploading. The
+  // coordinator must revoke on disconnect and hand the row to the next
+  // requester.
+  RawClient raw;
+  ASSERT_TRUE(raw.Connect(coordinator.port()));
+  ASSERT_TRUE(raw.Handshake(MakeHello(dataset, opts)).accepted);
+  const LeaseGrantMsg grant = raw.RequestLease();
+  EXPECT_NE(grant.lease_id, 0u);
+  raw.Close();  // Simulated SIGKILL.
+
+  RunWorkers(dataset, opts, coordinator.port(), 1);
+  ASSERT_TRUE(coordinator.WaitForCompletion(30.0));
+  const FarmerResult farm = coordinator.Finalize();
+  ExpectIdenticalResults(single, farm);
+
+  const Coordinator::Stats stats = coordinator.stats();
+  EXPECT_GE(stats.releases, 1u);
+  EXPECT_EQ(stats.duplicate_results, 0u);
+}
+
+TEST(FarmE2ETest, DuplicateUploadIsDiscardedDeterministically) {
+  const BinaryDataset dataset = RandomDataset(16, 20, 0.35, 9);
+  MinerOptions opts;
+  opts.min_support = 2;
+  opts.report_all_rule_groups = true;  // Where duplicates would corrupt.
+  const FarmerResult single = MineFarmer(dataset, opts);
+
+  Coordinator coordinator(dataset, opts, Coordinator::Options{});
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  // Mine one lease out-of-band so the raw client can upload it twice.
+  internal::FarmerMiner miner(dataset, opts);
+  miner.PlanFarm();
+
+  RawClient raw;
+  ASSERT_TRUE(raw.Connect(coordinator.port()));
+  ASSERT_TRUE(raw.Handshake(MakeHello(dataset, opts)).accepted);
+  const LeaseGrantMsg grant = raw.RequestLease();
+
+  ResultMsg result;
+  result.lease_id = grant.lease_id;
+  result.root_row = grant.root_row;
+  result.segments_wire = EncodeSegments(
+      miner.MineFarmLease(grant.root_row, nullptr, nullptr));
+  ASSERT_TRUE(raw.Send(EncodeResult(result)));
+  std::uint8_t opcode = 0;
+  std::string payload;
+  ASSERT_TRUE(raw.ReadFrame(&opcode, &payload));
+  ASSERT_EQ(static_cast<FarmOp>(opcode), FarmOp::kResultAck);
+  ResultAckMsg ack;
+  ASSERT_TRUE(DecodeResultAck(payload, &ack).ok());
+  EXPECT_TRUE(ack.fresh);
+
+  // Same upload again: acked, but flagged stale and never merged.
+  ASSERT_TRUE(raw.Send(EncodeResult(result)));
+  ASSERT_TRUE(raw.ReadFrame(&opcode, &payload));
+  ASSERT_EQ(static_cast<FarmOp>(opcode), FarmOp::kResultAck);
+  ASSERT_TRUE(DecodeResultAck(payload, &ack).ok());
+  EXPECT_FALSE(ack.fresh);
+  raw.Close();
+
+  RunWorkers(dataset, opts, coordinator.port(), 1);
+  ASSERT_TRUE(coordinator.WaitForCompletion(30.0));
+  const FarmerResult farm = coordinator.Finalize();
+  ExpectIdenticalResults(single, farm);
+  EXPECT_EQ(coordinator.stats().duplicate_results, 1u);
+}
+
+TEST(FarmE2ETest, SilentWorkerHasLeaseRevokedAndReLeased) {
+  const BinaryDataset dataset = RandomDataset(14, 20, 0.3, 13);
+  MinerOptions opts;
+  opts.min_support = 2;
+  const FarmerResult single = MineFarmer(dataset, opts);
+
+  Coordinator::Options copts;
+  copts.heartbeat_timeout_s = 0.3;
+  Coordinator coordinator(dataset, opts, copts);
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  RawClient raw;
+  ASSERT_TRUE(raw.Connect(coordinator.port()));
+  ASSERT_TRUE(raw.Handshake(MakeHello(dataset, opts)).accepted);
+  const LeaseGrantMsg grant = raw.RequestLease();
+
+  // Go silent. Past the heartbeat timeout the coordinator must send
+  // kRevoke for the held lease (the connection itself stays open).
+  std::uint8_t opcode = 0;
+  std::string payload;
+  ASSERT_TRUE(raw.ReadFrame(&opcode, &payload));
+  ASSERT_EQ(static_cast<FarmOp>(opcode), FarmOp::kRevoke);
+  RevokeMsg revoke;
+  ASSERT_TRUE(DecodeRevoke(payload, &revoke).ok());
+  EXPECT_EQ(revoke.lease_id, grant.lease_id);
+  EXPECT_GE(coordinator.stats().releases, 1u);
+
+  // The revoked row must be grantable again — possibly to the same
+  // connection, which is still welcome to take fresh leases.
+  const LeaseGrantMsg again = raw.RequestLease();
+  EXPECT_NE(again.lease_id, grant.lease_id);
+  raw.Close();
+
+  RunWorkers(dataset, opts, coordinator.port(), 1);
+  ASSERT_TRUE(coordinator.WaitForCompletion(30.0));
+  ExpectIdenticalResults(single, coordinator.Finalize());
+}
+
+TEST(FarmE2ETest, MismatchedWorkersAreRejected) {
+  const BinaryDataset dataset = RandomDataset(14, 20, 0.3, 17);
+  MinerOptions opts;
+  opts.min_support = 2;
+
+  Coordinator coordinator(dataset, opts, Coordinator::Options{});
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  {
+    // Wrong dataset fingerprint.
+    RawClient raw;
+    ASSERT_TRUE(raw.Connect(coordinator.port()));
+    HelloMsg hello = MakeHello(dataset, opts);
+    hello.fingerprint.dataset_hash ^= 1;
+    const HelloAckMsg ack = raw.Handshake(hello);
+    EXPECT_FALSE(ack.accepted);
+    EXPECT_NE(ack.reason.find("fingerprint"), std::string::npos)
+        << ack.reason;
+  }
+  {
+    // Wrong mining parameters.
+    RawClient raw;
+    ASSERT_TRUE(raw.Connect(coordinator.port()));
+    MinerOptions other = opts;
+    other.min_support = opts.min_support + 1;
+    const HelloAckMsg ack = raw.Handshake(MakeHello(dataset, other));
+    EXPECT_FALSE(ack.accepted);
+    EXPECT_NE(ack.reason.find("parameter"), std::string::npos)
+        << ack.reason;
+  }
+  {
+    // Wrong protocol version.
+    RawClient raw;
+    ASSERT_TRUE(raw.Connect(coordinator.port()));
+    HelloMsg hello = MakeHello(dataset, opts);
+    hello.version = kFarmProtocolVersion + 1;
+    const HelloAckMsg ack = raw.Handshake(hello);
+    EXPECT_FALSE(ack.accepted);
+    EXPECT_NE(ack.reason.find("version"), std::string::npos) << ack.reason;
+  }
+
+  // A real Worker built with mismatched options reports the rejection
+  // as InvalidArgument — not retryable, not a crash.
+  MinerOptions other = opts;
+  other.min_confidence = 0.9;
+  Worker::Options wopts;
+  wopts.port = coordinator.port();
+  Worker worker(dataset, other, wopts);
+  const Status status = worker.Run();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_EQ(coordinator.stats().workers_rejected, 4u);
+
+  // The farm still completes with a matching worker.
+  RunWorkers(dataset, opts, coordinator.port(), 1);
+  ASSERT_TRUE(coordinator.WaitForCompletion(30.0));
+  ExpectIdenticalResults(MineFarmer(dataset, opts), coordinator.Finalize());
+}
+
+TEST(FarmE2ETest, MetricsScrapeOnTheFarmListener) {
+  const BinaryDataset dataset = RandomDataset(12, 18, 0.3, 19);
+  MinerOptions opts;
+  opts.min_support = 2;
+
+  obs::MetricsRegistry metrics;
+  Coordinator::Options copts;
+  copts.metrics = &metrics;
+  Coordinator coordinator(dataset, opts, copts);
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  int fd = -1;
+  ASSERT_TRUE(net::ConnectToHost("127.0.0.1", coordinator.port(), 5.0, &fd)
+                  .ok());
+  ASSERT_TRUE(
+      net::SendAll(fd, "GET /metrics HTTP/1.1\r\n\r\n"));
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("farm"), std::string::npos) << response;
+
+  coordinator.Stop();
+}
+
+}  // namespace
+}  // namespace farm
+}  // namespace farmer

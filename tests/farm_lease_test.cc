@@ -1,0 +1,203 @@
+// The farm decomposition's determinism contract: PlanFarm +
+// MineFarmLease over every lease + FinalizeFarm must be bit-identical
+// to a single-process MineFarmer() run — same groups, same order, same
+// floats — for any option set and any upload order.
+
+#include <algorithm>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/farmer.h"
+#include "core/miner_options.h"
+#include "dataset/dataset.h"
+#include "test_util.h"
+
+namespace farmer {
+namespace {
+
+using testing_util::PaperExampleDataset;
+using testing_util::RandomDataset;
+
+void ExpectIdenticalResults(const FarmerResult& want,
+                            const FarmerResult& got) {
+  ASSERT_EQ(want.groups.size(), got.groups.size());
+  for (std::size_t i = 0; i < want.groups.size(); ++i) {
+    SCOPED_TRACE("group " + std::to_string(i));
+    const RuleGroup& a = want.groups[i];
+    const RuleGroup& b = got.groups[i];
+    EXPECT_EQ(a.antecedent, b.antecedent);
+    EXPECT_EQ(a.rows, b.rows);
+    EXPECT_EQ(a.support_pos, b.support_pos);
+    EXPECT_EQ(a.support_neg, b.support_neg);
+    EXPECT_EQ(a.confidence, b.confidence);  // Bit-identical.
+    EXPECT_EQ(a.chi_square, b.chi_square);
+    EXPECT_EQ(a.lower_bounds, b.lower_bounds);
+    EXPECT_EQ(a.lower_bounds_truncated, b.lower_bounds_truncated);
+  }
+  EXPECT_EQ(want.num_rows, got.num_rows);
+  EXPECT_EQ(want.num_consequent_rows, got.num_consequent_rows);
+}
+
+// Mines every lease of `dataset` with one FarmerMiner (the "worker"),
+// optionally shuffles the upload order, and finalizes with another (the
+// "coordinator") — the two-instance split mirrors the real deployment,
+// where planner and workers are separate processes.
+FarmerResult MineViaFarm(const BinaryDataset& dataset,
+                         const MinerOptions& opts,
+                         std::uint64_t shuffle_seed) {
+  internal::FarmerMiner worker(dataset, opts);
+  const internal::FarmerMiner::FarmPlan& plan = worker.PlanFarm();
+  std::vector<MineSegment> uploads;
+  MinerStats stats;
+  if (!plan.root_pruned) {
+    for (const std::uint32_t row : plan.lease_rows) {
+      MinerStats lease_stats;
+      std::vector<MineSegment> segments =
+          worker.MineFarmLease(row, nullptr, &lease_stats);
+      stats.MergeFrom(lease_stats);
+      for (MineSegment& seg : segments) uploads.push_back(std::move(seg));
+    }
+  }
+  if (shuffle_seed != 0) {
+    std::mt19937_64 rng(shuffle_seed);
+    std::shuffle(uploads.begin(), uploads.end(), rng);
+  }
+
+  internal::FarmerMiner coordinator(dataset, opts);
+  const internal::FarmerMiner::FarmPlan& cplan = coordinator.PlanFarm();
+  EXPECT_EQ(cplan.root_pruned, plan.root_pruned);
+  EXPECT_EQ(cplan.lease_rows, plan.lease_rows);
+  for (const MineSegment& seg : cplan.root_segments) {
+    uploads.push_back(seg);
+  }
+  stats.MergeFrom(cplan.root_stats);
+  return coordinator.FinalizeFarm(std::move(uploads), stats);
+}
+
+void ExpectFarmInvariant(const BinaryDataset& dataset, MinerOptions opts,
+                         bool expect_same_nodes = true) {
+  opts.num_threads = 1;
+  const FarmerResult single = MineFarmer(dataset, opts);
+  EXPECT_FALSE(single.stats.timed_out);
+  for (const std::uint64_t shuffle_seed : {0ull, 1ull, 99ull}) {
+    SCOPED_TRACE("shuffle seed " + std::to_string(shuffle_seed));
+    const FarmerResult farm = MineViaFarm(dataset, opts, shuffle_seed);
+    ExpectIdenticalResults(single, farm);
+    // Tree-shape equality does not hold in top-k mode: the sequential
+    // run tightens its confidence floor as the top-k heap fills, while
+    // a farm worker (like an in-process parallel worker) only has the
+    // static floor and so visits a superset of the nodes. The reported
+    // groups are identical either way — that is the contract.
+    if (expect_same_nodes) {
+      EXPECT_EQ(single.stats.nodes_visited, farm.stats.nodes_visited);
+    } else {
+      EXPECT_GE(farm.stats.nodes_visited, single.stats.nodes_visited);
+    }
+  }
+}
+
+TEST(FarmLeaseTest, PaperExample) {
+  MinerOptions opts;
+  opts.min_support = 1;
+  ExpectFarmInvariant(PaperExampleDataset(), opts);
+}
+
+TEST(FarmLeaseTest, RandomDatasets) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("seed = " + std::to_string(seed));
+    MinerOptions opts;
+    opts.min_support = 2;
+    opts.min_confidence = 0.6;
+    ExpectFarmInvariant(RandomDataset(14, 24, 0.3, seed), opts);
+  }
+}
+
+TEST(FarmLeaseTest, TopKMode) {
+  // Top-k exercises the dynamic-confidence-floor subtlety: a farm
+  // worker must use the static floor (like in-process parallel
+  // workers), or its pruning would depend on upload order.
+  MinerOptions opts;
+  opts.min_support = 2;
+  opts.top_k = 5;
+  ExpectFarmInvariant(RandomDataset(15, 20, 0.35, 11), opts,
+                      /*expect_same_nodes=*/false);
+}
+
+TEST(FarmLeaseTest, ReportAllRuleGroups) {
+  MinerOptions opts;
+  opts.min_support = 2;
+  opts.min_confidence = 0.5;
+  opts.report_all_rule_groups = true;
+  ExpectFarmInvariant(RandomDataset(12, 18, 0.35, 23), opts);
+}
+
+TEST(FarmLeaseTest, ChiSquareAndNoLowerBounds) {
+  MinerOptions opts;
+  opts.min_support = 2;
+  opts.min_chi_square = 1.0;
+  opts.mine_lower_bounds = false;
+  ExpectFarmInvariant(RandomDataset(14, 22, 0.3, 31), opts);
+}
+
+TEST(FarmLeaseTest, VerifyInvariantsMode) {
+  // The miner's full self-verification (closure proofs, store
+  // re-validation after every merged segment) must hold on the farm
+  // path too.
+  MinerOptions opts;
+  opts.min_support = 2;
+  opts.min_confidence = 0.5;
+  opts.verify_invariants = true;
+  ExpectFarmInvariant(RandomDataset(13, 22, 0.35, 77), opts);
+}
+
+TEST(FarmLeaseTest, EmptyDataset) {
+  BinaryDataset empty(4);
+  MinerOptions opts;
+  internal::FarmerMiner miner(empty, opts);
+  const internal::FarmerMiner::FarmPlan& plan = miner.PlanFarm();
+  EXPECT_TRUE(plan.root_pruned);
+  EXPECT_TRUE(plan.lease_rows.empty());
+  const FarmerResult result = miner.FinalizeFarm({}, MinerStats{});
+  EXPECT_TRUE(result.groups.empty());
+}
+
+TEST(FarmLeaseTest, DuplicateUploadWouldDoubleCount) {
+  // Documents why the coordinator dedups by row: replaying the same
+  // lease's segments twice is NOT harmless in report-all mode. The
+  // coordinator's first-upload-wins rule is what keeps the merge exact.
+  const BinaryDataset dataset = RandomDataset(12, 18, 0.35, 5);
+  MinerOptions opts;
+  opts.min_support = 2;
+  opts.report_all_rule_groups = true;
+  const FarmerResult single = MineFarmer(dataset, opts);
+
+  internal::FarmerMiner worker(dataset, opts);
+  const internal::FarmerMiner::FarmPlan& plan = worker.PlanFarm();
+  ASSERT_FALSE(plan.root_pruned);
+  ASSERT_FALSE(plan.lease_rows.empty());
+  std::vector<MineSegment> uploads;
+  for (const std::uint32_t row : plan.lease_rows) {
+    for (MineSegment& seg : worker.MineFarmLease(row, nullptr, nullptr)) {
+      uploads.push_back(std::move(seg));
+    }
+  }
+  // Duplicate the first lease's upload wholesale.
+  std::vector<MineSegment> again =
+      worker.MineFarmLease(plan.lease_rows.front(), nullptr, nullptr);
+  for (MineSegment& seg : again) uploads.push_back(std::move(seg));
+  for (const MineSegment& seg : plan.root_segments) uploads.push_back(seg);
+
+  internal::FarmerMiner coordinator(dataset, opts);
+  coordinator.PlanFarm();
+  const FarmerResult doubled =
+      coordinator.FinalizeFarm(std::move(uploads), MinerStats{});
+  EXPECT_NE(single.groups.size(), doubled.groups.size())
+      << "duplicate uploads were expected to corrupt a report-all merge; "
+         "if this ever becomes benign, the dedup rationale changed";
+}
+
+}  // namespace
+}  // namespace farmer

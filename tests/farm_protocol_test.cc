@@ -1,0 +1,325 @@
+// FMP1 codec tests: every message round-trips exactly; every decoder is
+// strict (truncation, trailing bytes, out-of-range counts, CRC damage
+// all come back InvalidArgument, never a crash or over-allocation).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "farm/protocol.h"
+#include "util/wire.h"
+
+namespace farmer {
+namespace farm {
+namespace {
+
+// Splits an Encode* frame into (opcode, payload) via the shared wire
+// extractor, asserting it is a single complete frame.
+void Unframe(const std::string& frame, std::uint8_t* opcode,
+             std::string* payload) {
+  std::size_t consumed = 0;
+  std::string_view view;
+  std::string error;
+  ASSERT_EQ(wire::ExtractFrame(frame, kMaxFarmFramePayload, &consumed,
+                               opcode, &view, &error),
+            wire::FrameExtract::kComplete)
+      << error;
+  ASSERT_EQ(consumed, frame.size()) << "trailing bytes after the frame";
+  *payload = std::string(view);
+}
+
+HelloMsg SampleHello() {
+  HelloMsg msg;
+  msg.fingerprint.dataset_hash = 0x1122334455667788ull;
+  msg.fingerprint.num_rows = 40;
+  msg.fingerprint.num_items = 613;
+  msg.params.consequent = 1;
+  msg.params.min_support = 3;
+  msg.params.min_confidence = 0.7;
+  msg.params.min_chi_square = 1.5;
+  msg.params.top_k = 25;
+  msg.params.mine_lower_bounds = true;
+  msg.params.report_all_rule_groups = false;
+  msg.simd_level = "avx2";
+  msg.worker_name = "w-7";
+  return msg;
+}
+
+std::vector<MineSegment> SampleSegments() {
+  std::vector<MineSegment> segments;
+  MineSegment a;
+  a.id = {3, 7, kCloserRank};
+  RuleGroup g;
+  g.antecedent = {1, 4, 9};
+  g.rows = Bitset(40);
+  g.rows.Set(3);
+  g.rows.Set(7);
+  g.rows.Set(31);
+  g.support_pos = 2;
+  g.support_neg = 1;
+  g.confidence = 2.0 / 3.0;
+  g.chi_square = 0.625;
+  a.groups.push_back(g);
+  RuleGroup h;
+  h.antecedent = {};  // Antecedent may legitimately be empty on the wire.
+  h.rows = Bitset(40);
+  h.rows.Set(0);
+  h.support_pos = 1;
+  h.support_neg = 0;
+  h.confidence = 1.0;
+  h.chi_square = 3.25;
+  a.groups.push_back(h);
+  segments.push_back(a);
+  MineSegment b;
+  b.id = {5};
+  segments.push_back(b);  // Empty segment: id with no groups.
+  return segments;
+}
+
+TEST(FarmProtocolTest, HelloRoundTrip) {
+  const HelloMsg msg = SampleHello();
+  std::uint8_t opcode = 0;
+  std::string payload;
+  Unframe(EncodeHello(msg), &opcode, &payload);
+  EXPECT_EQ(static_cast<FarmOp>(opcode), FarmOp::kHello);
+  HelloMsg got;
+  ASSERT_TRUE(DecodeHello(payload, &got).ok());
+  EXPECT_EQ(got.version, msg.version);
+  EXPECT_TRUE(got.fingerprint == msg.fingerprint);
+  EXPECT_TRUE(got.params == msg.params);
+  EXPECT_EQ(got.simd_level, msg.simd_level);
+  EXPECT_EQ(got.worker_name, msg.worker_name);
+}
+
+TEST(FarmProtocolTest, HelloAckRoundTrip) {
+  for (const bool accepted : {true, false}) {
+    HelloAckMsg msg;
+    msg.accepted = accepted;
+    msg.worker_id = accepted ? 12u : 0u;
+    msg.reason = accepted ? "" : "dataset fingerprint mismatch";
+    std::uint8_t opcode = 0;
+    std::string payload;
+    Unframe(EncodeHelloAck(msg), &opcode, &payload);
+    EXPECT_EQ(static_cast<FarmOp>(opcode), FarmOp::kHelloAck);
+    HelloAckMsg got;
+    ASSERT_TRUE(DecodeHelloAck(payload, &got).ok());
+    EXPECT_EQ(got.accepted, msg.accepted);
+    EXPECT_EQ(got.worker_id, msg.worker_id);
+    EXPECT_EQ(got.reason, msg.reason);
+  }
+}
+
+TEST(FarmProtocolTest, LeaseGrantHeartbeatAckRevokeRoundTrip) {
+  LeaseGrantMsg grant;
+  grant.lease_id = 0x0102030405060708ull;
+  grant.root_row = 17;
+  std::uint8_t opcode = 0;
+  std::string payload;
+  Unframe(EncodeLeaseGrant(grant), &opcode, &payload);
+  EXPECT_EQ(static_cast<FarmOp>(opcode), FarmOp::kLeaseGrant);
+  LeaseGrantMsg grant2;
+  ASSERT_TRUE(DecodeLeaseGrant(payload, &grant2).ok());
+  EXPECT_EQ(grant2.lease_id, grant.lease_id);
+  EXPECT_EQ(grant2.root_row, grant.root_row);
+
+  HeartbeatMsg beat;
+  beat.lease_id = 9;
+  beat.nodes = 123456;
+  beat.nodes_per_sec = 7890.5;
+  beat.depth = 11;
+  beat.groups = 42;
+  Unframe(EncodeHeartbeat(beat), &opcode, &payload);
+  EXPECT_EQ(static_cast<FarmOp>(opcode), FarmOp::kHeartbeat);
+  HeartbeatMsg beat2;
+  ASSERT_TRUE(DecodeHeartbeat(payload, &beat2).ok());
+  EXPECT_EQ(beat2.lease_id, beat.lease_id);
+  EXPECT_EQ(beat2.nodes, beat.nodes);
+  EXPECT_EQ(beat2.nodes_per_sec, beat.nodes_per_sec);
+  EXPECT_EQ(beat2.depth, beat.depth);
+  EXPECT_EQ(beat2.groups, beat.groups);
+
+  ResultAckMsg ack;
+  ack.lease_id = 77;
+  ack.fresh = true;
+  Unframe(EncodeResultAck(ack), &opcode, &payload);
+  EXPECT_EQ(static_cast<FarmOp>(opcode), FarmOp::kResultAck);
+  ResultAckMsg ack2;
+  ASSERT_TRUE(DecodeResultAck(payload, &ack2).ok());
+  EXPECT_EQ(ack2.lease_id, ack.lease_id);
+  EXPECT_EQ(ack2.fresh, ack.fresh);
+
+  RevokeMsg revoke;
+  revoke.lease_id = 31337;
+  Unframe(EncodeRevoke(revoke), &opcode, &payload);
+  EXPECT_EQ(static_cast<FarmOp>(opcode), FarmOp::kRevoke);
+  RevokeMsg revoke2;
+  ASSERT_TRUE(DecodeRevoke(payload, &revoke2).ok());
+  EXPECT_EQ(revoke2.lease_id, revoke.lease_id);
+}
+
+TEST(FarmProtocolTest, EmptyFrames) {
+  for (const FarmOp op :
+       {FarmOp::kLeaseRequest, FarmOp::kNoWork, FarmOp::kDone}) {
+    std::uint8_t opcode = 0;
+    std::string payload;
+    Unframe(EncodeEmptyFrame(op), &opcode, &payload);
+    EXPECT_EQ(static_cast<FarmOp>(opcode), op);
+    EXPECT_TRUE(payload.empty());
+  }
+}
+
+TEST(FarmProtocolTest, SegmentsRoundTrip) {
+  const std::vector<MineSegment> segments = SampleSegments();
+  const std::string wire = EncodeSegments(segments);
+  std::vector<MineSegment> got;
+  ASSERT_TRUE(DecodeSegments(wire, 40, &got).ok());
+  ASSERT_EQ(got.size(), segments.size());
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    EXPECT_EQ(got[s].id, segments[s].id);
+    ASSERT_EQ(got[s].groups.size(), segments[s].groups.size());
+    for (std::size_t g = 0; g < segments[s].groups.size(); ++g) {
+      const RuleGroup& want = segments[s].groups[g];
+      const RuleGroup& have = got[s].groups[g];
+      EXPECT_EQ(have.antecedent, want.antecedent);
+      EXPECT_EQ(have.rows, want.rows);
+      EXPECT_EQ(have.support_pos, want.support_pos);
+      EXPECT_EQ(have.support_neg, want.support_neg);
+      EXPECT_EQ(have.confidence, want.confidence);
+      EXPECT_EQ(have.chi_square, want.chi_square);
+      EXPECT_TRUE(have.lower_bounds.empty());
+    }
+  }
+}
+
+TEST(FarmProtocolTest, SegmentsRejectBadInput) {
+  const std::string wire = EncodeSegments(SampleSegments());
+  std::vector<MineSegment> out;
+  // Every strict prefix must be rejected, never crash.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeSegments(std::string_view(wire.data(), len), 40, &out).ok())
+        << "prefix length " << len;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(DecodeSegments(wire + "x", 40, &out).ok());
+  // A row id out of range for the declared dataset.
+  EXPECT_FALSE(DecodeSegments(wire, 8, &out).ok());
+  // An absurd segment count cannot trigger a huge reserve.
+  std::string hostile = "\xff\xff\xff\xff";
+  EXPECT_FALSE(DecodeSegments(hostile, 40, &out).ok());
+}
+
+TEST(FarmProtocolTest, ResultRoundTripAndCrc) {
+  ResultMsg msg;
+  msg.lease_id = 5;
+  msg.root_row = 3;
+  msg.nodes_visited = 999;
+  msg.mine_seconds = 0.25;
+  msg.segments_wire = EncodeSegments(SampleSegments());
+  std::uint8_t opcode = 0;
+  std::string payload;
+  Unframe(EncodeResult(msg), &opcode, &payload);
+  EXPECT_EQ(static_cast<FarmOp>(opcode), FarmOp::kResult);
+  ResultMsg got;
+  ASSERT_TRUE(DecodeResult(payload, &got).ok());
+  EXPECT_EQ(got.lease_id, msg.lease_id);
+  EXPECT_EQ(got.root_row, msg.root_row);
+  EXPECT_EQ(got.nodes_visited, msg.nodes_visited);
+  EXPECT_EQ(got.mine_seconds, msg.mine_seconds);
+  EXPECT_EQ(got.segments_wire, msg.segments_wire);
+
+  // Flip one bit anywhere inside the segment bytes: the CRC check must
+  // refuse the payload (corruption-in-transit is exactly what it's for).
+  std::string damaged = payload;
+  damaged[damaged.size() - 10] ^= 0x01;
+  EXPECT_FALSE(DecodeResult(damaged, &got).ok());
+}
+
+TEST(FarmProtocolTest, DecodersRejectTruncation) {
+  const std::string frames[] = {
+      EncodeHello(SampleHello()),
+      EncodeHelloAck(HelloAckMsg{true, 4, ""}),
+      EncodeLeaseGrant(LeaseGrantMsg{1, 2}),
+      EncodeHeartbeat(HeartbeatMsg{1, 2, 3.0, 4, 5}),
+      EncodeResultAck(ResultAckMsg{1, true}),
+      EncodeRevoke(RevokeMsg{1}),
+  };
+  for (const std::string& frame : frames) {
+    std::uint8_t opcode = 0;
+    std::string payload;
+    Unframe(frame, &opcode, &payload);
+    const auto decode = [op = static_cast<FarmOp>(opcode)](
+                            std::string_view bytes) {
+      HelloMsg hello;
+      HelloAckMsg hello_ack;
+      LeaseGrantMsg grant;
+      HeartbeatMsg beat;
+      ResultAckMsg ack;
+      RevokeMsg revoke;
+      switch (op) {
+        case FarmOp::kHello:
+          return DecodeHello(bytes, &hello);
+        case FarmOp::kHelloAck:
+          return DecodeHelloAck(bytes, &hello_ack);
+        case FarmOp::kLeaseGrant:
+          return DecodeLeaseGrant(bytes, &grant);
+        case FarmOp::kHeartbeat:
+          return DecodeHeartbeat(bytes, &beat);
+        case FarmOp::kResultAck:
+          return DecodeResultAck(bytes, &ack);
+        case FarmOp::kRevoke:
+          return DecodeRevoke(bytes, &revoke);
+        default:
+          return Status::InvalidArgument("unexpected opcode");
+      }
+    };
+    SCOPED_TRACE("opcode " + std::to_string(opcode));
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+      EXPECT_FALSE(decode(std::string_view(payload.data(), len)).ok())
+          << "prefix length " << len;
+    }
+    EXPECT_FALSE(decode(payload + "x").ok()) << "trailing byte accepted";
+    EXPECT_TRUE(decode(payload).ok());
+  }
+}
+
+TEST(FarmProtocolTest, DetectFarmProtocol) {
+  EXPECT_EQ(DetectFarmProtocol(""), FarmDetect::kNeedMore);
+  EXPECT_EQ(DetectFarmProtocol("F"), FarmDetect::kNeedMore);
+  EXPECT_EQ(DetectFarmProtocol("FMP"), FarmDetect::kNeedMore);
+  EXPECT_EQ(DetectFarmProtocol("FMP1"), FarmDetect::kFarm);
+  EXPECT_EQ(DetectFarmProtocol("FMP1extra"), FarmDetect::kFarm);
+  EXPECT_EQ(DetectFarmProtocol("GET"), FarmDetect::kNeedMore);
+  EXPECT_EQ(DetectFarmProtocol("GET /metrics"), FarmDetect::kHttp);
+  EXPECT_EQ(DetectFarmProtocol("FQP1"), FarmDetect::kUnknown);
+  EXPECT_EQ(DetectFarmProtocol("PUT "), FarmDetect::kUnknown);
+  EXPECT_EQ(DetectFarmProtocol(std::string_view("\x00\x01\x02\x03", 4)),
+            FarmDetect::kUnknown);
+}
+
+TEST(FarmProtocolTest, OversizedFrameIsAnError) {
+  // A length prefix past the farm cap must classify as kError so the
+  // coordinator can drop the connection instead of buffering 4 GiB.
+  std::string frame;
+  wire::AppendFrame(&frame, 0x01, std::string(16, 'x'));
+  // Rewrite the length prefix to an absurd value.
+  const std::uint32_t huge = 0x7fffffff;
+  frame[0] = static_cast<char>(huge & 0xff);
+  frame[1] = static_cast<char>((huge >> 8) & 0xff);
+  frame[2] = static_cast<char>((huge >> 16) & 0xff);
+  frame[3] = static_cast<char>((huge >> 24) & 0xff);
+  std::size_t consumed = 0;
+  std::uint8_t opcode = 0;
+  std::string_view payload;
+  std::string error;
+  EXPECT_EQ(wire::ExtractFrame(frame, kMaxFarmFramePayload, &consumed,
+                               &opcode, &payload, &error),
+            wire::FrameExtract::kError);
+}
+
+}  // namespace
+}  // namespace farm
+}  // namespace farmer

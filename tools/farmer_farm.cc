@@ -1,0 +1,287 @@
+// farmer_farm — distributed mining farm front end.
+//
+//   farmer_farm coordinator --in data.csv --port 7543 [mining flags]
+//   farmer_farm worker      --in data.csv --port 7543 [mining flags]
+//
+// The coordinator loads the dataset, decomposes the search into
+// per-root-subtree leases, and serves them to workers over FMP1 (see
+// docs/FARM.md). Workers load the *same* dataset with the *same*
+// discretization and mining flags — the coordinator verifies both via
+// the hello's dataset fingerprint and parameter block and rejects
+// mismatched workers. The merged farm output is byte-identical to
+// `farmer_cli mine` with the same flags.
+
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/farmer.h"
+#include "core/rule.h"
+#include "dataset/discretize.h"
+#include "dataset/io.h"
+#include "farm/coordinator.h"
+#include "farm/worker.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace farmer;
+
+// Minimal --flag value parser (same discipline as farmer_cli).
+struct Args {
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atol(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+bool ParseArgs(int argc, char** argv, int first,
+               const std::vector<std::string>& allowed, Args* args,
+               std::string* error) {
+  for (int i = first; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      *error = "unexpected argument '" + key + "'";
+      return false;
+    }
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      *error = "unknown flag '" + key + "'";
+      return false;
+    }
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      args->flags[key] = argv[++i];
+    } else {
+      args->flags[key] = "1";
+    }
+  }
+  return true;
+}
+
+// Mining + dataset flags shared by both sides; they must produce the
+// same MinerOptions or the coordinator rejects the worker's hello.
+const std::vector<std::string> kSharedFlags = {
+    "--in",     "--minsup",     "--minconf",        "--minchi",
+    "--consequent", "--buckets", "--entropy",       "--topk",
+    "--all-groups", "--no-lower-bounds", "--host",  "--port"};
+
+std::vector<std::string> WithExtra(std::vector<std::string> flags,
+                                   const std::vector<std::string>& extra) {
+  flags.insert(flags.end(), extra.begin(), extra.end());
+  return flags;
+}
+
+const std::vector<std::string> kCoordinatorFlags = WithExtra(
+    kSharedFlags,
+    {"--heartbeat-timeout", "--max", "--out", "--stats", "--port-file"});
+const std::vector<std::string> kWorkerFlags = WithExtra(
+    kSharedFlags, {"--name", "--heartbeat", "--max-attempts"});
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: farmer_farm <coordinator|worker> --in FILE [flags]\n\n"
+      "shared mining flags (must match across the farm):\n"
+      "  [--minsup N] [--minconf F] [--minchi F] [--consequent N]\n"
+      "  [--buckets N | --entropy] [--topk K] [--all-groups] "
+      "[--no-lower-bounds]\n\n"
+      "coordinator: [--host H] [--port P] [--heartbeat-timeout S]\n"
+      "             [--max N] [--out FILE] [--stats] [--port-file FILE]\n"
+      "worker:      [--host H] [--port P] [--name NAME] "
+      "[--heartbeat S] [--max-attempts N]\n");
+  return 2;
+}
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+bool LoadAndDiscretize(const Args& args, ExpressionMatrix* matrix,
+                       BinaryDataset* dataset) {
+  Status s = LoadExpressionCsv(args.Get("--in"), matrix);
+  if (!s.ok()) {
+    Fail(s);
+    return false;
+  }
+  Discretization disc;
+  if (args.Has("--entropy")) {
+    disc = Discretization::FitEntropyMdl(*matrix);
+  } else {
+    disc = Discretization::FitEqualDepth(
+        *matrix, static_cast<int>(args.GetInt("--buckets", 10)));
+  }
+  *dataset = disc.Apply(*matrix);
+  dataset->set_item_names(disc.MakeItemNames(*matrix));
+  return true;
+}
+
+MinerOptions MakeMinerOptions(const Args& args) {
+  MinerOptions opts;
+  opts.consequent = static_cast<ClassLabel>(args.GetInt("--consequent", 1));
+  opts.min_support = static_cast<std::size_t>(args.GetInt("--minsup", 1));
+  opts.min_confidence = args.GetDouble("--minconf", 0.0);
+  opts.min_chi_square = args.GetDouble("--minchi", 0.0);
+  opts.top_k = static_cast<std::size_t>(args.GetInt("--topk", 0));
+  opts.report_all_rule_groups = args.Has("--all-groups");
+  opts.mine_lower_bounds = !args.Has("--no-lower-bounds");
+  return opts;
+}
+
+int CmdCoordinator(const Args& args) {
+  if (!args.Has("--in")) return Usage();
+  ExpressionMatrix matrix;
+  BinaryDataset dataset;
+  if (!LoadAndDiscretize(args, &matrix, &dataset)) return 1;
+  const MinerOptions opts = MakeMinerOptions(args);
+
+  obs::MetricsRegistry metrics;
+  farm::Coordinator::Options copts;
+  copts.host = args.Get("--host", "127.0.0.1");
+  copts.port = static_cast<int>(args.GetInt("--port", 0));
+  copts.heartbeat_timeout_s = args.GetDouble("--heartbeat-timeout", 10.0);
+  copts.metrics = &metrics;
+
+  farm::Coordinator coordinator(dataset, opts, copts);
+  Status s = coordinator.Start();
+  if (!s.ok()) return Fail(s);
+  std::fprintf(stderr, "farm: coordinator on %s:%d, %zu leases\n",
+               copts.host.c_str(), coordinator.port(),
+               coordinator.lease_total());
+  const std::string port_file = args.Get("--port-file");
+  if (!port_file.empty()) {
+    std::FILE* pf = std::fopen(port_file.c_str(), "w");
+    if (pf == nullptr) {
+      return Fail(Status::IoError("cannot open " + port_file));
+    }
+    std::fprintf(pf, "%d\n", coordinator.port());
+    std::fclose(pf);
+  }
+
+  coordinator.WaitForCompletion(0);
+  FarmerResult result = coordinator.Finalize();
+  const farm::Coordinator::Stats fstats = coordinator.stats();
+  std::fprintf(stderr,
+               "farm: %llu leases granted, %llu re-leased, %llu results "
+               "(%llu duplicate), %llu workers\n",
+               static_cast<unsigned long long>(fstats.leases_granted),
+               static_cast<unsigned long long>(fstats.releases),
+               static_cast<unsigned long long>(fstats.results),
+               static_cast<unsigned long long>(fstats.duplicate_results),
+               static_cast<unsigned long long>(fstats.workers_seen));
+  if (args.Has("--stats")) {
+    std::fprintf(stderr, "%s\n", result.stats.ToJson().c_str());
+  }
+  std::fprintf(stderr,
+               "%zu rule groups, %zu nodes, %.3fs mining + %.3fs lower "
+               "bounds%s\n",
+               result.groups.size(), result.stats.nodes_visited,
+               result.stats.mine_seconds,
+               result.stats.lower_bound_seconds,
+               result.stats.timed_out ? " (TIMED OUT, partial)" : "");
+
+  // The report below is byte-for-byte the `farmer_cli mine` output loop:
+  // the farm-smoke CI job and the acceptance test diff the two files.
+  std::FILE* out = stdout;
+  const std::string out_path = args.Get("--out");
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      return Fail(Status::IoError("cannot open " + out_path));
+    }
+  }
+  const std::size_t limit =
+      static_cast<std::size_t>(args.GetInt("--max", 100));
+  std::size_t shown = 0;
+  const std::string consequent_name =
+      "class" + std::to_string(opts.consequent);
+  for (const RuleGroup& g : result.groups) {
+    if (limit != 0 && ++shown > limit) {
+      std::fprintf(out, "... (%zu more; raise --max)\n",
+                   result.groups.size() - limit);
+      break;
+    }
+    std::fprintf(out, "%s\n",
+                 FormatRuleGroup(g, dataset, consequent_name).c_str());
+    for (const ItemVector& lb : g.lower_bounds) {
+      std::fprintf(out, "  lower:");
+      for (ItemId i : lb) {
+        std::fprintf(out, " %s", dataset.ItemName(i).c_str());
+      }
+      std::fprintf(out, "\n");
+    }
+  }
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+int CmdWorker(const Args& args) {
+  if (!args.Has("--in") || !args.Has("--port")) return Usage();
+  ExpressionMatrix matrix;
+  BinaryDataset dataset;
+  if (!LoadAndDiscretize(args, &matrix, &dataset)) return 1;
+  const MinerOptions opts = MakeMinerOptions(args);
+
+  farm::Worker::Options wopts;
+  wopts.host = args.Get("--host", "127.0.0.1");
+  wopts.port = static_cast<int>(args.GetInt("--port", 0));
+  wopts.name = args.Get("--name");
+  wopts.heartbeat_interval_s = args.GetDouble("--heartbeat", 1.0);
+  wopts.max_connect_attempts =
+      static_cast<int>(args.GetInt("--max-attempts", 10));
+
+  farm::Worker worker(dataset, opts, wopts);
+  Status s = worker.Run();
+  if (!s.ok()) return Fail(s);
+  std::fprintf(stderr, "farm: worker done, %llu leases (%llu revoked)\n",
+               static_cast<unsigned long long>(worker.leases_completed()),
+               static_cast<unsigned long long>(worker.leases_revoked()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+
+  const std::vector<std::string>* allowed = nullptr;
+  int (*handler)(const Args&) = nullptr;
+  if (command == "coordinator") {
+    allowed = &kCoordinatorFlags;
+    handler = &CmdCoordinator;
+  } else if (command == "worker") {
+    allowed = &kWorkerFlags;
+    handler = &CmdWorker;
+  } else {
+    std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+    return Usage();
+  }
+
+  Args args;
+  std::string error;
+  if (!ParseArgs(argc, argv, 2, *allowed, &args, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return Usage();
+  }
+  try {
+    return handler(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

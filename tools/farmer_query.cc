@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "serve/protocol.h"
+#include "util/net.h"
 #include "util/status.h"
 
 namespace {
@@ -50,19 +51,7 @@ int Usage() {
   return 2;
 }
 
-bool SendAll(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
+using farmer::net::SendAll;
 
 // Reads one '\n'-terminated line from `fd` into *line (newline
 // stripped), carrying leftover bytes between calls in *buffer.
@@ -152,26 +141,14 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("socket");
-    return 1;
-  }
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    std::fprintf(stderr, "error: bad --host '%s'\n", host.c_str());
-    ::close(fd);
-    return 2;
-  }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    std::fprintf(stderr, "error: connect %s:%d: %s\n", host.c_str(), port,
-                 std::strerror(errno));
-    ::close(fd);
-    return 1;
+  int fd = -1;
+  {
+    const Status connected = farmer::net::ConnectToHost(
+        host, port, /*timeout_seconds=*/0.0, &fd);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "error: %s\n", connected.ToString().c_str());
+      return connected.IsInvalidArgument() ? 2 : 1;
+    }
   }
 
   std::vector<std::string> requests;
